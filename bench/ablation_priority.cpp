@@ -1,0 +1,96 @@
+// Ablation: how much does the receive-priority assumption matter?
+// The paper adopts receive-over-send priority because Split-C's active
+// messages behave that way; this bench flips the tie rule and measures
+// the schedule change on the Figure-3 pattern and on full GE runs.
+
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+namespace {
+
+Time run_pattern(const pattern::CommPattern& pat, const loggp::Params& p,
+                 bool send_priority) {
+  core::CommSimOptions opts;
+  opts.send_priority = send_priority;
+  return core::CommSimulator{p, opts}.run(pat).makespan();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: receive priority vs send priority ===\n\n";
+
+  {
+    util::Table table{{"pattern", "recv-priority(us)", "send-priority(us)",
+                       "delta(%)"}};
+    util::Rng rng{4242};
+    auto row = [&](const std::string& name, const pattern::CommPattern& pat,
+                   int procs) {
+      const auto params = loggp::presets::meiko_cs2(procs);
+      const double rp = run_pattern(pat, params, false).us();
+      const double sp = run_pattern(pat, params, true).us();
+      table.add_row({name, util::fmt(rp, 2), util::fmt(sp, 2),
+                     util::fmt(100.0 * (sp - rp) / rp, 1)});
+    };
+    row("fig3 (10p)", pattern::paper_fig3(), 10);
+    row("all-to-all (8p)", pattern::all_to_all(8, Bytes{112}), 8);
+    row("ring (8p)", pattern::ring(8, Bytes{112}), 8);
+    for (int i = 0; i < 3; ++i) {
+      row("random #" + std::to_string(i),
+          pattern::random_pattern(rng, 8, 40, Bytes{16}, Bytes{1024}), 8);
+    }
+    std::cout << table << '\n';
+  }
+
+  std::cout << "--- full GE prediction under both rules ---\n";
+  util::Table ge_table{{"block", "recv-priority(s)", "send-priority(s)"}};
+  const layout::DiagonalMap map{8};
+  const auto costs = ops::analytic_cost_table();
+  for (int b : {10, 32, 64, 120}) {
+    const auto program =
+        ge::build_ge_program(ge::GeConfig{.n = 960, .block = b}, map);
+    core::ProgramSimOptions rp_opts;
+    const double rp =
+        core::ProgramSimulator{loggp::presets::meiko_cs2(8), rp_opts}
+            .run(program, costs).total.sec();
+    // The send-priority variant needs the option threaded to every step:
+    // run the comm steps manually through pattern-level simulation is
+    // equivalent to the tie flip only affecting step makespans; reuse the
+    // program simulator by reversing the tie in a custom pass.
+    double sp = 0.0;
+    {
+      // Identical walk with the flipped comm simulator.
+      const auto params = loggp::presets::meiko_cs2(8);
+      std::vector<Time> clock(8, Time::zero());
+      std::vector<Time> comp(8, Time::zero());
+      for (std::size_t s = 0; s < program.size(); ++s) {
+        if (const auto* cs = std::get_if<core::ComputeStep>(&program.step(s))) {
+          for (const auto& item : cs->items) {
+            clock[static_cast<std::size_t>(item.proc)] +=
+                costs.cost(item.op, item.block_size);
+          }
+        } else {
+          const auto& pat = std::get<core::CommStep>(program.step(s)).pattern;
+          if (pat.size() == pat.self_message_count()) continue;
+          core::CommSimOptions opts;
+          opts.send_priority = true;
+          opts.seed = s;
+          const auto trace = core::CommSimulator{params, opts}.run(pat, clock);
+          const auto fin = trace.finish_times();
+          for (std::size_t p = 0; p < clock.size(); ++p) {
+            if (fin[p] > Time::zero()) clock[p] = fin[p];
+          }
+        }
+      }
+      for (Time t : clock) sp = std::max(sp, t.sec());
+    }
+    ge_table.add_row({std::to_string(b), util::fmt(rp, 4), util::fmt(sp, 4)});
+  }
+  std::cout << ge_table
+            << "(tie flips are rare in GE's spread-out schedules: the\n"
+               " assumption matters for dense, synchronized patterns)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: sensitivity of the GE prediction to each LogGP parameter --
+// which part of the machine model the predicted optimum actually depends
+// on.  Each parameter is scaled by +/-50% around the Meiko values while
+// the others stay fixed.
+
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+namespace {
+
+double predict_total(const loggp::Params& params, int block) {
+  const layout::DiagonalMap map{8};
+  const auto program =
+      ge::build_ge_program(ge::GeConfig{.n = 960, .block = block}, map);
+  const auto costs = ops::analytic_cost_table();
+  return core::Predictor{params}.predict_standard(program, costs).total.sec();
+}
+
+int predicted_optimum(const loggp::Params& params) {
+  int best = 0;
+  double best_t = 1e300;
+  for (int b : ops::default_block_sizes()) {
+    const double t = predict_total(params, b);
+    if (t < best_t) {
+      best_t = t;
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: LogGP parameter sensitivity (GE, N=960, P=8, "
+               "diagonal, block 48) ===\n\n";
+
+  const loggp::Params base = loggp::presets::meiko_cs2(8);
+  const double base_total = predict_total(base, 48);
+
+  util::Table table{{"parameter", "x0.5 total(s)", "x1 total(s)",
+                     "x2 total(s)", "swing(%)"}};
+  auto scaled = [&](int which, double k) {
+    loggp::Params p = base;
+    switch (which) {
+      case 0: p.L = p.L * k; break;
+      case 1: p.o = p.o * k; break;
+      case 2: p.g = p.g * k; break;
+      case 3: p.G = p.G * k; break;
+    }
+    return p;
+  };
+  const char* names[] = {"L (latency)", "o (overhead)", "g (gap)",
+                         "G (Gap/byte)"};
+  for (int which = 0; which < 4; ++which) {
+    const double lo = predict_total(scaled(which, 0.5), 48);
+    const double hi = predict_total(scaled(which, 2.0), 48);
+    table.add_row({names[which], util::fmt(lo, 3), util::fmt(base_total, 3),
+                   util::fmt(hi, 3),
+                   util::fmt(100.0 * (hi - lo) / base_total, 1)});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "--- does the predicted optimal block size move? ---\n";
+  util::Table opt{{"machine variant", "optimal block"}};
+  opt.add_row({"meiko (base)", std::to_string(predicted_optimum(base))});
+  opt.add_row({"2x latency", std::to_string(predicted_optimum(scaled(0, 2.0)))});
+  opt.add_row({"2x gap", std::to_string(predicted_optimum(scaled(2, 2.0)))});
+  opt.add_row({"2x Gap/byte", std::to_string(predicted_optimum(scaled(3, 2.0)))});
+  loggp::Params slow_net = base;
+  slow_net.L = base.L * 4.0;
+  slow_net.g = base.g * 4.0;
+  slow_net.G = base.G * 4.0;
+  opt.add_row({"4x everything (slow net)",
+               std::to_string(predicted_optimum(slow_net))});
+  std::cout << opt
+            << "(a slower network pushes the optimum toward larger blocks:\n"
+               " fewer, bigger messages -- the trade-off the paper's tool\n"
+               " exists to navigate)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension experiment: Cannon's matrix multiplication (the paper's other
+// named representative of its program class) -- prediction vs the Testbed
+// "measurement" across block sizes, on a 4x4 processor torus.
+
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+int main() {
+  const int n = 480;
+  const int q = 4;
+  std::cout << "=== Cannon's algorithm: C = A*B, " << n << "x" << n
+            << " doubles, " << q * q << " procs (" << q << "x" << q
+            << " torus) ===\n\n";
+
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor predictor{loggp::presets::meiko_cs2(q * q)};
+  const machine::Testbed testbed{machine::TestbedConfig::meiko_cs2(q * q)};
+
+  util::Table table{{"block", "grid", "messages", "predicted(s)",
+                     "worst-case(s)", "\"measured\"(s)", "err(%)"}};
+  std::vector<double> xs, pred_series, meas_series;
+  for (int b : {10, 12, 15, 20, 24, 30, 40, 60}) {
+    const cannon::CannonConfig cfg{.n = n, .block = b, .q = q};
+    if (!cfg.valid()) continue;
+    cannon::CannonScheduleInfo info;
+    const auto program = cannon::build_cannon_program(cfg, info);
+    const auto pred = predictor.predict(program, costs);
+    const auto meas = testbed.run(program, costs);
+    const double err = 100.0 *
+        (pred.total().sec() - meas.total_with_cache.sec()) /
+        meas.total_with_cache.sec();
+    table.add_row({std::to_string(b), std::to_string(cfg.grid()),
+                   std::to_string(info.network_messages),
+                   util::fmt(pred.total().sec(), 3),
+                   util::fmt(pred.total_worst().sec(), 3),
+                   util::fmt(meas.total_with_cache.sec(), 3),
+                   util::fmt(err, 1)});
+    xs.push_back(b);
+    pred_series.push_back(pred.total().sec());
+    meas_series.push_back(meas.total_with_cache.sec());
+  }
+  std::cout << table << '\n';
+
+  util::LineChart chart{72, 14};
+  chart.set_title("Cannon total time vs block size");
+  chart.set_axis_labels("block size", "seconds");
+  chart.add_series("measured", 'M', xs, meas_series);
+  chart.add_series("predicted", 's', xs, pred_series);
+  std::cout << chart.render() << '\n';
+
+  std::cout << "prediction/measurement rank correlation: "
+            << util::fmt(util::spearman(pred_series, meas_series), 3) << '\n';
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 6: dependence of the basic-operation running times on the block
+// size.  Default: the calibrated analytic model (deterministic).  Pass
+// --live to also time the real Op1..Op4 kernels on this host (the paper's
+// measurement methodology).
+
+#include <cstring>
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+namespace {
+
+void print_table(const core::CostTable& table, const char* title) {
+  std::cout << "=== " << title << " ===\n";
+  util::Table out{{"block", "Op1(us)", "Op2(us)", "Op3(us)", "Op4(us)",
+                   "most expensive"}};
+  for (int b : ops::default_block_sizes()) {
+    int argmax = 0;
+    for (int op = 1; op < ops::kGeOpCount; ++op) {
+      if (table.cost(op, b) > table.cost(argmax, b)) argmax = op;
+    }
+    out.add_row({std::to_string(b), util::fmt(table.cost(ops::kOp1, b).us(), 1),
+                 util::fmt(table.cost(ops::kOp2, b).us(), 1),
+                 util::fmt(table.cost(ops::kOp3, b).us(), 1),
+                 util::fmt(table.cost(ops::kOp4, b).us(), 1),
+                 ops::ge_op_name(argmax)});
+  }
+  std::cout << out << '\n';
+
+  util::LineChart chart{72, 18};
+  chart.set_title("basic-operation cost vs block size");
+  chart.set_axis_labels("block size", "cost (us)");
+  const char glyphs[] = {'1', '2', '3', '4'};
+  for (int op = 0; op < ops::kGeOpCount; ++op) {
+    std::vector<double> xs, ys;
+    for (int b : ops::default_block_sizes()) {
+      xs.push_back(b);
+      ys.push_back(table.cost(op, b).us());
+    }
+    chart.add_series(ops::ge_op_name(op), glyphs[op], xs, ys);
+  }
+  std::cout << chart.render() << '\n';
+
+  const double ratio = table.cost(ops::kOp4, 120).us() /
+                       table.cost(ops::kOp1, 120).us();
+  std::cout << "Op4/Op1 at block 120: " << util::fmt(ratio, 2)
+            << "  (paper: about 2x)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table(ops::analytic_cost_table(),
+              "Figure 6 (calibrated analytic model)");
+
+  const bool live = argc > 1 && std::strcmp(argv[1], "--live") == 0;
+  if (live) {
+    std::cout << "timing the real kernels on this host (--live)...\n";
+    const ops::OpTimer timer;
+    print_table(timer.calibrate(ops::default_block_sizes()),
+                "Figure 6 (live host measurement)");
+  } else {
+    std::cout << "(pass --live to time the real Op1..Op4 kernels here)\n";
+  }
+  return 0;
+}

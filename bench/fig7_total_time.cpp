@@ -1,0 +1,80 @@
+// Figure 7: total running time of blocked Gaussian Elimination (960x960,
+// 8 processors) vs block size -- measured (Testbed) with and without
+// caching, against the standard and worst-case LogGP simulations, for the
+// diagonal and row-stripped-cyclic layouts.
+
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+#include "ge_sweep.hpp"
+
+using namespace logsim;
+using bench::SweepPoint;
+
+namespace {
+
+void report(const bench::SweepResult& sweep) {
+  std::cout << "--- layout: " << sweep.layout << " ---\n";
+  util::Table table{{"block", "measured w/ cache(s)", "measured w/o cache(s)",
+                     "simulated std(s)", "simulated worst(s)"}};
+  for (const auto& pt : sweep.points) {
+    table.add_row({std::to_string(pt.block),
+                   util::fmt(pt.measured_with_cache, 3),
+                   util::fmt(pt.measured_without_cache, 3),
+                   util::fmt(pt.simulated_standard, 3),
+                   util::fmt(pt.simulated_worst, 3)});
+  }
+  std::cout << table;
+
+  util::LineChart chart{72, 16};
+  chart.set_title("total running time vs block size (" + sweep.layout + ")");
+  chart.set_axis_labels("block size", "seconds");
+  chart.add_series("measured w/ cache", 'M', sweep.blocks(),
+                   sweep.column(&SweepPoint::measured_with_cache));
+  chart.add_series("simulated std", 's', sweep.blocks(),
+                   sweep.column(&SweepPoint::simulated_standard));
+  chart.add_series("simulated worst", 'w', sweep.blocks(),
+                   sweep.column(&SweepPoint::simulated_worst));
+  std::cout << chart.render();
+
+  const auto measured = sweep.column(&SweepPoint::measured_with_cache);
+  const auto predicted = sweep.column(&SweepPoint::simulated_standard);
+  const std::size_t mb = util::argmin(measured);
+  const std::size_t pb = util::argmin(predicted);
+  std::cout << "measured optimum:  block " << sweep.points[mb].block << " ("
+            << util::fmt(measured[mb], 3) << " s)\n"
+            << "predicted optimum: block " << sweep.points[pb].block
+            << " -> measured " << util::fmt(measured[pb], 3) << " s ("
+            << util::fmt(100.0 * (measured[pb] / measured[mb] - 1.0), 1)
+            << "% off the true minimum)\n"
+            << "prediction/measurement rank correlation (Spearman): "
+            << util::fmt(util::spearman(predicted, measured), 3) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 7: total running time, N=" << bench::kMatrixN
+            << ", P=" << bench::kProcs << " ===\n\n";
+  const layout::DiagonalMap diag{bench::kProcs};
+  const layout::RowCyclic row{bench::kProcs};
+  const auto dsweep = bench::run_sweep(diag);
+  const auto rsweep = bench::run_sweep(row);
+  report(dsweep);
+  report(rsweep);
+
+  // Section 5.3 layout comparison.
+  int diag_wins_pred = 0, diag_wins_meas = 0;
+  for (std::size_t i = 0; i < dsweep.points.size(); ++i) {
+    diag_wins_pred +=
+        dsweep.points[i].simulated_standard < rsweep.points[i].simulated_standard;
+    diag_wins_meas +=
+        dsweep.points[i].measured_with_cache < rsweep.points[i].measured_with_cache;
+  }
+  std::cout << "layout ranking: diagonal predicted better at " << diag_wins_pred
+            << "/" << dsweep.points.size() << " block sizes, measured better at "
+            << diag_wins_meas << "/" << dsweep.points.size()
+            << " (paper: diagonal mapping works better, esp. large blocks)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+#pragma once
+// Shared driver for the Figure 7/8/9 benches: sweeps the paper's block
+// sizes for one layout, producing the predicted (standard + worst-case)
+// and "measured" (Testbed) series.  Paper setup: 960x960 doubles, 8
+// processors, Meiko CS-2 LogGP parameters.
+
+#include <string>
+#include <vector>
+
+#include <logsim/logsim.hpp>
+
+namespace logsim::bench {
+
+inline constexpr int kMatrixN = 960;
+inline constexpr int kProcs = 8;
+
+struct SweepPoint {
+  int block = 0;
+  double measured_with_cache = 0.0;   // seconds
+  double measured_without_cache = 0.0;
+  double simulated_standard = 0.0;
+  double simulated_worst = 0.0;
+  double measured_comm = 0.0;
+  double simulated_comm_standard = 0.0;
+  double simulated_comm_worst = 0.0;
+  double measured_comp = 0.0;   // includes iteration overhead + stalls
+  double simulated_comp = 0.0;
+};
+
+struct SweepResult {
+  std::string layout;
+  std::vector<SweepPoint> points;
+
+  [[nodiscard]] std::vector<double> column(double SweepPoint::* field) const {
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto& pt : points) out.push_back(pt.*field);
+    return out;
+  }
+  [[nodiscard]] std::vector<double> blocks() const {
+    std::vector<double> out;
+    for (const auto& pt : points) out.push_back(pt.block);
+    return out;
+  }
+};
+
+inline SweepResult run_sweep(const layout::Layout& map,
+                             int matrix_n = kMatrixN) {
+  SweepResult result;
+  result.layout = map.name();
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor predictor{loggp::presets::meiko_cs2(kProcs)};
+  const machine::Testbed testbed{machine::TestbedConfig::meiko_cs2(kProcs)};
+
+  for (int b : ops::default_block_sizes()) {
+    const auto program =
+        ge::build_ge_program(ge::GeConfig{.n = matrix_n, .block = b}, map);
+    const core::Prediction pred = predictor.predict(program, costs);
+    const machine::TestbedResult meas = testbed.run(program, costs);
+
+    SweepPoint pt;
+    pt.block = b;
+    pt.measured_with_cache = meas.total_with_cache.sec();
+    pt.measured_without_cache = meas.total_without_cache.sec();
+    pt.simulated_standard = pred.total().sec();
+    pt.simulated_worst = pred.total_worst().sec();
+    pt.measured_comm = meas.comm_max().sec();
+    pt.simulated_comm_standard = pred.comm().sec();
+    pt.simulated_comm_worst = pred.comm_worst().sec();
+    pt.measured_comp = (meas.comp_max() + meas.stall_max()).sec();
+    pt.simulated_comp = pred.comp().sec();
+    result.points.push_back(pt);
+  }
+  return result;
+}
+
+}  // namespace logsim::bench

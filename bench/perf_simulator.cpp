@@ -1,0 +1,103 @@
+// Simulator performance (google-benchmark): how fast the prediction
+// machinery itself runs -- the practical cost of using simulation instead
+// of a closed formula.
+
+#include <benchmark/benchmark.h>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+namespace {
+
+void BM_CommSimRandomPattern(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const auto edges = static_cast<std::size_t>(state.range(1));
+  util::Rng rng{42};
+  const auto pat =
+      pattern::random_pattern(rng, procs, edges, Bytes{16}, Bytes{2048});
+  const core::CommSimulator sim{loggp::presets::meiko_cs2(procs)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(pat).makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * edges));
+}
+BENCHMARK(BM_CommSimRandomPattern)
+    ->Args({4, 64})
+    ->Args({8, 256})
+    ->Args({16, 1024})
+    ->Args({64, 4096});
+
+void BM_WorstCaseRandomPattern(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const auto edges = static_cast<std::size_t>(state.range(1));
+  util::Rng rng{43};
+  const auto pat =
+      pattern::random_dag_pattern(rng, procs, edges, Bytes{16}, Bytes{2048});
+  const core::WorstCaseSimulator sim{loggp::presets::meiko_cs2(procs)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(pat).makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * edges));
+}
+BENCHMARK(BM_WorstCaseRandomPattern)->Args({8, 256})->Args({16, 1024});
+
+void BM_GeProgramBuild(benchmark::State& state) {
+  const int block = static_cast<int>(state.range(0));
+  const layout::DiagonalMap map{8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ge::build_ge_program(ge::GeConfig{.n = 960, .block = block}, map));
+  }
+}
+BENCHMARK(BM_GeProgramBuild)->Arg(120)->Arg(48)->Arg(20);
+
+void BM_GePredictEndToEnd(benchmark::State& state) {
+  const int block = static_cast<int>(state.range(0));
+  const layout::DiagonalMap map{8};
+  const auto program =
+      ge::build_ge_program(ge::GeConfig{.n = 960, .block = block}, map);
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor predictor{loggp::presets::meiko_cs2(8)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict_standard(program, costs).total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(program.work_item_count()));
+}
+BENCHMARK(BM_GePredictEndToEnd)->Arg(120)->Arg(48)->Arg(20);
+
+void BM_TestbedRun(benchmark::State& state) {
+  const int block = static_cast<int>(state.range(0));
+  const layout::DiagonalMap map{8};
+  const auto program =
+      ge::build_ge_program(ge::GeConfig{.n = 960, .block = block}, map);
+  const auto costs = ops::analytic_cost_table();
+  const machine::Testbed testbed{machine::TestbedConfig::meiko_cs2(8)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testbed.run(program, costs).total_with_cache);
+  }
+}
+BENCHMARK(BM_TestbedRun)->Arg(120)->Arg(48);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::EventQueue<std::size_t> q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(Time{static_cast<double>((i * 2654435761u) % 1000003)}, i);
+    }
+    std::size_t sink = 0;
+    while (!q.empty()) sink += q.pop().payload;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

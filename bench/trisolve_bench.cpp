@@ -1,0 +1,49 @@
+// Extension experiment: blocked triangular solve (paper reference [16]) --
+// prediction, worst case and lower bounds across block sizes.  The solve
+// is latency-sensitive: unlike GE, the serial substitution chain keeps
+// the efficiency low and the optimum block size small.
+
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+int main() {
+  const int n = 960;
+  const int procs = 8;
+  std::cout << "=== Blocked triangular solve, N=" << n << ", P=" << procs
+            << " ===\n\n";
+
+  const auto params = loggp::presets::meiko_cs2(procs);
+  util::Table table{{"block", "grid", "predicted(ms)", "worst(ms)",
+                     "dep-chain LB(ms)", "work LB(ms)"}};
+  std::vector<double> xs, totals;
+  for (int b : {10, 12, 15, 16, 20, 24, 30, 32, 40, 48, 60, 64, 80, 96, 120}) {
+    const trisolve::TriSolveConfig cfg{.n = n, .block = b, .procs = procs};
+    if (!cfg.valid()) continue;
+    const auto costs = trisolve::trisolve_cost_table(b);
+    const auto program = trisolve::build_trisolve_program(cfg);
+    const auto pred = core::Predictor{params}.predict(program, costs);
+    const auto bounds = analysis::analyze_program(program, costs, params);
+    table.add_row({std::to_string(b), std::to_string(cfg.grid()),
+                   util::fmt(pred.total().ms(), 2),
+                   util::fmt(pred.total_worst().ms(), 2),
+                   util::fmt(bounds.dependency_bound.ms(), 2),
+                   util::fmt(bounds.work_bound.ms(), 2)});
+    xs.push_back(b);
+    totals.push_back(pred.total().ms());
+  }
+  std::cout << table << '\n';
+
+  util::LineChart chart{72, 12};
+  chart.set_title("triangular solve: predicted total vs block size");
+  chart.set_axis_labels("block size", "ms");
+  chart.add_series("predicted", '*', xs, totals);
+  std::cout << chart.render() << '\n';
+
+  const std::size_t best = util::argmin(totals);
+  std::cout << "predicted optimum: block " << static_cast<int>(xs[best])
+            << " (" << util::fmt(totals[best], 2) << " ms)\n";
+  return 0;
+}

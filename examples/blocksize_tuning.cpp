@@ -1,0 +1,65 @@
+// Use the predictor to tune an implementation before running it: pick the
+// block size and layout for blocked GE from simulated running times only,
+// then check the choice on the Testbed "machine".
+//
+//   $ ./blocksize_tuning [N] [procs]
+
+#include <cstdlib>
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 960;
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor predictor{loggp::presets::meiko_cs2(procs)};
+  const search::Evaluator eval = [&](int b, const layout::Layout& l) {
+    if (n % b != 0) return Time::infinity();  // keep blocks equal-sized
+    const auto program =
+        ge::build_ge_program(ge::GeConfig{.n = n, .block = b}, l);
+    return predictor.predict_standard(program, costs).total;
+  };
+
+  const layout::DiagonalMap diag{procs};
+  const layout::RowCyclic row{procs};
+  std::cout << "tuning blocked GE, N=" << n << ", P=" << procs << "\n\n";
+
+  const auto result = search::exhaustive_search(ops::default_block_sizes(),
+                                                {&diag, &row}, eval);
+  util::Table table{{"layout", "block", "predicted(s)"}};
+  for (const auto& e : result.evaluated) {
+    table.add_row({e.layout, std::to_string(e.block),
+                   e.predicted.is_infinite() ? "n/a"
+                                             : util::fmt(e.predicted.sec(), 3)});
+  }
+  std::cout << table << '\n'
+            << "recommendation: block " << result.best.block << ", layout "
+            << result.best.layout << " (predicted "
+            << util::fmt(result.best.predicted.sec(), 3) << " s, "
+            << result.evaluations << " simulator calls)\n\n";
+
+  // The cheap alternative: local descent from the middle of the range.
+  const auto descent =
+      search::local_descent(ops::default_block_sizes(), diag, eval,
+                            ops::default_block_sizes().size() / 2);
+  std::cout << "local descent agrees on block " << descent.best.block
+            << " after only " << descent.evaluations << " simulator calls\n\n";
+
+  // Sanity-check the recommendation against the emulated machine.
+  const layout::Layout& best_layout =
+      result.best.layout == "diagonal"
+          ? static_cast<const layout::Layout&>(diag)
+          : static_cast<const layout::Layout&>(row);
+  const auto program = ge::build_ge_program(
+      ge::GeConfig{.n = n, .block = result.best.block}, best_layout);
+  const auto meas =
+      machine::Testbed{machine::TestbedConfig::meiko_cs2(procs)}.run(program,
+                                                                     costs);
+  std::cout << "\"measured\" time at the recommended configuration: "
+            << util::fmt(meas.total_with_cache.sec(), 3) << " s\n";
+  return 0;
+}

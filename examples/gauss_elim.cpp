@@ -1,0 +1,82 @@
+// The paper's application end to end: predict the running time of blocked
+// parallel Gaussian Elimination and compare against the Testbed machine.
+//
+//   $ ./gauss_elim [N] [block] [procs] [layout]
+//   $ ./gauss_elim 960 48 8 diagonal
+//
+// layout: "diagonal" (default) or "row-cyclic".
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 960;
+  const int block = argc > 2 ? std::atoi(argv[2]) : 48;
+  const int procs = argc > 3 ? std::atoi(argv[3]) : 8;
+  const bool row = argc > 4 && std::strcmp(argv[4], "row-cyclic") == 0;
+
+  const ge::GeConfig cfg{.n = n, .block = block};
+  if (!cfg.valid()) {
+    std::cerr << "block must divide N\n";
+    return 1;
+  }
+  const std::unique_ptr<layout::Layout> map =
+      row ? layout::make_row_cyclic(procs) : layout::make_diagonal(procs);
+
+  std::cout << "blocked GE: " << n << "x" << n << " doubles, block " << block
+            << " (grid " << cfg.grid() << "x" << cfg.grid() << "), " << procs
+            << " procs, layout " << map->name() << "\n\n";
+
+  ge::GeScheduleInfo info;
+  const core::StepProgram program = ge::build_ge_program(cfg, *map, info);
+  std::cout << "schedule: " << info.levels << " wavefront levels, "
+            << "ops Op1/2/3/4 = " << info.op_counts[0] << "/"
+            << info.op_counts[1] << "/" << info.op_counts[2] << "/"
+            << info.op_counts[3] << ", " << info.network_messages
+            << " network messages (+" << info.self_messages
+            << " local transfers)\n";
+
+  const layout::LayoutStats ls = layout::analyze(*map, cfg.grid());
+  std::cout << "load balance: max/mean blocks per proc = "
+            << util::fmt(ls.imbalance, 2) << ", adjacent-block locality = "
+            << util::fmt(100.0 * ls.adjacency_local, 1) << "%\n\n";
+
+  const auto costs = ops::analytic_cost_table();
+  const core::Prediction pred =
+      core::Predictor{loggp::presets::meiko_cs2(procs)}.predict(program, costs);
+  const machine::TestbedResult meas =
+      machine::Testbed{machine::TestbedConfig::meiko_cs2(procs)}.run(program,
+                                                                     costs);
+
+  util::Table table{{"quantity", "predicted", "worst-case", "\"measured\""}};
+  table.add_row({"total (s)", util::fmt(pred.total().sec(), 3),
+                 util::fmt(pred.total_worst().sec(), 3),
+                 util::fmt(meas.total_with_cache.sec(), 3)});
+  table.add_row({"computation (s)", util::fmt(pred.comp().sec(), 3), "-",
+                 util::fmt((meas.comp_max() + meas.stall_max()).sec(), 3)});
+  table.add_row({"communication (s)", util::fmt(pred.comm().sec(), 3),
+                 util::fmt(pred.comm_worst().sec(), 3),
+                 util::fmt(meas.comm_max().sec(), 3)});
+  table.add_row({"cache stalls (s)", "-", "-",
+                 util::fmt(meas.stall_max().sec(), 3)});
+  std::cout << table << '\n';
+
+  const double err = 100.0 *
+      (pred.total().sec() - meas.total_with_cache.sec()) /
+      meas.total_with_cache.sec();
+  std::cout << "prediction error vs measured-with-cache: "
+            << util::fmt(err, 1) << "%\n"
+            << "cache hit rate: "
+            << util::fmt(100.0 * static_cast<double>(meas.cache_hits) /
+                             static_cast<double>(meas.cache_hits +
+                                                 meas.cache_misses),
+                         1)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Retargeting: predict the same program on different machines without
+// touching the application -- change the LogGP parameters, re-simulate.
+//
+//   $ ./machine_comparison [N] [block]
+
+#include <cstdlib>
+#include <iostream>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 960;
+  const int block = argc > 2 ? std::atoi(argv[2]) : 48;
+  const int procs = 8;
+
+  const layout::DiagonalMap map{procs};
+  const ge::GeConfig cfg{.n = n, .block = block};
+  if (!cfg.valid()) {
+    std::cerr << "block must divide N\n";
+    return 1;
+  }
+  const auto program = ge::build_ge_program(cfg, map);
+  const auto costs = ops::analytic_cost_table();
+
+  std::cout << "blocked GE " << n << "x" << n << ", block " << block << ", "
+            << procs << " procs, diagonal layout, same computation costs,\n"
+            << "four machines:\n\n";
+
+  util::Table table{{"machine", "total(s)", "comm(s)", "comm share(%)",
+                     "worst case(s)"}};
+  struct Entry {
+    const char* name;
+    loggp::Params params;
+  };
+  const Entry machines[] = {
+      {"Meiko CS-2", loggp::presets::meiko_cs2(procs)},
+      {"Intel Paragon", loggp::presets::intel_paragon(procs)},
+      {"IBM SP-2", loggp::presets::ibm_sp2(procs)},
+      {"Ethernet cluster", loggp::presets::cluster(procs)},
+  };
+  for (const auto& m : machines) {
+    const auto pred = core::Predictor{m.params}.predict(program, costs);
+    table.add_row({m.name, util::fmt(pred.total().sec(), 3),
+                   util::fmt(pred.comm().sec(), 3),
+                   util::fmt(100.0 * pred.comm().us() / pred.total().us(), 1),
+                   util::fmt(pred.total_worst().sec(), 3)});
+  }
+  std::cout << table << '\n';
+
+  // And what block size would each machine want?
+  std::cout << "per-machine optimal block size (exhaustive over the "
+               "calibrated sizes):\n";
+  for (const auto& m : machines) {
+    const core::Predictor pred{m.params};
+    int best = 0;
+    double best_t = 1e300;
+    for (int b : ops::default_block_sizes()) {
+      if (n % b != 0) continue;
+      const auto prog =
+          ge::build_ge_program(ge::GeConfig{.n = n, .block = b}, map);
+      const double t = pred.predict_standard(prog, costs).total.sec();
+      if (t < best_t) {
+        best_t = t;
+        best = b;
+      }
+    }
+    std::cout << "  " << m.name << ": block " << best << " ("
+              << util::fmt(best_t, 3) << " s)\n";
+  }
+  return 0;
+}

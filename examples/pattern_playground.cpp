@@ -1,0 +1,87 @@
+// Explore how the LogGP simulation sequences arbitrary communication
+// patterns, and how the standard/worst-case pair brackets them.
+//
+//   $ ./pattern_playground [pattern] [procs] [bytes]
+//   patterns: fig3 | ring | bcast | alltoall | gather | random
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <logsim/logsim.hpp>
+
+using namespace logsim;
+
+int main(int argc, char** argv) {
+  const std::string kind = argc > 1 ? argv[1] : "fig3";
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
+  const Bytes bytes{argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3]))
+                             : 112};
+
+  util::Rng rng{2024};
+  pattern::CommPattern pat{1};
+  if (kind == "fig3") {
+    pat = pattern::paper_fig3(bytes);
+  } else if (kind == "ring") {
+    pat = pattern::ring(procs, bytes);
+  } else if (kind == "bcast") {
+    pat = pattern::flat_broadcast(procs, bytes);
+  } else if (kind == "alltoall") {
+    pat = pattern::all_to_all(procs, bytes);
+  } else if (kind == "gather") {
+    pat = pattern::gather(procs, bytes);
+  } else if (kind == "random") {
+    pat = pattern::random_pattern(rng, procs, 4 * static_cast<std::size_t>(procs),
+                                  Bytes{16}, bytes);
+  } else {
+    std::cerr << "unknown pattern '" << kind << "'\n";
+    return 1;
+  }
+
+  const auto params = loggp::presets::meiko_cs2(pat.procs());
+  std::cout << "pattern '" << kind << "': " << pat.size() << " messages over "
+            << pat.procs() << " procs, "
+            << pat.network_bytes().count() << " network bytes"
+            << (pat.has_processor_cycle() ? " (cyclic)" : " (acyclic)")
+            << "\nmachine: " << params.to_string() << "\n\n";
+
+  const auto std_trace = core::CommSimulator{params}.run(pat);
+  const auto wc_trace = core::WorstCaseSimulator{params}.run(pat);
+  if (const auto verdict = core::validate_trace(std_trace, pat)) {
+    std::cerr << "standard trace invalid: " << *verdict << '\n';
+    return 1;
+  }
+
+  util::GanttChart gantt{72};
+  gantt.set_title("standard schedule: send [s] / receive [r]");
+  for (int p = 0; p < pat.procs(); ++p) {
+    gantt.set_lane_name(p, "P" + std::to_string(p));
+    for (const auto& op : std_trace.ops_of(p)) {
+      gantt.add_box(p, op.start.us(), op.cpu_end.us(),
+                    op.kind == loggp::OpKind::kSend ? 's' : 'r');
+    }
+  }
+  std::cout << gantt.render() << '\n';
+
+  util::Table table{{"estimate", "time(us)"}};
+  table.add_row({"lower bound",
+                 util::fmt(baseline::comm_lower_bound(pat, params).us(), 2)});
+  table.add_row({"standard simulation", util::fmt(std_trace.makespan().us(), 2)});
+  table.add_row({"worst-case simulation", util::fmt(wc_trace.makespan().us(), 2)});
+  table.add_row({"upper bound",
+                 util::fmt(baseline::comm_upper_bound(pat, params).us(), 2)});
+  std::cout << table;
+
+  if (kind == "ring") {
+    std::cout << "closed form (ring): "
+              << util::fmt(baseline::ring_time(bytes, params).us(), 2)
+              << " us\n";
+  } else if (kind == "bcast") {
+    std::cout << "closed form (flat broadcast): "
+              << util::fmt(
+                     baseline::flat_broadcast_time(procs, bytes, params).us(), 2)
+              << " us\n";
+  }
+  return 0;
+}

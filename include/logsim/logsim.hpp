@@ -1,0 +1,67 @@
+#pragma once
+// logsim -- umbrella public header.
+//
+// Execution-driven prediction of parallel program running times under the
+// LogGP model, reproducing Rugina & Schauser, "Predicting the Running
+// Times of Parallel Programs by Simulation" (IPPS 1998).
+//
+// Typical use:
+//   #include <logsim/logsim.hpp>
+//   using namespace logsim;
+//   auto params  = loggp::presets::meiko_cs2(8);
+//   auto layout  = layout::DiagonalMap{8};
+//   auto program = ge::build_ge_program({.n = 960, .block = 48}, layout);
+//   auto costs   = ops::analytic_cost_table();
+//   auto pred    = core::Predictor{params}.predict(program, costs);
+//   // pred.total(), pred.comm(), pred.comm_worst(), ...
+
+#include "analysis/critical_path.hpp"  // IWYU pragma: export
+#include "analysis/export.hpp"      // IWYU pragma: export
+#include "analysis/html_export.hpp" // IWYU pragma: export
+#include "analysis/trace_stats.hpp" // IWYU pragma: export
+#include "baseline/bounds.hpp"      // IWYU pragma: export
+#include "baseline/bsp.hpp"         // IWYU pragma: export
+#include "baseline/formulas.hpp"    // IWYU pragma: export
+#include "cannon/cannon.hpp"        // IWYU pragma: export
+#include "cannon/cannon_reference.hpp"  // IWYU pragma: export
+#include "collective/collective.hpp"  // IWYU pragma: export
+#include "core/comm_sim.hpp"        // IWYU pragma: export
+#include "core/cost_table.hpp"      // IWYU pragma: export
+#include "core/predictor.hpp"       // IWYU pragma: export
+#include "core/program_sim.hpp"     // IWYU pragma: export
+#include "core/step_program.hpp"    // IWYU pragma: export
+#include "core/trace.hpp"           // IWYU pragma: export
+#include "core/worst_case.hpp"      // IWYU pragma: export
+#include "des/simulator.hpp"        // IWYU pragma: export
+#include "extensions/overlap_sim.hpp"  // IWYU pragma: export
+#include "fitting/fit.hpp"          // IWYU pragma: export
+#include "frontend/program_builder.hpp"  // IWYU pragma: export
+#include "ge/blocked_ge.hpp"        // IWYU pragma: export
+#include "ge/irregular.hpp"         // IWYU pragma: export
+#include "ge/left_looking.hpp"      // IWYU pragma: export
+#include "ge/reference.hpp"         // IWYU pragma: export
+#include "layout/layout.hpp"        // IWYU pragma: export
+#include "layout/layout_stats.hpp"  // IWYU pragma: export
+#include "loggp/cost.hpp"           // IWYU pragma: export
+#include "loggp/params.hpp"         // IWYU pragma: export
+#include "loggp/topology.hpp"       // IWYU pragma: export
+#include "machine/testbed.hpp"      // IWYU pragma: export
+#include "network/packet_net.hpp"   // IWYU pragma: export
+#include "ops/analytic_model.hpp"   // IWYU pragma: export
+#include "ops/ge_ops.hpp"           // IWYU pragma: export
+#include "ops/kernels.hpp"          // IWYU pragma: export
+#include "ops/matrix.hpp"           // IWYU pragma: export
+#include "ops/op_timer.hpp"         // IWYU pragma: export
+#include "pattern/builders.hpp"     // IWYU pragma: export
+#include "pattern/comm_pattern.hpp" // IWYU pragma: export
+#include "stencil/stencil.hpp"      // IWYU pragma: export
+#include "stencil/stencil_reference.hpp"  // IWYU pragma: export
+#include "search/optimizer.hpp"     // IWYU pragma: export
+#include "transform/transform.hpp"  // IWYU pragma: export
+#include "trisolve/trisolve.hpp"    // IWYU pragma: export
+#include "util/ascii_chart.hpp"     // IWYU pragma: export
+#include "util/csv.hpp"             // IWYU pragma: export
+#include "util/rng.hpp"             // IWYU pragma: export
+#include "util/stats.hpp"           // IWYU pragma: export
+#include "util/table.hpp"           // IWYU pragma: export
+#include "util/types.hpp"           // IWYU pragma: export

@@ -1,0 +1,38 @@
+#pragma once
+// Lower bounds and structural estimates for StepPrograms.
+//
+// Two provable lower bounds on any LogGP execution of the program:
+//   * work bound: the busiest processor must execute all its operations;
+//   * dependency-path bound: the longest chain of data-dependent
+//     operations (an op reading a block cannot start before the op that
+//     last wrote it finished), ignoring all communication cost -- valid
+//     because message latency only delays availability further.
+// Plus a latency-aware *estimate* that charges each cross-processor edge
+// one contention-free point-to-point time; this is NOT a bound (a local
+// consumer can use the value before the message lands elsewhere) but
+// tracks the simulated time far better.
+
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
+#include "loggp/params.hpp"
+#include "util/types.hpp"
+
+namespace logsim::analysis {
+
+struct ProgramBounds {
+  Time work_bound;        ///< max over processors of their total op cost
+  Time dependency_bound;  ///< longest data-dependency chain, zero-cost comm
+  Time latency_estimate;  ///< chain with p2p latency per producer->consumer
+                          ///< step (estimate, not a bound)
+
+  /// The tightest provable lower bound.
+  [[nodiscard]] Time lower_bound() const {
+    return max(work_bound, dependency_bound);
+  }
+};
+
+[[nodiscard]] ProgramBounds analyze_program(const core::StepProgram& program,
+                                            const core::CostTable& costs,
+                                            const loggp::Params& params);
+
+}  // namespace logsim::analysis

@@ -1,0 +1,38 @@
+#include "analysis/export.hpp"
+
+#include "util/csv.hpp"
+
+namespace logsim::analysis {
+
+bool write_trace_csv(const std::string& path, const core::CommTrace& trace) {
+  util::CsvWriter csv{path,
+                      {"proc", "kind", "start_us", "cpu_end_us", "port_end_us",
+                       "peer", "bytes", "msg_index"}};
+  if (!csv.ok()) return false;
+  for (int p = 0; p < trace.procs(); ++p) {
+    for (const auto& op : trace.ops_of(p)) {
+      csv.add_row({std::to_string(op.proc),
+                   op.kind == loggp::OpKind::kSend ? "send" : "recv",
+                   std::to_string(op.start.us()),
+                   std::to_string(op.cpu_end.us()),
+                   std::to_string(op.port_end.us()), std::to_string(op.peer),
+                   std::to_string(op.bytes.count()),
+                   std::to_string(op.msg_index)});
+    }
+  }
+  return true;
+}
+
+bool write_result_csv(const std::string& path,
+                      const core::ProgramResult& result) {
+  util::CsvWriter csv{path, {"proc", "end_us", "comp_us", "comm_us"}};
+  if (!csv.ok()) return false;
+  for (std::size_t p = 0; p < result.proc_end.size(); ++p) {
+    csv.add_row({std::to_string(p), std::to_string(result.proc_end[p].us()),
+                 std::to_string(result.comp[p].us()),
+                 std::to_string(result.comm[p].us())});
+  }
+  return true;
+}
+
+}  // namespace logsim::analysis

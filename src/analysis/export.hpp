@@ -1,0 +1,21 @@
+#pragma once
+// Machine-readable exports: traces and sweep series as CSV, for plotting
+// or regression tracking outside the library.
+
+#include <string>
+
+#include "core/program_sim.hpp"
+#include "core/trace.hpp"
+
+namespace logsim::analysis {
+
+/// Writes one row per operation: proc,kind,start_us,cpu_end_us,port_end_us,
+/// peer,bytes,msg_index.  Returns false if the file could not be opened.
+bool write_trace_csv(const std::string& path, const core::CommTrace& trace);
+
+/// Writes the per-processor breakdown of a program result: proc,end_us,
+/// comp_us,comm_us.
+bool write_result_csv(const std::string& path,
+                      const core::ProgramResult& result);
+
+}  // namespace logsim::analysis

@@ -1,0 +1,102 @@
+#include "analysis/html_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace logsim::analysis {
+
+namespace {
+
+constexpr int kLaneHeight = 28;
+constexpr int kLanePad = 6;
+constexpr int kLeftMargin = 60;
+constexpr int kPlotWidth = 1000;
+constexpr int kTopMargin = 30;
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string trace_to_html(const core::CommTrace& trace,
+                          const std::string& title) {
+  const double tmax = std::max(trace.makespan().us(), 1e-9);
+  const int height =
+      kTopMargin + trace.procs() * (kLaneHeight + kLanePad) + 40;
+  auto x_of = [&](double t) {
+    return kLeftMargin + t / tmax * kPlotWidth;
+  };
+
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+     << "<title>" << escape(title) << "</title></head>\n<body>\n"
+     << "<h3>" << escape(title) << "</h3>\n"
+     << "<p>makespan " << trace.makespan().us()
+     << " us &mdash; <span style=\"color:#4878d0\">&#9632;</span> send, "
+     << "<span style=\"color:#ee854a\">&#9632;</span> receive; the pale "
+        "tail of a send is the NIC streaming long-message bytes.</p>\n"
+     << "<svg width=\"" << kLeftMargin + kPlotWidth + 20 << "\" height=\""
+     << height << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+
+  for (int p = 0; p < trace.procs(); ++p) {
+    const int y = kTopMargin + p * (kLaneHeight + kLanePad);
+    os << "<text x=\"4\" y=\"" << y + kLaneHeight / 2 + 4 << "\">P" << p
+       << "</text>\n"
+       << "<line x1=\"" << kLeftMargin << "\" y1=\"" << y + kLaneHeight
+       << "\" x2=\"" << kLeftMargin + kPlotWidth << "\" y2=\""
+       << y + kLaneHeight << "\" stroke=\"#ddd\"/>\n";
+    for (const auto& op : trace.ops_of(p)) {
+      const bool is_send = op.kind == loggp::OpKind::kSend;
+      if (is_send && op.port_end > op.cpu_end) {
+        os << "<rect x=\"" << x_of(op.cpu_end.us()) << "\" y=\"" << y + 6
+           << "\" width=\""
+           << std::max(0.5, x_of(op.port_end.us()) - x_of(op.cpu_end.us()))
+           << "\" height=\"" << kLaneHeight - 12
+           << "\" fill=\"#b5c7ea\"/>\n";
+      }
+      os << "<rect x=\"" << x_of(op.start.us()) << "\" y=\"" << y
+         << "\" width=\""
+         << std::max(1.0, x_of(op.cpu_end.us()) - x_of(op.start.us()))
+         << "\" height=\"" << kLaneHeight << "\" fill=\""
+         << (is_send ? "#4878d0" : "#ee854a") << "\">"
+         << "<title>" << (is_send ? "send to P" : "recv from P") << op.peer
+         << "\nmsg " << op.msg_index << ", " << op.bytes.count()
+         << " B\n[" << op.start.us() << ", " << op.cpu_end.us()
+         << ") us</title></rect>\n";
+    }
+  }
+
+  // Time axis with five ticks.
+  const int axis_y = kTopMargin + trace.procs() * (kLaneHeight + kLanePad) + 8;
+  for (int tick = 0; tick <= 5; ++tick) {
+    const double t = tmax * tick / 5.0;
+    os << "<text x=\"" << x_of(t) - 8 << "\" y=\"" << axis_y + 14 << "\">"
+       << static_cast<long long>(t) << "</text>\n"
+       << "<line x1=\"" << x_of(t) << "\" y1=\"" << kTopMargin - 6
+       << "\" x2=\"" << x_of(t) << "\" y2=\"" << axis_y
+       << "\" stroke=\"#eee\"/>\n";
+  }
+  os << "<text x=\"" << kLeftMargin + kPlotWidth - 10 << "\" y=\""
+     << axis_y + 28 << "\">us</text>\n</svg>\n</body></html>\n";
+  return os.str();
+}
+
+bool write_trace_html(const std::string& path, const core::CommTrace& trace,
+                      const std::string& title) {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << trace_to_html(trace, title);
+  return static_cast<bool>(out);
+}
+
+}  // namespace logsim::analysis

@@ -1,0 +1,20 @@
+#pragma once
+// Self-contained HTML/SVG rendering of a communication trace: the
+// browser-viewable version of the paper's Figures 4/5.  No external
+// assets; hover a box for the message details.
+
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace logsim::analysis {
+
+/// Renders the trace as a standalone HTML document.
+[[nodiscard]] std::string trace_to_html(const core::CommTrace& trace,
+                                        const std::string& title);
+
+/// Writes trace_to_html to `path`; false if the file cannot be opened.
+bool write_trace_html(const std::string& path, const core::CommTrace& trace,
+                      const std::string& title);
+
+}  // namespace logsim::analysis

@@ -1,0 +1,81 @@
+#include "analysis/trace_stats.hpp"
+
+#include <cmath>
+
+#include "loggp/cost.hpp"
+
+namespace logsim::analysis {
+
+std::vector<ProcUtilization> utilization(const core::CommTrace& trace) {
+  std::vector<ProcUtilization> out(static_cast<std::size_t>(trace.procs()));
+  for (int p = 0; p < trace.procs(); ++p) {
+    auto& u = out[static_cast<std::size_t>(p)];
+    u.proc = p;
+    const auto ops = trace.ops_of(p);
+    if (ops.empty()) continue;
+    Time first = ops.front().start;
+    Time last = Time::zero();
+    for (const auto& op : ops) {
+      if (op.kind == loggp::OpKind::kSend) {
+        ++u.sends;
+      } else {
+        ++u.recvs;
+      }
+      u.cpu_busy += op.cpu_end - op.start;
+      u.port_busy += op.port_end - op.start;
+      last = max(last, op.cpu_end);
+    }
+    u.span = last - first;
+    u.cpu_utilization = u.span > Time::zero() ? u.cpu_busy / u.span : 0.0;
+  }
+  return out;
+}
+
+ReceiveBindings classify_receives(const core::CommTrace& trace,
+                                  const pattern::CommPattern& pattern,
+                                  const std::vector<Time>& init_times) {
+  constexpr double kEps = 1e-6;
+  ReceiveBindings bindings;
+  const auto& params = trace.params();
+
+  // Send start per message, to recompute arrivals.
+  std::vector<Time> send_start(pattern.size(), Time::zero());
+  for (const auto& op : trace.ops()) {
+    if (op.kind == loggp::OpKind::kSend) send_start[op.msg_index] = op.start;
+  }
+
+  for (int p = 0; p < trace.procs(); ++p) {
+    const auto ops = trace.ops_of(p);
+    const Time ready = static_cast<std::size_t>(p) < init_times.size()
+                           ? init_times[static_cast<std::size_t>(p)]
+                           : Time::zero();
+    const core::OpRecord* prev = nullptr;
+    for (const auto& op : ops) {
+      if (op.kind == loggp::OpKind::kRecv) {
+        const Time arrival =
+            loggp::arrival_time(send_start[op.msg_index], op.bytes, params);
+        Time sequence = ready;
+        if (prev != nullptr) {
+          sequence = max(sequence,
+                         loggp::earliest_next_start(prev->start, prev->kind,
+                                                    prev->bytes, op.kind,
+                                                    params));
+        }
+        // Attribute to the largest binding term; arrival wins ties (it is
+        // the "network was slow" interpretation).
+        if (arrival.us() + kEps >= sequence.us() &&
+            arrival.us() + kEps >= ready.us()) {
+          ++bindings.arrival_bound;
+        } else if (sequence.us() > ready.us() + kEps) {
+          ++bindings.sequence_bound;
+        } else {
+          ++bindings.ready_bound;
+        }
+      }
+      prev = &op;
+    }
+  }
+  return bindings;
+}
+
+}  // namespace logsim::analysis

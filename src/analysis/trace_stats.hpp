@@ -1,0 +1,40 @@
+#pragma once
+// Post-mortem analysis of communication traces: where does the time of a
+// step go, and which LogGP constraint binds each receive?  The paper
+// reads these facts off its Figures 4/5 by eye; this module computes them.
+
+#include <vector>
+
+#include "core/trace.hpp"
+#include "pattern/comm_pattern.hpp"
+
+namespace logsim::analysis {
+
+struct ProcUtilization {
+  ProcId proc = kNoProc;
+  int sends = 0;
+  int recvs = 0;
+  Time cpu_busy;      ///< sum of o-blocks
+  Time port_busy;     ///< cpu_busy plus long-message streaming
+  Time span;          ///< first op start .. last op cpu_end
+  double cpu_utilization = 0.0;  ///< cpu_busy / span (0 when idle)
+};
+
+/// Per-processor activity summary of one communication step.
+[[nodiscard]] std::vector<ProcUtilization> utilization(
+    const core::CommTrace& trace);
+
+/// Which constraint determined each receive's start time.
+struct ReceiveBindings {
+  int arrival_bound = 0;   ///< waited for the message to arrive (network)
+  int sequence_bound = 0;  ///< waited for gap/occupancy after a prior op
+  int ready_bound = 0;     ///< started right at the processor's ready time
+};
+
+/// Classifies every receive of the trace.  `init_times` are the per-
+/// processor ready times the simulation ran with (empty = all zero).
+[[nodiscard]] ReceiveBindings classify_receives(
+    const core::CommTrace& trace, const pattern::CommPattern& pattern,
+    const std::vector<Time>& init_times = {});
+
+}  // namespace logsim::analysis

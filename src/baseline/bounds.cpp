@@ -1,0 +1,50 @@
+#include "baseline/bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "loggp/cost.hpp"
+
+namespace logsim::baseline {
+
+Time comm_lower_bound(const pattern::CommPattern& pattern,
+                      const loggp::Params& p) {
+  const auto n = static_cast<std::size_t>(pattern.procs());
+  std::vector<int> ops(n, 0);
+  bool any_network = false;
+  Bytes smallest = Bytes{0};
+  for (const auto& m : pattern.messages()) {
+    if (m.src == m.dst) continue;
+    any_network = true;
+    ++ops[static_cast<std::size_t>(m.src)];
+    ++ops[static_cast<std::size_t>(m.dst)];
+    if (smallest.count() == 0 || m.bytes < smallest) smallest = m.bytes;
+  }
+  if (!any_network) return Time::zero();
+
+  // Minimum start-to-start separation between any two consecutive network
+  // operations on one processor: at least min(g, occupancy) -- use the
+  // weakest floor that holds for every transition, which is min(g, o).
+  const Time sep = min(p.g, p.o);
+  int busiest = 0;
+  for (int c : ops) busiest = std::max(busiest, c);
+  const Time pipeline = sep * static_cast<double>(busiest - 1) + p.o;
+
+  // Any network message needs at least its wire time end to end.
+  const Time wire = loggp::point_to_point(smallest, p);
+  return max(pipeline, wire);
+}
+
+Time comm_upper_bound(const pattern::CommPattern& pattern,
+                      const loggp::Params& p) {
+  Time total = Time::zero();
+  for (const auto& m : pattern.messages()) {
+    if (m.src == m.dst) continue;
+    // Fully serialized: gap, stream-out, fly, receive -- all end to end.
+    total += max(p.g, loggp::send_occupancy(m.bytes, p)) + p.L + p.o +
+             max(p.o, p.g);
+  }
+  return total;
+}
+
+}  // namespace logsim::baseline

@@ -1,0 +1,24 @@
+#pragma once
+// Trivial lower and upper bounds on the LogGP communication time of an
+// arbitrary pattern ("the program running time ... was only given lower or
+// upper bounds" -- the prior-work alternative for irregular patterns).
+// Tests sandwich both simulators between these bounds on random patterns.
+
+#include "loggp/params.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::baseline {
+
+/// Lower bound: the busiest processor must issue all its network
+/// operations one minimum separation apart, and no receive can complete
+/// before one latency plus both overheads have elapsed.
+[[nodiscard]] Time comm_lower_bound(const pattern::CommPattern& pattern,
+                                    const loggp::Params& p);
+
+/// Upper bound: full serialization -- every message in the pattern is
+/// handled one after another across the whole machine.
+[[nodiscard]] Time comm_upper_bound(const pattern::CommPattern& pattern,
+                                    const loggp::Params& p);
+
+}  // namespace logsim::baseline

@@ -1,0 +1,69 @@
+#include "baseline/bsp.hpp"
+
+#include <algorithm>
+#include <variant>
+#include <vector>
+
+namespace logsim::baseline {
+
+BspParams BspParams::from_loggp(const loggp::Params& p) {
+  return BspParams{.l = p.L + 2.0 * p.o, .g_per_byte = p.G};
+}
+
+BspPrediction bsp_predict(const core::StepProgram& program,
+                          const core::CostTable& costs,
+                          const BspParams& params) {
+  const auto n = static_cast<std::size_t>(program.procs());
+  BspPrediction out{Time::zero(), Time::zero(), Time::zero(), 0};
+
+  std::vector<double> w(n, 0.0);
+  bool have_work = false;
+
+  auto close_superstep = [&](const pattern::CommPattern* pat) {
+    const double wmax = *std::max_element(w.begin(), w.end());
+    out.comp += Time{wmax};
+
+    double h = 0.0;
+    if (pat != nullptr) {
+      std::vector<double> sent(n, 0.0);
+      std::vector<double> received(n, 0.0);
+      for (const auto& m : pat->messages()) {
+        if (m.src == m.dst) continue;
+        sent[static_cast<std::size_t>(m.src)] +=
+            static_cast<double>(m.bytes.count());
+        received[static_cast<std::size_t>(m.dst)] +=
+            static_cast<double>(m.bytes.count());
+      }
+      for (std::size_t p = 0; p < n; ++p) {
+        h = std::max({h, sent[p], received[p]});
+      }
+    }
+    out.comm += Time{h * params.g_per_byte} + params.l;
+    ++out.supersteps;
+    std::fill(w.begin(), w.end(), 0.0);
+    have_work = false;
+  };
+
+  for (std::size_t step = 0; step < program.size(); ++step) {
+    const auto& entry = program.step(step);
+    if (const auto* cs = std::get_if<core::ComputeStep>(&entry)) {
+      // Consecutive compute steps with no communication between them fold
+      // into the same superstep only when separated by a CommStep;
+      // otherwise BSP still charges a barrier -- close the previous one.
+      if (have_work) close_superstep(nullptr);
+      for (const auto& item : cs->items) {
+        w[static_cast<std::size_t>(item.proc)] +=
+            costs.cost(item.op, item.block_size).us();
+      }
+      have_work = true;
+    } else {
+      close_superstep(&std::get<core::CommStep>(entry).pattern);
+    }
+  }
+  if (have_work) close_superstep(nullptr);
+
+  out.total = out.comp + out.comm;
+  return out;
+}
+
+}  // namespace logsim::baseline

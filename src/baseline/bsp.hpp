@@ -1,0 +1,42 @@
+#pragma once
+// BSP (Valiant 1990) baseline predictor.
+//
+// Prior analytical models the paper positions itself against express the
+// program as supersteps: T = sum over supersteps of (w + g*h + l), where w
+// is the maximum local computation, h the maximum number of message bytes
+// any processor sends or receives (an h-relation), g the inverse
+// bandwidth, and l the barrier/latency cost.  This ignores everything the
+// paper's simulation captures -- per-message overhead interleaving, gap
+// sequencing, receive priority -- and serves as the coarse comparator in
+// bench/baseline_formulas.
+
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
+#include "loggp/params.hpp"
+#include "util/types.hpp"
+
+namespace logsim::baseline {
+
+struct BspParams {
+  Time l{50.0};           ///< per-superstep synchronization cost (us)
+  double g_per_byte = 0.03;  ///< inverse bandwidth (us/byte)
+
+  /// Derives BSP parameters from a LogGP machine: l = L + 2o (one message
+  /// round trip worth of latency), g = G.
+  [[nodiscard]] static BspParams from_loggp(const loggp::Params& p);
+};
+
+struct BspPrediction {
+  Time total;
+  Time comp;  ///< sum of the w terms
+  Time comm;  ///< sum of the g*h + l terms
+  std::size_t supersteps = 0;
+};
+
+/// Evaluates the BSP cost of a StepProgram, folding each ComputeStep and
+/// the CommStep that follows it into one superstep.
+[[nodiscard]] BspPrediction bsp_predict(const core::StepProgram& program,
+                                        const core::CostTable& costs,
+                                        const BspParams& params);
+
+}  // namespace logsim::baseline

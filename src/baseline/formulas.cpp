@@ -1,0 +1,129 @@
+#include "baseline/formulas.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "loggp/cost.hpp"
+
+namespace logsim::baseline {
+
+namespace {
+
+Time send_span(Bytes k, const loggp::Params& p) {
+  return loggp::send_occupancy(k, p);
+}
+
+/// Separation between two consecutive sends of k-byte messages.
+Time send_gap(Bytes k, const loggp::Params& p) {
+  return max(p.g, send_span(k, p));
+}
+
+}  // namespace
+
+Time single_message_time(Bytes k, const loggp::Params& p) {
+  return send_span(k, p) + p.L + p.o;
+}
+
+Time ring_time(Bytes k, const loggp::Params& p) {
+  // Send starts at 0.  The receive may start once the message has arrived
+  // (s(k) + L), the send->recv gap rule allows (g), and the port is free
+  // (s(k)); arrival dominates the port term because L >= 0.
+  return max(send_span(k, p) + p.L, p.g) + p.o;
+}
+
+Time flat_broadcast_time(int procs, Bytes k, const loggp::Params& p) {
+  if (procs <= 1) return Time::zero();
+  const double last = static_cast<double>(procs - 2);
+  return last * send_gap(k, p) + send_span(k, p) + p.L + p.o;
+}
+
+Time binomial_broadcast_time(int procs, Bytes k, const loggp::Params& p) {
+  if (procs <= 1) return Time::zero();
+  // data_at[q]: time processor q's copy of the datum is usable (= its
+  // receive cpu_end; the root has it at 0).  next_send[q]: earliest start
+  // of q's next send given its op history (receivers start constrained by
+  // the recv->send separation; the root may send immediately).
+  std::vector<Time> data_at(static_cast<std::size_t>(procs), Time::infinity());
+  std::vector<Time> next_send(static_cast<std::size_t>(procs), Time::zero());
+  data_at[0] = Time::zero();
+
+  int rounds = 0;
+  while ((1 << rounds) < procs) ++rounds;
+  for (int r = 0; r < rounds; ++r) {
+    const int stride = 1 << r;
+    for (int q = 0; q < stride && q < procs; ++q) {
+      const int peer = q + stride;
+      if (peer >= procs) continue;
+      const Time start = next_send[static_cast<std::size_t>(q)];
+      const Time arrive = loggp::arrival_time(start, k, p);
+      data_at[static_cast<std::size_t>(peer)] = arrive + p.o;
+      next_send[static_cast<std::size_t>(q)] = start + send_gap(k, p);
+      next_send[static_cast<std::size_t>(peer)] =
+          data_at[static_cast<std::size_t>(peer)] - p.o + max(p.o, p.g);
+    }
+  }
+  Time last = Time::zero();
+  for (Time t : data_at) {
+    if (!t.is_infinite()) last = max(last, t);
+  }
+  return last;
+}
+
+Time binomial_rounds_time(int procs, Bytes k, const loggp::Params& p) {
+  if (procs <= 1) return Time::zero();
+  // clock[q]: the processor's CPU-free time carried between steps.  Per
+  // step the Figure-2 algorithm starts from fresh sequencing state, so a
+  // send begins right at the carried clock and a receive right at arrival.
+  std::vector<Time> clock(static_cast<std::size_t>(procs), Time::infinity());
+  clock[0] = Time::zero();
+  int rounds = 0;
+  while ((1 << rounds) < procs) ++rounds;
+  for (int r = 0; r < rounds; ++r) {
+    const int stride = 1 << r;
+    for (int q = 0; q < stride && q < procs; ++q) {
+      const int peer = q + stride;
+      if (peer >= procs) continue;
+      const Time start = clock[static_cast<std::size_t>(q)];
+      clock[static_cast<std::size_t>(q)] = start + p.o;
+      clock[static_cast<std::size_t>(peer)] =
+          loggp::arrival_time(start, k, p) + p.o;
+    }
+  }
+  Time last = Time::zero();
+  for (Time t : clock) {
+    if (!t.is_infinite()) last = max(last, t);
+  }
+  return last;
+}
+
+Time optimal_broadcast_time(int procs, Bytes k, const loggp::Params& p) {
+  if (procs <= 1) return Time::zero();
+  // Greedy: repeatedly give the next uninformed processor the earliest
+  // possible arrival from any informed sender; informed senders keep
+  // injecting every send_gap.  A min-heap of (next possible completion,
+  // sender state) realizes Karp et al.'s optimal broadcast schedule.
+  struct Sender {
+    Time next_start;
+  };
+  auto cmp = [&](const Sender& a, const Sender& b) {
+    return a.next_start > b.next_start;
+  };
+  std::priority_queue<Sender, std::vector<Sender>, decltype(cmp)> heap{cmp};
+  heap.push(Sender{Time::zero()});  // the root can send immediately
+
+  Time last = Time::zero();
+  for (int informed = 1; informed < procs; ++informed) {
+    Sender s = heap.top();
+    heap.pop();
+    const Time arrive = loggp::arrival_time(s.next_start, k, p);
+    const Time have = arrive + p.o;
+    last = max(last, have);
+    // The sender can inject again one gap later...
+    heap.push(Sender{s.next_start + send_gap(k, p)});
+    // ...and the new receiver becomes a sender after recv->send separation.
+    heap.push(Sender{have - p.o + max(p.o, p.g)});
+  }
+  return last;
+}
+
+}  // namespace logsim::baseline

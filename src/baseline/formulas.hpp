@@ -1,0 +1,54 @@
+#pragma once
+// Closed-form LogGP running times for *regular* communication patterns --
+// the kind of result prior work derived by hand (Karp et al.'s optimal
+// broadcast, ring shifts, flat trees).  The paper's point is that such
+// formulas stop scaling to irregular patterns; here they serve two jobs:
+//   * as an executable cross-check of the simulator (tests assert the
+//     Figure-2 algorithm reproduces each formula exactly), and
+//   * as the "prior work" row in bench/baseline_formulas.
+//
+// All formulas use the library's LogGP conventions (see loggp/cost.hpp):
+// a k-byte send occupies its port for  s(k) = o + (k-1)G  and arrives
+// s(k) + L later; consecutive sends are spaced  max(g, s(k)).
+
+#include "loggp/params.hpp"
+#include "util/types.hpp"
+
+namespace logsim::baseline {
+
+/// End-to-end time of one isolated k-byte message: s(k) + L + o.
+[[nodiscard]] Time single_message_time(Bytes k, const loggp::Params& p);
+
+/// Unidirectional ring shift with every processor starting at t=0:
+/// each sends one k-byte message and receives one.
+/// T = max(s(k) + L, g) + o.
+[[nodiscard]] Time ring_time(Bytes k, const loggp::Params& p);
+
+/// Flat (root-sends-all) broadcast to P-1 destinations:
+/// T = (P-2) * max(g, s(k)) + s(k) + L + o.
+[[nodiscard]] Time flat_broadcast_time(int procs, Bytes k,
+                                       const loggp::Params& p);
+
+/// Binomial-tree broadcast on one continuing per-processor timeline:
+/// forwarding respects the receive->send separation max(o,g) and
+/// consecutive sends of one processor are spaced max(g, s(k)).  Returns
+/// the time the last processor finishes its receive.
+[[nodiscard]] Time binomial_broadcast_time(int procs, Bytes k,
+                                           const loggp::Params& p);
+
+/// Binomial-tree broadcast where every round is its own communication
+/// *step* of an alternating program: per the paper's Figure-2 algorithm,
+/// sequencing state (gaps) resets at step boundaries, so a processor may
+/// forward immediately once it holds the datum.  This matches driving the
+/// simulator round by round with carried ready times, and is never slower
+/// than the continuing-timeline variant when g >= o.
+[[nodiscard]] Time binomial_rounds_time(int procs, Bytes k,
+                                        const loggp::Params& p);
+
+/// Karp-style optimal single-item broadcast: greedy earliest-completion
+/// schedule where every informed processor keeps sending to the next
+/// uninformed one.  Lower envelope of all broadcast trees.
+[[nodiscard]] Time optimal_broadcast_time(int procs, Bytes k,
+                                          const loggp::Params& p);
+
+}  // namespace logsim::baseline

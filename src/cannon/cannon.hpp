@@ -1,0 +1,64 @@
+#pragma once
+// Cannon's matrix-multiplication algorithm -- the paper's other named
+// representative of its restricted program class ("Cannon's algorithm for
+// matrix multiplication or the parallel Gaussian Elimination algorithm
+// ... are representative algorithms for this class", Section 2).
+//
+// C = A * B on a q x q processor torus.  Each processor owns one
+// superblock of s x s basic blocks (s = (n/block)/q).  After the initial
+// skew (A's row i rotated left i hops, B's column j rotated up j hops),
+// the algorithm performs q rounds of
+//     compute:  C_local += A_local * B_local   (s^3 basic multiply-adds)
+//     comm:     rotate A one hop left, B one hop up
+// -- exactly the oblivious, alternating structure the simulator targets.
+// The basic multiply-add is costed as GE's Op4 (it is the same b x b
+// GEMM kernel), so Cannon programs run against the same cost tables.
+
+#include <cstdint>
+
+#include "core/step_program.hpp"
+#include "util/types.hpp"
+
+namespace logsim::cannon {
+
+struct CannonConfig {
+  int n = 480;        ///< matrix dimension (elements)
+  int block = 24;     ///< basic block edge; must divide n
+  int q = 4;          ///< processor grid edge (P = q*q); must divide n/block
+  int elem_bytes = 8;
+
+  [[nodiscard]] int grid() const { return n / block; }      ///< nb
+  [[nodiscard]] int tile() const { return grid() / q; }     ///< s
+  [[nodiscard]] int procs() const { return q * q; }
+  [[nodiscard]] Bytes superblock_bytes() const {
+    const auto s = static_cast<std::uint64_t>(tile());
+    const auto b = static_cast<std::uint64_t>(block);
+    return Bytes{s * s * b * b * static_cast<std::uint64_t>(elem_bytes)};
+  }
+  [[nodiscard]] bool valid() const {
+    return n > 0 && block > 0 && q > 0 && n % block == 0 &&
+           grid() % q == 0 && elem_bytes > 0;
+  }
+};
+
+/// Processor id of torus coordinate (row r, column c).
+[[nodiscard]] constexpr ProcId torus_proc(int r, int c, int q) {
+  return static_cast<ProcId>(r * q + c);
+}
+
+struct CannonScheduleInfo {
+  std::size_t rounds = 0;
+  std::size_t skew_steps = 0;
+  std::size_t multiply_items = 0;
+  std::size_t network_messages = 0;
+  Bytes network_bytes{0};
+};
+
+/// Builds the alternating StepProgram of Cannon's algorithm: skew comm
+/// steps, then q rounds of compute + rotate.  Multiply-adds carry GE's
+/// Op4 id, so any cost table with Op4 calibrated works.
+[[nodiscard]] core::StepProgram build_cannon_program(const CannonConfig& cfg);
+[[nodiscard]] core::StepProgram build_cannon_program(const CannonConfig& cfg,
+                                                     CannonScheduleInfo& info);
+
+}  // namespace logsim::cannon

@@ -1,0 +1,109 @@
+#include "cannon/cannon_reference.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "ops/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::cannon {
+
+namespace {
+
+using ops::Matrix;
+
+Matrix extract(const Matrix& m, int r, int c, std::size_t s) {
+  Matrix out{s, s};
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      out(i, j) = m(static_cast<std::size_t>(r) * s + i,
+                    static_cast<std::size_t>(c) * s + j);
+    }
+  }
+  return out;
+}
+
+void store(Matrix& m, int r, int c, std::size_t s, const Matrix& blk) {
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      m(static_cast<std::size_t>(r) * s + i,
+        static_cast<std::size_t>(c) * s + j) = blk(i, j);
+    }
+  }
+}
+
+/// C += A * B on superblocks (gemm_subtract with a sign flip would cost a
+/// copy; do it directly).
+void multiply_add(Matrix& c, const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < n; ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix cannon_multiply(const Matrix& a, const Matrix& b, int q) {
+  assert(a.square() && b.square() && a.rows() == b.rows());
+  const std::size_t n = a.rows();
+  assert(n % static_cast<std::size_t>(q) == 0);
+  const std::size_t s = n / static_cast<std::size_t>(q);
+
+  // Distribute superblocks onto the virtual torus with the initial skew:
+  // processor (r,c) starts with A(r, r+c) and B(r+c, c).
+  std::vector<Matrix> la(static_cast<std::size_t>(q * q));
+  std::vector<Matrix> lb(static_cast<std::size_t>(q * q));
+  std::vector<Matrix> lc(static_cast<std::size_t>(q * q), Matrix{s, s});
+  auto at = [&](std::vector<Matrix>& v, int r, int c) -> Matrix& {
+    return v[static_cast<std::size_t>(r * q + c)];
+  };
+  for (int r = 0; r < q; ++r) {
+    for (int c = 0; c < q; ++c) {
+      at(la, r, c) = extract(a, r, (r + c) % q, s);
+      at(lb, r, c) = extract(b, (r + c) % q, c, s);
+    }
+  }
+
+  for (int t = 0; t < q; ++t) {
+    for (int r = 0; r < q; ++r) {
+      for (int c = 0; c < q; ++c) {
+        multiply_add(at(lc, r, c), at(la, r, c), at(lb, r, c));
+      }
+    }
+    if (t == q - 1) break;
+    // Rotate A one hop left and B one hop up.
+    std::vector<Matrix> na(la.size()), nb_(lb.size());
+    for (int r = 0; r < q; ++r) {
+      for (int c = 0; c < q; ++c) {
+        na[static_cast<std::size_t>(r * q + (c - 1 + q) % q)] =
+            std::move(at(la, r, c));
+        nb_[static_cast<std::size_t>(((r - 1 + q) % q) * q + c)] =
+            std::move(at(lb, r, c));
+      }
+    }
+    la = std::move(na);
+    lb = std::move(nb_);
+  }
+
+  Matrix out{n, n};
+  for (int r = 0; r < q; ++r) {
+    for (int c = 0; c < q; ++c) {
+      store(out, r, c, s, at(lc, r, c));
+    }
+  }
+  return out;
+}
+
+double cannon_residual(std::uint64_t seed, std::size_t n, int q) {
+  util::Rng rng{seed};
+  const Matrix a = Matrix::random(rng, n, n);
+  const Matrix b = Matrix::random(rng, n, n);
+  return cannon_multiply(a, b, q).max_abs_diff(a.multiply(b));
+}
+
+}  // namespace logsim::cannon

@@ -1,0 +1,19 @@
+#pragma once
+// Numeric reference implementation of Cannon's algorithm: executes the
+// same skew / multiply / rotate schedule on real data, proving the
+// StepProgram the simulator predicts is the schedule of a correct
+// algorithm (mirror of ge/reference.hpp for the second application).
+
+#include "ops/matrix.hpp"
+
+namespace logsim::cannon {
+
+/// C = A * B via Cannon's algorithm on a q x q virtual torus.
+/// Precondition: A, B square with dimension divisible by q.
+[[nodiscard]] ops::Matrix cannon_multiply(const ops::Matrix& a,
+                                          const ops::Matrix& b, int q);
+
+/// max |cannon(A,B) - A*B| for random inputs of size n, torus edge q.
+[[nodiscard]] double cannon_residual(std::uint64_t seed, std::size_t n, int q);
+
+}  // namespace logsim::cannon

@@ -1,0 +1,132 @@
+#include "core/comm_sim.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/proc_timeline.hpp"
+#include "des/event_queue.hpp"
+#include "loggp/cost.hpp"
+
+namespace logsim::core {
+
+namespace {
+
+struct PendingRecv {
+  std::size_t msg_index;
+  ProcId src;
+  Bytes bytes;
+  Time arrival;
+};
+
+}  // namespace
+
+CommSimulator::CommSimulator(loggp::Params params, CommSimOptions opts)
+    : params_(params), opts_(opts) {
+  assert(params_.valid());
+}
+
+CommTrace CommSimulator::run(const pattern::CommPattern& pattern) const {
+  return run(pattern, std::vector<Time>(static_cast<std::size_t>(pattern.procs()),
+                                        Time::zero()));
+}
+
+CommTrace CommSimulator::run(const pattern::CommPattern& pattern,
+                             const std::vector<Time>& ready) const {
+  return run(pattern, ready, {});
+}
+
+CommTrace CommSimulator::run(const pattern::CommPattern& pattern,
+                             const std::vector<Time>& ready,
+                             const std::vector<Time>& msg_ready) const {
+  assert(pattern.valid());
+  assert(msg_ready.empty() || msg_ready.size() == pattern.size());
+  const auto n = static_cast<std::size_t>(pattern.procs());
+  assert(ready.size() == n);
+
+  CommTrace trace{pattern.procs(), params_};
+  util::Rng rng{opts_.seed};
+
+  std::vector<ProcTimeline> tl;
+  tl.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    tl.emplace_back(static_cast<ProcId>(p), ready[p], &params_);
+  }
+
+  const auto send_lists = pattern.send_lists();
+  std::vector<std::size_t> send_cursor(n, 0);
+  // Arrival-ordered in-flight messages per destination; the stable event
+  // queue gives a deterministic order for simultaneous arrivals.
+  std::vector<des::EventQueue<PendingRecv>> inbox(n);
+
+  auto wants_to_send = [&](std::size_t p) {
+    return send_cursor[p] < send_lists[p].size();
+  };
+
+  // --- main loop: as printed in the paper's Figure 2 --------------------
+  while (true) {
+    // min_proc = processor with minimum ctime among those wanting to send;
+    // several minima are resolved by a reproducible random choice.
+    std::vector<std::size_t> minima;
+    Time best = Time::infinity();
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!wants_to_send(p)) continue;
+      const Time c = tl[p].ctime();
+      if (c < best) {
+        best = c;
+        minima.assign(1, p);
+      } else if (c == best) {
+        minima.push_back(p);
+      }
+    }
+    if (minima.empty()) break;  // nobody wants to send any more
+    const std::size_t proc =
+        minima[rng.below(static_cast<std::uint64_t>(minima.size()))];
+
+    // Candidate receive: the earliest-arriving in-flight message, if any.
+    Time start_recv = Time::infinity();
+    if (!inbox[proc].empty()) {
+      const auto& top = inbox[proc].top().payload;
+      start_recv = tl[proc].earliest_start(loggp::OpKind::kRecv, top.arrival);
+    }
+    // Candidate send: the next message in program order, no earlier than
+    // its own production time when per-message readiness is supplied.
+    const std::size_t msg_index = send_lists[proc][send_cursor[proc]];
+    const auto& msg = pattern.messages()[msg_index];
+    Time start_send = tl[proc].earliest_start(loggp::OpKind::kSend);
+    if (!msg_ready.empty()) start_send = max(start_send, msg_ready[msg_index]);
+
+    const bool do_send = opts_.send_priority ? start_send <= start_recv
+                                             : start_send < start_recv;
+    if (do_send) {
+      // SEND: with the default strict '<', receives win ties (Split-C
+      // active-message semantics, the paper's assumption).
+      trace.record(tl[proc].commit_send(start_send, msg.dst, msg.bytes,
+                                        msg_index));
+      ++send_cursor[proc];
+      Time arrival = loggp::arrival_time(start_send, msg.bytes, params_);
+      if (opts_.extra_latency) arrival += opts_.extra_latency(msg_index);
+      inbox[static_cast<std::size_t>(msg.dst)].push(
+          arrival, PendingRecv{msg_index, msg.src, msg.bytes, arrival});
+    } else {
+      // RECEIVE the earliest pending message.
+      const auto entry = inbox[proc].pop();
+      const auto& pr = entry.payload;
+      trace.record(
+          tl[proc].commit_recv(start_recv, pr.src, pr.bytes, pr.msg_index));
+    }
+  }
+
+  // --- drain loop: all sends done; processors absorb remaining receives.
+  for (std::size_t p = 0; p < n; ++p) {
+    while (!inbox[p].empty()) {
+      const auto entry = inbox[p].pop();
+      const auto& pr = entry.payload;
+      const Time start =
+          tl[p].earliest_start(loggp::OpKind::kRecv, pr.arrival);
+      trace.record(tl[p].commit_recv(start, pr.src, pr.bytes, pr.msg_index));
+    }
+  }
+  return trace;
+}
+
+}  // namespace logsim::core

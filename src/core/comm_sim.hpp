@@ -1,0 +1,74 @@
+#pragma once
+// The paper's standard communication simulation algorithm (Figure 2).
+//
+// Given a communication pattern, determines the sequence of send and
+// receive operations of every processor under the LogGP model so that:
+//   * the gap g is maintained between consecutive network operations,
+//   * available messages are sent as soon as possible,
+//   * receive operations have priority over send operations (Split-C
+//     active-message semantics).
+//
+// Each processor keeps a FIFO queue of messages to send and a priority
+// queue of in-flight messages ordered by arrival time.  The main loop
+// repeatedly picks the processor with the minimum current time among those
+// that still want to send (ties broken randomly but reproducibly), lets it
+// choose between its next send and its earliest pending receive by
+// comparing the start times both would get, performs the cheaper one
+// (receives win ties), and finally drains all remaining receives.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/trace.hpp"
+#include "loggp/params.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+struct CommSimOptions {
+  /// Seed for the random tie break between equal-ctime processors.
+  std::uint64_t seed = 1;
+  /// Invert the paper's Split-C assumption: let a send win when its start
+  /// time ties the pending receive's.  Exists for the ablation that
+  /// quantifies how much the receive-priority rule matters
+  /// (bench/ablation_priority).
+  bool send_priority = false;
+  /// Optional per-message latency perturbation, added to the LogGP arrival
+  /// time when the message is injected.  The plain predictor leaves this
+  /// empty (LogGP's L is an upper bound / average); the Testbed machine
+  /// uses it to model real-network jitter.  Must return >= 0.
+  std::function<Time(std::size_t msg_index)> extra_latency;
+};
+
+class CommSimulator {
+ public:
+  explicit CommSimulator(loggp::Params params, CommSimOptions opts = {});
+
+  /// Simulates one communication step; all processors ready at t=0.
+  [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern) const;
+
+  /// Simulates one communication step with per-processor ready times
+  /// (the incremental form the program simulator uses: processors enter
+  /// the step when their preceding computation finishes).
+  [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern,
+                              const std::vector<Time>& ready) const;
+
+  /// As above, plus per-message earliest injection times (indexed like
+  /// pattern.messages(); empty entries default to the source's ready
+  /// time).  Sends stay in per-source program order but each waits for
+  /// its own message to be produced -- the hook the overlapping-
+  /// communication extension uses to inject results as they appear.
+  [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern,
+                              const std::vector<Time>& ready,
+                              const std::vector<Time>& msg_ready) const;
+
+  [[nodiscard]] const loggp::Params& params() const { return params_; }
+
+ private:
+  loggp::Params params_;
+  CommSimOptions opts_;
+};
+
+}  // namespace logsim::core

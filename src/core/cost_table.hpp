@@ -1,0 +1,54 @@
+#pragma once
+// Basic-operation cost table.
+//
+// The paper's computation model: data is split into equal-sized basic
+// blocks that can only be operated on by a finite set of basic operations
+// whose running times are "calculated separately" per block size (their
+// Figure 6) and then consumed by the program simulator.  This class is
+// that table: op x block-size -> microseconds, with piecewise-linear
+// interpolation for block sizes between calibration points.
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+using OpId = int;
+
+class CostTable {
+ public:
+  /// Registers a named operation; returns its id (dense, 0-based).
+  OpId register_op(std::string name);
+
+  /// Records the cost of `op` on a `block_size` x `block_size` block.
+  /// Multiple calls for the same (op, size) overwrite.
+  void set_cost(OpId op, int block_size, Time cost);
+
+  /// Cost lookup.  Exact match when `block_size` is a calibration point;
+  /// otherwise linear interpolation between neighbours, clamped at the
+  /// extremes.  Precondition: the op has at least one calibration point.
+  [[nodiscard]] Time cost(OpId op, int block_size) const;
+
+  [[nodiscard]] int op_count() const { return static_cast<int>(ops_.size()); }
+  [[nodiscard]] const std::string& name(OpId op) const;
+  /// Id of a registered name, or -1.
+  [[nodiscard]] OpId find(const std::string& name) const;
+
+  /// All calibration block sizes recorded for `op`, ascending.
+  [[nodiscard]] std::vector<int> block_sizes(OpId op) const;
+
+ private:
+  struct Point {
+    int block;
+    Time cost;
+  };
+  struct OpEntry {
+    std::string name;
+    std::vector<Point> points;  // sorted by block
+  };
+  std::vector<OpEntry> ops_;
+};
+
+}  // namespace logsim::core

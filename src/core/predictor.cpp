@@ -1,0 +1,28 @@
+#include "core/predictor.hpp"
+
+namespace logsim::core {
+
+Predictor::Predictor(loggp::Params params, ProgramSimOptions opts)
+    : params_(params), opts_(std::move(opts)) {}
+
+Prediction Predictor::predict(const StepProgram& program,
+                              const CostTable& costs) const {
+  return Prediction{predict_standard(program, costs),
+                    predict_worst_case(program, costs)};
+}
+
+ProgramResult Predictor::predict_standard(const StepProgram& program,
+                                          const CostTable& costs) const {
+  ProgramSimOptions o = opts_;
+  o.worst_case = false;
+  return ProgramSimulator{params_, std::move(o)}.run(program, costs);
+}
+
+ProgramResult Predictor::predict_worst_case(const StepProgram& program,
+                                            const CostTable& costs) const {
+  ProgramSimOptions o = opts_;
+  o.worst_case = true;
+  return ProgramSimulator{params_, std::move(o)}.run(program, costs);
+}
+
+}  // namespace logsim::core

@@ -1,0 +1,44 @@
+#pragma once
+// High-level prediction facade: the entry point a library user calls to
+// get the paper's deliverable -- predicted total / computation /
+// communication time for a blocked parallel program, with both the
+// standard and the worst-case communication schedules.
+
+#include "core/program_sim.hpp"
+
+namespace logsim::core {
+
+struct Prediction {
+  ProgramResult standard;    ///< Figure-2 algorithm per comm step
+  ProgramResult worst_case;  ///< Section-4.2 overestimation per comm step
+
+  /// The paper's headline numbers.
+  [[nodiscard]] Time total() const { return standard.total; }
+  [[nodiscard]] Time total_worst() const { return worst_case.total; }
+  [[nodiscard]] Time comp() const { return standard.comp_max(); }
+  [[nodiscard]] Time comm() const { return standard.comm_max(); }
+  [[nodiscard]] Time comm_worst() const { return worst_case.comm_max(); }
+};
+
+class Predictor {
+ public:
+  explicit Predictor(loggp::Params params, ProgramSimOptions opts = {});
+
+  /// Runs both communication schedules over the program.
+  [[nodiscard]] Prediction predict(const StepProgram& program,
+                                   const CostTable& costs) const;
+
+  /// Runs only the requested schedule.
+  [[nodiscard]] ProgramResult predict_standard(const StepProgram& program,
+                                               const CostTable& costs) const;
+  [[nodiscard]] ProgramResult predict_worst_case(const StepProgram& program,
+                                                 const CostTable& costs) const;
+
+  [[nodiscard]] const loggp::Params& params() const { return params_; }
+
+ private:
+  loggp::Params params_;
+  ProgramSimOptions opts_;
+};
+
+}  // namespace logsim::core

@@ -1,0 +1,62 @@
+#include "core/proc_timeline.hpp"
+
+#include <cassert>
+
+namespace logsim::core {
+
+Time ProcTimeline::earliest_start(loggp::OpKind kind, Time arrival) const {
+  assert(params_ != nullptr);
+  Time floor_t = ready_;
+  if (has_last_) {
+    floor_t = max(floor_t, loggp::earliest_next_start(last_start_, last_kind_,
+                                                      last_bytes_, kind,
+                                                      *params_));
+  }
+  if (kind == loggp::OpKind::kRecv) floor_t = max(floor_t, arrival);
+  return floor_t;
+}
+
+OpRecord ProcTimeline::commit_send(Time start, ProcId dst, Bytes bytes,
+                                   std::size_t msg_index) {
+  assert(params_ != nullptr);
+  assert(start >= earliest_start(loggp::OpKind::kSend));
+  OpRecord op;
+  op.proc = proc_;
+  op.kind = loggp::OpKind::kSend;
+  op.start = start;
+  op.cpu_end = start + params_->o;
+  op.port_end = start + loggp::send_occupancy(bytes, *params_);
+  op.peer = dst;
+  op.bytes = bytes;
+  op.msg_index = msg_index;
+
+  has_last_ = true;
+  last_kind_ = loggp::OpKind::kSend;
+  last_start_ = start;
+  last_bytes_ = bytes;
+  ctime_ = op.cpu_end;
+  return op;
+}
+
+OpRecord ProcTimeline::commit_recv(Time start, ProcId src, Bytes bytes,
+                                   std::size_t msg_index) {
+  assert(params_ != nullptr);
+  OpRecord op;
+  op.proc = proc_;
+  op.kind = loggp::OpKind::kRecv;
+  op.start = start;
+  op.cpu_end = start + params_->o;
+  op.port_end = op.cpu_end;
+  op.peer = src;
+  op.bytes = bytes;
+  op.msg_index = msg_index;
+
+  has_last_ = true;
+  last_kind_ = loggp::OpKind::kRecv;
+  last_start_ = start;
+  last_bytes_ = bytes;
+  ctime_ = op.cpu_end;
+  return op;
+}
+
+}  // namespace logsim::core

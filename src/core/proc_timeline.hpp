@@ -1,0 +1,51 @@
+#pragma once
+// Per-processor LogGP sequencing state, shared by the standard and the
+// worst-case communication simulators.  Tracks the last network operation
+// a processor performed and answers "when could my next send/receive
+// start?" under the Figure-1 gap rules and the single-port occupancy.
+
+#include "core/trace.hpp"
+#include "loggp/cost.hpp"
+#include "loggp/params.hpp"
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+class ProcTimeline {
+ public:
+  ProcTimeline() = default;
+  ProcTimeline(ProcId proc, Time ready, const loggp::Params* params)
+      : proc_(proc), ready_(ready), params_(params), ctime_(ready) {}
+
+  /// Earliest start of a next op of `kind`, given the last op performed.
+  /// For receives, pass the message arrival time; the result is the max of
+  /// the sequencing floor and the arrival.
+  [[nodiscard]] Time earliest_start(loggp::OpKind kind,
+                                    Time arrival = Time::zero()) const;
+
+  /// Commits a send starting at `start`; returns the completed record.
+  OpRecord commit_send(Time start, ProcId dst, Bytes bytes,
+                       std::size_t msg_index);
+
+  /// Commits a receive starting at `start`; returns the completed record.
+  OpRecord commit_recv(Time start, ProcId src, Bytes bytes,
+                       std::size_t msg_index);
+
+  /// The paper's per-processor "ctime": the time the CPU becomes free
+  /// after the last committed operation (the ready time if none yet).
+  [[nodiscard]] Time ctime() const { return ctime_; }
+
+  [[nodiscard]] ProcId proc() const { return proc_; }
+
+ private:
+  ProcId proc_ = kNoProc;
+  Time ready_;
+  const loggp::Params* params_ = nullptr;
+  bool has_last_ = false;
+  loggp::OpKind last_kind_ = loggp::OpKind::kSend;
+  Time last_start_;
+  Bytes last_bytes_{0};
+  Time ctime_;
+};
+
+}  // namespace logsim::core

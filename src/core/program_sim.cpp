@@ -1,0 +1,75 @@
+#include "core/program_sim.hpp"
+
+#include <cassert>
+
+namespace logsim::core {
+
+Time ProgramResult::comp_max() const {
+  Time t = Time::zero();
+  for (Time c : comp) t = max(t, c);
+  return t;
+}
+
+Time ProgramResult::comm_max() const {
+  Time t = Time::zero();
+  for (Time c : comm) t = max(t, c);
+  return t;
+}
+
+ProgramSimulator::ProgramSimulator(loggp::Params params, ProgramSimOptions opts)
+    : params_(params), opts_(std::move(opts)) {
+  assert(params_.valid());
+}
+
+ProgramResult ProgramSimulator::run(const StepProgram& program,
+                                    const CostTable& costs) const {
+  const auto n = static_cast<std::size_t>(program.procs());
+  ProgramResult result;
+  result.proc_end.assign(n, Time::zero());
+  result.comp.assign(n, Time::zero());
+  result.comm.assign(n, Time::zero());
+
+  std::vector<Time>& clock = result.proc_end;
+
+  for (std::size_t step = 0; step < program.size(); ++step) {
+    const auto& entry = program.step(step);
+    if (const auto* cs = std::get_if<ComputeStep>(&entry)) {
+      for (const auto& item : cs->items) {
+        Time dt = costs.cost(item.op, item.block_size);
+        if (opts_.compute_overhead) dt += opts_.compute_overhead(item);
+        const auto p = static_cast<std::size_t>(item.proc);
+        clock[p] += dt;
+        result.comp[p] += dt;
+      }
+    } else {
+      const auto& pattern = std::get<CommStep>(entry).pattern;
+      if (pattern.size() == pattern.self_message_count()) {
+        continue;  // only local copies: free under the plain LogGP model
+      }
+      const std::uint64_t step_seed = opts_.seed * 0x100000001b3ULL +
+                                      static_cast<std::uint64_t>(step);
+      CommSimOptions std_opts;
+      std_opts.seed = step_seed;
+      CommTrace trace =
+          opts_.worst_case
+              ? WorstCaseSimulator{params_, WorstCaseOptions{step_seed}}.run(
+                    pattern, clock)
+              : CommSimulator{params_, std_opts}.run(pattern, clock);
+      result.comm_ops += trace.ops().size();
+      const auto finish = trace.finish_times();
+      for (std::size_t p = 0; p < n; ++p) {
+        if (finish[p] > Time::zero()) {
+          // Residence in the comm phase = exit clock - entry clock.
+          result.comm[p] += finish[p] - clock[p];
+          clock[p] = finish[p];
+        }
+      }
+    }
+  }
+
+  result.total = Time::zero();
+  for (Time t : clock) result.total = max(result.total, t);
+  return result;
+}
+
+}  // namespace logsim::core

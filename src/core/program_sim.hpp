@@ -1,0 +1,59 @@
+#pragma once
+// The program-level simulator: follows the control flow of a StepProgram,
+// accumulating per-processor computation time from the cost table and
+// running one LogGP communication simulation per CommStep with the
+// processors' current clocks as ready times (paper Section 1: "simulate
+// the program execution by following the control flow of the original
+// program, estimate the computation running time, and determine the
+// sequence of send and receive operations").
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/comm_sim.hpp"
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
+#include "core/worst_case.hpp"
+#include "loggp/params.hpp"
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+struct ProgramSimOptions {
+  /// Use the overestimation algorithm of Section 4.2 for every CommStep.
+  bool worst_case = false;
+  /// Base seed; each comm step derives its own stream deterministically.
+  std::uint64_t seed = 1;
+  /// Optional per-work-item surcharge, invoked once per item in program
+  /// order.  Hook point for the cache-model extension: the callback may
+  /// keep per-processor cache state and return the stall time to add.
+  std::function<Time(const WorkItem&)> compute_overhead;
+};
+
+struct ProgramResult {
+  Time total;                    ///< max over processors of final clock
+  std::vector<Time> proc_end;    ///< final clock per processor
+  std::vector<Time> comp;        ///< per-proc sum of computation time
+  std::vector<Time> comm;        ///< per-proc residence in comm steps
+  std::size_t comm_ops = 0;      ///< network sends+receives simulated
+
+  [[nodiscard]] Time comp_max() const;
+  [[nodiscard]] Time comm_max() const;
+};
+
+class ProgramSimulator {
+ public:
+  ProgramSimulator(loggp::Params params, ProgramSimOptions opts = {});
+
+  [[nodiscard]] ProgramResult run(const StepProgram& program,
+                                  const CostTable& costs) const;
+
+  [[nodiscard]] const loggp::Params& params() const { return params_; }
+
+ private:
+  loggp::Params params_;
+  ProgramSimOptions opts_;
+};
+
+}  // namespace logsim::core

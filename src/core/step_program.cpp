@@ -1,0 +1,41 @@
+#include "core/step_program.hpp"
+
+namespace logsim::core {
+
+std::size_t StepProgram::compute_step_count() const {
+  std::size_t n = 0;
+  for (const auto& s : steps_) n += std::holds_alternative<ComputeStep>(s) ? 1 : 0;
+  return n;
+}
+
+std::size_t StepProgram::comm_step_count() const {
+  return steps_.size() - compute_step_count();
+}
+
+std::size_t StepProgram::work_item_count() const {
+  std::size_t n = 0;
+  for (const auto& s : steps_) {
+    if (const auto* c = std::get_if<ComputeStep>(&s)) n += c->items.size();
+  }
+  return n;
+}
+
+std::size_t StepProgram::message_count() const {
+  std::size_t n = 0;
+  for (const auto& s : steps_) {
+    if (const auto* c = std::get_if<CommStep>(&s)) n += c->pattern.size();
+  }
+  return n;
+}
+
+Bytes StepProgram::network_bytes() const {
+  Bytes total{0};
+  for (const auto& s : steps_) {
+    if (const auto* c = std::get_if<CommStep>(&s)) {
+      total += c->pattern.network_bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace logsim::core

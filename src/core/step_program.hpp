@@ -1,0 +1,68 @@
+#pragma once
+// The restricted program class the paper targets (Section 2): oblivious
+// algorithms whose communication and computation steps alternate and never
+// overlap, working on equal-sized basic blocks via a finite set of basic
+// operations.  A StepProgram is the simulator-facing encoding of one such
+// program: an ordered list of ComputeStep / CommStep entries.
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "core/cost_table.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+/// One basic-operation invocation on one processor.
+struct WorkItem {
+  ProcId proc = kNoProc;
+  OpId op = 0;
+  int block_size = 1;
+  /// Identifiers of the basic blocks this invocation touches, in access
+  /// order.  Ignored by the plain LogGP predictor; consumed by the cache
+  /// model extension and by the Testbed machine.
+  std::vector<std::int64_t> touched;
+};
+
+struct ComputeStep {
+  std::vector<WorkItem> items;
+};
+
+struct CommStep {
+  pattern::CommPattern pattern;
+};
+
+class StepProgram {
+ public:
+  explicit StepProgram(int procs) : procs_(procs) {}
+
+  void add_compute(ComputeStep step) { steps_.emplace_back(std::move(step)); }
+  void add_comm(CommStep step) { steps_.emplace_back(std::move(step)); }
+  void add_comm(pattern::CommPattern pattern) {
+    steps_.emplace_back(CommStep{std::move(pattern)});
+  }
+
+  [[nodiscard]] int procs() const { return procs_; }
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] const std::variant<ComputeStep, CommStep>& step(
+      std::size_t i) const {
+    return steps_[i];
+  }
+
+  [[nodiscard]] std::size_t compute_step_count() const;
+  [[nodiscard]] std::size_t comm_step_count() const;
+  /// Total basic-operation invocations across all compute steps.
+  [[nodiscard]] std::size_t work_item_count() const;
+  /// Total messages (network + self) across all comm steps.
+  [[nodiscard]] std::size_t message_count() const;
+  /// Total bytes crossing the network across all comm steps.
+  [[nodiscard]] Bytes network_bytes() const;
+
+ private:
+  int procs_;
+  std::vector<std::variant<ComputeStep, CommStep>> steps_;
+};
+
+}  // namespace logsim::core

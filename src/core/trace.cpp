@@ -1,0 +1,162 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace logsim::core {
+
+namespace {
+// Floating-point slack for constraint checks: times are sums of a handful
+// of doubles, so exact comparisons would be brittle.
+constexpr double kEps = 1e-6;
+}  // namespace
+
+CommTrace::CommTrace(int procs, loggp::Params params)
+    : procs_(procs), params_(params) {}
+
+void CommTrace::record(OpRecord op) { ops_.push_back(op); }
+
+std::vector<OpRecord> CommTrace::ops_of(ProcId p) const {
+  std::vector<OpRecord> out;
+  for (const auto& op : ops_) {
+    if (op.proc == p) out.push_back(op);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const OpRecord& a, const OpRecord& b) {
+                     return a.start < b.start;
+                   });
+  return out;
+}
+
+Time CommTrace::makespan() const {
+  Time t = Time::zero();
+  for (const auto& op : ops_) t = max(t, op.cpu_end);
+  return t;
+}
+
+Time CommTrace::finish_of(ProcId p) const {
+  Time t = Time::zero();
+  for (const auto& op : ops_) {
+    if (op.proc == p) t = max(t, op.cpu_end);
+  }
+  return t;
+}
+
+std::vector<Time> CommTrace::finish_times() const {
+  std::vector<Time> out(static_cast<std::size_t>(procs_), Time::zero());
+  for (const auto& op : ops_) {
+    auto& slot = out[static_cast<std::size_t>(op.proc)];
+    slot = max(slot, op.cpu_end);
+  }
+  return out;
+}
+
+std::size_t CommTrace::send_count() const {
+  std::size_t n = 0;
+  for (const auto& op : ops_) n += (op.kind == loggp::OpKind::kSend) ? 1 : 0;
+  return n;
+}
+
+std::size_t CommTrace::recv_count() const {
+  std::size_t n = 0;
+  for (const auto& op : ops_) n += (op.kind == loggp::OpKind::kRecv) ? 1 : 0;
+  return n;
+}
+
+std::optional<std::string> validate_trace(const CommTrace& trace,
+                                          const pattern::CommPattern& pattern,
+                                          const std::vector<Time>& init_times) {
+  const auto& p = trace.params();
+  const auto& msgs = pattern.messages();
+
+  // --- 1. message accounting -------------------------------------------
+  std::vector<int> sends_seen(msgs.size(), 0);
+  std::vector<int> recvs_seen(msgs.size(), 0);
+  std::vector<Time> send_start(msgs.size(), Time::zero());
+  for (const auto& op : trace.ops()) {
+    if (op.msg_index >= msgs.size()) {
+      return "op references message index out of range";
+    }
+    const auto& m = msgs[op.msg_index];
+    if (op.bytes != m.bytes) {
+      return "op byte count disagrees with the pattern";
+    }
+    if (op.kind == loggp::OpKind::kSend) {
+      if (op.proc != m.src || op.peer != m.dst) {
+        return "send endpoints disagree with the pattern";
+      }
+      ++sends_seen[op.msg_index];
+      send_start[op.msg_index] = op.start;
+    } else {
+      if (op.proc != m.dst || op.peer != m.src) {
+        return "receive endpoints disagree with the pattern";
+      }
+      ++recvs_seen[op.msg_index];
+    }
+  }
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const bool network = msgs[i].src != msgs[i].dst;
+    const int expected = network ? 1 : 0;
+    if (sends_seen[i] != expected || recvs_seen[i] != expected) {
+      std::ostringstream os;
+      os << "message " << i << " sent " << sends_seen[i] << "x / received "
+         << recvs_seen[i] << "x (expected " << expected << ")";
+      return os.str();
+    }
+  }
+
+  // --- 2..4. per-processor sequencing ----------------------------------
+  for (int proc = 0; proc < trace.procs(); ++proc) {
+    const auto ops = trace.ops_of(proc);
+    const Time init = static_cast<std::size_t>(proc) < init_times.size()
+                          ? init_times[static_cast<std::size_t>(proc)]
+                          : Time::zero();
+    const OpRecord* prev = nullptr;
+    for (const auto& op : ops) {
+      if (op.start.us() + kEps < init.us()) {
+        std::ostringstream os;
+        os << "P" << proc << ": op starts at " << op.start.us()
+           << "us before ready time " << init.us() << "us";
+        return os.str();
+      }
+      if (prev != nullptr) {
+        const Time floor_t = loggp::earliest_next_start(
+            prev->start, prev->kind, prev->bytes, op.kind, p);
+        if (op.start.us() + kEps < floor_t.us()) {
+          std::ostringstream os;
+          os << "P" << proc << ": gap/occupancy violated: op at "
+             << op.start.us() << "us, earliest legal " << floor_t.us() << "us";
+          return os.str();
+        }
+      }
+      if (op.kind == loggp::OpKind::kRecv) {
+        const Time arr =
+            loggp::arrival_time(send_start[op.msg_index], op.bytes, p);
+        if (op.start.us() + kEps < arr.us()) {
+          std::ostringstream os;
+          os << "P" << proc << ": receive of message " << op.msg_index
+             << " starts at " << op.start.us() << "us before arrival "
+             << arr.us() << "us";
+          return os.str();
+        }
+      }
+      // Derived fields must be self-consistent.
+      if (std::abs((op.cpu_end - op.start - p.o).us()) > kEps) {
+        return "cpu_end inconsistent with start + o";
+      }
+      prev = &op;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_trace(const CommTrace& trace,
+                                          const pattern::CommPattern& pattern) {
+  return validate_trace(trace, pattern,
+                        std::vector<Time>(static_cast<std::size_t>(trace.procs()),
+                                          Time::zero()));
+}
+
+}  // namespace logsim::core

@@ -1,0 +1,82 @@
+#pragma once
+// The output of a communication simulation: the sequence of send and
+// receive operations of every processor, with start times, exactly what
+// the paper's Figures 4 and 5 plot.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "loggp/cost.hpp"
+#include "loggp/params.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+struct OpRecord {
+  ProcId proc = kNoProc;
+  loggp::OpKind kind = loggp::OpKind::kSend;
+  Time start;           ///< when the o-block begins on `proc`
+  Time cpu_end;         ///< start + o
+  Time port_end;        ///< sends: start + o + (k-1)G; receives: cpu_end
+  ProcId peer = kNoProc;
+  Bytes bytes{0};
+  std::size_t msg_index = 0;  ///< index into the pattern's messages()
+};
+
+class CommTrace {
+ public:
+  CommTrace(int procs, loggp::Params params);
+
+  void record(OpRecord op);
+
+  [[nodiscard]] int procs() const { return procs_; }
+  [[nodiscard]] const loggp::Params& params() const { return params_; }
+  [[nodiscard]] const std::vector<OpRecord>& ops() const { return ops_; }
+
+  /// Ops of one processor, in start-time order (insertion order is already
+  /// chronological per processor for both algorithms).
+  [[nodiscard]] std::vector<OpRecord> ops_of(ProcId p) const;
+
+  /// Time the last receive's CPU block ends -- the communication step's
+  /// completion time the paper quotes ("processor 7 will terminate the
+  /// last, after ~7x us").
+  [[nodiscard]] Time makespan() const;
+
+  /// Completion time of one processor (zero if it performed no op).
+  [[nodiscard]] Time finish_of(ProcId p) const;
+
+  /// Per-processor completion times.
+  [[nodiscard]] std::vector<Time> finish_times() const;
+
+  [[nodiscard]] std::size_t send_count() const;
+  [[nodiscard]] std::size_t recv_count() const;
+
+ private:
+  int procs_;
+  loggp::Params params_;
+  std::vector<OpRecord> ops_;
+};
+
+/// Re-checks every LogGP constraint on a finished trace.  Used pervasively
+/// by the test suite (including on randomly generated patterns) as the
+/// executable specification of the model:
+///   1. every network message of the pattern is sent exactly once and
+///      received exactly once, with matching endpoints and sizes;
+///   2. no operation starts before its processor's initial ready time;
+///   3. consecutive operations on a processor respect the Figure-1 gap
+///      rules and the single-port occupancy;
+///   4. every receive starts at or after its message's arrival time.
+/// Returns std::nullopt when the trace is valid, else a human-readable
+/// description of the first violated constraint.
+[[nodiscard]] std::optional<std::string> validate_trace(
+    const CommTrace& trace, const pattern::CommPattern& pattern,
+    const std::vector<Time>& init_times);
+
+/// Convenience overload: all processors ready at t=0.
+[[nodiscard]] std::optional<std::string> validate_trace(
+    const CommTrace& trace, const pattern::CommPattern& pattern);
+
+}  // namespace logsim::core

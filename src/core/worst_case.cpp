@@ -1,0 +1,115 @@
+#include "core/worst_case.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/proc_timeline.hpp"
+#include "des/event_queue.hpp"
+#include "loggp/cost.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::core {
+
+namespace {
+
+struct PendingRecv {
+  std::size_t msg_index;
+  ProcId src;
+  Bytes bytes;
+  Time arrival;
+};
+
+}  // namespace
+
+WorstCaseSimulator::WorstCaseSimulator(loggp::Params params,
+                                       WorstCaseOptions opts)
+    : params_(params), opts_(opts) {
+  assert(params_.valid());
+}
+
+CommTrace WorstCaseSimulator::run(const pattern::CommPattern& pattern) const {
+  return run(pattern, std::vector<Time>(static_cast<std::size_t>(pattern.procs()),
+                                        Time::zero()));
+}
+
+CommTrace WorstCaseSimulator::run(const pattern::CommPattern& pattern,
+                                  const std::vector<Time>& ready) const {
+  assert(pattern.valid());
+  const auto n = static_cast<std::size_t>(pattern.procs());
+  assert(ready.size() == n);
+
+  CommTrace trace{pattern.procs(), params_};
+  util::Rng rng{opts_.seed};
+
+  std::vector<ProcTimeline> tl;
+  tl.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    tl.emplace_back(static_cast<ProcId>(p), ready[p], &params_);
+  }
+
+  const auto send_lists = pattern.send_lists();
+  const auto expected = pattern.receive_counts();
+  std::vector<std::size_t> send_cursor(n, 0);
+  std::vector<int> received(n, 0);
+  std::vector<des::EventQueue<PendingRecv>> inbox(n);
+  std::size_t unsent = 0;
+  for (const auto& list : send_lists) unsent += list.size();
+
+  auto send_one = [&](std::size_t p) {
+    const std::size_t msg_index = send_lists[p][send_cursor[p]++];
+    const auto& msg = pattern.messages()[msg_index];
+    const Time start = tl[p].earliest_start(loggp::OpKind::kSend);
+    trace.record(tl[p].commit_send(start, msg.dst, msg.bytes, msg_index));
+    const Time arrival = loggp::arrival_time(start, msg.bytes, params_);
+    inbox[static_cast<std::size_t>(msg.dst)].push(
+        arrival, PendingRecv{msg_index, msg.src, msg.bytes, arrival});
+    --unsent;
+  };
+
+  auto drain_inbox = [&](std::size_t p) {
+    while (!inbox[p].empty()) {
+      const auto entry = inbox[p].pop();
+      const auto& pr = entry.payload;
+      const Time start = tl[p].earliest_start(loggp::OpKind::kRecv, pr.arrival);
+      trace.record(tl[p].commit_recv(start, pr.src, pr.bytes, pr.msg_index));
+      ++received[p];
+    }
+  };
+
+  while (unsent > 0) {
+    // Part 1: every processor that has completed all its receives sends
+    // all of its messages.
+    std::vector<std::size_t> senders;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (send_cursor[p] < send_lists[p].size() &&
+          received[p] == expected[p]) {
+        senders.push_back(p);
+      }
+    }
+    if (senders.empty()) {
+      // Deadlock: a cycle of processors each waiting to receive first.
+      // Break it by forcing a random processor with pending sends to
+      // transmit one message (paper Section 4.2).
+      std::vector<std::size_t> blocked;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (send_cursor[p] < send_lists[p].size()) blocked.push_back(p);
+      }
+      assert(!blocked.empty());
+      const std::size_t p =
+          blocked[rng.below(static_cast<std::uint64_t>(blocked.size()))];
+      send_one(p);
+    } else {
+      for (std::size_t p : senders) {
+        while (send_cursor[p] < send_lists[p].size()) send_one(p);
+      }
+    }
+    // Part 2: destinations perform the receives of everything in flight.
+    for (std::size_t p = 0; p < n; ++p) drain_inbox(p);
+  }
+  // Messages sent in the final iteration were drained by its part 2, but a
+  // deadlock-break send may leave residues; sweep once more.
+  for (std::size_t p = 0; p < n; ++p) drain_inbox(p);
+  return trace;
+}
+
+}  // namespace logsim::core

@@ -1,0 +1,46 @@
+#pragma once
+// The paper's overestimation ("worst-case") algorithm (Section 4.2).
+//
+// To bound the communication time from above, each processor first waits
+// for ALL the messages it has to receive and only afterwards starts
+// transmitting its own.  Every processor is assumed to know its expected
+// receive count.  Rounds alternate: processors whose counter reached zero
+// send all their messages; then every destination performs the matching
+// receives.  The paper notes this schedule cannot occur in a real Split-C
+// execution (active-message stores do not announce counts) -- it exists
+// purely to upper-bound the LogGP communication time.
+//
+// If the pattern's processor graph has a cycle, every processor on the
+// cycle waits forever; the algorithm then "performs randomly some message
+// transmissions in order to break the deadlock".
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+#include "loggp/params.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+struct WorstCaseOptions {
+  /// Seed for the random deadlock-breaking transmission choice.
+  std::uint64_t seed = 1;
+};
+
+class WorstCaseSimulator {
+ public:
+  explicit WorstCaseSimulator(loggp::Params params, WorstCaseOptions opts = {});
+
+  [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern) const;
+  [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern,
+                              const std::vector<Time>& ready) const;
+
+  [[nodiscard]] const loggp::Params& params() const { return params_; }
+
+ private:
+  loggp::Params params_;
+  WorstCaseOptions opts_;
+};
+
+}  // namespace logsim::core

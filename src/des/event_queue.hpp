@@ -1,0 +1,84 @@
+#pragma once
+// Stable priority queue of timestamped events.
+//
+// Discrete-event simulation demands a *deterministic* total order: two
+// events at the same timestamp must pop in a reproducible order or runs
+// diverge between executions.  We order by (time, sequence number), where
+// the sequence number is assigned at push time.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace logsim::des {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  void push(Time t, Payload payload) {
+    heap_.push_back(Entry{t, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Earliest event (ties: lowest sequence number).  Precondition: !empty().
+  [[nodiscard]] const Entry& top() const { return heap_.front(); }
+
+  Entry pop() {
+    Entry out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  void clear() {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t best = i;
+      if (l < n && before(heap_[l], heap_[best])) best = l;
+      if (r < n && before(heap_[r], heap_[best])) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace logsim::des

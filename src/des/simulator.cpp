@@ -1,0 +1,34 @@
+#include "des/simulator.hpp"
+
+#include <cassert>
+
+namespace logsim::des {
+
+void Simulator::schedule_at(Time t, Handler h) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(t, std::move(h));
+}
+
+void Simulator::schedule_after(Time delay, Handler h) {
+  schedule_at(now_ + delay, std::move(h));
+}
+
+Time Simulator::run() { return run_until(Time::infinity()); }
+
+Time Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    auto entry = queue_.pop();
+    now_ = entry.time;
+    ++dispatched_;
+    entry.payload(*this);
+  }
+  return now_;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = Time::zero();
+  dispatched_ = 0;
+}
+
+}  // namespace logsim::des

@@ -1,0 +1,51 @@
+#pragma once
+// Generic discrete-event engine.
+//
+// The engine owns the clock and a queue of std::function events.  Handlers
+// may schedule further events.  The paper's two communication algorithms
+// are specialized sweeps and implement their own loops (src/core), but the
+// Testbed "measured machine" emulator (src/machine) and extension
+// simulators run on this kernel.
+
+#include <cstdint>
+#include <functional>
+
+#include "des/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace logsim::des {
+
+class Simulator {
+ public:
+  using Handler = std::function<void(Simulator&)>;
+
+  /// Current simulation time (updated as events are dispatched).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Number of events dispatched so far.
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Schedules `h` at absolute time `t`.  `t` must be >= now().
+  void schedule_at(Time t, Handler h);
+
+  /// Schedules `h` `delay` after the current time.
+  void schedule_after(Time delay, Handler h);
+
+  /// Runs until the queue drains; returns the final clock value.
+  Time run();
+
+  /// Runs until the queue drains or the clock would pass `deadline`.
+  Time run_until(Time deadline);
+
+  /// Drops all pending events and resets the clock.
+  void reset();
+
+ private:
+  EventQueue<Handler> queue_;
+  Time now_ = Time::zero();
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace logsim::des

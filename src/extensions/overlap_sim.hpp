@@ -1,0 +1,42 @@
+#pragma once
+// Overlapping communication and computation -- the paper's closing future
+// work ("analyzing the program simulation for overlapping communication
+// and computation steps ... are also subjects for future development").
+//
+// Model: in an alternating program, a processor's sends in a CommStep may
+// be injected as soon as the work items that *produce* the outgoing
+// blocks have completed, rather than after its whole ComputeStep.  A work
+// item produces a message when its target block (touched[0]) equals the
+// message's tag.  The remaining, non-producing computation of the step
+// overlaps with the communication: the processor leaves the step at
+//   max(entry + full_compute, comm_finish).
+// This keeps the oblivious step structure (so the same GE programs run
+// unchanged) while modelling the pipelining a Split-C implementation with
+// early stores would achieve.  bench/ablation_overlap quantifies the gain.
+//
+// Caveat: overlapping is *usually* faster but not provably so.  Injecting
+// sends earlier and letting receives interleave with computation changes
+// the order the Figure-2 scheduler picks operations in, and LogGP
+// schedules are not monotone -- a classic Graham scheduling anomaly.  On
+// random adversarial programs the overlapped schedule occasionally comes
+// out a few percent slower (tests/random_program_test.cpp demonstrates
+// and bounds this); on the structured GE/Cannon/stencil programs it is
+// consistently faster.
+
+#include "core/program_sim.hpp"
+
+namespace logsim::ext {
+
+class OverlapProgramSimulator {
+ public:
+  OverlapProgramSimulator(loggp::Params params, core::ProgramSimOptions opts = {});
+
+  [[nodiscard]] core::ProgramResult run(const core::StepProgram& program,
+                                        const core::CostTable& costs) const;
+
+ private:
+  loggp::Params params_;
+  core::ProgramSimOptions opts_;
+};
+
+}  // namespace logsim::ext

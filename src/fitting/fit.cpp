@@ -1,0 +1,53 @@
+#include "fitting/fit.hpp"
+
+#include <cassert>
+
+#include "core/comm_sim.hpp"
+#include "core/worst_case.hpp"
+
+namespace logsim::fitting {
+
+FitResult fit_params(const Oracle& oracle, FitOptions opts) {
+  assert(opts.procs >= 3);
+  assert(opts.train_length >= 2);
+  assert(opts.long_message.count() >= 2);
+
+  auto p2p = [&](Bytes k) {
+    pattern::CommPattern pat{opts.procs};
+    pat.add(0, 1, k);
+    return oracle(pat, false);
+  };
+
+  const Time t1 = p2p(Bytes{1});
+  const Time tk = p2p(opts.long_message);
+
+  pattern::CommPattern train{opts.procs};
+  for (int i = 0; i < opts.train_length; ++i) train.add(0, 1, Bytes{1});
+  const Time tn = oracle(train, false);
+
+  pattern::CommPattern chain{opts.procs};
+  chain.add(0, 1, Bytes{1});
+  chain.add(1, 2, Bytes{1});
+  const Time tc = oracle(chain, true);
+
+  FitResult result;
+  result.params.G = (tk - t1).us() /
+                    static_cast<double>(opts.long_message.count() - 1);
+  result.params.g =
+      (tn - t1) / static_cast<double>(opts.train_length - 1);
+  result.params.o = result.params.g - (tc - 2.0 * t1);
+  result.params.L = t1 - 2.0 * result.params.o;
+  result.g_dominates_o = result.params.g >= result.params.o;
+  return result;
+}
+
+Oracle simulator_oracle(const loggp::Params& p) {
+  return [p](const pattern::CommPattern& pat, bool worst_case) {
+    if (worst_case) {
+      return core::WorstCaseSimulator{p}.run(pat).makespan();
+    }
+    return core::CommSimulator{p}.run(pat).makespan();
+  };
+}
+
+}  // namespace logsim::fitting

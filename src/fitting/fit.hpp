@@ -1,0 +1,58 @@
+#pragma once
+// Recovering LogGP parameters from end-to-end measurements.
+//
+// The paper takes {L, o, g, G} as given for the Meiko CS-2; obtaining
+// them is its own methodology (the LogGP paper measured them with
+// microbenchmarks).  This module reconstructs the four parameters from
+// four *makespan-level* observations -- no access to per-operation
+// timestamps is required, only "how long did this pattern take":
+//
+//   T1  one 1-byte message             = 2o + L
+//   Tk  one k-byte message             = 2o + L + (k-1) G
+//   Tn  n-message 1-byte train 0->1    = (n-1) max(g,o) + 2o + L
+//   Tc  worst-case chain 0->1->2       = 3o + 2L + max(o,g)
+//
+// Solving (assuming the usual g >= o regime, which the fit verifies):
+//   G = (Tk - T1) / (k-1)
+//   g = (Tn - T1) / (n-1)
+//   o = g - (Tc - 2 T1)
+//   L = T1 - 2o
+//
+// The oracle is any callable that "runs" a pattern and reports the
+// completion time: the simulators themselves (round-trip test), the
+// Testbed machine (measurement with jitter), or in principle a real
+// machine harness.
+
+#include <functional>
+
+#include "loggp/params.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::fitting {
+
+/// Measurement oracle: completion time of a communication pattern under
+/// the standard schedule (worst_case=false) or the receive-all-first
+/// schedule (worst_case=true).
+using Oracle =
+    std::function<Time(const pattern::CommPattern&, bool worst_case)>;
+
+struct FitOptions {
+  Bytes long_message{10001};  ///< k for the G probe
+  int train_length = 9;       ///< n for the g probe
+  int procs = 3;              ///< processors the probes are run on (>= 3)
+};
+
+struct FitResult {
+  loggp::Params params;
+  bool g_dominates_o = true;  ///< the fit's regime assumption held
+};
+
+/// Runs the four probes against `oracle` and solves for the parameters.
+[[nodiscard]] FitResult fit_params(const Oracle& oracle, FitOptions opts = {});
+
+/// Convenience oracle wrapping the library's own simulators with hidden
+/// parameters `p` (for round-trip validation).
+[[nodiscard]] Oracle simulator_oracle(const loggp::Params& p);
+
+}  // namespace logsim::fitting

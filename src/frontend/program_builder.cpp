@@ -1,0 +1,51 @@
+#include "frontend/program_builder.hpp"
+
+#include <cassert>
+
+namespace logsim::frontend {
+
+ProgramBuilder::ProgramBuilder(int procs)
+    : procs_(procs), program_(procs), pending_comm_(procs) {
+  assert(procs >= 1);
+}
+
+ProgramBuilder::Proc ProgramBuilder::on(ProcId p) {
+  assert(p >= 0 && p < procs_);
+  return Proc{this, p};
+}
+
+ProgramBuilder::Proc& ProgramBuilder::Proc::compute(
+    core::OpId op, int block_size, std::vector<std::int64_t> touched) {
+  owner_->pending_compute_.items.push_back(
+      core::WorkItem{proc_, op, block_size, std::move(touched)});
+  return *this;
+}
+
+ProgramBuilder::Proc& ProgramBuilder::Proc::store(ProcId dst, Bytes bytes,
+                                                  std::int64_t tag) {
+  assert(dst >= 0 && dst < owner_->procs_);
+  owner_->pending_comm_.add(proc_, dst, bytes, tag);
+  return *this;
+}
+
+void ProgramBuilder::step() {
+  if (!pending_compute_.items.empty()) {
+    program_.add_compute(std::move(pending_compute_));
+    pending_compute_ = core::ComputeStep{};
+  }
+  if (!pending_comm_.empty()) {
+    program_.add_comm(std::move(pending_comm_));
+    pending_comm_ = pattern::CommPattern{procs_};
+  }
+  ++steps_;
+}
+
+core::StepProgram ProgramBuilder::build() {
+  step();
+  core::StepProgram out = std::move(program_);
+  program_ = core::StepProgram{procs_};
+  steps_ = 0;
+  return out;
+}
+
+}  // namespace logsim::frontend

@@ -1,0 +1,79 @@
+#pragma once
+// Per-processor program recording -- the paper's view of the input:
+// "simulating the execution of parallel programs by following their
+// control flow".  Application code is written the way a Split-C program
+// reads (each processor computes on blocks and stores blocks to peers);
+// the builder groups what happens between step() boundaries into the
+// alternating ComputeStep / CommStep structure the simulator consumes.
+//
+//   frontend::ProgramBuilder b{4};
+//   for (ProcId p = 0; p < 4; ++p) {
+//     b.on(p).compute(kMyOp, 32, {block_of(p)});
+//     if (p > 0) b.on(p).store(p - 1, Bytes{8192}, block_of(p));
+//   }
+//   b.step();                       // close the compute+comm pair
+//   core::StepProgram prog = b.build();
+
+#include <cstdint>
+
+#include "core/step_program.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::frontend {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(int procs);
+
+  /// Lightweight per-processor handle; records into the current step.
+  class Proc {
+   public:
+    /// Performs one basic operation on a block of edge `block_size`;
+    /// `touched` lists the block uids read/written (written first).
+    Proc& compute(core::OpId op, int block_size,
+                  std::vector<std::int64_t> touched = {});
+
+    /// Stores a block to processor `dst` (Split-C active-message style:
+    /// the destination performs no explicit receive in the source text).
+    /// The transfer happens in the communication phase of this step.
+    Proc& store(ProcId dst, Bytes bytes, std::int64_t tag = 0);
+
+   private:
+    friend class ProgramBuilder;
+    Proc(ProgramBuilder* owner, ProcId proc) : owner_(owner), proc_(proc) {}
+    ProgramBuilder* owner_;
+    ProcId proc_;
+  };
+
+  [[nodiscard]] Proc on(ProcId p);
+
+  /// Runs `body(proc_handle, p)` for every processor (SPMD convenience).
+  template <typename Body>
+  void spmd(Body&& body) {
+    for (ProcId p = 0; p < procs_; ++p) {
+      Proc handle = on(p);
+      body(handle, p);
+    }
+  }
+
+  /// Closes the current step: pending computation becomes one
+  /// ComputeStep, pending stores one CommStep (empty phases are elided).
+  void step();
+
+  /// Final step() plus hand-over of the recorded program.
+  [[nodiscard]] core::StepProgram build();
+
+  [[nodiscard]] int procs() const { return procs_; }
+  [[nodiscard]] std::size_t steps_recorded() const { return steps_; }
+
+ private:
+  friend class Proc;
+  int procs_;
+  core::StepProgram program_;
+  core::ComputeStep pending_compute_;
+  pattern::CommPattern pending_comm_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace logsim::frontend

@@ -1,0 +1,69 @@
+#pragma once
+// The blocked parallel Gaussian Elimination algorithm (paper Section 5):
+// generation of the alternating compute/communicate StepProgram that the
+// predictor simulates.
+//
+// Elimination step k of the blocked right-looking factorization:
+//   Op1  A[k][k]            factor the diagonal block,
+//   Op2  A[k][j] (j > k)    row-panel update, needs A[k][k],
+//   Op3  A[i][k] (i > k)    column-panel update, needs A[k][k],
+//   Op4  A[i][j] (i,j > k)  interior update, needs A[i][k] and A[k][j].
+//
+// The program is levelized by longest dependency path, which yields the
+// paper's systolic "diagonal wave": level 3k+1 holds Op1(k), level 3k+2
+// the panels, level 3k+3 the interior updates.  Each level contributes a
+// ComputeStep (ops grouped on their owners) followed by a CommStep whose
+// pattern carries every producer block to the distinct owners of its
+// consumers (self-transfers are kept as self-edges: the LogGP simulators
+// skip them, the Testbed machine charges local copies for them).
+// Because the program simulator carries per-processor clocks across steps
+// with no global barrier, waves pipeline in time exactly as in the
+// paper's description ("several diagonals can be made active at the same
+// time").
+
+#include <cstdint>
+
+#include "core/step_program.hpp"
+#include "layout/layout.hpp"
+#include "util/types.hpp"
+
+namespace logsim::ge {
+
+struct GeConfig {
+  int n = 960;          ///< matrix dimension (elements)
+  int block = 48;       ///< basic block edge (elements); must divide n
+  int elem_bytes = 8;   ///< sizeof(double) on the Meiko and here
+
+  [[nodiscard]] int grid() const { return n / block; }   ///< nb
+  [[nodiscard]] Bytes block_bytes() const {
+    return Bytes{static_cast<std::uint64_t>(block) * block *
+                 static_cast<std::uint64_t>(elem_bytes)};
+  }
+  [[nodiscard]] bool valid() const {
+    return n > 0 && block > 0 && n % block == 0 && elem_bytes > 0;
+  }
+};
+
+/// Summary counters of a generated program (used by tests and benches).
+struct GeScheduleInfo {
+  std::size_t levels = 0;
+  std::size_t op_counts[4] = {0, 0, 0, 0};
+  std::size_t network_messages = 0;
+  std::size_t self_messages = 0;
+};
+
+/// Builds the StepProgram of blocked GE on `cfg` under `map`.
+[[nodiscard]] core::StepProgram build_ge_program(const GeConfig& cfg,
+                                                 const layout::Layout& map);
+
+/// Builds the program and also reports schedule counters.
+[[nodiscard]] core::StepProgram build_ge_program(const GeConfig& cfg,
+                                                 const layout::Layout& map,
+                                                 GeScheduleInfo& info);
+
+/// Block uid used in WorkItem::touched and message tags: i * nb + j.
+[[nodiscard]] constexpr std::int64_t block_uid(int i, int j, int nb) {
+  return static_cast<std::int64_t>(i) * nb + j;
+}
+
+}  // namespace logsim::ge

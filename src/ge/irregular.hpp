@@ -1,0 +1,53 @@
+#pragma once
+// Variable-sized basic blocks -- the paper's closing future-work item
+// ("analyzing the program simulation ... for variable-sized blocks").
+//
+// When the block size b does not divide N, the last block row/column is
+// narrower: the grid has ceil(N/b) blocks per side and rectangular edge
+// blocks.  Operation costs are taken from the same CostTable by querying
+// the *effective* cube-root size of each operation's flop volume, using
+// the table's piecewise-linear interpolation between calibrated square
+// sizes; message lengths use the true rectangular byte counts.
+
+#include "core/step_program.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "ops/matrix.hpp"
+
+namespace logsim::ge {
+
+struct IrregularGeConfig {
+  int n = 1000;
+  int block = 48;
+  int elem_bytes = 8;
+
+  [[nodiscard]] int grid() const { return (n + block - 1) / block; }
+  /// Extent (rows or columns) of block index `i` along either axis.
+  [[nodiscard]] int extent(int i) const {
+    return i == grid() - 1 && n % block != 0 ? n % block : block;
+  }
+  [[nodiscard]] bool valid() const {
+    return n > 0 && block > 0 && block <= n && elem_bytes > 0;
+  }
+};
+
+/// Blocked-GE StepProgram over the (possibly irregular) grid.  For
+/// divisible N this generates exactly the same program as
+/// build_ge_program.
+[[nodiscard]] core::StepProgram build_ge_program_irregular(
+    const IrregularGeConfig& cfg, const layout::Layout& map);
+[[nodiscard]] core::StepProgram build_ge_program_irregular(
+    const IrregularGeConfig& cfg, const layout::Layout& map,
+    GeScheduleInfo& info);
+
+/// Effective (cube-root-of-volume) size used to cost an op touching
+/// blocks with the given three dimensions.
+[[nodiscard]] int effective_size(int d1, int d2, int d3);
+
+/// Numeric reference: in-place blocked LU with rectangular edge blocks.
+void factor_blocked_irregular(ops::Matrix& a, int block);
+
+/// max |irregular-blocked - unblocked| on copies of `a`.
+[[nodiscard]] double irregular_residual(const ops::Matrix& a, int block);
+
+}  // namespace logsim::ge

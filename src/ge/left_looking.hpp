@@ -1,0 +1,38 @@
+#pragma once
+// Left-looking (lazy) blocked Gaussian Elimination -- the classic
+// algorithmic alternative to the right-looking schedule of
+// blocked_ge.hpp, expressed in the same restricted program class so the
+// predictor can answer "which variant should I implement?" without
+// touching a machine (bench/ge_variants).
+//
+// At step k all pending transformations are applied to block column k:
+//   for j < k:   Op2  A[j][k] <- L_jj^-1 A[j][k]
+//                Op4  A[i][k] -= A[i][j] * A[j][k]   for i > j
+//   then         Op1  factor A[k][k]
+//                Op3  A[i][k] <- A[i][k] U_kk^-1     for i > k
+// Block columns are dealt column-cyclically (owner = k mod P).  The
+// gather of all previous panel blocks into the column owner is the
+// communication redundancy that makes left-looking unattractive on
+// distributed memory -- the effect the prediction quantifies.
+
+#include "core/step_program.hpp"
+#include "ge/blocked_ge.hpp"
+#include "ops/matrix.hpp"
+
+namespace logsim::ge {
+
+/// Builds the left-looking StepProgram; block column j lives on processor
+/// j mod procs.
+[[nodiscard]] core::StepProgram build_ge_left_looking(const GeConfig& cfg,
+                                                      int procs);
+[[nodiscard]] core::StepProgram build_ge_left_looking(const GeConfig& cfg,
+                                                      int procs,
+                                                      GeScheduleInfo& info);
+
+/// Numeric reference: in-place left-looking blocked LU (no pivoting).
+void factor_blocked_left(ops::Matrix& a, int block);
+
+/// max |left-looking - unblocked| on copies of `a`.
+[[nodiscard]] double left_looking_residual(const ops::Matrix& a, int block);
+
+}  // namespace logsim::ge

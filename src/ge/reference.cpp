@@ -1,0 +1,91 @@
+#include "ge/reference.hpp"
+
+#include <cassert>
+
+#include "ops/kernels.hpp"
+
+namespace logsim::ge {
+
+namespace {
+
+/// View of one b x b block of a matrix, copied out and written back --
+/// keeps the kernels oblivious to the enclosing layout, mirroring the
+/// paper's "basic blocks operated on by basic operations" model.
+ops::Matrix extract_block(const ops::Matrix& a, int bi, int bj, int b) {
+  ops::Matrix out{static_cast<std::size_t>(b), static_cast<std::size_t>(b)};
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j < b; ++j) {
+      out(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          a(static_cast<std::size_t>(bi * b + i),
+            static_cast<std::size_t>(bj * b + j));
+    }
+  }
+  return out;
+}
+
+void store_block(ops::Matrix& a, int bi, int bj, int b, const ops::Matrix& blk) {
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j < b; ++j) {
+      a(static_cast<std::size_t>(bi * b + i),
+        static_cast<std::size_t>(bj * b + j)) =
+          blk(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    }
+  }
+}
+
+}  // namespace
+
+void factor_unblocked(ops::Matrix& a) { ops::lu_nopivot_inplace(a); }
+
+void factor_blocked(ops::Matrix& a, int block) {
+  assert(a.square());
+  const int n = static_cast<int>(a.rows());
+  assert(n % block == 0);
+  const int nb = n / block;
+
+  for (int k = 0; k < nb; ++k) {
+    // Op1: factor the diagonal block.
+    ops::Matrix diag = extract_block(a, k, k, block);
+    ops::lu_nopivot_inplace(diag);
+    store_block(a, k, k, block, diag);
+
+    // Op2: row panel  A[k][j] <- L_kk^-1 A[k][j].
+    for (int j = k + 1; j < nb; ++j) {
+      ops::Matrix blk = extract_block(a, k, j, block);
+      ops::solve_unit_lower_left(diag, blk);
+      store_block(a, k, j, block, blk);
+    }
+    // Op3: column panel  A[i][k] <- A[i][k] U_kk^-1.
+    for (int i = k + 1; i < nb; ++i) {
+      ops::Matrix blk = extract_block(a, i, k, block);
+      ops::solve_upper_right(diag, blk);
+      store_block(a, i, k, block, blk);
+    }
+    // Op4: interior  A[i][j] <- A[i][j] - A[i][k] A[k][j].
+    for (int i = k + 1; i < nb; ++i) {
+      const ops::Matrix left = extract_block(a, i, k, block);
+      for (int j = k + 1; j < nb; ++j) {
+        ops::Matrix blk = extract_block(a, i, j, block);
+        const ops::Matrix top = extract_block(a, k, j, block);
+        ops::gemm_subtract(blk, left, top);
+        store_block(a, i, j, block, blk);
+      }
+    }
+  }
+}
+
+double blocked_vs_unblocked_residual(const ops::Matrix& a, int block) {
+  ops::Matrix plain = a;
+  ops::Matrix blocked = a;
+  factor_unblocked(plain);
+  factor_blocked(blocked, block);
+  return plain.max_abs_diff(blocked);
+}
+
+double reconstruction_residual(const ops::Matrix& a) {
+  ops::Matrix f = a;
+  factor_unblocked(f);
+  return ops::multiply_lu(f).max_abs_diff(a);
+}
+
+}  // namespace logsim::ge

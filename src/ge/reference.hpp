@@ -1,0 +1,29 @@
+#pragma once
+// Numeric reference implementations of Gaussian Elimination used to verify
+// that the blocked schedule the simulator predicts is the schedule of a
+// *correct* algorithm: the blocked factorization (executing Op1..Op4 in
+// the generated order on real data) must equal the plain unblocked LU.
+
+#include "ops/matrix.hpp"
+
+namespace logsim::ge {
+
+/// Plain in-place LU without pivoting on the full matrix (the sequential
+/// algorithm the paper parallelizes).
+void factor_unblocked(ops::Matrix& a);
+
+/// Blocked in-place LU without pivoting: partitions `a` into b x b blocks
+/// and runs the Op1/Op2/Op3/Op4 sequence of blocked_ge.hpp on real data.
+/// Precondition: a is square and its dimension is divisible by `block`.
+void factor_blocked(ops::Matrix& a, int block);
+
+/// max |A_blocked - A_unblocked| after factoring copies of `a` both ways:
+/// the blocked algorithm's correctness residual.
+[[nodiscard]] double blocked_vs_unblocked_residual(const ops::Matrix& a,
+                                                   int block);
+
+/// Reconstruction residual max |L*U - A| of an in-place factorization of
+/// a copy of `a` (unblocked path).
+[[nodiscard]] double reconstruction_residual(const ops::Matrix& a);
+
+}  // namespace logsim::ge

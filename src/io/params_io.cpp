@@ -1,0 +1,66 @@
+#include "io/params_io.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace logsim::io {
+
+namespace {
+
+ParamsParseResult fail(std::string message) {
+  ParamsParseResult r;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+ParamsParseResult parse_params(const std::string& text,
+                               const loggp::Params& defaults) {
+  if (text == "meiko") {
+    return ParamsParseResult{loggp::presets::meiko_cs2(defaults.P), {}};
+  }
+  if (text == "cluster") {
+    return ParamsParseResult{loggp::presets::cluster(defaults.P), {}};
+  }
+  if (text == "ideal") {
+    return ParamsParseResult{loggp::presets::ideal(defaults.P), {}};
+  }
+
+  loggp::Params p = defaults;
+  std::istringstream in{text};
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return fail("malformed number '" + value + "' for key '" + key + "'");
+    }
+    if (key == "L") {
+      p.L = Time{v};
+    } else if (key == "o") {
+      p.o = Time{v};
+    } else if (key == "g") {
+      p.g = Time{v};
+    } else if (key == "G") {
+      p.G = v;
+    } else if (key == "P") {
+      p.P = static_cast<int>(v);
+    } else {
+      return fail("unknown parameter '" + key + "'");
+    }
+  }
+  if (!p.valid()) {
+    return fail("resulting parameters are invalid");
+  }
+  return ParamsParseResult{p, {}};
+}
+
+}  // namespace logsim::io

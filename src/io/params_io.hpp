@@ -1,0 +1,25 @@
+#pragma once
+// Parsing LogGP parameters from command-line-friendly strings:
+//   "L=9,o=2,g=13,G=0.03,P=8"      (any subset; omissions keep defaults)
+//   "meiko" / "cluster" / "ideal"  (preset names)
+
+#include <optional>
+#include <string>
+
+#include "loggp/params.hpp"
+
+namespace logsim::io {
+
+struct ParamsParseResult {
+  std::optional<loggp::Params> params;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return params.has_value(); }
+};
+
+/// Parses a preset name or a comma-separated key=value list; unknown keys
+/// and malformed numbers are errors.  `defaults` seeds omitted fields.
+[[nodiscard]] ParamsParseResult parse_params(
+    const std::string& text, const loggp::Params& defaults = {});
+
+}  // namespace logsim::io

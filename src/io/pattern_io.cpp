@@ -1,0 +1,90 @@
+#include "io/pattern_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace logsim::io {
+
+namespace {
+
+PatternParseResult fail(int line, std::string message) {
+  PatternParseResult r;
+  r.error = std::move(message);
+  r.error_line = line;
+  return r;
+}
+
+}  // namespace
+
+PatternParseResult parse_pattern(const std::string& text) {
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+  std::optional<pattern::CommPattern> pat;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls{line};
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+
+    if (keyword == "procs") {
+      if (pat.has_value()) {
+        return fail(line_no, "duplicate 'procs' declaration");
+      }
+      int procs = 0;
+      if (!(ls >> procs) || procs < 1) {
+        return fail(line_no, "'procs' needs a positive integer");
+      }
+      pat.emplace(procs);
+    } else if (keyword == "msg") {
+      if (!pat.has_value()) {
+        return fail(line_no, "'msg' before 'procs' declaration");
+      }
+      long long src = -1, dst = -1, bytes = -1, tag = 0;
+      if (!(ls >> src >> dst >> bytes)) {
+        return fail(line_no, "'msg' needs: src dst bytes [tag]");
+      }
+      ls >> tag;  // optional
+      if (src < 0 || src >= pat->procs() || dst < 0 || dst >= pat->procs()) {
+        return fail(line_no, "message endpoint out of range");
+      }
+      if (bytes < 0) {
+        return fail(line_no, "negative message size");
+      }
+      pat->add(static_cast<ProcId>(src), static_cast<ProcId>(dst),
+               Bytes{static_cast<std::uint64_t>(bytes)}, tag);
+    } else {
+      return fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!pat.has_value()) {
+    return fail(line_no, "missing 'procs' declaration");
+  }
+  PatternParseResult r;
+  r.pattern = std::move(pat);
+  return r;
+}
+
+PatternParseResult load_pattern(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    return fail(0, "cannot open '" + path + "'");
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_pattern(ss.str());
+}
+
+std::string to_text(const pattern::CommPattern& pattern) {
+  std::ostringstream os;
+  os << "procs " << pattern.procs() << '\n';
+  for (const auto& m : pattern.messages()) {
+    os << "msg " << m.src << ' ' << m.dst << ' ' << m.bytes.count();
+    if (m.tag != 0) os << ' ' << m.tag;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace logsim::io

@@ -1,0 +1,36 @@
+#pragma once
+// Text format for communication patterns, so schedules can be derived for
+// patterns authored outside the library (the logsim_cli tool consumes it):
+//
+//   # comment / blank lines ignored
+//   procs 10
+//   msg <src> <dst> <bytes> [tag]
+//
+// Processor ids are 0-based and validated against the procs declaration,
+// which must appear before the first msg line.
+
+#include <optional>
+#include <string>
+
+#include "pattern/comm_pattern.hpp"
+
+namespace logsim::io {
+
+struct PatternParseResult {
+  std::optional<pattern::CommPattern> pattern;
+  std::string error;  ///< empty on success
+  int error_line = 0; ///< 1-based line of the first error
+
+  [[nodiscard]] bool ok() const { return pattern.has_value(); }
+};
+
+/// Parses the text format from a string.
+[[nodiscard]] PatternParseResult parse_pattern(const std::string& text);
+
+/// Parses the text format from a file; a missing file is an error.
+[[nodiscard]] PatternParseResult load_pattern(const std::string& path);
+
+/// Serializes a pattern into the same text format (round-trips).
+[[nodiscard]] std::string to_text(const pattern::CommPattern& pattern);
+
+}  // namespace logsim::io

@@ -1,0 +1,159 @@
+#include "io/program_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+#include "pattern/comm_pattern.hpp"
+
+namespace logsim::io {
+
+namespace {
+
+ProgramParseResult fail(int line, std::string message) {
+  ProgramParseResult r;
+  r.error = std::move(message);
+  r.error_line = line;
+  return r;
+}
+
+}  // namespace
+
+ProgramParseResult parse_program(const std::string& text) {
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+
+  int procs = 0;
+  core::CostTable costs;
+  std::optional<core::StepProgram> program;
+  // Open section state.
+  std::optional<core::ComputeStep> open_compute;
+  std::optional<pattern::CommPattern> open_comm;
+
+  auto close_section = [&] {
+    if (open_compute.has_value()) {
+      program->add_compute(std::move(*open_compute));
+      open_compute.reset();
+    }
+    if (open_comm.has_value()) {
+      program->add_comm(std::move(*open_comm));
+      open_comm.reset();
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls{line};
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+
+    if (keyword == "procs") {
+      if (program.has_value()) return fail(line_no, "duplicate 'procs'");
+      if (!(ls >> procs) || procs < 1) {
+        return fail(line_no, "'procs' needs a positive integer");
+      }
+      program.emplace(procs);
+    } else if (keyword == "op") {
+      std::string name;
+      if (!(ls >> name)) return fail(line_no, "'op' needs a name");
+      costs.register_op(name);
+    } else if (keyword == "cost") {
+      int op = -1, block = 0;
+      double us = -1.0;
+      if (!(ls >> op >> block >> us) || op < 0 || op >= costs.op_count() ||
+          block < 1 || us < 0.0) {
+        return fail(line_no, "'cost' needs: valid-op block us");
+      }
+      costs.set_cost(op, block, Time{us});
+    } else if (keyword == "compute") {
+      if (!program.has_value()) return fail(line_no, "section before 'procs'");
+      close_section();
+      open_compute.emplace();
+    } else if (keyword == "comm") {
+      if (!program.has_value()) return fail(line_no, "section before 'procs'");
+      close_section();
+      open_comm.emplace(procs);
+    } else if (keyword == "item") {
+      if (!open_compute.has_value()) {
+        return fail(line_no, "'item' outside a compute section");
+      }
+      long long proc = -1, op = -1, block = 0;
+      if (!(ls >> proc >> op >> block) || proc < 0 || proc >= procs ||
+          op < 0 || op >= costs.op_count() || block < 1) {
+        return fail(line_no, "'item' needs: proc op block [touched...]");
+      }
+      core::WorkItem item;
+      item.proc = static_cast<ProcId>(proc);
+      item.op = static_cast<core::OpId>(op);
+      item.block_size = static_cast<int>(block);
+      long long uid = 0;
+      while (ls >> uid) item.touched.push_back(uid);
+      open_compute->items.push_back(std::move(item));
+    } else if (keyword == "msg") {
+      if (!open_comm.has_value()) {
+        return fail(line_no, "'msg' outside a comm section");
+      }
+      long long src = -1, dst = -1, bytes = -1, tag = 0;
+      if (!(ls >> src >> dst >> bytes) || src < 0 || src >= procs || dst < 0 ||
+          dst >= procs || bytes < 0) {
+        return fail(line_no, "'msg' needs: src dst bytes [tag]");
+      }
+      ls >> tag;
+      open_comm->add(static_cast<ProcId>(src), static_cast<ProcId>(dst),
+                     Bytes{static_cast<std::uint64_t>(bytes)}, tag);
+    } else {
+      return fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!program.has_value()) return fail(line_no, "missing 'procs'");
+  close_section();
+
+  ProgramParseResult r;
+  r.bundle = ProgramBundle{std::move(*program), std::move(costs)};
+  return r;
+}
+
+ProgramParseResult load_program(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return fail(0, "cannot open '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_program(ss.str());
+}
+
+std::string to_text(const core::StepProgram& program,
+                    const core::CostTable& costs) {
+  std::ostringstream os;
+  os << "procs " << program.procs() << '\n';
+  for (int op = 0; op < costs.op_count(); ++op) {
+    os << "op " << costs.name(op) << '\n';
+  }
+  for (int op = 0; op < costs.op_count(); ++op) {
+    for (int b : costs.block_sizes(op)) {
+      os << "cost " << op << ' ' << b << ' ' << costs.cost(op, b).us() << '\n';
+    }
+  }
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    if (const auto* cs = std::get_if<core::ComputeStep>(&program.step(s))) {
+      os << "compute\n";
+      for (const auto& item : cs->items) {
+        os << "item " << item.proc << ' ' << item.op << ' '
+           << item.block_size;
+        for (auto uid : item.touched) os << ' ' << uid;
+        os << '\n';
+      }
+    } else {
+      os << "comm\n";
+      for (const auto& m :
+           std::get<core::CommStep>(program.step(s)).pattern.messages()) {
+        os << "msg " << m.src << ' ' << m.dst << ' ' << m.bytes.count();
+        if (m.tag != 0) os << ' ' << m.tag;
+        os << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace logsim::io

@@ -1,0 +1,45 @@
+#pragma once
+// Text format for whole step programs plus their cost tables, so the CLI
+// can predict programs authored or dumped outside the library:
+//
+//   # comment
+//   procs 4
+//   op stencil5              # registers op id 0, then 1, ...
+//   cost 0 16 250.5          # cost <op-id> <block-size> <microseconds>
+//   compute                  # opens a ComputeStep
+//   item 0 0 16 7 9          # item <proc> <op> <block> [touched uids...]
+//   comm                     # opens a CommStep (closing the previous step)
+//   msg 0 1 1024 7           # msg <src> <dst> <bytes> [tag]
+//
+// Sections end at the next section keyword or EOF.  Declarations (procs/
+// op/cost) must precede the first section.
+
+#include <optional>
+#include <string>
+
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
+
+namespace logsim::io {
+
+struct ProgramBundle {
+  core::StepProgram program{1};
+  core::CostTable costs;
+};
+
+struct ProgramParseResult {
+  std::optional<ProgramBundle> bundle;
+  std::string error;
+  int error_line = 0;
+
+  [[nodiscard]] bool ok() const { return bundle.has_value(); }
+};
+
+[[nodiscard]] ProgramParseResult parse_program(const std::string& text);
+[[nodiscard]] ProgramParseResult load_program(const std::string& path);
+
+/// Serializes program + costs into the same format (round-trips).
+[[nodiscard]] std::string to_text(const core::StepProgram& program,
+                                  const core::CostTable& costs);
+
+}  // namespace logsim::io

@@ -1,0 +1,76 @@
+#pragma once
+// Data layouts: how the nb x nb grid of basic blocks is assigned to
+// processors.  The paper compares two (Section 5.2): the row-stripped
+// cyclic mapping and the diagonal mapping; a general 2-D block-cyclic
+// mapping is provided as an extension.
+
+#include <memory>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace logsim::layout {
+
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  /// Owner of block (row `i`, column `j`) of an `nb` x `nb` block grid.
+  [[nodiscard]] virtual ProcId owner(int i, int j, int nb) const = 0;
+
+  /// Number of processors the layout maps onto.
+  [[nodiscard]] virtual int procs() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Row-stripped cyclic: block row i lives on processor i mod P.  Row-wise
+/// data propagation is local (no messages), but the trailing submatrix
+/// shrinks from the top, so the load is uneven across processors.
+class RowCyclic final : public Layout {
+ public:
+  explicit RowCyclic(int procs) : procs_(procs) {}
+  [[nodiscard]] ProcId owner(int i, int j, int nb) const override;
+  [[nodiscard]] int procs() const override { return procs_; }
+  [[nodiscard]] std::string name() const override { return "row-cyclic"; }
+
+ private:
+  int procs_;
+};
+
+/// Diagonal mapping: the blocks of each (anti)diagonal are dealt to
+/// different processors, balancing the load inside every diagonal band of
+/// the wavefront; occasionally row- or column-adjacent blocks land on the
+/// same processor, trading a few messages away.
+class DiagonalMap final : public Layout {
+ public:
+  explicit DiagonalMap(int procs) : procs_(procs) {}
+  [[nodiscard]] ProcId owner(int i, int j, int nb) const override;
+  [[nodiscard]] int procs() const override { return procs_; }
+  [[nodiscard]] std::string name() const override { return "diagonal"; }
+
+ private:
+  int procs_;
+};
+
+/// General 2-D block-cyclic mapping over a pr x pc processor grid
+/// (extension beyond the paper; the ScaLAPACK-style default).
+class BlockCyclic2D final : public Layout {
+ public:
+  BlockCyclic2D(int proc_rows, int proc_cols)
+      : pr_(proc_rows), pc_(proc_cols) {}
+  [[nodiscard]] ProcId owner(int i, int j, int nb) const override;
+  [[nodiscard]] int procs() const override { return pr_ * pc_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int pr_;
+  int pc_;
+};
+
+/// Factory helpers (value semantics for callers that want ownership).
+[[nodiscard]] std::unique_ptr<Layout> make_row_cyclic(int procs);
+[[nodiscard]] std::unique_ptr<Layout> make_diagonal(int procs);
+[[nodiscard]] std::unique_ptr<Layout> make_block_cyclic(int pr, int pc);
+
+}  // namespace logsim::layout

@@ -1,0 +1,39 @@
+#include "layout/layout_stats.hpp"
+
+#include <algorithm>
+
+namespace logsim::layout {
+
+LayoutStats analyze(const Layout& layout, int nb) {
+  LayoutStats stats;
+  stats.blocks_per_proc.assign(static_cast<std::size_t>(layout.procs()), 0);
+
+  int adjacent_pairs = 0;
+  int local_pairs = 0;
+  for (int i = 0; i < nb; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      const ProcId p = layout.owner(i, j, nb);
+      ++stats.blocks_per_proc[static_cast<std::size_t>(p)];
+      if (j + 1 < nb) {
+        ++adjacent_pairs;
+        if (layout.owner(i, j + 1, nb) == p) ++local_pairs;
+      }
+      if (i + 1 < nb) {
+        ++adjacent_pairs;
+        if (layout.owner(i + 1, j, nb) == p) ++local_pairs;
+      }
+    }
+  }
+
+  const double mean = static_cast<double>(nb) * nb / layout.procs();
+  const int max_blocks =
+      *std::max_element(stats.blocks_per_proc.begin(),
+                        stats.blocks_per_proc.end());
+  stats.imbalance = mean > 0.0 ? max_blocks / mean : 0.0;
+  stats.adjacency_local = adjacent_pairs > 0
+                              ? static_cast<double>(local_pairs) / adjacent_pairs
+                              : 0.0;
+  return stats;
+}
+
+}  // namespace logsim::layout

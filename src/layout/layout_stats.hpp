@@ -1,0 +1,23 @@
+#pragma once
+// Load-balance and locality statistics for a layout -- the quantities the
+// paper discusses qualitatively when comparing the two mappings ("non-
+// uniform load distribution", "small probability that row- or column-
+// adjacent blocks are mapped on the same processor").
+
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace logsim::layout {
+
+struct LayoutStats {
+  std::vector<int> blocks_per_proc;
+  double imbalance = 0.0;       ///< max / mean blocks per processor
+  double adjacency_local = 0.0; ///< fraction of right/down block pairs on
+                                ///< the same processor (messages saved)
+};
+
+/// Computes the statistics of `layout` over an nb x nb block grid.
+[[nodiscard]] LayoutStats analyze(const Layout& layout, int nb);
+
+}  // namespace logsim::layout

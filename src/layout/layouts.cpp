@@ -1,0 +1,43 @@
+#include "layout/layout.hpp"
+
+#include <sstream>
+
+namespace logsim::layout {
+
+ProcId RowCyclic::owner(int i, int /*j*/, int /*nb*/) const {
+  return static_cast<ProcId>(i % procs_);
+}
+
+ProcId DiagonalMap::owner(int i, int j, int nb) const {
+  // Diagonal index d = j - i (normalized non-negative).  Dealing
+  // (2d + i) mod P hands consecutive blocks of every diagonal to distinct
+  // processors (the row index i walks the diagonal), while row neighbours
+  // (d+1, same i) and column neighbours (d-1, i+1) land 2 resp. 1
+  // processors away -- the uniform diagonal-band load the paper describes.
+  const int d = ((j - i) % nb + nb) % nb;
+  return static_cast<ProcId>((2 * d + i) % procs_);
+}
+
+ProcId BlockCyclic2D::owner(int i, int j, int /*nb*/) const {
+  return static_cast<ProcId>((i % pr_) * pc_ + (j % pc_));
+}
+
+std::string BlockCyclic2D::name() const {
+  std::ostringstream os;
+  os << "block-cyclic-" << pr_ << "x" << pc_;
+  return os.str();
+}
+
+std::unique_ptr<Layout> make_row_cyclic(int procs) {
+  return std::make_unique<RowCyclic>(procs);
+}
+
+std::unique_ptr<Layout> make_diagonal(int procs) {
+  return std::make_unique<DiagonalMap>(procs);
+}
+
+std::unique_ptr<Layout> make_block_cyclic(int pr, int pc) {
+  return std::make_unique<BlockCyclic2D>(pr, pc);
+}
+
+}  // namespace logsim::layout

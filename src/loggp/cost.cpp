@@ -1,0 +1,33 @@
+#include "loggp/cost.hpp"
+
+namespace logsim::loggp {
+
+Time gap_rule(OpKind prev, OpKind next, const Params& p) {
+  if (prev == OpKind::kRecv && next == OpKind::kSend) return max(p.o, p.g);
+  return p.g;
+}
+
+Time send_occupancy(Bytes k, const Params& p) {
+  const double trailing = k.count() > 0 ? static_cast<double>(k.count() - 1) : 0.0;
+  return p.o + Time{trailing * p.G};
+}
+
+Time recv_occupancy(const Params& p) { return p.o; }
+
+Time earliest_next_start(Time prev_start, OpKind prev, Bytes prev_bytes,
+                         OpKind next, const Params& p) {
+  const Time by_gap = prev_start + gap_rule(prev, next, p);
+  const Time occupancy =
+      prev == OpKind::kSend ? send_occupancy(prev_bytes, p) : recv_occupancy(p);
+  return max(by_gap, prev_start + occupancy);
+}
+
+Time arrival_time(Time send_start, Bytes k, const Params& p) {
+  return send_start + send_occupancy(k, p) + p.L;
+}
+
+Time point_to_point(Bytes k, const Params& p) {
+  return send_occupancy(k, p) + p.L + recv_occupancy(p);
+}
+
+}  // namespace logsim::loggp

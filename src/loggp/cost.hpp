@@ -1,0 +1,56 @@
+#pragma once
+// LogGP timing primitives shared by both communication-simulation
+// algorithms (src/core) and the analytic baselines (src/baseline).
+//
+// Conventions (standard LogGP, Alexandrov et al. 1995):
+//  * a send of a k-byte message engages the sending CPU for o; the NIC then
+//    streams the remaining bytes at G us/byte, keeping the network port
+//    busy until  start + o + (k-1)G;
+//  * the message becomes available for reception at the destination at
+//    arrival = start + o + (k-1)G + L;
+//  * the receive engages the destination CPU for o once it begins.
+//
+// Gap rules between consecutive network operations on one processor follow
+// the paper's Figure 1 (start-to-start separation):
+//    send -> send      g
+//    recv -> recv      g
+//    send -> recv      g
+//    recv -> send      max(o, g)   ("the next send begins max(o,g)-o after
+//                                    the receive completes")
+// In addition the single-port assumption forces the separation to be at
+// least the occupancy of the previous operation (o, extended by the NIC
+// streaming time (k-1)G when the previous operation was a long send).
+
+#include "loggp/params.hpp"
+#include "util/types.hpp"
+
+namespace logsim::loggp {
+
+enum class OpKind : unsigned char { kSend, kRecv };
+
+/// Minimum start-to-start separation demanded by the gap rule alone
+/// (paper Fig. 1), ignoring occupancy.
+[[nodiscard]] Time gap_rule(OpKind prev, OpKind next, const Params& p);
+
+/// Time the network port stays busy after a send of `k` bytes begins
+/// (CPU overhead plus NIC streaming of the trailing bytes).
+[[nodiscard]] Time send_occupancy(Bytes k, const Params& p);
+
+/// CPU occupancy of a receive (the o at the destination).
+[[nodiscard]] Time recv_occupancy(const Params& p);
+
+/// Earliest start of the next operation of kind `next` given that the
+/// previous operation of kind `prev` (size `prev_bytes` if a send) started
+/// at `prev_start`.  Combines the Fig. 1 gap rule with occupancy.
+[[nodiscard]] Time earliest_next_start(Time prev_start, OpKind prev,
+                                       Bytes prev_bytes, OpKind next,
+                                       const Params& p);
+
+/// Arrival time at the destination of a k-byte message whose send started
+/// at `send_start`:  send_start + o + (k-1)G + L.
+[[nodiscard]] Time arrival_time(Time send_start, Bytes k, const Params& p);
+
+/// End-to-end time of one isolated k-byte message (o + (k-1)G + L + o).
+[[nodiscard]] Time point_to_point(Bytes k, const Params& p);
+
+}  // namespace logsim::loggp

@@ -1,0 +1,47 @@
+#include "loggp/params.hpp"
+
+#include <sstream>
+
+namespace logsim::loggp {
+
+bool Params::valid() const {
+  return L >= Time::zero() && o >= Time::zero() && g >= Time::zero() &&
+         G >= 0.0 && P >= 1;
+}
+
+std::string Params::to_string() const {
+  std::ostringstream os;
+  os << "LogGP{L=" << L.us() << "us o=" << o.us() << "us g=" << g.us()
+     << "us G=" << G << "us/B P=" << P << "}";
+  return os.str();
+}
+
+namespace presets {
+
+Params meiko_cs2(int procs) {
+  return Params{.L = Time{9.0}, .o = Time{2.0}, .g = Time{13.0}, .G = 0.03,
+                .P = procs};
+}
+
+Params cluster(int procs) {
+  return Params{.L = Time{50.0}, .o = Time{10.0}, .g = Time{25.0}, .G = 0.1,
+                .P = procs};
+}
+
+Params intel_paragon(int procs) {
+  return Params{.L = Time{6.5}, .o = Time{1.6}, .g = Time{7.6}, .G = 0.007,
+                .P = procs};
+}
+
+Params ibm_sp2(int procs) {
+  return Params{.L = Time{35.0}, .o = Time{3.5}, .g = Time{40.0}, .G = 0.025,
+                .P = procs};
+}
+
+Params ideal(int procs) {
+  return Params{.L = Time::zero(), .o = Time::zero(), .g = Time::zero(),
+                .G = 0.0, .P = procs};
+}
+
+}  // namespace presets
+}  // namespace logsim::loggp

@@ -1,0 +1,52 @@
+#include "loggp/topology.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace logsim::loggp {
+
+int Mesh2D::hops(ProcId a, ProcId b) const {
+  if (a == b) return 0;
+  const int ar = a / cols_, ac = a % cols_;
+  const int br = b / cols_, bc = b % cols_;
+  return std::abs(ar - br) + std::abs(ac - bc);
+}
+
+std::string Mesh2D::name() const {
+  std::ostringstream os;
+  os << "mesh-" << rows_ << "x" << cols_;
+  return os.str();
+}
+
+int Torus2D::hops(ProcId a, ProcId b) const {
+  if (a == b) return 0;
+  const int ar = a / cols_, ac = a % cols_;
+  const int br = b / cols_, bc = b % cols_;
+  const int dr = std::abs(ar - br);
+  const int dc = std::abs(ac - bc);
+  return std::min(dr, rows_ - dr) + std::min(dc, cols_ - dc);
+}
+
+std::string Torus2D::name() const {
+  std::ostringstream os;
+  os << "torus-" << rows_ << "x" << cols_;
+  return os.str();
+}
+
+std::function<Time(std::size_t)> topology_latency(
+    const pattern::CommPattern& pattern, const Topology& topo, Time per_hop) {
+  std::vector<Time> extra;
+  extra.reserve(pattern.size());
+  for (const auto& m : pattern.messages()) {
+    const int h = m.src == m.dst ? 0 : topo.hops(m.src, m.dst);
+    assert(m.src == m.dst || h >= 1);
+    extra.push_back(per_hop * static_cast<double>(h > 0 ? h - 1 : 0));
+  }
+  return [extra = std::move(extra)](std::size_t msg_index) {
+    return extra.at(msg_index);
+  };
+}
+
+}  // namespace logsim::loggp

@@ -1,0 +1,64 @@
+#pragma once
+// Network topology extension.
+//
+// Plain LogGP charges one uniform latency L; real interconnects (and the
+// Meiko CS-2's fat tree) have distance-dependent delay.  This extension
+// models it as  L(message) = L + (hops - 1) * per_hop  and plugs into the
+// standard simulator through CommSimOptions::extra_latency, leaving the
+// Figure-2 algorithm untouched.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::loggp {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+  /// Number of network hops between two (distinct) processors; >= 1.
+  [[nodiscard]] virtual int hops(ProcId a, ProcId b) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Full crossbar: every pair one hop (degenerates to plain LogGP).
+class Crossbar final : public Topology {
+ public:
+  [[nodiscard]] int hops(ProcId, ProcId) const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "crossbar"; }
+};
+
+/// rows x cols mesh, processors numbered row-major; Manhattan distance.
+class Mesh2D final : public Topology {
+ public:
+  Mesh2D(int rows, int cols) : rows_(rows), cols_(cols) {}
+  [[nodiscard]] int hops(ProcId a, ProcId b) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// rows x cols torus: Manhattan distance with wraparound.
+class Torus2D final : public Topology {
+ public:
+  Torus2D(int rows, int cols) : rows_(rows), cols_(cols) {}
+  [[nodiscard]] int hops(ProcId a, ProcId b) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// Builds a CommSimOptions::extra_latency hook charging (hops-1)*per_hop
+/// for each message of `pattern`.  The pattern reference must outlive the
+/// returned function's use; hop counts are precomputed.
+[[nodiscard]] std::function<Time(std::size_t)> topology_latency(
+    const pattern::CommPattern& pattern, const Topology& topo, Time per_hop);
+
+}  // namespace logsim::loggp

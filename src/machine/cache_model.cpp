@@ -1,0 +1,53 @@
+#include "machine/cache_model.hpp"
+
+namespace logsim::machine {
+
+CacheModel::CacheModel(CacheConfig cfg) : cfg_(cfg) {}
+
+Time CacheModel::miss_cost(Bytes bytes) const {
+  return cfg_.miss_fixed +
+         Time{static_cast<double>(bytes.count()) * cfg_.miss_per_byte};
+}
+
+Time CacheModel::access(std::int64_t uid, Bytes bytes) {
+  const auto it = map_.find(uid);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return Time::zero();
+  }
+  ++misses_;
+  if (bytes.count() > cfg_.capacity_bytes) {
+    return miss_cost(bytes);  // uncacheable: streams through
+  }
+  evict_to_fit(bytes.count());
+  lru_.push_front(Entry{uid, bytes.count()});
+  map_[uid] = lru_.begin();
+  used_ += bytes.count();
+  return miss_cost(bytes);
+}
+
+void CacheModel::invalidate(std::int64_t uid) {
+  const auto it = map_.find(uid);
+  if (it == map_.end()) return;
+  used_ -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void CacheModel::clear() {
+  lru_.clear();
+  map_.clear();
+  used_ = 0;
+}
+
+void CacheModel::evict_to_fit(std::uint64_t incoming) {
+  while (!lru_.empty() && used_ + incoming > cfg_.capacity_bytes) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    map_.erase(victim.uid);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace logsim::machine

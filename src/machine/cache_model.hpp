@@ -1,0 +1,94 @@
+#pragma once
+// Block-granularity LRU cache model.
+//
+// The paper attributes its small-block prediction error to caching: "when
+// processors are assigned many non-adjacent small blocks, the cache miss
+// rate increases", and concludes that "a model to simulate caching
+// behavior must be incorporated in the simulation algorithm".  This class
+// is that model, used both by the Testbed machine (to *produce* the cache
+// effects in the "measured" runs) and by the cache-aware predictor
+// extension (to *predict* them, bench/ablation_cache_model).
+//
+// Granularity is one basic block (the unit the restricted program class
+// moves around); a miss charges a fixed penalty (tag/TLB/startup work,
+// which dominates for many small blocks) plus a per-byte refill cost.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace logsim::machine {
+
+struct CacheConfig {
+  std::uint64_t capacity_bytes = 512 * 1024;  ///< per-processor cache
+  Time miss_fixed{3.0};                       ///< per-miss startup (us)
+  double miss_per_byte = 0.002;               ///< refill cost (us/byte)
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(CacheConfig cfg = {});
+
+  /// Touches block `uid` of `bytes` bytes; returns the stall time
+  /// (zero on a hit).  LRU replacement; a block larger than the whole
+  /// cache costs a miss every time and is not cached.
+  Time access(std::int64_t uid, Bytes bytes);
+
+  /// Drops a block (e.g. invalidated by an incoming message version).
+  void invalidate(std::int64_t uid);
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t resident_bytes() const { return used_; }
+  [[nodiscard]] std::size_t resident_blocks() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::int64_t uid;
+    std::uint64_t bytes;
+  };
+
+  Time miss_cost(Bytes bytes) const;
+  void evict_to_fit(std::uint64_t incoming);
+
+  CacheConfig cfg_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::int64_t, std::list<Entry>::iterator> map_;
+  std::uint64_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Two-level cache hierarchy (the LogP-HMM direction the paper cites as
+/// related work [11]): a small fast L1 in front of a larger L2.  An L1
+/// miss that hits L2 pays only the L1 refill; a miss in both pays both.
+/// Inclusive: L2 sees every L1 miss, invalidation clears both levels.
+class TwoLevelCache {
+ public:
+  TwoLevelCache(CacheConfig l1, CacheConfig l2) : l1_(l1), l2_(l2) {}
+
+  /// Stall time of touching block `uid` of `bytes` bytes.
+  Time access(std::int64_t uid, Bytes bytes) {
+    const Time l1_stall = l1_.access(uid, bytes);
+    if (l1_stall == Time::zero()) return Time::zero();  // L1 hit
+    return l1_stall + l2_.access(uid, bytes);           // +0 on an L2 hit
+  }
+
+  void invalidate(std::int64_t uid) {
+    l1_.invalidate(uid);
+    l2_.invalidate(uid);
+  }
+
+  [[nodiscard]] const CacheModel& l1() const { return l1_; }
+  [[nodiscard]] const CacheModel& l2() const { return l2_; }
+
+ private:
+  CacheModel l1_;
+  CacheModel l2_;
+};
+
+}  // namespace logsim::machine

@@ -1,0 +1,78 @@
+#pragma once
+// The Testbed: a detailed execution emulator standing in for the paper's
+// Meiko CS-2 measurements (see DESIGN.md, "Substitutions").
+//
+// It replays the same StepProgram the predictor simulates, but adds the
+// effects the plain LogGP prediction deliberately ignores -- exactly the
+// discrepancies the paper reports between prediction and measurement:
+//   * an LRU cache per processor: block accesses stall on misses
+//     ("the differences ... for small block sizes are due to the cache
+//      effects"), and incoming messages invalidate the destination's
+//      cached copy of the block they overwrite;
+//   * a per-work-item loop overhead ("the overhead of iterating through
+//     all the blocks each processor is assigned to");
+//   * self-messages cost local memory copies ("message transfers from one
+//     processor to itself, which are local memory transfers in real
+//     execution");
+//   * network latency jitter (LogGP's L is only an average/upper bound:
+//     "if only one message arrives a bit later than the LogGP model
+//      expected ... the whole sequence ... can be completely changed").
+//
+// Like the paper's measured runs, the Testbed reports the total both with
+// caching and with the cache-stall section factored out ("we introduced
+// some dummy instructions to bring the necessary blocks in the cache and
+// we timed this section separately").
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
+#include "loggp/params.hpp"
+#include "machine/cache_model.hpp"
+#include "util/types.hpp"
+
+namespace logsim::machine {
+
+struct TestbedConfig {
+  loggp::Params net = loggp::presets::meiko_cs2();
+  CacheConfig cache;
+  bool cache_enabled = true;
+  Time iter_overhead{5.0};          ///< per basic-op loop bookkeeping (us)
+  double local_copy_per_byte = 0.01;///< self-message memcpy cost (us/byte)
+  double latency_jitter_sd = 0.25;  ///< half-normal multiplier on L
+  std::uint64_t seed = 7;
+
+  /// The configuration used for all paper-reproduction experiments.
+  [[nodiscard]] static TestbedConfig meiko_cs2(int procs = 8);
+};
+
+struct TestbedResult {
+  Time total_with_cache;      ///< "measured - w. caching"
+  Time total_without_cache;   ///< "measured - w/o. caching"
+  std::vector<Time> proc_end; ///< final clocks (cache stalls included)
+  std::vector<Time> comp;     ///< computation incl. iteration overhead
+  std::vector<Time> comm;     ///< residence in communication phases
+  std::vector<Time> stall;    ///< cache stall time
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  [[nodiscard]] Time comp_max() const;
+  [[nodiscard]] Time comm_max() const;
+  [[nodiscard]] Time stall_max() const;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg = {});
+
+  [[nodiscard]] TestbedResult run(const core::StepProgram& program,
+                                  const core::CostTable& costs) const;
+
+  [[nodiscard]] const TestbedConfig& config() const { return cfg_; }
+
+ private:
+  TestbedConfig cfg_;
+};
+
+}  // namespace logsim::machine

@@ -1,0 +1,164 @@
+#include "network/packet_net.hpp"
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+#include "des/simulator.hpp"
+
+namespace logsim::network {
+
+namespace {
+
+/// Shared mutable simulation state captured by the event handlers.
+struct NetState {
+  // link (from * procs + to) -> time it becomes free.
+  std::unordered_map<long long, Time> link_free;
+  std::vector<int> packets_left;    // per message
+  std::vector<Time> delivered;      // per message (last packet arrival)
+  std::uint64_t packets = 0;
+};
+
+}  // namespace
+
+PacketNetwork::PacketNetwork(PacketNetConfig cfg) : cfg_(cfg) {
+  assert(cfg_.packet_bytes >= 1);
+}
+
+std::vector<int> PacketNetwork::route(ProcId a, ProcId b) const {
+  std::vector<int> out;
+  if (a == b) return out;
+  if (cfg_.mesh_rows <= 0 || cfg_.mesh_cols <= 0) {
+    out.push_back(b);  // crossbar: one dedicated hop
+    return out;
+  }
+  const int cols = cfg_.mesh_cols;
+  const int rows = cfg_.mesh_rows;
+  int r = a / cols, c = a % cols;
+  const int tr = b / cols, tc = b % cols;
+  auto step_toward = [&](int cur, int target, int extent) {
+    int forward = (target - cur + extent) % extent;
+    int backward = (cur - target + extent) % extent;
+    if (!cfg_.torus) {
+      return target > cur ? 1 : -1;  // mesh: direct direction
+    }
+    return forward <= backward ? 1 : -1;  // torus: shorter way round
+  };
+  // Dimension order: columns first, then rows.
+  while (c != tc) {
+    c = (c + step_toward(c, tc, cols) + cols) % cols;
+    out.push_back(r * cols + c);
+  }
+  while (r != tr) {
+    r = (r + step_toward(r, tr, rows) + rows) % rows;
+    out.push_back(r * cols + c);
+  }
+  return out;
+}
+
+PacketNetResult PacketNetwork::run(const pattern::CommPattern& pattern) const {
+  return run(pattern, std::vector<Time>(static_cast<std::size_t>(pattern.procs()),
+                                        Time::zero()));
+}
+
+PacketNetResult PacketNetwork::run(const pattern::CommPattern& pattern,
+                                   const std::vector<Time>& ready) const {
+  assert(pattern.valid());
+  const auto n = static_cast<std::size_t>(pattern.procs());
+  assert(ready.size() == n);
+
+  des::Simulator sim;
+  auto state = std::make_shared<NetState>();
+  state->packets_left.assign(pattern.size(), 0);
+  state->delivered.assign(pattern.size(), Time::zero());
+
+  const double ttx_full =
+      static_cast<double>(cfg_.packet_bytes) * cfg_.us_per_byte;
+
+  // Per-source NIC injection: messages in program order, packets
+  // back-to-back; o of software overhead opens each message.
+  std::vector<Time> nic_free = ready;
+  const auto send_lists = pattern.send_lists();
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t msg_index : send_lists[src]) {
+      const auto& m = pattern.messages()[msg_index];
+      const auto hops = route(m.src, m.dst);
+      assert(!hops.empty());
+      nic_free[src] += cfg_.software_overhead;
+
+      std::uint64_t remaining = std::max<std::uint64_t>(m.bytes.count(), 1);
+      while (remaining > 0) {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(remaining,
+                                    static_cast<std::uint64_t>(cfg_.packet_bytes));
+        remaining -= chunk;
+        const double ttx =
+            chunk == static_cast<std::uint64_t>(cfg_.packet_bytes)
+                ? ttx_full
+                : static_cast<double>(chunk) * cfg_.us_per_byte;
+        nic_free[src] += Time{ttx};  // serialization onto the first link
+        ++state->packets_left[msg_index];
+        ++state->packets;
+
+        // The packet leaves the NIC at nic_free; traverse hops via events.
+        struct Hop {
+          std::shared_ptr<NetState> st;
+          const PacketNetConfig* cfg;
+          std::vector<int> path;
+          std::size_t next = 0;
+          int from;
+          double ttx;
+          std::size_t msg_index;
+
+          void operator()(des::Simulator& s) {
+            auto& self = *this;
+            if (self.next >= self.path.size()) {
+              // Arrived: the final hop's transmission already elapsed.
+              auto& d = self.st->delivered[self.msg_index];
+              d = max(d, s.now());
+              --self.st->packets_left[self.msg_index];
+              return;
+            }
+            const int to = self.path[self.next];
+            const long long link =
+                static_cast<long long>(self.from) * 1000003LL + to;
+            Time& free_at = self.st->link_free[link];
+            const Time start = max(s.now(), free_at);
+            free_at = start + Time{self.ttx};
+            Hop cont = self;
+            cont.from = to;
+            ++cont.next;
+            s.schedule_at(free_at + self.cfg->per_hop, cont);
+          }
+        };
+        Hop first{state, &cfg_, hops, 0, static_cast<int>(src), ttx,
+                  msg_index};
+        sim.schedule_at(nic_free[src], first);
+      }
+    }
+  }
+
+  sim.run();
+
+  PacketNetResult result;
+  result.packets = state->packets;
+  result.events = sim.dispatched();
+  result.proc_finish.assign(n, Time::zero());
+  for (std::size_t p = 0; p < n; ++p) {
+    result.proc_finish[p] = max(result.proc_finish[p], nic_free[p]);
+  }
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const auto& m = pattern.messages()[i];
+    if (m.src == m.dst) continue;
+    assert(state->packets_left[i] == 0 && "packet lost");
+    const Time done = state->delivered[i] + cfg_.software_overhead;
+    result.deliveries.push_back(MessageDelivery{i, state->delivered[i]});
+    auto& fin = result.proc_finish[static_cast<std::size_t>(m.dst)];
+    fin = max(fin, done);
+  }
+  result.makespan = Time::zero();
+  for (Time t : result.proc_finish) result.makespan = max(result.makespan, t);
+  return result;
+}
+
+}  // namespace logsim::network

@@ -1,0 +1,63 @@
+#pragma once
+// Packet-level network simulation on the discrete-event kernel.
+//
+// LogGP abstracts the network as (L, o, g, G) and assumes contention-free
+// delivery; this module simulates what those parameters abstract: messages
+// are segmented into packets, dimension-order routed across a topology's
+// links, and serialized through FIFO link queues (store-and-forward).
+// It serves as a finer-grained ground truth to probe where the LogGP
+// prediction breaks -- hotspot patterns that congest individual links
+// (bench/network_contention) -- exactly the "model to simulate" layering
+// the paper's decomposition approach invites.
+
+#include <functional>
+#include <vector>
+
+#include "loggp/topology.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::network {
+
+struct PacketNetConfig {
+  int packet_bytes = 512;      ///< segmentation unit
+  Time software_overhead{2.0}; ///< per-message CPU cost at each end (o)
+  double us_per_byte = 0.01;   ///< link serialization cost
+  Time per_hop{1.5};           ///< router store-and-forward latency
+  int mesh_rows = 0;           ///< topology: rows x cols mesh (torus if
+  int mesh_cols = 0;           ///< `torus`); 0 = single crossbar link pair
+  bool torus = false;
+};
+
+struct MessageDelivery {
+  std::size_t msg_index = 0;
+  Time delivered;  ///< last packet fully received (before the recv o)
+};
+
+struct PacketNetResult {
+  std::vector<MessageDelivery> deliveries;  ///< one per network message
+  std::vector<Time> proc_finish;            ///< per-proc completion
+  Time makespan;
+  std::uint64_t packets = 0;
+  std::uint64_t events = 0;
+};
+
+class PacketNetwork {
+ public:
+  explicit PacketNetwork(PacketNetConfig cfg);
+
+  /// Simulates one communication step: every source injects its messages
+  /// (in program order) starting at its ready time.
+  [[nodiscard]] PacketNetResult run(const pattern::CommPattern& pattern,
+                                    const std::vector<Time>& ready) const;
+  [[nodiscard]] PacketNetResult run(const pattern::CommPattern& pattern) const;
+
+  /// The route (sequence of node ids, excluding the source) a message
+  /// from `a` to `b` takes under dimension-order routing.
+  [[nodiscard]] std::vector<int> route(ProcId a, ProcId b) const;
+
+ private:
+  PacketNetConfig cfg_;
+};
+
+}  // namespace logsim::network

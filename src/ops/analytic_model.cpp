@@ -1,0 +1,45 @@
+#include "ops/analytic_model.hpp"
+
+#include <cassert>
+
+#include "ops/ge_ops.hpp"
+
+namespace logsim::ops {
+
+Time analytic_op_cost(core::OpId op, int block_size) {
+  const double b = static_cast<double>(block_size);
+  const double b2 = b * b;
+  const double b3 = b2 * b;
+  switch (op) {
+    case kOp1: return Time{0.002 * b3 + 0.20 * b2 + 2.0 * b + 120.0};
+    case kOp2: return Time{0.004 * b3 + 0.15 * b2 + 1.5 * b + 40.0};
+    case kOp3: return Time{0.004 * b3 + 0.15 * b2 + 1.8 * b + 45.0};
+    case kOp4: return Time{0.0095 * b3 + 0.5 * b + 5.0};
+    default:
+      assert(false && "unknown GE op");
+      return Time::zero();
+  }
+}
+
+const std::vector<int>& default_block_sizes() {
+  static const std::vector<int> sizes = {10, 12, 15, 16, 20, 24, 30,
+                                         32, 40, 48, 60, 64, 80, 96, 120};
+  return sizes;
+}
+
+core::CostTable analytic_cost_table() {
+  return analytic_cost_table(default_block_sizes());
+}
+
+core::CostTable analytic_cost_table(const std::vector<int>& block_sizes) {
+  core::CostTable table;
+  register_ge_ops(table);
+  for (int op = 0; op < kGeOpCount; ++op) {
+    for (int b : block_sizes) {
+      table.set_cost(op, b, analytic_op_cost(op, b));
+    }
+  }
+  return table;
+}
+
+}  // namespace logsim::ops

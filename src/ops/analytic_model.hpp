@@ -1,0 +1,40 @@
+#pragma once
+// The calibrated analytic per-operation cost model.
+//
+// The paper measured Op1..Op4 on the Meiko CS-2 for each block size and
+// plotted the results as Figure 6, whose qualitative facts are:
+//   * for small blocks Op1 (factor + inversions) is the most expensive,
+//   * near block size ~40 all four operations cost about the same,
+//   * for large blocks (~120) the multiply of Op4 costs about twice Op1.
+// We reproduce those facts with cubic polynomials in the block size b:
+//   Op1(b) = 0.002  b^3 + 0.20 b^2 + 2.0 b + 120      (big fixed overhead)
+//   Op2(b) = 0.004  b^3 + 0.15 b^2 + 1.5 b +  40
+//   Op3(b) = 0.004  b^3 + 0.15 b^2 + 1.8 b +  45
+//   Op4(b) = 0.0095 b^3             + 0.5 b +   5     (pure multiply)
+// (all in microseconds; crossover at b ~= 42, Op4(120)/Op1(120) ~= 2.4).
+//
+// The alternative -- actually timing our real kernels -- is implemented by
+// ops::OpTimer and exercised by tests and the live-measurement example;
+// benches default to this analytic table so their output is deterministic.
+
+#include <vector>
+
+#include "core/cost_table.hpp"
+#include "util/types.hpp"
+
+namespace logsim::ops {
+
+/// Cost of one GE basic op (id 0..3) on a b x b block, in microseconds.
+[[nodiscard]] Time analytic_op_cost(core::OpId op, int block_size);
+
+/// The block sizes we calibrate at: the paper's "14 values from 1x to
+/// 1x0" reconstructed as divisors of N=960 spanning 10..120.
+[[nodiscard]] const std::vector<int>& default_block_sizes();
+
+/// A CostTable with Op1..Op4 calibrated at `block_sizes` (default:
+/// default_block_sizes()) from the analytic model.
+[[nodiscard]] core::CostTable analytic_cost_table();
+[[nodiscard]] core::CostTable analytic_cost_table(
+    const std::vector<int>& block_sizes);
+
+}  // namespace logsim::ops

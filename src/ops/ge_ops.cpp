@@ -1,0 +1,49 @@
+#include "ops/ge_ops.hpp"
+
+#include <cassert>
+
+#include "ops/kernels.hpp"
+
+namespace logsim::ops {
+
+const char* ge_op_name(core::OpId op) {
+  switch (op) {
+    case kOp1: return "Op1";
+    case kOp2: return "Op2";
+    case kOp3: return "Op3";
+    case kOp4: return "Op4";
+    default: return "Op?";
+  }
+}
+
+void register_ge_ops(core::CostTable& table) {
+  for (int op = 0; op < kGeOpCount; ++op) {
+    [[maybe_unused]] const core::OpId id = table.register_op(ge_op_name(op));
+    assert(id == op && "GE ops must occupy ids 0..3");
+  }
+}
+
+void run_ge_op(core::OpId op, Matrix& target, const Matrix* diag,
+               const Matrix* left, const Matrix* top) {
+  switch (op) {
+    case kOp1:
+      lu_nopivot_inplace(target);
+      break;
+    case kOp2:
+      assert(diag != nullptr);
+      solve_unit_lower_left(*diag, target);
+      break;
+    case kOp3:
+      assert(diag != nullptr);
+      solve_upper_right(*diag, target);
+      break;
+    case kOp4:
+      assert(left != nullptr && top != nullptr);
+      gemm_subtract(target, *left, *top);
+      break;
+    default:
+      assert(false && "unknown GE op");
+  }
+}
+
+}  // namespace logsim::ops

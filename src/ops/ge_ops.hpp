@@ -1,0 +1,35 @@
+#pragma once
+// The four basic operations of the blocked Gaussian Elimination algorithm
+// (paper Section 5.1).  In the blocked right-looking factorization of an
+// nb x nb grid of b x b blocks, elimination step k performs:
+//   Op1  on A[k][k]:       in-place LU factorization of the diagonal block
+//                          (upper triangularization + the triangular
+//                          inversions the paper folds into Op1),
+//   Op2  on A[k][j], j>k:  row-panel update  B <- L_kk^-1 * B,
+//   Op3  on A[i][k], i>k:  column-panel update  B <- B * U_kk^-1,
+//   Op4  on A[i][j]:       interior update  B <- B - A[i][k] * A[k][j].
+//
+// ids are dense 0..3 so cost tables and work items can index arrays.
+
+#include "core/cost_table.hpp"
+#include "ops/matrix.hpp"
+
+namespace logsim::ops {
+
+enum GeOp : core::OpId { kOp1 = 0, kOp2 = 1, kOp3 = 2, kOp4 = 3 };
+inline constexpr int kGeOpCount = 4;
+
+/// Canonical display names ("Op1".."Op4").
+[[nodiscard]] const char* ge_op_name(core::OpId op);
+
+/// Registers Op1..Op4 in `table` in id order; asserts the ids come out
+/// dense 0..3 (they do when the table is fresh).
+void register_ge_ops(core::CostTable& table);
+
+/// Executes a basic operation on real blocks (used by the sequential
+/// reference implementation, the numeric verification and the live
+/// microbenchmark).  `diag`/`left`/`top` supply the inputs each op reads.
+void run_ge_op(core::OpId op, Matrix& target, const Matrix* diag,
+               const Matrix* left, const Matrix* top);
+
+}  // namespace logsim::ops

@@ -1,0 +1,123 @@
+#include "ops/kernels.hpp"
+
+#include <cassert>
+
+namespace logsim::ops {
+
+void lu_nopivot_inplace(Matrix& a) {
+  assert(a.square());
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = a(k, k);
+    assert(pivot != 0.0 && "GE without pivoting hit a zero pivot");
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a(i, k) /= pivot;
+      const double lik = a(i, k);
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a(i, j) -= lik * a(k, j);
+      }
+    }
+  }
+}
+
+void solve_unit_lower_left(const Matrix& lu, Matrix& b) {
+  assert(lu.square() && lu.rows() == b.rows());
+  const std::size_t n = lu.rows();
+  const std::size_t m = b.cols();
+  // Forward substitution, row by row: row i of the solution depends only
+  // on rows < i.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = lu(i, k);
+      for (std::size_t j = 0; j < m; ++j) {
+        b(i, j) -= lik * b(k, j);
+      }
+    }
+  }
+}
+
+void solve_upper_right(const Matrix& lu, Matrix& b) {
+  assert(lu.square() && lu.rows() == b.cols());
+  const std::size_t n = lu.rows();
+  const std::size_t m = b.rows();
+  // Solve X * U = B column by column of X: column j depends on columns < j.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ujj = lu(j, j);
+    assert(ujj != 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      double x = b(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        x -= b(i, k) * lu(k, j);
+      }
+      b(i, j) = x / ujj;
+    }
+  }
+}
+
+void gemm_subtract(Matrix& c, const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::size_t n = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < m; ++j) {
+        c(i, j) -= aik * b(k, j);
+      }
+    }
+  }
+}
+
+Matrix invert_upper(const Matrix& lu) {
+  assert(lu.square());
+  const std::size_t n = lu.rows();
+  Matrix inv = Matrix::identity(n);
+  // Back substitution per unit column: solve U * x = e_j.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = n; i-- > 0;) {
+      double x = inv(i, j);
+      for (std::size_t k = i + 1; k < n; ++k) {
+        x -= lu(i, k) * inv(k, j);
+      }
+      inv(i, j) = x / lu(i, i);
+    }
+  }
+  return inv;
+}
+
+Matrix invert_unit_lower(const Matrix& lu) {
+  assert(lu.square());
+  const std::size_t n = lu.rows();
+  Matrix inv = Matrix::identity(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = inv(i, j);
+      for (std::size_t k = 0; k < i; ++k) {
+        x -= lu(i, k) * inv(k, j);
+      }
+      inv(i, j) = x;  // unit diagonal: no division
+    }
+  }
+  return inv;
+}
+
+Matrix multiply_lu(const Matrix& lu) {
+  assert(lu.square());
+  const std::size_t n = lu.rows();
+  Matrix l = Matrix::identity(n);
+  Matrix u{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j < i) {
+        l(i, j) = lu(i, j);
+      } else {
+        u(i, j) = lu(i, j);
+      }
+    }
+  }
+  return l.multiply(u);
+}
+
+}  // namespace logsim::ops

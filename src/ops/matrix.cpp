@@ -1,0 +1,74 @@
+#include "ops/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace logsim::ops {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(util::Rng& rng, std::size_t rows, std::size_t cols,
+                      double lo, double hi) {
+  Matrix m{rows, cols};
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.uniform(lo, hi);
+  }
+  return m;
+}
+
+Matrix Matrix::random_diag_dominant(util::Rng& rng, std::size_t n) {
+  Matrix m = random(rng, n, n, -1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += std::abs(m(i, j));
+    m(i, i) = row_sum + 1.0;  // strictly dominant, positive pivot
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out{rows_, rhs.cols_};
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::subtract(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out{rows_, cols_};
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - rhs.data_[i];
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace logsim::ops

@@ -1,0 +1,59 @@
+#pragma once
+// Dense row-major matrix of doubles: the "basic block" the paper's
+// restricted program class operates on.  Deliberately minimal -- just what
+// the four Gaussian-elimination basic operations and their tests need.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace logsim::ops {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool square() const { return rows_ == cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Uniform random entries in [lo, hi]; deterministic in rng.
+  [[nodiscard]] static Matrix random(util::Rng& rng, std::size_t rows,
+                                     std::size_t cols, double lo = -1.0,
+                                     double hi = 1.0);
+
+  /// A random matrix made strictly diagonally dominant, so Gaussian
+  /// elimination without pivoting is numerically safe (the paper's GE
+  /// variant does not pivot).
+  [[nodiscard]] static Matrix random_diag_dominant(util::Rng& rng,
+                                                   std::size_t n);
+
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+  [[nodiscard]] Matrix subtract(const Matrix& rhs) const;
+
+  [[nodiscard]] double frobenius_norm() const;
+  [[nodiscard]] double max_abs_diff(const Matrix& rhs) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace logsim::ops

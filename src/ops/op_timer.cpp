@@ -1,0 +1,73 @@
+#include "ops/op_timer.hpp"
+
+#include <chrono>
+#include <limits>
+
+#include "ops/ge_ops.hpp"
+#include "ops/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::ops {
+
+namespace {
+
+// The optimizer must not discard the kernel work; fold a dependency on the
+// result into a volatile sink.
+volatile double g_sink = 0.0;
+
+double run_once(core::OpId op, Matrix& target, const Matrix* diag,
+                const Matrix* left, const Matrix* top) {
+  const auto t0 = std::chrono::steady_clock::now();
+  run_ge_op(op, target, diag, left, top);
+  const auto t1 = std::chrono::steady_clock::now();
+  g_sink = g_sink + target(0, 0);
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
+
+OpTimer::OpTimer(OpTimerOptions opts) : opts_(opts) {}
+
+Time OpTimer::measure(core::OpId op, int block_size) const {
+  util::Rng rng{opts_.seed + static_cast<std::uint64_t>(op) * 1000003ULL +
+                static_cast<std::uint64_t>(block_size)};
+  const auto b = static_cast<std::size_t>(block_size);
+
+  // Fresh, well-conditioned inputs per repetition: Op1 factors in place,
+  // so re-running it on its own output would be meaningless.
+  auto make_inputs = [&] {
+    struct Inputs {
+      Matrix target, diag, left, top;
+    } in;
+    in.target = Matrix::random_diag_dominant(rng, b);
+    in.diag = Matrix::random_diag_dominant(rng, b);
+    lu_nopivot_inplace(in.diag);  // ops 2/3 consume a factored block
+    in.left = Matrix::random(rng, b, b);
+    in.top = Matrix::random(rng, b, b);
+    return in;
+  };
+
+  for (int r = 0; r < opts_.warmup_reps; ++r) {
+    auto in = make_inputs();
+    run_once(op, in.target, &in.diag, &in.left, &in.top);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < opts_.timed_reps; ++r) {
+    auto in = make_inputs();
+    best = std::min(best, run_once(op, in.target, &in.diag, &in.left, &in.top));
+  }
+  return Time{best};
+}
+
+core::CostTable OpTimer::calibrate(const std::vector<int>& block_sizes) const {
+  core::CostTable table;
+  register_ge_ops(table);
+  for (int op = 0; op < kGeOpCount; ++op) {
+    for (int b : block_sizes) {
+      table.set_cost(op, b, measure(op, b));
+    }
+  }
+  return table;
+}
+
+}  // namespace logsim::ops

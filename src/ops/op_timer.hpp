@@ -1,0 +1,38 @@
+#pragma once
+// Live measurement of the basic-operation costs: the paper's methodology
+// ("we implemented the basic block operations ... and we measured the
+// running time of each operation for different block sizes").  Times the
+// real kernels of ge_ops.hpp on this host with std::chrono::steady_clock
+// and produces a CostTable the predictor can consume directly.
+
+#include <cstdint>
+
+#include "core/cost_table.hpp"
+#include "ops/matrix.hpp"
+#include "util/types.hpp"
+
+namespace logsim::ops {
+
+struct OpTimerOptions {
+  int warmup_reps = 1;      ///< un-timed executions before measuring
+  int timed_reps = 3;       ///< timed executions; the minimum is kept
+  std::uint64_t seed = 42;  ///< input-matrix generation seed
+};
+
+class OpTimer {
+ public:
+  explicit OpTimer(OpTimerOptions opts = {});
+
+  /// Measures one op at one block size; returns the minimum of the timed
+  /// repetitions (minimum, not mean: we want the undisturbed cost).
+  [[nodiscard]] Time measure(core::OpId op, int block_size) const;
+
+  /// Full calibration: Op1..Op4 at each block size.
+  [[nodiscard]] core::CostTable calibrate(
+      const std::vector<int>& block_sizes) const;
+
+ private:
+  OpTimerOptions opts_;
+};
+
+}  // namespace logsim::ops

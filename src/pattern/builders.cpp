@@ -1,0 +1,134 @@
+#include "pattern/builders.hpp"
+
+#include <cassert>
+
+namespace logsim::pattern {
+
+CommPattern paper_fig3(Bytes message_bytes) {
+  CommPattern p{10};
+  // Anti-diagonal pyramid: d0={P1}, d1={P2,P3}, d2={P4,P5,P6},
+  // d3={P7,P8,P9,P10}; each node forwards to its down and down-right
+  // neighbours in the next diagonal (0-based ids).
+  const std::pair<int, int> edges[] = {
+      {0, 1}, {0, 2},          // P1 -> P2, P3
+      {1, 3}, {1, 4},          // P2 -> P4, P5
+      {2, 4}, {2, 5},          // P3 -> P5, P6
+      {3, 6}, {3, 7},          // P4 -> P7, P8
+      {4, 7}, {4, 8},          // P5 -> P8, P9
+      {5, 8}, {5, 9},          // P6 -> P9, P10
+  };
+  for (auto [s, d] : edges) p.add(s, d, message_bytes);
+  return p;
+}
+
+CommPattern ring(int procs, Bytes bytes) {
+  assert(procs >= 2);
+  CommPattern p{procs};
+  for (int i = 0; i < procs; ++i) p.add(i, (i + 1) % procs, bytes);
+  return p;
+}
+
+CommPattern single_message(int procs, Bytes bytes) {
+  assert(procs >= 2);
+  CommPattern p{procs};
+  p.add(0, 1, bytes);
+  return p;
+}
+
+CommPattern flat_broadcast(int procs, Bytes bytes, ProcId root) {
+  CommPattern p{procs};
+  for (int i = 0; i < procs; ++i) {
+    if (i != root) p.add(root, i, bytes);
+  }
+  return p;
+}
+
+CommPattern binomial_round(int procs, int round, Bytes bytes) {
+  CommPattern p{procs};
+  const int stride = 1 << round;
+  for (int q = 0; q < stride && q < procs; ++q) {
+    const int peer = q + stride;
+    if (peer < procs) p.add(q, peer, bytes);
+  }
+  return p;
+}
+
+CommPattern all_to_all(int procs, Bytes bytes) {
+  CommPattern p{procs};
+  for (int i = 0; i < procs; ++i) {
+    for (int j = 0; j < procs; ++j) {
+      if (i != j) p.add(i, j, bytes);
+    }
+  }
+  return p;
+}
+
+CommPattern hypercube_round(int procs, int dim, Bytes bytes) {
+  CommPattern p{procs};
+  const int mask = 1 << dim;
+  for (int i = 0; i < procs; ++i) {
+    const int partner = i ^ mask;
+    if (partner < procs) p.add(i, partner, bytes);
+  }
+  return p;
+}
+
+CommPattern transpose(int q, Bytes bytes) {
+  CommPattern p{q * q};
+  for (int r = 0; r < q; ++r) {
+    for (int c = 0; c < q; ++c) {
+      if (r != c) {
+        p.add(r * q + c, c * q + r, bytes,
+              static_cast<std::int64_t>(r * q + c));
+      }
+    }
+  }
+  return p;
+}
+
+CommPattern gather(int procs, Bytes bytes, ProcId root) {
+  CommPattern p{procs};
+  for (int i = 0; i < procs; ++i) {
+    if (i != root) p.add(i, root, bytes);
+  }
+  return p;
+}
+
+CommPattern scatter(int procs, Bytes bytes, ProcId root) {
+  return flat_broadcast(procs, bytes, root);
+}
+
+CommPattern random_pattern(util::Rng& rng, int procs, std::size_t edges,
+                           Bytes min_bytes, Bytes max_bytes) {
+  assert(procs >= 2);
+  CommPattern p{procs};
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto src = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(procs)));
+    auto dst = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(procs - 1)));
+    if (dst >= src) ++dst;
+    const auto size = static_cast<std::uint64_t>(rng.uniform_int(
+        static_cast<std::int64_t>(min_bytes.count()),
+        static_cast<std::int64_t>(max_bytes.count())));
+    p.add(src, dst, Bytes{size}, static_cast<std::int64_t>(e));
+  }
+  return p;
+}
+
+CommPattern random_dag_pattern(util::Rng& rng, int procs, std::size_t edges,
+                               Bytes min_bytes, Bytes max_bytes) {
+  assert(procs >= 2);
+  CommPattern p{procs};
+  for (std::size_t e = 0; e < edges; ++e) {
+    auto a = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(procs)));
+    auto b = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(procs - 1)));
+    if (b >= a) ++b;
+    if (a > b) std::swap(a, b);  // always low id -> high id: acyclic
+    const auto size = static_cast<std::uint64_t>(rng.uniform_int(
+        static_cast<std::int64_t>(min_bytes.count()),
+        static_cast<std::int64_t>(max_bytes.count())));
+    p.add(a, b, Bytes{size}, static_cast<std::int64_t>(e));
+  }
+  return p;
+}
+
+}  // namespace logsim::pattern

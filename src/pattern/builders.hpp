@@ -1,0 +1,68 @@
+#pragma once
+// Canned communication patterns: the paper's Section 4.1 example plus the
+// regular collectives used by the analytic baselines and the test suite.
+
+#include "pattern/comm_pattern.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::pattern {
+
+/// The sample pattern of the paper's Figure 3: a Gaussian-elimination
+/// wavefront over 10 processors where "the processors on several diagonals
+/// of the matrix are involved in each communication step".
+///
+/// The figure's edge list is unreadable in the OCR; we reconstruct it as
+/// the 1/2/3/4 anti-diagonal pyramid (each block forwards to its right and
+/// down neighbours), which matches the legible textual clues: 10
+/// processors, equal message lengths, a processor that performs two
+/// receives before its second send, and processor 8 receiving from
+/// processors 4 and 5 "concurrently" under the worst-case algorithm.
+/// Processor ids here are 0-based (paper's P1..P10 = 0..9).
+[[nodiscard]] CommPattern paper_fig3(Bytes message_bytes = Bytes{112});
+
+/// Unidirectional ring shift: i -> (i+1) mod P.
+[[nodiscard]] CommPattern ring(int procs, Bytes bytes);
+
+/// Single message 0 -> 1 over `procs` >= 2 processors.
+[[nodiscard]] CommPattern single_message(int procs, Bytes bytes);
+
+/// Naive broadcast: root sends P-1 individual messages.
+[[nodiscard]] CommPattern flat_broadcast(int procs, Bytes bytes, ProcId root = 0);
+
+/// Binomial-tree broadcast (the pattern of one *round* per CommPattern is
+/// not expressible; this emits the whole tree as one oblivious step, which
+/// the simulator sequences correctly because children forward only after
+/// their receive completes -- expressed as consecutive steps instead).
+/// Round r (0-based): every processor q < 2^r sends to q + 2^r (if < P).
+[[nodiscard]] CommPattern binomial_round(int procs, int round, Bytes bytes);
+
+/// Total exchange: every ordered pair (i, j), i != j.
+[[nodiscard]] CommPattern all_to_all(int procs, Bytes bytes);
+
+/// One hypercube/butterfly round: every processor exchanges with its
+/// partner p XOR 2^dim (both directions; partners >= procs are skipped,
+/// so non-power-of-two machines work).
+[[nodiscard]] CommPattern hypercube_round(int procs, int dim, Bytes bytes);
+
+/// Matrix transpose on a q x q processor grid: (r,c) sends to (c,r).
+[[nodiscard]] CommPattern transpose(int q, Bytes bytes);
+
+/// Gather: everyone sends one message to the root.
+[[nodiscard]] CommPattern gather(int procs, Bytes bytes, ProcId root = 0);
+
+/// Scatter: root sends one message to everyone else.
+[[nodiscard]] CommPattern scatter(int procs, Bytes bytes, ProcId root = 0);
+
+/// Random pattern: `edges` messages with endpoints drawn uniformly
+/// (src != dst) and sizes in [min_bytes, max_bytes].  Deterministic in rng.
+[[nodiscard]] CommPattern random_pattern(util::Rng& rng, int procs,
+                                         std::size_t edges, Bytes min_bytes,
+                                         Bytes max_bytes);
+
+/// Random *acyclic* pattern (all edges go from lower to higher id), so the
+/// worst-case algorithm needs no deadlock breaking.
+[[nodiscard]] CommPattern random_dag_pattern(util::Rng& rng, int procs,
+                                             std::size_t edges, Bytes min_bytes,
+                                             Bytes max_bytes);
+
+}  // namespace logsim::pattern

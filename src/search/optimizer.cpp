@@ -1,0 +1,72 @@
+#include "search/optimizer.hpp"
+
+#include <cassert>
+#include <map>
+
+namespace logsim::search {
+
+SearchResult exhaustive_search(const std::vector<int>& blocks,
+                               const std::vector<const layout::Layout*>& layouts,
+                               const Evaluator& eval) {
+  SearchResult result;
+  bool first = true;
+  for (const layout::Layout* map : layouts) {
+    for (int b : blocks) {
+      const Time t = eval(b, *map);
+      result.evaluated.push_back(Evaluation{b, map->name(), t});
+      ++result.evaluations;
+      if (first || t < result.best.predicted) {
+        result.best = result.evaluated.back();
+        first = false;
+      }
+    }
+  }
+  return result;
+}
+
+SearchResult local_descent(const std::vector<int>& blocks,
+                           const layout::Layout& layout, const Evaluator& eval,
+                           std::size_t start) {
+  assert(!blocks.empty() && start < blocks.size());
+  SearchResult result;
+  // Memoize: the walk may probe a neighbour it already visited.
+  std::map<int, Time> cache;
+  auto probe = [&](std::size_t idx) {
+    const int b = blocks[idx];
+    const auto it = cache.find(b);
+    if (it != cache.end()) return it->second;
+    const Time t = eval(b, layout);
+    cache.emplace(b, t);
+    result.evaluated.push_back(Evaluation{b, layout.name(), t});
+    ++result.evaluations;
+    return t;
+  };
+
+  std::size_t here = start;
+  Time here_t = probe(here);
+  while (true) {
+    std::size_t best_next = here;
+    Time best_t = here_t;
+    if (here > 0) {
+      const Time t = probe(here - 1);
+      if (t < best_t) {
+        best_t = t;
+        best_next = here - 1;
+      }
+    }
+    if (here + 1 < blocks.size()) {
+      const Time t = probe(here + 1);
+      if (t < best_t) {
+        best_t = t;
+        best_next = here + 1;
+      }
+    }
+    if (best_next == here) break;
+    here = best_next;
+    here_t = best_t;
+  }
+  result.best = Evaluation{blocks[here], layout.name(), here_t};
+  return result;
+}
+
+}  // namespace logsim::search

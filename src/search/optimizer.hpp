@@ -1,0 +1,53 @@
+#pragma once
+// Automatic selection of the optimal block size and data layout from
+// predicted running times -- the paper's "future work may be done to
+// automatically determine these optimal values from the predicted running
+// times; this reduces to a search problem".
+//
+// Two strategies:
+//  * exhaustive: evaluate the predictor on the full (block x layout) grid;
+//  * local descent: walk the (sorted) block-size axis downhill from a
+//    starting point -- the cheap heuristic the paper anticipates, which
+//    can stop in a local optimum of the sawtooth curve (tests demonstrate
+//    both behaviours).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "util/types.hpp"
+
+namespace logsim::search {
+
+/// Cost oracle: predicted total running time for (block size, layout).
+using Evaluator = std::function<Time(int block, const layout::Layout&)>;
+
+struct Evaluation {
+  int block = 0;
+  std::string layout;
+  Time predicted;
+};
+
+struct SearchResult {
+  Evaluation best;
+  std::vector<Evaluation> evaluated;  ///< in evaluation order
+  std::size_t evaluations = 0;
+};
+
+/// Evaluates every (block, layout) pair; `layouts` entries must outlive
+/// the call.  Ties keep the earlier candidate.
+[[nodiscard]] SearchResult exhaustive_search(
+    const std::vector<int>& blocks,
+    const std::vector<const layout::Layout*>& layouts, const Evaluator& eval);
+
+/// Downhill walk over the block axis for one layout, starting at index
+/// `start` of `blocks` (which must be sorted ascending): move to the
+/// cheaper neighbour until neither neighbour improves.  Finds a local
+/// optimum with O(width) evaluations.
+[[nodiscard]] SearchResult local_descent(const std::vector<int>& blocks,
+                                         const layout::Layout& layout,
+                                         const Evaluator& eval,
+                                         std::size_t start);
+
+}  // namespace logsim::search

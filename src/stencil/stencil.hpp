@@ -1,0 +1,57 @@
+#pragma once
+// Iterative 5-point Jacobi stencil -- a third application in the paper's
+// restricted class (oblivious, alternating halo-exchange communication
+// and per-block computation; "graph algorithms where several nodes are
+// gathered in a single basic data block ... can be considered to fall in
+// this class, too").
+//
+// The n x n cell grid is partitioned either into P horizontal strips
+// (1-D) or into a pr x pc grid of tiles (2-D).  Every iteration is one
+// CommStep (ghost-row/column exchange with the up/down/left/right
+// neighbours) followed by one ComputeStep (each processor updates its
+// cells).  The decomposition trade-off -- 1-D moves fewer, larger
+// messages, 2-D moves less total data -- is the classic surface-to-volume
+// experiment bench/stencil_partition reproduces.
+
+#include <cstdint>
+
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
+#include "util/types.hpp"
+
+namespace logsim::stencil {
+
+enum class Partition { kStrips1D, kTiles2D };
+
+struct StencilConfig {
+  int n = 1024;        ///< grid edge (cells)
+  int iterations = 10;
+  Partition partition = Partition::kStrips1D;
+  int procs = 8;       ///< 1-D: strip count; 2-D: must be a perfect square
+  int elem_bytes = 8;
+
+  [[nodiscard]] bool valid() const;
+};
+
+/// The single basic operation of the stencil program: "update my tile".
+/// Its WorkItem block_size is the tile edge (sqrt of the cell count), so
+/// one calibration point per distinct tile shape suffices.
+inline constexpr core::OpId kStencilOp = 0;
+
+/// A cost table charging update_us_per_cell * cells for a tile of edge b.
+[[nodiscard]] core::CostTable stencil_cost_table(
+    const StencilConfig& cfg, double update_us_per_cell = 0.01);
+
+struct StencilScheduleInfo {
+  std::size_t halo_messages_per_iter = 0;
+  Bytes halo_bytes_per_iter{0};
+  int tile_rows = 0;  ///< cells per tile, vertical
+  int tile_cols = 0;  ///< cells per tile, horizontal
+};
+
+/// Builds the alternating halo-exchange/update program.
+[[nodiscard]] core::StepProgram build_stencil_program(const StencilConfig& cfg);
+[[nodiscard]] core::StepProgram build_stencil_program(const StencilConfig& cfg,
+                                                      StencilScheduleInfo& info);
+
+}  // namespace logsim::stencil

@@ -1,0 +1,99 @@
+#include "stencil/stencil_reference.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace logsim::stencil {
+
+Field jacobi_sweep(const Field& f, std::size_t n) {
+  assert(f.size() == n * n);
+  Field out = f;  // borders keep their values
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      out[i * n + j] = 0.25 * (f[(i - 1) * n + j] + f[(i + 1) * n + j] +
+                               f[i * n + j - 1] + f[i * n + j + 1]);
+    }
+  }
+  return out;
+}
+
+Field jacobi_decomposed(const Field& f, std::size_t n, int strips, int iters) {
+  assert(f.size() == n * n);
+  assert(n % static_cast<std::size_t>(strips) == 0);
+  const std::size_t rows = n / static_cast<std::size_t>(strips);
+
+  // Each strip holds its rows plus one ghost row above and below.
+  struct Strip {
+    std::vector<double> cells;  // (rows + 2) x n
+  };
+  std::vector<Strip> parts(static_cast<std::size_t>(strips));
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    parts[s].cells.assign((rows + 2) * n, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < n; ++j) {
+        parts[s].cells[(r + 1) * n + j] = f[(s * rows + r) * n + j];
+      }
+    }
+  }
+
+  for (int it = 0; it < iters; ++it) {
+    // Ghost exchange: my first row to the neighbour above, my last row to
+    // the neighbour below (the message the halo CommStep prices).
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      if (s > 0) {
+        for (std::size_t j = 0; j < n; ++j) {
+          parts[s].cells[j] = parts[s - 1].cells[rows * n + j];
+        }
+      }
+      if (s + 1 < parts.size()) {
+        for (std::size_t j = 0; j < n; ++j) {
+          parts[s].cells[(rows + 1) * n + j] = parts[s + 1].cells[n + j];
+        }
+      }
+    }
+    // Local sweep.  Global border rows/columns stay fixed.
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      const auto& in = parts[s].cells;
+      std::vector<double> out = in;
+      for (std::size_t r = 1; r <= rows; ++r) {
+        const std::size_t global_row = s * rows + (r - 1);
+        if (global_row == 0 || global_row == n - 1) continue;
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          out[r * n + j] = 0.25 * (in[(r - 1) * n + j] + in[(r + 1) * n + j] +
+                                   in[r * n + j - 1] + in[r * n + j + 1]);
+        }
+      }
+      parts[s].cells = std::move(out);
+    }
+  }
+
+  Field out(n * n, 0.0);
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < n; ++j) {
+        out[(s * rows + r) * n + j] = parts[s].cells[(r + 1) * n + j];
+      }
+    }
+  }
+  return out;
+}
+
+double stencil_residual(std::size_t n, int strips, int iters) {
+  util::Rng rng{n * 13 + static_cast<std::uint64_t>(strips)};
+  Field f(n * n);
+  for (double& v : f) v = rng.uniform(-1.0, 1.0);
+
+  Field mono = f;
+  for (int it = 0; it < iters; ++it) mono = jacobi_sweep(mono, n);
+  const Field dec = jacobi_decomposed(f, n, strips, iters);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < mono.size(); ++i) {
+    worst = std::max(worst, std::abs(mono[i] - dec[i]));
+  }
+  return worst;
+}
+
+}  // namespace logsim::stencil

@@ -1,0 +1,29 @@
+#pragma once
+// Numeric reference for the stencil application: a straightforward
+// full-grid Jacobi sweep, and a decomposed version that mimics the
+// parallel program (per-tile buffers plus explicit ghost exchange).
+// Their results must coincide bit-for-bit, proving the halo schedule the
+// simulator prices is a correct decomposition.
+
+#include <cstddef>
+#include <vector>
+
+namespace logsim::stencil {
+
+/// Dense n x n cell field, row-major, with constant (Dirichlet) border.
+using Field = std::vector<double>;
+
+/// One Jacobi sweep on the whole grid: interior cells become the average
+/// of their four neighbours; border cells are fixed.
+[[nodiscard]] Field jacobi_sweep(const Field& f, std::size_t n);
+
+/// `iters` sweeps via the decomposed path: the grid is cut into `strips`
+/// horizontal strips which exchange ghost rows before every sweep.
+[[nodiscard]] Field jacobi_decomposed(const Field& f, std::size_t n,
+                                      int strips, int iters);
+
+/// max |decomposed - monolithic| after `iters` sweeps of a deterministic
+/// pseudo-random field.
+[[nodiscard]] double stencil_residual(std::size_t n, int strips, int iters);
+
+}  // namespace logsim::stencil

@@ -1,0 +1,98 @@
+#include "transform/transform.hpp"
+
+#include <map>
+#include <optional>
+#include <variant>
+
+#include "pattern/comm_pattern.hpp"
+
+namespace logsim::transform {
+
+core::StepProgram coalesce_messages(const core::StepProgram& program) {
+  TransformStats stats;
+  return coalesce_messages(program, stats);
+}
+
+core::StepProgram coalesce_messages(const core::StepProgram& program,
+                                    TransformStats& stats) {
+  stats = TransformStats{};
+  stats.steps_before = stats.steps_after = program.size();
+  core::StepProgram out{program.procs()};
+
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    if (const auto* cs = std::get_if<core::ComputeStep>(&program.step(s))) {
+      out.add_compute(*cs);
+      continue;
+    }
+    const auto& pat = std::get<core::CommStep>(program.step(s)).pattern;
+    stats.messages_before += pat.size();
+    // Accumulate payload per (src, dst) in first-appearance order; the
+    // packed buffer keeps the first message's tag (its block id becomes
+    // the buffer's identity for cache bookkeeping).
+    std::map<std::pair<ProcId, ProcId>, std::size_t> slot;
+    struct Packed {
+      ProcId src, dst;
+      Bytes bytes{0};
+      std::int64_t tag = 0;
+    };
+    std::vector<Packed> packed;
+    for (const auto& m : pat.messages()) {
+      const auto key = std::make_pair(m.src, m.dst);
+      const auto it = slot.find(key);
+      if (it == slot.end()) {
+        slot.emplace(key, packed.size());
+        packed.push_back(Packed{m.src, m.dst, m.bytes, m.tag});
+      } else {
+        packed[it->second].bytes += m.bytes;
+      }
+    }
+    pattern::CommPattern merged{program.procs()};
+    for (const auto& p : packed) merged.add(p.src, p.dst, p.bytes, p.tag);
+    stats.messages_after += merged.size();
+    out.add_comm(std::move(merged));
+  }
+  return out;
+}
+
+core::StepProgram fuse_comm_steps(const core::StepProgram& program) {
+  TransformStats stats;
+  return fuse_comm_steps(program, stats);
+}
+
+core::StepProgram fuse_comm_steps(const core::StepProgram& program,
+                                  TransformStats& stats) {
+  stats = TransformStats{};
+  stats.steps_before = program.size();
+  core::StepProgram out{program.procs()};
+
+  pattern::CommPattern open{program.procs()};
+  bool has_open = false;
+  auto flush = [&] {
+    if (has_open) {
+      stats.messages_after += open.size();
+      out.add_comm(std::move(open));
+      open = pattern::CommPattern{program.procs()};
+      has_open = false;
+      ++stats.steps_after;
+    }
+  };
+
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    if (const auto* cs = std::get_if<core::ComputeStep>(&program.step(s))) {
+      flush();
+      out.add_compute(*cs);
+      ++stats.steps_after;
+      continue;
+    }
+    const auto& pat = std::get<core::CommStep>(program.step(s)).pattern;
+    stats.messages_before += pat.size();
+    has_open = true;
+    for (const auto& m : pat.messages()) {
+      open.add(m.src, m.dst, m.bytes, m.tag);
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace logsim::transform

@@ -1,0 +1,35 @@
+#pragma once
+// Program transformations: optimizations an implementer would apply,
+// evaluated through the predictor instead of on hardware -- the use case
+// the paper builds the simulator for.
+//
+//  * coalesce_messages: pack all messages with the same (src, dst) inside
+//    one communication step into a single message (sender-side buffer
+//    packing).  Trades per-message overhead o and gap g for longer
+//    (k-1)G streams; bench/ablation_coalescing quantifies the trade.
+//  * fuse_comm_steps: merge runs of adjacent CommSteps (no computation
+//    between them) into one step, letting the scheduler interleave their
+//    messages.
+
+#include "core/step_program.hpp"
+
+namespace logsim::transform {
+
+struct TransformStats {
+  std::size_t messages_before = 0;
+  std::size_t messages_after = 0;
+  std::size_t steps_before = 0;
+  std::size_t steps_after = 0;
+};
+
+[[nodiscard]] core::StepProgram coalesce_messages(
+    const core::StepProgram& program);
+[[nodiscard]] core::StepProgram coalesce_messages(
+    const core::StepProgram& program, TransformStats& stats);
+
+[[nodiscard]] core::StepProgram fuse_comm_steps(
+    const core::StepProgram& program);
+[[nodiscard]] core::StepProgram fuse_comm_steps(
+    const core::StepProgram& program, TransformStats& stats);
+
+}  // namespace logsim::transform

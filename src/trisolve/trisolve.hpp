@@ -1,0 +1,70 @@
+#pragma once
+// Parallel solution of a lower-triangular system L x = b by blocked
+// forward substitution -- the problem of the paper's reference [16]
+// (Santos, "Solving triangular linear systems in parallel using
+// substitution") and another member of the restricted program class.
+//
+// The n x n matrix is split into nb = n/block block rows, dealt to
+// processors row-cyclically.  The pipelined substitution alternates:
+//   level 2j+1:  owner of row j solves   x_j = L_jj^-1 r_j      (Op kSolve)
+//   comm:        x_j multicast to the owners of rows i > j
+//   level 2j+2:  every row i > j updates r_i -= L_ij x_j        (Op kUpdate)
+// Per-processor clocks make the updates of different rows pipeline with
+// later solves exactly as in the systolic formulation.
+
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
+#include "ops/matrix.hpp"
+#include "util/types.hpp"
+
+namespace logsim::trisolve {
+
+enum TriOp : core::OpId { kSolve = 0, kUpdate = 1 };
+
+struct TriSolveConfig {
+  int n = 960;
+  int block = 48;
+  int procs = 8;
+  int elem_bytes = 8;
+
+  [[nodiscard]] int grid() const { return n / block; }
+  [[nodiscard]] bool valid() const {
+    return n > 0 && block > 0 && n % block == 0 && procs > 0 &&
+           elem_bytes > 0;
+  }
+};
+
+/// Cost table for the two basic operations: a b x b triangular solve
+/// against a b-vector (~ b^2/2 multiply-adds) and a b x b matrix-vector
+/// update (~ b^2 multiply-adds).
+[[nodiscard]] core::CostTable trisolve_cost_table(int block,
+                                                  double us_per_madd = 0.01);
+
+struct TriSolveInfo {
+  std::size_t solves = 0;
+  std::size_t updates = 0;
+  std::size_t network_messages = 0;
+};
+
+[[nodiscard]] core::StepProgram build_trisolve_program(
+    const TriSolveConfig& cfg);
+[[nodiscard]] core::StepProgram build_trisolve_program(
+    const TriSolveConfig& cfg, TriSolveInfo& info);
+
+// --- numeric reference ----------------------------------------------------
+
+/// x = L^-1 b by plain forward substitution (L lower-triangular,
+/// non-singular diagonal; b one column).
+[[nodiscard]] ops::Matrix forward_substitute(const ops::Matrix& l,
+                                             const ops::Matrix& b);
+
+/// x via the blocked substitution schedule above, on real data.
+[[nodiscard]] ops::Matrix forward_substitute_blocked(const ops::Matrix& l,
+                                                     const ops::Matrix& b,
+                                                     int block);
+
+/// max |blocked - plain| for a random well-conditioned system.
+[[nodiscard]] double trisolve_residual(std::uint64_t seed, std::size_t n,
+                                       int block);
+
+}  // namespace logsim::trisolve

@@ -1,0 +1,143 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace logsim::util {
+
+LineChart::LineChart(int width, int height) : width_(width), height_(height) {}
+
+void LineChart::add_series(std::string name, char glyph,
+                           std::vector<double> xs, std::vector<double> ys) {
+  series_.push_back({std::move(name), glyph, std::move(xs), std::move(ys)});
+}
+
+void LineChart::set_axis_labels(std::string x, std::string y) {
+  x_label_ = std::move(x);
+  y_label_ = std::move(y);
+}
+
+std::string LineChart::render() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (double x : s.xs) { xmin = std::min(xmin, x); xmax = std::max(xmax, x); }
+    for (double y : s.ys) { ymin = std::min(ymin, y); ymax = std::max(ymax, y); }
+  }
+  if (!(xmin < xmax)) { xmin -= 1; xmax += 1; }
+  if (!(ymin < ymax)) { ymin -= 1; ymax += 1; }
+  // A little headroom so extreme points do not sit on the frame.
+  const double ypad = 0.02 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int col = static_cast<int>(std::lround(
+          (s.xs[i] - xmin) / (xmax - xmin) * (width_ - 1)));
+      const int row = static_cast<int>(std::lround(
+          (s.ys[i] - ymin) / (ymax - ymin) * (height_ - 1)));
+      if (col >= 0 && col < width_ && row >= 0 && row < height_) {
+        auto& cell = grid[static_cast<std::size_t>(height_ - 1 - row)]
+                         [static_cast<std::size_t>(col)];
+        cell = (cell == ' ' || cell == s.glyph) ? s.glyph : '#';
+      }
+    }
+  }
+
+  std::ostringstream ylo, yhi;
+  ylo.precision(4); yhi.precision(4);
+  ylo << ymin; yhi << ymax;
+  const std::size_t margin = std::max(ylo.str().size(), yhi.str().size());
+
+  for (int r = 0; r < height_; ++r) {
+    std::string label;
+    if (r == 0) label = yhi.str();
+    else if (r == height_ - 1) label = ylo.str();
+    os << std::string(margin - label.size(), ' ') << label << " |"
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(width_), '-') << '\n';
+  {
+    std::ostringstream xlo, xhi;
+    xlo.precision(4); xhi.precision(4);
+    xlo << xmin; xhi << xmax;
+    std::string axis = xlo.str();
+    const std::string right = xhi.str();
+    const int gap = width_ - static_cast<int>(axis.size()) -
+                    static_cast<int>(right.size());
+    axis += std::string(static_cast<std::size_t>(std::max(1, gap)), ' ') + right;
+    os << std::string(margin + 2, ' ') << axis;
+    if (!x_label_.empty()) os << "   " << x_label_;
+    os << '\n';
+  }
+  if (!y_label_.empty()) os << "y: " << y_label_ << '\n';
+  os << "legend:";
+  for (const auto& s : series_) os << "  [" << s.glyph << "] " << s.name;
+  os << '\n';
+  return os.str();
+}
+
+GanttChart::GanttChart(int width) : width_(width) {}
+
+void GanttChart::add_box(int lane, double t0, double t1, char glyph) {
+  boxes_.push_back({lane, t0, t1, glyph});
+  if (lane >= static_cast<int>(lane_names_.size())) {
+    lane_names_.resize(static_cast<std::size_t>(lane) + 1);
+  }
+}
+
+void GanttChart::set_lane_name(int lane, std::string name) {
+  if (lane >= static_cast<int>(lane_names_.size())) {
+    lane_names_.resize(static_cast<std::size_t>(lane) + 1);
+  }
+  lane_names_[static_cast<std::size_t>(lane)] = std::move(name);
+}
+
+std::string GanttChart::render() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  double tmax = 0.0;
+  for (const auto& b : boxes_) tmax = std::max(tmax, b.t1);
+  if (tmax <= 0.0) tmax = 1.0;
+
+  const std::size_t lanes = lane_names_.size();
+  std::vector<std::string> grid(lanes,
+                                std::string(static_cast<std::size_t>(width_), '.'));
+  for (const auto& b : boxes_) {
+    int c0 = static_cast<int>(std::floor(b.t0 / tmax * (width_ - 1)));
+    int c1 = static_cast<int>(std::ceil(b.t1 / tmax * (width_ - 1)));
+    c0 = std::clamp(c0, 0, width_ - 1);
+    c1 = std::clamp(std::max(c1, c0 + 1), c0 + 1, width_);
+    for (int c = c0; c < c1; ++c) {
+      auto& cell = grid[static_cast<std::size_t>(b.lane)][static_cast<std::size_t>(c)];
+      cell = (cell == '.') ? b.glyph : (cell == b.glyph ? b.glyph : '#');
+    }
+  }
+
+  std::size_t margin = 0;
+  for (const auto& n : lane_names_) margin = std::max(margin, n.size());
+  for (std::size_t l = 0; l < lanes; ++l) {
+    os << lane_names_[l] << std::string(margin - lane_names_[l].size(), ' ')
+       << " |" << grid[l] << "|\n";
+  }
+  std::ostringstream tick;
+  tick.precision(4);
+  tick << tmax;
+  os << std::string(margin + 2, ' ') << "0" << std::string(
+        static_cast<std::size_t>(std::max(1, width_ - 1 -
+            static_cast<int>(tick.str().size()))), ' ')
+     << tick.str() << " us\n";
+  return os.str();
+}
+
+}  // namespace logsim::util

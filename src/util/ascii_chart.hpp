@@ -1,0 +1,68 @@
+#pragma once
+// Terminal renderers for the paper's figures:
+//  - LineChart: multi-series scatter/line chart (Figs 6-9);
+//  - GanttChart: per-processor send/receive timeline (Figs 4-5).
+
+#include <string>
+#include <vector>
+
+namespace logsim::util {
+
+/// Multi-series x/y chart rendered with one glyph per series.
+class LineChart {
+ public:
+  LineChart(int width, int height);
+
+  /// Adds a named series; glyph is the plot character.
+  void add_series(std::string name, char glyph,
+                  std::vector<double> xs, std::vector<double> ys);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_axis_labels(std::string x, std::string y);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char glyph;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+  int width_;
+  int height_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+/// Horizontal Gantt chart: one row per lane (processor), boxes labelled by
+/// kind.  Used to reproduce the send/receive sequence figures.
+class GanttChart {
+ public:
+  /// width = number of character columns representing [0, t_max].
+  explicit GanttChart(int width);
+
+  /// Adds an interval [t0, t1) on `lane` drawn with `glyph`.
+  void add_box(int lane, double t0, double t1, char glyph);
+
+  void set_lane_name(int lane, std::string name);
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Box {
+    int lane;
+    double t0;
+    double t1;
+    char glyph;
+  };
+  int width_;
+  std::string title_;
+  std::vector<Box> boxes_;
+  std::vector<std::string> lane_names_;
+};
+
+}  // namespace logsim::util

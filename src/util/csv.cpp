@@ -1,0 +1,46 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace logsim::util {
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  assert(cells.size() == arity_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) {
+    os.str("");
+    os << v;
+    row.push_back(os.str());
+  }
+  add_row(row);
+}
+
+}  // namespace logsim::util

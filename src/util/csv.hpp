@@ -1,0 +1,27 @@
+#pragma once
+// Minimal CSV writer so bench output can be post-processed (plotting,
+// regression tracking) without re-parsing ASCII tables.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace logsim::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row_numeric(const std::vector<double>& cells, int precision = 6);
+
+ private:
+  static std::string escape(const std::string& s);
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace logsim::util

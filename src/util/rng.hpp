@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in logsim (simulator tie breaks, worst-case
+// deadlock release, testbed latency jitter, random pattern generation)
+// flows from an explicitly seeded Rng so that all experiments are exactly
+// reproducible.  We implement xoshiro256** 1.0 (Blackman & Vigna), a small,
+// fast, well-tested generator, rather than depending on the unspecified
+// std::default_random_engine.
+
+#include <array>
+#include <cstdint>
+
+namespace logsim::util {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next();
+
+  /// UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased multiply-shift.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace logsim::util

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace logsim::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> xs, double p) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  Accumulator ax, ay;
+  for (std::size_t i = 0; i < n; ++i) {
+    ax.add(xs[i]);
+    ay.add(ys[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (xs[i] - ax.mean()) * (ys[i] - ay.mean());
+  }
+  cov /= static_cast<double>(n - 1);
+  const double denom = ax.stddev() * ay.stddev();
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank for the tie group [i, j]; ranks are 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  const auto rx = ranks(xs.subspan(0, n));
+  const auto ry = ranks(ys.subspan(0, n));
+  return pearson(rx, ry);
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  if (xs.empty()) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(
+      std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+}  // namespace logsim::util

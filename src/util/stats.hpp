@@ -1,0 +1,49 @@
+#pragma once
+// Small statistics helpers used by benches, the testbed and tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace logsim::util {
+
+/// Streaming accumulator: count/mean/variance (Welford), min/max, sum.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact p-quantile (linear interpolation) of a sample; copies + sorts.
+[[nodiscard]] double quantile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient of two equal-length series.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (ties get average ranks).  Used in tests to
+/// assert that a predicted curve tracks the measured curve's *shape*.
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Index of the minimum element (first on ties); SIZE_MAX on empty input.
+[[nodiscard]] std::size_t argmin(std::span<const double> xs);
+
+/// Average ranks of a series (1-based, ties averaged).
+[[nodiscard]] std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace logsim::util

@@ -1,0 +1,36 @@
+#pragma once
+// Aligned ASCII table printer.  Benches use this to print the rows the
+// paper's figures plot, in a form that is diffable and easy to eyeball.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace logsim::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule; columns right-aligned except the first.
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace logsim::util

@@ -1,0 +1,141 @@
+#include "machine/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logsim::machine {
+namespace {
+
+CacheConfig small_cache() {
+  return CacheConfig{.capacity_bytes = 1000,
+                     .miss_fixed = Time{3.0},
+                     .miss_per_byte = 0.01};
+}
+
+TEST(CacheModel, FirstAccessMissesSecondHits) {
+  CacheModel c{small_cache()};
+  const Time stall = c.access(1, Bytes{100});
+  EXPECT_DOUBLE_EQ(stall.us(), 3.0 + 1.0);
+  EXPECT_DOUBLE_EQ(c.access(1, Bytes{100}).us(), 0.0);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheModel, TracksResidency) {
+  CacheModel c{small_cache()};
+  c.access(1, Bytes{300});
+  c.access(2, Bytes{300});
+  EXPECT_EQ(c.resident_blocks(), 2u);
+  EXPECT_EQ(c.resident_bytes(), 600u);
+}
+
+TEST(CacheModel, EvictsLeastRecentlyUsed) {
+  CacheModel c{small_cache()};  // capacity 1000
+  c.access(1, Bytes{400});
+  c.access(2, Bytes{400});
+  c.access(1, Bytes{400});      // touch 1: now 2 is LRU
+  c.access(3, Bytes{400});      // must evict 2
+  EXPECT_DOUBLE_EQ(c.access(1, Bytes{400}).us(), 0.0);  // still resident
+  EXPECT_GT(c.access(2, Bytes{400}).us(), 0.0);         // was evicted
+}
+
+TEST(CacheModel, OversizedBlockStreamsThrough) {
+  CacheModel c{small_cache()};
+  c.access(5, Bytes{50});
+  const Time stall = c.access(9, Bytes{5000});  // larger than the cache
+  EXPECT_DOUBLE_EQ(stall.us(), 3.0 + 50.0);
+  // It was not cached and did not evict the resident block.
+  EXPECT_DOUBLE_EQ(c.access(5, Bytes{50}).us(), 0.0);
+  EXPECT_GT(c.access(9, Bytes{5000}).us(), 0.0);
+}
+
+TEST(CacheModel, InvalidateForcesRefetch) {
+  CacheModel c{small_cache()};
+  c.access(1, Bytes{100});
+  c.invalidate(1);
+  EXPECT_EQ(c.resident_blocks(), 0u);
+  EXPECT_GT(c.access(1, Bytes{100}).us(), 0.0);
+}
+
+TEST(CacheModel, InvalidateMissingIsNoOp) {
+  CacheModel c{small_cache()};
+  c.access(1, Bytes{100});
+  c.invalidate(42);
+  EXPECT_EQ(c.resident_blocks(), 1u);
+}
+
+TEST(CacheModel, ClearResetsResidencyButKeepsCounters) {
+  CacheModel c{small_cache()};
+  c.access(1, Bytes{100});
+  c.access(1, Bytes{100});
+  c.clear();
+  EXPECT_EQ(c.resident_blocks(), 0u);
+  EXPECT_EQ(c.resident_bytes(), 0u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheModel, WorkingSetSweepThrashes) {
+  // Sweeping a working set larger than capacity twice misses every time;
+  // a set that fits misses only cold.
+  CacheModel big{CacheConfig{.capacity_bytes = 10000,
+                             .miss_fixed = Time{1.0},
+                             .miss_per_byte = 0.0}};
+  CacheModel small{CacheConfig{.capacity_bytes = 500,
+                               .miss_fixed = Time{1.0},
+                               .miss_per_byte = 0.0}};
+  for (int round = 0; round < 2; ++round) {
+    for (int blk = 0; blk < 10; ++blk) {
+      big.access(blk, Bytes{100});
+      small.access(blk, Bytes{100});
+    }
+  }
+  EXPECT_EQ(big.misses(), 10u);     // cold misses only
+  EXPECT_EQ(big.hits(), 10u);
+  EXPECT_EQ(small.misses(), 20u);   // LRU sweep thrash
+  EXPECT_EQ(small.hits(), 0u);
+}
+
+
+TEST(TwoLevelCache, L1HitIsFree) {
+  machine::TwoLevelCache c{small_cache(), small_cache()};
+  c.access(1, Bytes{100});
+  EXPECT_DOUBLE_EQ(c.access(1, Bytes{100}).us(), 0.0);
+}
+
+TEST(TwoLevelCache, L2HitPaysOnlyL1Refill) {
+  // L1 holds one 400 B block; L2 holds many.
+  CacheConfig l1{.capacity_bytes = 500, .miss_fixed = Time{1.0},
+                 .miss_per_byte = 0.0};
+  CacheConfig l2{.capacity_bytes = 100000, .miss_fixed = Time{10.0},
+                 .miss_per_byte = 0.0};
+  machine::TwoLevelCache c{l1, l2};
+  EXPECT_DOUBLE_EQ(c.access(1, Bytes{400}).us(), 11.0);  // cold both
+  EXPECT_DOUBLE_EQ(c.access(2, Bytes{400}).us(), 11.0);  // evicts 1 from L1
+  EXPECT_DOUBLE_EQ(c.access(1, Bytes{400}).us(), 1.0);   // L2 still has it
+}
+
+TEST(TwoLevelCache, InvalidateClearsBothLevels) {
+  CacheConfig big{.capacity_bytes = 100000, .miss_fixed = Time{5.0},
+                  .miss_per_byte = 0.0};
+  machine::TwoLevelCache c{big, big};
+  c.access(1, Bytes{100});
+  c.invalidate(1);
+  EXPECT_DOUBLE_EQ(c.access(1, Bytes{100}).us(), 10.0);  // cold again
+}
+
+TEST(TwoLevelCache, CountersVisiblePerLevel) {
+  CacheConfig l1{.capacity_bytes = 500, .miss_fixed = Time{1.0},
+                 .miss_per_byte = 0.0};
+  CacheConfig l2{.capacity_bytes = 100000, .miss_fixed = Time{10.0},
+                 .miss_per_byte = 0.0};
+  machine::TwoLevelCache c{l1, l2};
+  c.access(1, Bytes{400});
+  c.access(2, Bytes{400});
+  c.access(1, Bytes{400});
+  EXPECT_EQ(c.l1().misses(), 3u);
+  EXPECT_EQ(c.l2().misses(), 2u);
+  EXPECT_EQ(c.l2().hits(), 1u);
+}
+
+}  // namespace
+}  // namespace logsim::machine

@@ -1,0 +1,157 @@
+#include "collective/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/formulas.hpp"
+#include "core/program_sim.hpp"
+
+namespace logsim::collective {
+namespace {
+
+const loggp::Params kP8 = loggp::presets::meiko_cs2(8);
+
+core::CostTable empty_costs() { return core::CostTable{}; }
+
+Time simulate(const core::StepProgram& program, const loggp::Params& p) {
+  const auto costs = empty_costs();
+  return core::ProgramSimulator{p}.run(program, costs).total;
+}
+
+TEST(Broadcast, EveryoneReceivesFullPayload) {
+  for (auto alg : {BcastAlgorithm::kFlat, BcastAlgorithm::kBinomial,
+                   BcastAlgorithm::kChainPipeline}) {
+    for (int segments : {1, 3, 8}) {
+      const auto program = broadcast(8, Bytes{1024}, alg, segments);
+      const auto recv = received_bytes(program);
+      EXPECT_EQ(recv[0].count(), 0u);  // the root receives nothing
+      for (int p = 1; p < 8; ++p) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(p)].count(), 1024u)
+            << "alg=" << static_cast<int>(alg) << " segments=" << segments
+            << " proc=" << p;
+      }
+    }
+  }
+}
+
+TEST(Broadcast, SegmentsSplitWithRemainderOnLast) {
+  const auto program = broadcast(2, Bytes{10}, BcastAlgorithm::kFlat, 3);
+  // 3+3+4 across three comm steps.
+  ASSERT_EQ(program.comm_step_count(), 3u);
+  EXPECT_EQ(program.network_bytes().count(), 10u);
+}
+
+TEST(Broadcast, FlatMatchesClosedForm) {
+  for (int procs : {2, 4, 8}) {
+    const auto params = loggp::presets::meiko_cs2(procs);
+    const Time t = simulate(broadcast(procs, Bytes{112},
+                                      BcastAlgorithm::kFlat),
+                            params);
+    EXPECT_NEAR(t.us(),
+                baseline::flat_broadcast_time(procs, Bytes{112}, params).us(),
+                1e-9)
+        << "procs=" << procs;
+  }
+}
+
+TEST(Broadcast, BinomialMatchesRoundsFormula) {
+  for (int procs : {2, 4, 8, 16}) {
+    const auto params = loggp::presets::meiko_cs2(procs);
+    const Time t = simulate(broadcast(procs, Bytes{64},
+                                      BcastAlgorithm::kBinomial),
+                            params);
+    EXPECT_NEAR(t.us(),
+                baseline::binomial_rounds_time(procs, Bytes{64}, params).us(),
+                1e-9)
+        << "procs=" << procs;
+  }
+}
+
+TEST(Broadcast, BinomialBeatsFlatForManyProcs) {
+  const auto params = loggp::presets::meiko_cs2(16);
+  const Bytes k{64};
+  EXPECT_LT(simulate(broadcast(16, k, BcastAlgorithm::kBinomial), params).us(),
+            simulate(broadcast(16, k, BcastAlgorithm::kFlat), params).us());
+}
+
+TEST(Broadcast, PipeliningWinsForLargePayloads) {
+  // 64 KiB to 8 processors: a segmented chain streams at bandwidth while
+  // the binomial tree re-serializes the whole payload log2(P) times.
+  const Bytes big{64 * 1024};
+  const Time chain = simulate(
+      broadcast(8, big, BcastAlgorithm::kChainPipeline, /*segments=*/16), kP8);
+  const Time binom = simulate(broadcast(8, big, BcastAlgorithm::kBinomial),
+                              kP8);
+  EXPECT_LT(chain.us(), binom.us());
+}
+
+TEST(Broadcast, SegmentationHurtsTinyPayloads) {
+  // 64 B split 16 ways pays 16 overheads for no bandwidth win.
+  const Bytes tiny{64};
+  const Time seg = simulate(
+      broadcast(8, tiny, BcastAlgorithm::kChainPipeline, 16), kP8);
+  const Time whole = simulate(
+      broadcast(8, tiny, BcastAlgorithm::kChainPipeline, 1), kP8);
+  EXPECT_GT(seg.us(), whole.us());
+}
+
+TEST(Broadcast, SingleProcessorDegenerate) {
+  const auto program = broadcast(1, Bytes{100}, BcastAlgorithm::kBinomial);
+  EXPECT_EQ(program.network_bytes().count(), 0u);
+  EXPECT_DOUBLE_EQ(simulate(program, loggp::presets::meiko_cs2(1)).us(), 0.0);
+}
+
+TEST(Reduce, FoldsEverythingIntoRoot) {
+  const auto plan = reduce_binomial(8, Bytes{256}, /*combine=*/0.01);
+  const auto recv = received_bytes(plan.program);
+  // Binomial tree: the root receives log2(8)=3 partial sums.
+  EXPECT_EQ(recv[0].count(), 3u * 256u);
+  // Total messages = P-1 (every non-root sends exactly once).
+  std::uint64_t total = 0;
+  for (const auto& b : recv) total += b.count();
+  EXPECT_EQ(total, 7u * 256u);
+}
+
+TEST(Reduce, CombineWorkCharged) {
+  const auto plan = reduce_binomial(8, Bytes{1000}, 0.05);
+  const Time with_work =
+      core::ProgramSimulator{kP8}.run(plan.program, plan.costs).total;
+  const auto free_plan = reduce_binomial(8, Bytes{1000}, 0.0);
+  const Time without =
+      core::ProgramSimulator{kP8}.run(free_plan.program, free_plan.costs).total;
+  EXPECT_GT(with_work.us(), without.us());
+}
+
+TEST(Reduce, NonPowerOfTwoProcs) {
+  const auto plan = reduce_binomial(6, Bytes{64}, 0.01);
+  const auto recv = received_bytes(plan.program);
+  std::uint64_t total = 0;
+  for (const auto& b : recv) total += b.count();
+  EXPECT_EQ(total, 5u * 64u);  // everyone but the root contributes once
+  EXPECT_GT(core::ProgramSimulator{loggp::presets::meiko_cs2(6)}
+                .run(plan.program, plan.costs)
+                .total.us(),
+            0.0);
+}
+
+TEST(Allgather, EveryoneGetsEveryChunk) {
+  const int procs = 6;
+  const auto program = allgather_ring(procs, Bytes{128});
+  const auto recv = received_bytes(program);
+  for (int p = 0; p < procs; ++p) {
+    EXPECT_EQ(recv[static_cast<std::size_t>(p)].count(),
+              static_cast<std::uint64_t>(procs - 1) * 128u);
+  }
+  // Every round forwards a distinct origin to each processor.
+  EXPECT_EQ(program.comm_step_count(), static_cast<std::size_t>(procs - 1));
+}
+
+TEST(Allgather, TimeGrowsLinearlyInProcs) {
+  const Bytes k{1024};
+  const Time t4 = simulate(allgather_ring(4, k), loggp::presets::meiko_cs2(4));
+  const Time t8 = simulate(allgather_ring(8, k), loggp::presets::meiko_cs2(8));
+  // (P-1) rounds: doubling P roughly doubles the time (within 40%).
+  EXPECT_NEAR(t8.us() / t4.us(), 7.0 / 3.0, 0.9);
+}
+
+}  // namespace
+}  // namespace logsim::collective

@@ -1,0 +1,272 @@
+#include "core/comm_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bounds.hpp"
+#include "baseline/formulas.hpp"
+#include "pattern/builders.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::core {
+namespace {
+
+const loggp::Params kMeiko = loggp::presets::meiko_cs2(10);
+
+// --- hand-computed cases ------------------------------------------------
+
+TEST(CommSim, SingleMessageMatchesHandComputation) {
+  // 112-byte message 0 -> 1 under L=9, o=2, g=13, G=0.03:
+  // send [0, 2) port busy until 5.33; arrival 14.33; recv [14.33, 16.33).
+  const auto pat = pattern::single_message(2, Bytes{112});
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat);
+  ASSERT_EQ(trace.ops().size(), 2u);
+  EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+
+  const auto sends = trace.ops_of(0);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_DOUBLE_EQ(sends[0].start.us(), 0.0);
+  EXPECT_DOUBLE_EQ(sends[0].cpu_end.us(), 2.0);
+  EXPECT_NEAR(sends[0].port_end.us(), 2.0 + 111 * 0.03, 1e-9);
+
+  const auto recvs = trace.ops_of(1);
+  ASSERT_EQ(recvs.size(), 1u);
+  EXPECT_NEAR(recvs[0].start.us(), 2.0 + 111 * 0.03 + 9.0, 1e-9);
+  EXPECT_NEAR(trace.makespan().us(),
+              baseline::single_message_time(Bytes{112}, kMeiko).us(), 1e-9);
+}
+
+TEST(CommSim, ConsecutiveSendsSpacedByGap) {
+  // Two 1-byte messages 0 -> 1: sends at 0 and 13 (g dominates o);
+  // receives at 11 and 24 (arrival-limited, gap 13 also satisfied).
+  pattern::CommPattern pat{2};
+  pat.add(0, 1, Bytes{1});
+  pat.add(0, 1, Bytes{1});
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat);
+  EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+
+  const auto s = trace.ops_of(0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].start.us(), 0.0);
+  EXPECT_DOUBLE_EQ(s[1].start.us(), 13.0);
+
+  const auto r = trace.ops_of(1);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0].start.us(), 11.0);
+  EXPECT_DOUBLE_EQ(r[1].start.us(), 24.0);
+  EXPECT_DOUBLE_EQ(trace.makespan().us(), 26.0);
+}
+
+TEST(CommSim, LongMessagesStreamLimitedNotGapLimited) {
+  // 1001-byte messages: port busy o + 1000G = 32 > g = 13, so consecutive
+  // sends are spaced 32 apart.
+  pattern::CommPattern pat{2};
+  pat.add(0, 1, Bytes{1001});
+  pat.add(0, 1, Bytes{1001});
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat);
+  const auto s = trace.ops_of(0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[1].start.us() - s[0].start.us(), 32.0);
+}
+
+TEST(CommSim, ReceivePriorityWinsTies) {
+  // P1 becomes ready exactly when P0's message arrives; its own send and
+  // the receive could both start then -- the receive must win.
+  pattern::CommPattern pat{2};
+  pat.add(0, 1, Bytes{1});  // arrives at 11
+  pat.add(1, 0, Bytes{1});
+  const std::vector<Time> ready{Time{0.0}, Time{11.0}};
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat, ready);
+  EXPECT_EQ(validate_trace(trace, pat, ready), std::nullopt);
+
+  const auto ops1 = trace.ops_of(1);
+  ASSERT_EQ(ops1.size(), 2u);
+  EXPECT_EQ(ops1[0].kind, loggp::OpKind::kRecv);
+  EXPECT_DOUBLE_EQ(ops1[0].start.us(), 11.0);
+  EXPECT_EQ(ops1[1].kind, loggp::OpKind::kSend);
+  // recv -> send separation max(o, g) = 13.
+  EXPECT_DOUBLE_EQ(ops1[1].start.us(), 24.0);
+}
+
+TEST(CommSim, SendProceedsWhenMessageStillInFlight) {
+  // P1's receive could only start at arrival time 11; its own send is
+  // ready at 0 and must not wait.
+  pattern::CommPattern pat{2};
+  pat.add(0, 1, Bytes{1});
+  pat.add(1, 0, Bytes{1});
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat);
+  const auto ops1 = trace.ops_of(1);
+  ASSERT_EQ(ops1.size(), 2u);
+  EXPECT_EQ(ops1[0].kind, loggp::OpKind::kSend);
+  EXPECT_DOUBLE_EQ(ops1[0].start.us(), 0.0);
+}
+
+TEST(CommSim, RingMatchesClosedForm) {
+  for (int procs : {2, 3, 5, 8}) {
+    for (std::uint64_t bytes : {1ULL, 112ULL, 1000ULL}) {
+      const auto pat = pattern::ring(procs, Bytes{bytes});
+      const auto params = loggp::presets::meiko_cs2(procs);
+      const CommTrace trace = CommSimulator{params}.run(pat);
+      EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+      const Time expect = baseline::ring_time(Bytes{bytes}, params);
+      for (int p = 0; p < procs; ++p) {
+        EXPECT_NEAR(trace.finish_of(p).us(), expect.us(), 1e-9)
+            << "procs=" << procs << " bytes=" << bytes << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(CommSim, FlatBroadcastMatchesClosedForm) {
+  for (int procs : {2, 4, 8, 10}) {
+    const Bytes k{112};
+    const auto pat = pattern::flat_broadcast(procs, k);
+    const auto params = loggp::presets::meiko_cs2(procs);
+    const CommTrace trace = CommSimulator{params}.run(pat);
+    EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+    EXPECT_NEAR(trace.makespan().us(),
+                baseline::flat_broadcast_time(procs, k, params).us(), 1e-9)
+        << "procs=" << procs;
+  }
+}
+
+TEST(CommSim, SelfMessagesAreSkipped) {
+  pattern::CommPattern pat{2};
+  pat.add(0, 0, Bytes{1000});
+  pat.add(1, 1, Bytes{1000});
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat);
+  EXPECT_TRUE(trace.ops().empty());
+  EXPECT_DOUBLE_EQ(trace.makespan().us(), 0.0);
+}
+
+TEST(CommSim, ReadyTimesDelayEverything) {
+  const auto pat = pattern::single_message(2, Bytes{1});
+  const std::vector<Time> ready{Time{100.0}, Time{0.0}};
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat, ready);
+  EXPECT_EQ(validate_trace(trace, pat, ready), std::nullopt);
+  EXPECT_DOUBLE_EQ(trace.ops_of(0)[0].start.us(), 100.0);
+  EXPECT_DOUBLE_EQ(trace.ops_of(1)[0].start.us(), 111.0);
+}
+
+TEST(CommSim, PaperFig3StandardProperties) {
+  const auto pat = pattern::paper_fig3();
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat);
+  EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+  EXPECT_EQ(trace.send_count(), 12u);
+  EXPECT_EQ(trace.recv_count(), 12u);
+  // The step completes in the several-tens-of-microseconds range the
+  // paper's Figure 4 shows, and a leaf processor finishes last.
+  EXPECT_GT(trace.makespan().us(), 30.0);
+  EXPECT_LT(trace.makespan().us(), 150.0);
+  Time best = Time::zero();
+  ProcId last = kNoProc;
+  for (int p = 0; p < pat.procs(); ++p) {
+    if (trace.finish_of(p) > best) {
+      best = trace.finish_of(p);
+      last = p;
+    }
+  }
+  EXPECT_GE(last, 3);  // never one of the three source processors P1..P3
+}
+
+TEST(CommSim, DeterministicForFixedSeed) {
+  util::Rng rng{99};
+  const auto pat = pattern::random_pattern(rng, 8, 30, Bytes{1}, Bytes{400});
+  CommSimOptions opts;
+  opts.seed = 5;
+  const CommTrace a = CommSimulator{loggp::presets::meiko_cs2(8), opts}.run(pat);
+  const CommTrace b = CommSimulator{loggp::presets::meiko_cs2(8), opts}.run(pat);
+  ASSERT_EQ(a.ops().size(), b.ops().size());
+  for (std::size_t i = 0; i < a.ops().size(); ++i) {
+    EXPECT_EQ(a.ops()[i].proc, b.ops()[i].proc);
+    EXPECT_EQ(a.ops()[i].msg_index, b.ops()[i].msg_index);
+    EXPECT_DOUBLE_EQ(a.ops()[i].start.us(), b.ops()[i].start.us());
+  }
+}
+
+TEST(CommSim, ExtraLatencyDelaysArrivals) {
+  const auto pat = pattern::single_message(2, Bytes{1});
+  CommSimOptions opts;
+  opts.extra_latency = [](std::size_t) { return Time{50.0}; };
+  const CommTrace trace = CommSimulator{kMeiko, opts}.run(pat);
+  EXPECT_DOUBLE_EQ(trace.ops_of(1)[0].start.us(), 61.0);
+  // The plain-LogGP validator still accepts late arrivals.
+  EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+}
+
+TEST(CommSim, PerMessageReadinessDelaysIndividualSends) {
+  // Two messages from P0; the first becomes available only at t=50, the
+  // second at t=0.  FIFO program order holds, so the second waits behind
+  // the first, and the first waits for its production time.
+  pattern::CommPattern pat{2};
+  pat.add(0, 1, Bytes{1});
+  pat.add(0, 1, Bytes{1});
+  const std::vector<Time> ready{Time{0.0}, Time{0.0}};
+  const std::vector<Time> msg_ready{Time{50.0}, Time{0.0}};
+  const CommTrace trace = CommSimulator{kMeiko}.run(pat, ready, msg_ready);
+  EXPECT_EQ(validate_trace(trace, pat, ready), std::nullopt);
+  const auto s = trace.ops_of(0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].start.us(), 50.0);
+  EXPECT_DOUBLE_EQ(s[1].start.us(), 63.0);  // gap after the delayed first
+}
+
+TEST(CommSim, EmptyMsgReadyEquivalentToPlainRun) {
+  const auto pat = pattern::paper_fig3();
+  const std::vector<Time> ready(10, Time::zero());
+  const CommTrace a = CommSimulator{kMeiko}.run(pat, ready);
+  const CommTrace b = CommSimulator{kMeiko}.run(
+      pat, ready, std::vector<Time>(pat.size(), Time::zero()));
+  EXPECT_DOUBLE_EQ(a.makespan().us(), b.makespan().us());
+}
+
+// --- property suite over random patterns --------------------------------
+
+class CommSimPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommSimPropertyTest, TraceSatisfiesAllLogGpConstraints) {
+  util::Rng rng{GetParam()};
+  const int procs = static_cast<int>(2 + rng.below(9));
+  const auto edges = 1 + rng.below(60);
+  const auto pat =
+      pattern::random_pattern(rng, procs, edges, Bytes{1}, Bytes{2000});
+  const auto params = loggp::presets::meiko_cs2(procs);
+  CommSimOptions opts;
+  opts.seed = GetParam() * 31;
+  const CommTrace trace = CommSimulator{params, opts}.run(pat);
+  const auto verdict = validate_trace(trace, pat);
+  EXPECT_EQ(verdict, std::nullopt) << *verdict;
+}
+
+TEST_P(CommSimPropertyTest, MakespanWithinAnalyticBounds) {
+  util::Rng rng{GetParam() ^ 0xabcdef};
+  const int procs = static_cast<int>(2 + rng.below(7));
+  const auto pat =
+      pattern::random_pattern(rng, procs, 1 + rng.below(40), Bytes{1},
+                              Bytes{800});
+  const auto params = loggp::presets::meiko_cs2(procs);
+  const CommTrace trace = CommSimulator{params}.run(pat);
+  EXPECT_GE(trace.makespan().us() + 1e-9,
+            baseline::comm_lower_bound(pat, params).us());
+  EXPECT_LE(trace.makespan().us(),
+            baseline::comm_upper_bound(pat, params).us() + 1e-9);
+}
+
+TEST_P(CommSimPropertyTest, ValidUnderOGreaterThanG) {
+  // The Figure-1 refinement matters when o > g; the invariants must hold
+  // in that regime too.
+  util::Rng rng{GetParam() ^ 0x5555};
+  loggp::Params params = loggp::presets::meiko_cs2(6);
+  params.o = Time{10.0};
+  params.g = Time{4.0};
+  const auto pat =
+      pattern::random_pattern(rng, 6, 25, Bytes{1}, Bytes{300});
+  const CommTrace trace = CommSimulator{params}.run(pat);
+  const auto verdict = validate_trace(trace, pat);
+  EXPECT_EQ(verdict, std::nullopt) << *verdict;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommSimPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace logsim::core

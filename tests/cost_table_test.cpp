@@ -1,0 +1,82 @@
+#include "core/cost_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logsim::core {
+namespace {
+
+TEST(CostTable, RegisterAssignsDenseIds) {
+  CostTable t;
+  EXPECT_EQ(t.register_op("a"), 0);
+  EXPECT_EQ(t.register_op("b"), 1);
+  EXPECT_EQ(t.op_count(), 2);
+  EXPECT_EQ(t.name(0), "a");
+  EXPECT_EQ(t.name(1), "b");
+}
+
+TEST(CostTable, FindByName) {
+  CostTable t;
+  t.register_op("alpha");
+  t.register_op("beta");
+  EXPECT_EQ(t.find("beta"), 1);
+  EXPECT_EQ(t.find("missing"), -1);
+}
+
+TEST(CostTable, ExactLookup) {
+  CostTable t;
+  const OpId op = t.register_op("op");
+  t.set_cost(op, 10, Time{100.0});
+  t.set_cost(op, 20, Time{400.0});
+  EXPECT_DOUBLE_EQ(t.cost(op, 10).us(), 100.0);
+  EXPECT_DOUBLE_EQ(t.cost(op, 20).us(), 400.0);
+}
+
+TEST(CostTable, LinearInterpolationBetweenPoints) {
+  CostTable t;
+  const OpId op = t.register_op("op");
+  t.set_cost(op, 10, Time{100.0});
+  t.set_cost(op, 20, Time{400.0});
+  EXPECT_DOUBLE_EQ(t.cost(op, 15).us(), 250.0);
+  EXPECT_DOUBLE_EQ(t.cost(op, 12).us(), 160.0);
+}
+
+TEST(CostTable, ClampsOutsideCalibrationRange) {
+  CostTable t;
+  const OpId op = t.register_op("op");
+  t.set_cost(op, 10, Time{100.0});
+  t.set_cost(op, 20, Time{400.0});
+  EXPECT_DOUBLE_EQ(t.cost(op, 5).us(), 100.0);
+  EXPECT_DOUBLE_EQ(t.cost(op, 100).us(), 400.0);
+}
+
+TEST(CostTable, OverwriteCalibrationPoint) {
+  CostTable t;
+  const OpId op = t.register_op("op");
+  t.set_cost(op, 10, Time{100.0});
+  t.set_cost(op, 10, Time{150.0});
+  EXPECT_DOUBLE_EQ(t.cost(op, 10).us(), 150.0);
+  EXPECT_EQ(t.block_sizes(op).size(), 1u);
+}
+
+TEST(CostTable, UnsortedInsertionOrderStillSorted) {
+  CostTable t;
+  const OpId op = t.register_op("op");
+  t.set_cost(op, 30, Time{3.0});
+  t.set_cost(op, 10, Time{1.0});
+  t.set_cost(op, 20, Time{2.0});
+  EXPECT_EQ(t.block_sizes(op), (std::vector<int>{10, 20, 30}));
+  EXPECT_DOUBLE_EQ(t.cost(op, 25).us(), 2.5);
+}
+
+TEST(CostTable, IndependentOps) {
+  CostTable t;
+  const OpId a = t.register_op("a");
+  const OpId b = t.register_op("b");
+  t.set_cost(a, 10, Time{1.0});
+  t.set_cost(b, 10, Time{2.0});
+  EXPECT_DOUBLE_EQ(t.cost(a, 10).us(), 1.0);
+  EXPECT_DOUBLE_EQ(t.cost(b, 10).us(), 2.0);
+}
+
+}  // namespace
+}  // namespace logsim::core

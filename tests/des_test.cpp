@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/simulator.hpp"
+
+namespace logsim::des {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(Time{3.0}, 3);
+  q.push(Time{1.0}, 1);
+  q.push(Time{2.0}, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesPreserveInsertionOrder) {
+  EventQueue<int> q;
+  for (int i = 0; i < 50; ++i) q.push(Time{1.0}, i);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(q.pop().payload, i) << "FIFO broken at " << i;
+  }
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(Time{5.0}, 5);
+  q.push(Time{1.0}, 1);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(Time{3.0}, 3);
+  q.push(Time{0.5}, 0);  // earlier than everything left
+  EXPECT_EQ(q.pop().payload, 0);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_EQ(q.pop().payload, 5);
+}
+
+TEST(EventQueue, SizeAndClear) {
+  EventQueue<int> q;
+  q.push(Time{1.0}, 1);
+  q.push(Time{2.0}, 2);
+  EXPECT_EQ(q.size(), 2u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TopDoesNotPop) {
+  EventQueue<std::string> q;
+  q.push(Time{1.0}, "x");
+  EXPECT_EQ(q.top().payload, "x");
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, LargeHeapStaysSorted) {
+  EventQueue<int> q;
+  // Deterministic scramble of 0..999 by multiplicative hashing.
+  for (int i = 0; i < 1000; ++i) {
+    q.push(Time{static_cast<double>((i * 731) % 997)}, i);
+  }
+  Time prev = Time::zero();
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(Simulator, DispatchesInOrderAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time{2.0}, [&](Simulator& s) {
+    order.push_back(2);
+    EXPECT_DOUBLE_EQ(s.now().us(), 2.0);
+  });
+  sim.schedule_at(Time{1.0}, [&](Simulator&) { order.push_back(1); });
+  const Time end = sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(end.us(), 2.0);
+  EXPECT_EQ(sim.dispatched(), 2u);
+}
+
+TEST(Simulator, HandlersCanScheduleMore) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time{1.0}, [&](Simulator& s) {
+    ++fired;
+    s.schedule_after(Time{1.0}, [&](Simulator&) { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now().us(), 2.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time{1.0}, [&](Simulator&) { ++fired; });
+  sim.schedule_at(Time{10.0}, [&](Simulator&) { ++fired; });
+  sim.run_until(Time{5.0});
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ResetDropsPendingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time{1.0}, [&](Simulator&) { ++fired; });
+  sim.reset();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now().us(), 0.0);
+}
+
+TEST(Simulator, SelfPerpetuatingChainTerminatesAtDeadline) {
+  Simulator sim;
+  std::function<void(Simulator&)> tick = [&](Simulator& s) {
+    s.schedule_after(Time{1.0}, tick);
+  };
+  sim.schedule_at(Time{0.0}, tick);
+  sim.run_until(Time{100.0});
+  EXPECT_EQ(sim.dispatched(), 101u);  // t = 0..100 inclusive
+}
+
+}  // namespace
+}  // namespace logsim::des

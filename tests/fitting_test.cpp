@@ -1,0 +1,112 @@
+#include "fitting/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/comm_sim.hpp"
+#include "core/worst_case.hpp"
+#include "machine/testbed.hpp"
+
+namespace logsim::fitting {
+namespace {
+
+void expect_params_near(const loggp::Params& got, const loggp::Params& want,
+                        double tol_us) {
+  EXPECT_NEAR(got.L.us(), want.L.us(), tol_us);
+  EXPECT_NEAR(got.o.us(), want.o.us(), tol_us);
+  EXPECT_NEAR(got.g.us(), want.g.us(), tol_us);
+  EXPECT_NEAR(got.G, want.G, 1e-6);
+}
+
+TEST(Fit, RoundTripsMeikoParameters) {
+  const auto truth = loggp::presets::meiko_cs2(3);
+  const FitResult fit = fit_params(simulator_oracle(truth));
+  EXPECT_TRUE(fit.g_dominates_o);
+  expect_params_near(fit.params, truth, 1e-9);
+}
+
+TEST(Fit, RoundTripsClusterParameters) {
+  const auto truth = loggp::presets::cluster(3);
+  const FitResult fit = fit_params(simulator_oracle(truth));
+  expect_params_near(fit.params, truth, 1e-9);
+}
+
+class FitSweepTest : public ::testing::TestWithParam<std::tuple<double, double,
+                                                                double, double>> {
+};
+
+TEST_P(FitSweepTest, RoundTripsArbitraryMachines) {
+  const auto [l, o, g, G] = GetParam();
+  loggp::Params truth;
+  truth.L = Time{l};
+  truth.o = Time{o};
+  truth.g = Time{g};
+  truth.G = G;
+  truth.P = 3;
+  ASSERT_TRUE(truth.valid());
+  const FitResult fit = fit_params(simulator_oracle(truth));
+  expect_params_near(fit.params, truth, 1e-9);
+}
+
+// Machines across three orders of magnitude, all in the g >= o regime the
+// fit's closed form assumes.
+INSTANTIATE_TEST_SUITE_P(
+    Machines, FitSweepTest,
+    ::testing::Values(std::tuple{9.0, 2.0, 13.0, 0.03},
+                      std::tuple{50.0, 10.0, 25.0, 0.1},
+                      std::tuple{1.0, 0.5, 0.5, 0.001},
+                      std::tuple{500.0, 20.0, 100.0, 1.0},
+                      std::tuple{0.1, 0.05, 0.2, 0.0001}));
+
+TEST(Fit, FlagsOGreaterThanGRegime) {
+  loggp::Params truth;
+  truth.o = Time{20.0};
+  truth.g = Time{5.0};
+  truth.P = 3;
+  const FitResult fit = fit_params(simulator_oracle(truth));
+  // The train slope measures max(g, o) = o, so g is mis-identified -- the
+  // regime flag must report that the assumption failed.
+  EXPECT_FALSE(fit.g_dominates_o && fit.params.g.us() == 5.0);
+}
+
+TEST(Fit, LongerProbesSameAnswer) {
+  const auto truth = loggp::presets::meiko_cs2(4);
+  FitOptions opts;
+  opts.long_message = Bytes{100001};
+  opts.train_length = 33;
+  opts.procs = 4;
+  const FitResult fit = fit_params(simulator_oracle(truth), opts);
+  expect_params_near(fit.params, truth, 1e-9);
+}
+
+TEST(Fit, ApproximateUnderTestbedJitter) {
+  // Measuring on the jittery Testbed network: the recovered parameters
+  // drift upward (jitter only delays) but stay in the right ballpark.
+  const auto cfg = machine::TestbedConfig::meiko_cs2(3);
+  util::Rng seed_rng{99};
+  const Oracle oracle = [&](const pattern::CommPattern& pat, bool worst) {
+    core::CommSimOptions o;
+    o.seed = 1;
+    auto jr = std::make_shared<util::Rng>(7);
+    const double sd = cfg.latency_jitter_sd;
+    const Time latency = cfg.net.L;
+    o.extra_latency = [jr, sd, latency](std::size_t) {
+      return Time{std::abs(jr->normal(0.0, sd)) * latency.us()};
+    };
+    if (worst) {
+      // Worst-case path without jitter hook: acceptable for the o-probe.
+      return core::WorstCaseSimulator{cfg.net}.run(pat).makespan();
+    }
+    return core::CommSimulator{cfg.net, o}.run(pat).makespan();
+  };
+  const FitResult fit = fit_params(oracle);
+  EXPECT_NEAR(fit.params.G, cfg.net.G, 0.01);
+  EXPECT_GT(fit.params.L.us(), 0.0);
+  EXPECT_LT(fit.params.L.us(), 4.0 * cfg.net.L.us());
+  EXPECT_NEAR(fit.params.g.us(), cfg.net.g.us(), cfg.net.g.us());
+}
+
+}  // namespace
+}  // namespace logsim::fitting

@@ -1,0 +1,165 @@
+#include "frontend/program_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "core/predictor.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "ops/analytic_model.hpp"
+#include "ops/ge_ops.hpp"
+
+namespace logsim::frontend {
+namespace {
+
+TEST(ProgramBuilder, EmptyBuildYieldsEmptyProgram) {
+  ProgramBuilder b{4};
+  const auto prog = b.build();
+  EXPECT_EQ(prog.size(), 0u);
+  EXPECT_EQ(prog.procs(), 4);
+}
+
+TEST(ProgramBuilder, ComputeThenCommGrouping) {
+  ProgramBuilder b{2};
+  b.on(0).compute(0, 8, {1}).store(1, Bytes{64}, 1);
+  b.on(1).compute(0, 8, {2});
+  b.step();
+  b.on(1).compute(0, 8, {3});
+  const auto prog = b.build();
+  ASSERT_EQ(prog.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<core::ComputeStep>(prog.step(0)));
+  EXPECT_TRUE(std::holds_alternative<core::CommStep>(prog.step(1)));
+  EXPECT_TRUE(std::holds_alternative<core::ComputeStep>(prog.step(2)));
+  EXPECT_EQ(std::get<core::ComputeStep>(prog.step(0)).items.size(), 2u);
+  EXPECT_EQ(std::get<core::CommStep>(prog.step(1)).pattern.size(), 1u);
+}
+
+TEST(ProgramBuilder, EmptyStepsElided) {
+  ProgramBuilder b{2};
+  b.step();
+  b.step();
+  b.on(0).compute(0, 8);
+  const auto prog = b.build();
+  EXPECT_EQ(prog.size(), 1u);
+}
+
+TEST(ProgramBuilder, ChainedCallsAccumulate) {
+  ProgramBuilder b{2};
+  b.on(0)
+      .compute(0, 4, {1})
+      .compute(0, 4, {2})
+      .store(1, Bytes{10}, 1)
+      .store(1, Bytes{20}, 2);
+  const auto prog = b.build();
+  EXPECT_EQ(prog.work_item_count(), 2u);
+  EXPECT_EQ(prog.message_count(), 2u);
+  EXPECT_EQ(prog.network_bytes().count(), 30u);
+}
+
+TEST(ProgramBuilder, SpmdVisitsEveryProcessor) {
+  ProgramBuilder b{5};
+  b.spmd([](ProgramBuilder::Proc& p, ProcId id) {
+    p.compute(0, 8, {id});
+  });
+  const auto prog = b.build();
+  EXPECT_EQ(prog.work_item_count(), 5u);
+}
+
+TEST(ProgramBuilder, BuilderReusableAfterBuild) {
+  ProgramBuilder b{2};
+  b.on(0).compute(0, 8);
+  const auto first = b.build();
+  b.on(1).compute(0, 8);
+  const auto second = b.build();
+  EXPECT_EQ(first.work_item_count(), 1u);
+  EXPECT_EQ(second.work_item_count(), 1u);
+}
+
+// The acid test: write blocked GE the way the application programmer
+// would -- per processor, following the control flow -- and check the
+// recorded program predicts identically to the generator-built one.
+TEST(ProgramBuilder, HandWrittenGeMatchesGenerator) {
+  const int nb = 5;
+  const int block = 16;
+  const int procs = 4;
+  const layout::DiagonalMap map{procs};
+  auto owner = [&](int i, int j) { return map.owner(i, j, nb); };
+  const Bytes bb{static_cast<std::uint64_t>(block) * block * 8};
+
+  ProgramBuilder b{procs};
+  for (int k = 0; k < nb; ++k) {
+    b.on(owner(k, k)).compute(ops::kOp1, block, {ge::block_uid(k, k, nb)});
+    if (k < nb - 1) {
+      // Multicast the factored diagonal block to the panel owners.
+      std::vector<bool> sent(static_cast<std::size_t>(procs), false);
+      auto mcast = [&](ProcId dst) {
+        if (!sent[static_cast<std::size_t>(dst)]) {
+          sent[static_cast<std::size_t>(dst)] = true;
+          b.on(owner(k, k)).store(dst, bb, ge::block_uid(k, k, nb));
+        }
+      };
+      for (int j = k + 1; j < nb; ++j) mcast(owner(k, j));
+      for (int i = k + 1; i < nb; ++i) mcast(owner(i, k));
+    }
+    b.step();
+    if (k == nb - 1) break;
+
+    for (int j = k + 1; j < nb; ++j) {
+      b.on(owner(k, j)).compute(ops::kOp2, block,
+                                {ge::block_uid(k, j, nb),
+                                 ge::block_uid(k, k, nb)});
+    }
+    for (int i = k + 1; i < nb; ++i) {
+      b.on(owner(i, k)).compute(ops::kOp3, block,
+                                {ge::block_uid(i, k, nb),
+                                 ge::block_uid(k, k, nb)});
+    }
+    for (int j = k + 1; j < nb; ++j) {
+      std::vector<bool> sent(static_cast<std::size_t>(procs), false);
+      for (int i = k + 1; i < nb; ++i) {
+        if (!sent[static_cast<std::size_t>(owner(i, j))]) {
+          sent[static_cast<std::size_t>(owner(i, j))] = true;
+          b.on(owner(k, j)).store(owner(i, j), bb, ge::block_uid(k, j, nb));
+        }
+      }
+    }
+    for (int i = k + 1; i < nb; ++i) {
+      std::vector<bool> sent(static_cast<std::size_t>(procs), false);
+      for (int j = k + 1; j < nb; ++j) {
+        if (!sent[static_cast<std::size_t>(owner(i, j))]) {
+          sent[static_cast<std::size_t>(owner(i, j))] = true;
+          b.on(owner(i, k)).store(owner(i, j), bb, ge::block_uid(i, k, nb));
+        }
+      }
+    }
+    b.step();
+
+    for (int i = k + 1; i < nb; ++i) {
+      for (int j = k + 1; j < nb; ++j) {
+        b.on(owner(i, j)).compute(ops::kOp4, block,
+                                  {ge::block_uid(i, j, nb),
+                                   ge::block_uid(i, k, nb),
+                                   ge::block_uid(k, j, nb)});
+      }
+    }
+    b.step();
+  }
+  const auto hand = b.build();
+  const auto generated =
+      ge::build_ge_program(ge::GeConfig{.n = nb * block, .block = block}, map);
+
+  EXPECT_EQ(hand.size(), generated.size());
+  EXPECT_EQ(hand.work_item_count(), generated.work_item_count());
+  EXPECT_EQ(hand.message_count(), generated.message_count());
+
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor pred{loggp::presets::meiko_cs2(procs)};
+  EXPECT_DOUBLE_EQ(pred.predict_standard(hand, costs).total.us(),
+                   pred.predict_standard(generated, costs).total.us());
+  EXPECT_DOUBLE_EQ(pred.predict_worst_case(hand, costs).total.us(),
+                   pred.predict_worst_case(generated, costs).total.us());
+}
+
+}  // namespace
+}  // namespace logsim::frontend

@@ -1,0 +1,114 @@
+#include "ge/irregular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "core/predictor.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "ops/analytic_model.hpp"
+#include "ops/ge_ops.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::ge {
+namespace {
+
+TEST(IrregularConfig, GridAndExtents) {
+  const IrregularGeConfig cfg{.n = 100, .block = 30};
+  EXPECT_TRUE(cfg.valid());
+  EXPECT_EQ(cfg.grid(), 4);
+  EXPECT_EQ(cfg.extent(0), 30);
+  EXPECT_EQ(cfg.extent(2), 30);
+  EXPECT_EQ(cfg.extent(3), 10);  // the remainder block
+}
+
+TEST(IrregularConfig, DivisibleHasUniformExtents) {
+  const IrregularGeConfig cfg{.n = 90, .block = 30};
+  EXPECT_EQ(cfg.grid(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(cfg.extent(i), 30);
+}
+
+TEST(IrregularConfig, BlockLargerThanMatrixInvalid) {
+  EXPECT_FALSE((IrregularGeConfig{.n = 10, .block = 30}.valid()));
+}
+
+TEST(EffectiveSize, CubeRootOfVolume) {
+  EXPECT_EQ(effective_size(30, 30, 30), 30);
+  EXPECT_EQ(effective_size(8, 8, 1), 4);   // cbrt(64)
+  EXPECT_EQ(effective_size(1, 1, 1), 1);
+  // Rounds to nearest: cbrt(30*30*10) = cbrt(9000) ~= 20.8 -> 21.
+  EXPECT_EQ(effective_size(30, 30, 10), 21);
+}
+
+TEST(IrregularProgram, MatchesRegularWhenDivisible) {
+  const layout::DiagonalMap map{4};
+  GeScheduleInfo regular_info, irregular_info;
+  const auto regular = build_ge_program(
+      GeConfig{.n = 96, .block = 16}, map, regular_info);
+  const auto irregular = build_ge_program_irregular(
+      IrregularGeConfig{.n = 96, .block = 16}, map, irregular_info);
+  EXPECT_EQ(regular.size(), irregular.size());
+  for (int op = 0; op < 4; ++op) {
+    EXPECT_EQ(regular_info.op_counts[op], irregular_info.op_counts[op]);
+  }
+  EXPECT_EQ(regular_info.network_messages, irregular_info.network_messages);
+  // Identical predictions on identical programs.
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor pred{loggp::presets::meiko_cs2(4)};
+  EXPECT_DOUBLE_EQ(pred.predict_standard(regular, costs).total.us(),
+                   pred.predict_standard(irregular, costs).total.us());
+}
+
+TEST(IrregularProgram, EdgeBlocksShrinkMessages) {
+  const layout::DiagonalMap map{4};
+  const IrregularGeConfig cfg{.n = 100, .block = 30};
+  const auto program = build_ge_program_irregular(cfg, map);
+  // At least one message must carry a 30x10 (=2400 B) rectangular block.
+  bool found_rect = false;
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    if (const auto* c = std::get_if<core::CommStep>(&program.step(s))) {
+      for (const auto& m : c->pattern.messages()) {
+        if (m.bytes.count() == 30u * 10u * 8u) found_rect = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_rect);
+}
+
+TEST(IrregularProgram, PredictsThroughInterpolatedCosts) {
+  const layout::DiagonalMap map{8};
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor pred{loggp::presets::meiko_cs2(8)};
+  // N=1000 is not divisible by 48; prediction must still run and land in
+  // the neighbourhood of the divisible N=960 run.
+  const auto p1000 = build_ge_program_irregular(
+      IrregularGeConfig{.n = 1000, .block = 48}, map);
+  const auto p960 = build_ge_program_irregular(
+      IrregularGeConfig{.n = 960, .block = 48}, map);
+  const double t1000 = pred.predict_standard(p1000, costs).total.us();
+  const double t960 = pred.predict_standard(p960, costs).total.us();
+  EXPECT_GT(t1000, t960);            // more work
+  EXPECT_LT(t1000, 1.5 * t960);      // but not wildly more
+}
+
+class IrregularNumericTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IrregularNumericTest, BlockedEqualsUnblocked) {
+  const auto [n, block] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(n * 37 + block)};
+  const ops::Matrix a =
+      ops::Matrix::random_diag_dominant(rng, static_cast<std::size_t>(n));
+  EXPECT_LT(irregular_residual(a, block), 1e-7) << "n=" << n << " b=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IrregularNumericTest,
+    ::testing::Values(std::tuple{10, 3}, std::tuple{10, 4}, std::tuple{10, 7},
+                      std::tuple{17, 5}, std::tuple{23, 8}, std::tuple{31, 9},
+                      std::tuple{40, 12}, std::tuple{50, 16},
+                      std::tuple{64, 20}, std::tuple{64, 64}));
+
+}  // namespace
+}  // namespace logsim::ge

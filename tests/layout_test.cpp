@@ -1,0 +1,132 @@
+#include "layout/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/layout_stats.hpp"
+
+namespace logsim::layout {
+namespace {
+
+class LayoutContractTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LayoutContractTest, OwnersAlwaysInRange) {
+  const auto [procs, nb] = GetParam();
+  const RowCyclic rc{procs};
+  const DiagonalMap dm{procs};
+  for (const Layout* l : {static_cast<const Layout*>(&rc),
+                          static_cast<const Layout*>(&dm)}) {
+    for (int i = 0; i < nb; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        const ProcId p = l->owner(i, j, nb);
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, procs);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, LayoutContractTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(4, 8, 20, 96)));
+
+TEST(RowCyclic, EntireRowOnOneProcessor) {
+  const RowCyclic l{4};
+  for (int i = 0; i < 12; ++i) {
+    const ProcId p = l.owner(i, 0, 12);
+    EXPECT_EQ(p, i % 4);
+    for (int j = 1; j < 12; ++j) {
+      EXPECT_EQ(l.owner(i, j, 12), p);
+    }
+  }
+}
+
+TEST(DiagonalMap, DiagonalSpreadsAcrossProcessors) {
+  // Blocks along one diagonal must be dealt to *different* processors
+  // (the paper's motivation for the mapping).
+  const int procs = 8;
+  const int nb = 16;
+  const DiagonalMap l{procs};
+  for (int d = 0; d < nb; ++d) {
+    std::set<ProcId> owners;
+    int count = 0;
+    for (int i = 0; i < nb; ++i) {
+      const int j = (i + d) % nb;
+      owners.insert(l.owner(i, j, nb));
+      ++count;
+      if (count == procs) break;  // first P blocks of the diagonal
+    }
+    EXPECT_EQ(owners.size(), static_cast<std::size_t>(procs))
+        << "diagonal " << d << " not spread across all processors";
+  }
+}
+
+TEST(BlockCyclic2D, GridOwnership) {
+  const BlockCyclic2D l{2, 3};
+  EXPECT_EQ(l.procs(), 6);
+  EXPECT_EQ(l.owner(0, 0, 12), 0);
+  EXPECT_EQ(l.owner(0, 1, 12), 1);
+  EXPECT_EQ(l.owner(0, 2, 12), 2);
+  EXPECT_EQ(l.owner(1, 0, 12), 3);
+  EXPECT_EQ(l.owner(2, 3, 12), 0);  // wraps both ways
+  EXPECT_EQ(l.name(), "block-cyclic-2x3");
+}
+
+TEST(Factories, ProduceCorrectTypes) {
+  EXPECT_EQ(make_row_cyclic(4)->name(), "row-cyclic");
+  EXPECT_EQ(make_diagonal(4)->name(), "diagonal");
+  EXPECT_EQ(make_block_cyclic(2, 2)->name(), "block-cyclic-2x2");
+}
+
+TEST(LayoutStats, PerfectBalanceWhenDivisible) {
+  const RowCyclic l{4};
+  const LayoutStats s = analyze(l, 8);  // 8 rows / 4 procs: 2 rows each
+  for (int c : s.blocks_per_proc) EXPECT_EQ(c, 16);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+}
+
+TEST(LayoutStats, ImbalanceWhenNotDivisible) {
+  const RowCyclic l{4};
+  const LayoutStats s = analyze(l, 6);  // 6 rows / 4 procs: 2/2/1/1
+  EXPECT_GT(s.imbalance, 1.0);
+}
+
+TEST(LayoutStats, RowCyclicKeepsRowTrafficLocal) {
+  // Row-adjacent pairs are always local under row-cyclic (the paper:
+  // "the row-wise propagation of data does not involve any message
+  // transfer"), so about half of all adjacent pairs are local.
+  const RowCyclic rc{8};
+  const LayoutStats s = analyze(rc, 32);
+  EXPECT_GT(s.adjacency_local, 0.45);
+}
+
+TEST(LayoutStats, DiagonalHasFewLocalAdjacencies) {
+  // "there is a small probability that row- or column-adjacent blocks are
+  //  mapped on the same processor"
+  const DiagonalMap dm{8};
+  const LayoutStats s = analyze(dm, 32);
+  EXPECT_LT(s.adjacency_local, 0.2);
+}
+
+TEST(LayoutStats, DiagonalBalancesBetterThanRowCyclicOnSmallGrids) {
+  // With nb close to P the row mapping leaves processors idle while the
+  // diagonal mapping still spreads every band.
+  const RowCyclic rc{8};
+  const DiagonalMap dm{8};
+  const LayoutStats srow = analyze(rc, 10);
+  const LayoutStats sdiag = analyze(dm, 10);
+  EXPECT_LE(sdiag.imbalance, srow.imbalance + 1e-12);
+}
+
+TEST(LayoutStats, SingleProcessorDegenerate) {
+  const RowCyclic l{1};
+  const LayoutStats s = analyze(l, 4);
+  EXPECT_EQ(s.blocks_per_proc[0], 16);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(s.adjacency_local, 1.0);
+}
+
+}  // namespace
+}  // namespace logsim::layout

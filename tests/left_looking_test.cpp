@@ -1,0 +1,103 @@
+#include "ge/left_looking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "core/predictor.hpp"
+#include "layout/layout.hpp"
+#include "ops/analytic_model.hpp"
+#include "ops/ge_ops.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::ge {
+namespace {
+
+TEST(LeftLooking, OpCountsMatchRightLooking) {
+  // Same factorization, different order: identical operation totals.
+  const GeConfig cfg{.n = 80, .block = 16};  // nb = 5
+  const layout::RowCyclic map{4};
+  GeScheduleInfo right, left;
+  [[maybe_unused]] auto pr = build_ge_program(cfg, map, right);
+  [[maybe_unused]] auto pl = build_ge_left_looking(cfg, 4, left);
+  for (int op = 0; op < 4; ++op) {
+    EXPECT_EQ(left.op_counts[op], right.op_counts[op]) << "op " << op;
+  }
+}
+
+TEST(LeftLooking, OneComputeStepPerColumn) {
+  const GeConfig cfg{.n = 96, .block = 16};  // nb = 6
+  const auto program = build_ge_left_looking(cfg, 4);
+  EXPECT_EQ(program.compute_step_count(), 6u);
+  EXPECT_EQ(program.comm_step_count(), 5u);  // no gather for column 0
+}
+
+TEST(LeftLooking, ColumnWorkOnTheColumnOwner) {
+  const GeConfig cfg{.n = 64, .block = 16};
+  const int procs = 3;
+  const auto program = build_ge_left_looking(cfg, procs);
+  int column = 0;
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    if (const auto* cs = std::get_if<core::ComputeStep>(&program.step(s))) {
+      for (const auto& item : cs->items) {
+        EXPECT_EQ(item.proc, column % procs);
+      }
+      ++column;
+    }
+  }
+}
+
+TEST(LeftLooking, CommunicationGrowsFasterThanRightLooking) {
+  // The re-gather moves ~ nb^3/6 blocks in total vs right-looking's
+  // ~ nb^2 * P: the left/right message ratio must grow with the grid.
+  const layout::RowCyclic map{8};
+  auto ratio = [&](int block) {
+    GeScheduleInfo right, left;
+    const GeConfig cfg{.n = 480, .block = block};
+    [[maybe_unused]] auto pr = build_ge_program(cfg, map, right);
+    [[maybe_unused]] auto pl = build_ge_left_looking(cfg, 8, left);
+    return static_cast<double>(left.network_messages + left.self_messages) /
+           static_cast<double>(right.network_messages + right.self_messages);
+  };
+  const double coarse = ratio(48);  // nb = 10
+  const double fine = ratio(24);    // nb = 20
+  const double finest = ratio(12);  // nb = 40
+  EXPECT_GT(fine, coarse);
+  EXPECT_GT(finest, fine);
+  EXPECT_GT(finest, 2.0);
+}
+
+TEST(LeftLooking, RightLookingPredictedFaster) {
+  // The design question the predictor answers: the right-looking wavefront
+  // parallelizes, the left-looking column chain serializes.
+  const GeConfig cfg{.n = 480, .block = 48};
+  const layout::DiagonalMap map{8};
+  const auto costs = ops::analytic_cost_table();
+  const core::Predictor pred{loggp::presets::meiko_cs2(8)};
+  const double right =
+      pred.predict_standard(build_ge_program(cfg, map), costs).total.us();
+  const double left =
+      pred.predict_standard(build_ge_left_looking(cfg, 8), costs).total.us();
+  EXPECT_LT(right, left);
+}
+
+class LeftLookingNumericTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LeftLookingNumericTest, MatchesUnblockedFactorization) {
+  const auto [n, block] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(n * 131 + block)};
+  const ops::Matrix a =
+      ops::Matrix::random_diag_dominant(rng, static_cast<std::size_t>(n));
+  EXPECT_LT(left_looking_residual(a, block), 1e-7)
+      << "n=" << n << " block=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LeftLookingNumericTest,
+    ::testing::Values(std::tuple{8, 2}, std::tuple{12, 3}, std::tuple{16, 4},
+                      std::tuple{24, 8}, std::tuple{32, 16},
+                      std::tuple{48, 12}, std::tuple{64, 64}));
+
+}  // namespace
+}  // namespace logsim::ge

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "loggp/cost.hpp"
+#include "loggp/params.hpp"
+
+namespace logsim::loggp {
+namespace {
+
+TEST(Params, DefaultsAreValid) {
+  EXPECT_TRUE(Params{}.valid());
+}
+
+TEST(Params, NegativeValuesInvalid) {
+  Params p;
+  p.L = Time{-1.0};
+  EXPECT_FALSE(p.valid());
+  p = Params{};
+  p.G = -0.1;
+  EXPECT_FALSE(p.valid());
+  p = Params{};
+  p.P = 0;
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Params, MeikoPresetMatchesPaperReconstruction) {
+  const Params p = presets::meiko_cs2(8);
+  EXPECT_DOUBLE_EQ(p.L.us(), 9.0);
+  EXPECT_DOUBLE_EQ(p.o.us(), 2.0);
+  EXPECT_DOUBLE_EQ(p.g.us(), 13.0);
+  EXPECT_DOUBLE_EQ(p.G, 0.03);
+  EXPECT_EQ(p.P, 8);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Params, PresetsParameterizeProcessorCount) {
+  EXPECT_EQ(presets::meiko_cs2(16).P, 16);
+  EXPECT_EQ(presets::cluster(4).P, 4);
+  EXPECT_EQ(presets::ideal(2).P, 2);
+}
+
+TEST(Params, ToStringMentionsEveryParameter) {
+  const std::string s = presets::meiko_cs2().to_string();
+  EXPECT_NE(s.find("L=9"), std::string::npos);
+  EXPECT_NE(s.find("o=2"), std::string::npos);
+  EXPECT_NE(s.find("g=13"), std::string::npos);
+  EXPECT_NE(s.find("G=0.03"), std::string::npos);
+  EXPECT_NE(s.find("P=8"), std::string::npos);
+}
+
+// --- the Figure-1 gap-rule table -------------------------------------
+
+TEST(GapRule, SendToSendIsG) {
+  const Params p = presets::meiko_cs2();
+  EXPECT_EQ(gap_rule(OpKind::kSend, OpKind::kSend, p), p.g);
+}
+
+TEST(GapRule, RecvToRecvIsG) {
+  const Params p = presets::meiko_cs2();
+  EXPECT_EQ(gap_rule(OpKind::kRecv, OpKind::kRecv, p), p.g);
+}
+
+TEST(GapRule, SendToRecvIsG) {
+  const Params p = presets::meiko_cs2();
+  EXPECT_EQ(gap_rule(OpKind::kSend, OpKind::kRecv, p), p.g);
+}
+
+TEST(GapRule, RecvToSendIsMaxOG) {
+  Params p = presets::meiko_cs2();  // g=13 > o=2
+  EXPECT_EQ(gap_rule(OpKind::kRecv, OpKind::kSend, p), p.g);
+  p.o = Time{20.0};  // now o > g: the paper's refinement bites
+  EXPECT_EQ(gap_rule(OpKind::kRecv, OpKind::kSend, p), p.o);
+}
+
+// --- occupancy and message timing -------------------------------------
+
+TEST(Cost, SendOccupancyShortMessage) {
+  const Params p = presets::meiko_cs2();
+  // 1-byte message: no trailing bytes, occupancy is exactly o.
+  EXPECT_DOUBLE_EQ(send_occupancy(Bytes{1}, p).us(), p.o.us());
+}
+
+TEST(Cost, SendOccupancyLongMessage) {
+  const Params p = presets::meiko_cs2();
+  // k bytes: o + (k-1) * G.
+  EXPECT_DOUBLE_EQ(send_occupancy(Bytes{101}, p).us(), 2.0 + 100 * 0.03);
+}
+
+TEST(Cost, ZeroByteMessageDegenerate) {
+  const Params p = presets::meiko_cs2();
+  EXPECT_DOUBLE_EQ(send_occupancy(Bytes{0}, p).us(), p.o.us());
+}
+
+TEST(Cost, ArrivalTime) {
+  const Params p = presets::meiko_cs2();
+  const Time t = arrival_time(Time{10.0}, Bytes{112}, p);
+  EXPECT_DOUBLE_EQ(t.us(), 10.0 + 2.0 + 111 * 0.03 + 9.0);
+}
+
+TEST(Cost, PointToPointIsOStreamLO) {
+  const Params p = presets::meiko_cs2();
+  EXPECT_DOUBLE_EQ(point_to_point(Bytes{1}, p).us(),
+                   p.o.us() + p.L.us() + p.o.us());
+  EXPECT_DOUBLE_EQ(point_to_point(Bytes{112}, p).us(),
+                   2.0 + 111 * 0.03 + 9.0 + 2.0);
+}
+
+TEST(Cost, EarliestNextStartRespectsGapWhenGDominates) {
+  const Params p = presets::meiko_cs2();  // g=13 dominates o=2
+  const Time t = earliest_next_start(Time{100.0}, OpKind::kSend, Bytes{1},
+                                     OpKind::kSend, p);
+  EXPECT_DOUBLE_EQ(t.us(), 113.0);
+}
+
+TEST(Cost, EarliestNextStartRespectsStreamOccupancy) {
+  const Params p = presets::meiko_cs2();
+  // 1001-byte send: port busy o + 1000G = 32us > g=13.
+  const Time t = earliest_next_start(Time{0.0}, OpKind::kSend, Bytes{1001},
+                                     OpKind::kRecv, p);
+  EXPECT_DOUBLE_EQ(t.us(), 32.0);
+}
+
+TEST(Cost, EarliestNextStartRecvThenSendUsesMaxOG) {
+  Params p = presets::meiko_cs2();
+  p.o = Time{20.0};
+  p.g = Time{5.0};
+  // recv at t=0 occupies [0, 20); recv->send rule gives max(o,g)=20.
+  const Time t = earliest_next_start(Time{0.0}, OpKind::kRecv, Bytes{1},
+                                     OpKind::kSend, p);
+  EXPECT_DOUBLE_EQ(t.us(), 20.0);
+}
+
+TEST(Cost, EarliestNextStartSendThenRecvWithBigO) {
+  Params p = presets::meiko_cs2();
+  p.o = Time{20.0};
+  p.g = Time{5.0};
+  // Gap rule alone would allow g=5, but the single-port occupancy of the
+  // previous send (o=20) wins.
+  const Time t = earliest_next_start(Time{0.0}, OpKind::kSend, Bytes{1},
+                                     OpKind::kRecv, p);
+  EXPECT_DOUBLE_EQ(t.us(), 20.0);
+}
+
+TEST(Cost, IdealMachineCollapsesToZero) {
+  const Params p = presets::ideal();
+  EXPECT_DOUBLE_EQ(point_to_point(Bytes{1000}, p).us(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      earliest_next_start(Time{5.0}, OpKind::kSend, Bytes{9}, OpKind::kSend, p)
+          .us(),
+      5.0);
+}
+
+}  // namespace
+}  // namespace logsim::loggp

@@ -1,0 +1,114 @@
+// Cross-machine invariants: retargeting the same program to different
+// LogGP parameter sets must order the predictions the physics implies.
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "ops/analytic_model.hpp"
+#include "pattern/builders.hpp"
+
+namespace logsim {
+namespace {
+
+core::StepProgram ge_program(int procs) {
+  static const layout::DiagonalMap map8{8};
+  (void)procs;
+  return ge::build_ge_program(ge::GeConfig{.n = 240, .block = 24}, map8);
+}
+
+TEST(Machines, FasterNetworkFasterCommunication) {
+  // The Paragon beats the SP-2 in every LogGP parameter, so its GE
+  // communication time must be lower; computation is identical.
+  const auto program = ge_program(8);
+  const auto costs = ops::analytic_cost_table();
+  const auto paragon = core::Predictor{loggp::presets::intel_paragon(8)}
+                           .predict_standard(program, costs);
+  const auto sp2 = core::Predictor{loggp::presets::ibm_sp2(8)}
+                       .predict_standard(program, costs);
+  EXPECT_LT(paragon.comm_max().us(), sp2.comm_max().us());
+  EXPECT_LT(paragon.total.us(), sp2.total.us());
+  EXPECT_NEAR(paragon.comp_max().us(), sp2.comp_max().us(), 1e-6);
+}
+
+TEST(Machines, IdealMachineCommunicatesForFree) {
+  // Network ops cost nothing on the ideal machine: any isolated pattern
+  // completes instantly...
+  const auto pat = pattern::paper_fig3();
+  EXPECT_DOUBLE_EQ(core::CommSimulator{loggp::presets::ideal(10)}
+                       .run(pat)
+                       .makespan()
+                       .us(),
+                   0.0);
+  // ...and a full program's comm residence reduces to pure
+  // synchronization wait (waiting for slower producers), strictly less
+  // than on a real network.
+  const auto program = ge_program(8);
+  const auto costs = ops::analytic_cost_table();
+  const auto ideal = core::Predictor{loggp::presets::ideal(8)}
+                         .predict_standard(program, costs);
+  const auto meiko = core::Predictor{loggp::presets::meiko_cs2(8)}
+                         .predict_standard(program, costs);
+  EXPECT_LT(ideal.total.us(), meiko.total.us());
+  EXPECT_LT(ideal.comm_max().us(), meiko.comm_max().us());
+}
+
+TEST(Machines, ScalingEveryParameterScalesCommTime) {
+  // Doubling {L, o, g, G} together at most doubles and at least does not
+  // shrink the communication time of any pattern (homogeneity-ish).
+  const auto pat = pattern::paper_fig3();
+  loggp::Params base = loggp::presets::meiko_cs2(10);
+  loggp::Params doubled = base;
+  doubled.L = base.L * 2.0;
+  doubled.o = base.o * 2.0;
+  doubled.g = base.g * 2.0;
+  doubled.G = base.G * 2.0;
+  const double t1 = core::CommSimulator{base}.run(pat).makespan().us();
+  const double t2 = core::CommSimulator{doubled}.run(pat).makespan().us();
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-6);  // exact homogeneity: all terms linear
+}
+
+TEST(Machines, EachParameterIncreaseNeverSpeedsFig3Up) {
+  const auto pat = pattern::paper_fig3();
+  const loggp::Params base = loggp::presets::meiko_cs2(10);
+  const double t0 = core::CommSimulator{base}.run(pat).makespan().us();
+  for (int which = 0; which < 4; ++which) {
+    loggp::Params p = base;
+    switch (which) {
+      case 0: p.L = p.L * 1.5; break;
+      case 1: p.o = p.o * 1.5; break;
+      case 2: p.g = p.g * 1.5; break;
+      case 3: p.G = p.G * 1.5; break;
+    }
+    const double t = core::CommSimulator{p}.run(pat).makespan().us();
+    EXPECT_GE(t + 1e-9, t0) << "param " << which;
+  }
+}
+
+TEST(Machines, ClusterOptimalBlockAtLeastMeikos) {
+  // A slower network (cluster preset) never prefers a smaller block than
+  // the Meiko: more per-message cost pushes toward coarser grain.
+  const auto costs = ops::analytic_cost_table();
+  const layout::DiagonalMap map{8};
+  auto best_block = [&](const loggp::Params& params) {
+    const core::Predictor pred{params};
+    int best = 0;
+    double best_t = 1e300;
+    for (int b : ops::default_block_sizes()) {
+      const auto prog =
+          ge::build_ge_program(ge::GeConfig{.n = 480, .block = b}, map);
+      const double t = pred.predict_standard(prog, costs).total.us();
+      if (t < best_t) {
+        best_t = t;
+        best = b;
+      }
+    }
+    return best;
+  };
+  EXPECT_GE(best_block(loggp::presets::cluster(8)),
+            best_block(loggp::presets::meiko_cs2(8)));
+}
+
+}  // namespace
+}  // namespace logsim

@@ -1,0 +1,172 @@
+#include "ops/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ops/ge_ops.hpp"
+#include "ops/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::ops {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(Matrix, BasicAccessors) {
+  Matrix m{2, 3, 1.5};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  util::Rng rng{1};
+  const Matrix a = Matrix::random(rng, 4, 4);
+  const Matrix i = Matrix::identity(4);
+  EXPECT_LT(a.multiply(i).max_abs_diff(a), kTol);
+  EXPECT_LT(i.multiply(a).max_abs_diff(a), kTol);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a{2, 2};
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b{2, 2};
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, SubtractAndNorm) {
+  Matrix a{1, 2};
+  a(0, 0) = 3; a(0, 1) = 4;
+  const Matrix z = a.subtract(a);
+  EXPECT_DOUBLE_EQ(z.frobenius_norm(), 0.0);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, DiagDominantIsWellConditionedForGE) {
+  util::Rng rng{2};
+  const Matrix m = Matrix::random_diag_dominant(rng, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i != j) off += std::abs(m(i, j));
+    }
+    EXPECT_GT(m(i, i), off);
+  }
+}
+
+class KernelSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelSizeTest, LuReconstructsOriginal) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const auto n = static_cast<std::size_t>(GetParam());
+  const Matrix a = Matrix::random_diag_dominant(rng, n);
+  Matrix f = a;
+  lu_nopivot_inplace(f);
+  EXPECT_LT(multiply_lu(f).max_abs_diff(a), 1e-8) << "n=" << n;
+}
+
+TEST_P(KernelSizeTest, SolveUnitLowerLeft) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 100};
+  const auto n = static_cast<std::size_t>(GetParam());
+  Matrix lu = Matrix::random_diag_dominant(rng, n);
+  lu_nopivot_inplace(lu);
+  const Matrix b = Matrix::random(rng, n, n);
+  Matrix x = b;
+  solve_unit_lower_left(lu, x);
+  // Check L * x == b.
+  const Matrix l = invert_unit_lower(lu);  // L^-1
+  EXPECT_LT(l.multiply(b).max_abs_diff(x), 1e-8);
+}
+
+TEST_P(KernelSizeTest, SolveUpperRight) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 200};
+  const auto n = static_cast<std::size_t>(GetParam());
+  Matrix lu = Matrix::random_diag_dominant(rng, n);
+  lu_nopivot_inplace(lu);
+  const Matrix b = Matrix::random(rng, n, n);
+  Matrix x = b;
+  solve_upper_right(lu, x);
+  // x = B * U^-1  <=>  x * U = B.
+  Matrix u{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) u(i, j) = lu(i, j);
+  }
+  EXPECT_LT(x.multiply(u).max_abs_diff(b), 1e-8);
+}
+
+TEST_P(KernelSizeTest, InvertUpperIsInverse) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 300};
+  const auto n = static_cast<std::size_t>(GetParam());
+  Matrix lu = Matrix::random_diag_dominant(rng, n);
+  lu_nopivot_inplace(lu);
+  Matrix u{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) u(i, j) = lu(i, j);
+  }
+  const Matrix inv = invert_upper(lu);
+  EXPECT_LT(u.multiply(inv).max_abs_diff(Matrix::identity(n)), 1e-8);
+}
+
+TEST_P(KernelSizeTest, InvertUnitLowerIsInverse) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 400};
+  const auto n = static_cast<std::size_t>(GetParam());
+  Matrix lu = Matrix::random_diag_dominant(rng, n);
+  lu_nopivot_inplace(lu);
+  Matrix l = Matrix::identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) l(i, j) = lu(i, j);
+  }
+  const Matrix inv = invert_unit_lower(lu);
+  EXPECT_LT(l.multiply(inv).max_abs_diff(Matrix::identity(n)), 1e-8);
+}
+
+TEST_P(KernelSizeTest, GemmSubtract) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam()) + 500};
+  const auto n = static_cast<std::size_t>(GetParam());
+  const Matrix a = Matrix::random(rng, n, n);
+  const Matrix b = Matrix::random(rng, n, n);
+  const Matrix c0 = Matrix::random(rng, n, n);
+  Matrix c = c0;
+  gemm_subtract(c, a, b);
+  EXPECT_LT(c.max_abs_diff(c0.subtract(a.multiply(b))), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(GeOps, NamesAndRegistration) {
+  EXPECT_STREQ(ge_op_name(kOp1), "Op1");
+  EXPECT_STREQ(ge_op_name(kOp4), "Op4");
+  core::CostTable t;
+  register_ge_ops(t);
+  EXPECT_EQ(t.op_count(), 4);
+  EXPECT_EQ(t.find("Op3"), kOp3);
+}
+
+TEST(GeOps, RunGeOpDispatch) {
+  util::Rng rng{9};
+  const std::size_t n = 6;
+  // Op1 factors in place.
+  Matrix a = Matrix::random_diag_dominant(rng, n);
+  const Matrix orig = a;
+  run_ge_op(kOp1, a, nullptr, nullptr, nullptr);
+  EXPECT_LT(multiply_lu(a).max_abs_diff(orig), 1e-8);
+
+  // Op4 is gemm-subtract.
+  const Matrix left = Matrix::random(rng, n, n);
+  const Matrix top = Matrix::random(rng, n, n);
+  const Matrix before = Matrix::random(rng, n, n);
+  Matrix target = before;
+  run_ge_op(kOp4, target, nullptr, &left, &top);
+  EXPECT_LT(target.max_abs_diff(before.subtract(left.multiply(top))), 1e-9);
+}
+
+}  // namespace
+}  // namespace logsim::ops

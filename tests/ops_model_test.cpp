@@ -1,0 +1,136 @@
+// Figure-6 facts: the per-operation cost model must reproduce the paper's
+// qualitative behaviour of the measured basic-operation times.
+
+#include <gtest/gtest.h>
+
+#include "ops/analytic_model.hpp"
+#include "ops/ge_ops.hpp"
+#include "ops/op_timer.hpp"
+
+namespace logsim::ops {
+namespace {
+
+TEST(AnalyticModel, DefaultBlockSizesSpanPaperRange) {
+  const auto& sizes = default_block_sizes();
+  EXPECT_EQ(sizes.size(), 15u);
+  EXPECT_EQ(sizes.front(), 10);
+  EXPECT_EQ(sizes.back(), 120);
+  for (int b : sizes) {
+    EXPECT_EQ(960 % b, 0) << b << " must divide N=960 (equal-sized blocks)";
+  }
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LT(sizes[i - 1], sizes[i]);
+  }
+}
+
+TEST(AnalyticModel, Op1MostExpensiveForSmallBlocks) {
+  // "for small blocks Op1 is the most expensive"
+  for (int b : {10, 12, 15, 16, 20}) {
+    const double op1 = analytic_op_cost(kOp1, b).us();
+    for (int op : {kOp2, kOp3, kOp4}) {
+      EXPECT_GT(op1, analytic_op_cost(op, b).us())
+          << "b=" << b << " op=" << op;
+    }
+  }
+}
+
+TEST(AnalyticModel, AllOpsRoughlyEqualAtCrossover) {
+  // "for blocks of about ~40 elements all the operations take about the
+  //  same amount of time"
+  const int b = 40;
+  double lo = 1e30, hi = 0.0;
+  for (int op = 0; op < kGeOpCount; ++op) {
+    const double c = analytic_op_cost(op, b).us();
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LT(hi / lo, 1.35) << "spread too wide at the crossover";
+}
+
+TEST(AnalyticModel, Op4AboutTwiceOp1ForLargeBlocks) {
+  // "for large blocks the multiplication involved in Op4 takes about twice
+  //  the time needed for Op1"
+  const double ratio =
+      analytic_op_cost(kOp4, 120).us() / analytic_op_cost(kOp1, 120).us();
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(AnalyticModel, Op4IsLargestForLargeBlocks) {
+  for (int b : {96, 120}) {
+    const double op4 = analytic_op_cost(kOp4, b).us();
+    for (int op : {kOp1, kOp2, kOp3}) {
+      EXPECT_GT(op4, analytic_op_cost(op, b).us());
+    }
+  }
+}
+
+TEST(AnalyticModel, CostsStrictlyIncreaseWithBlockSize) {
+  for (int op = 0; op < kGeOpCount; ++op) {
+    double prev = 0.0;
+    for (int b : default_block_sizes()) {
+      const double c = analytic_op_cost(op, b).us();
+      EXPECT_GT(c, prev) << "op=" << op << " b=" << b;
+      prev = c;
+    }
+  }
+}
+
+TEST(AnalyticModel, MostExpensiveOpChangesWithBlockSize) {
+  // The paper highlights that the ranking of the ops flips across the
+  // block-size range -- the core reason closed formulas get unwieldy.
+  auto most_expensive = [](int b) {
+    int best = 0;
+    for (int op = 1; op < kGeOpCount; ++op) {
+      if (analytic_op_cost(op, b) > analytic_op_cost(best, b)) best = op;
+    }
+    return best;
+  };
+  EXPECT_EQ(most_expensive(10), kOp1);
+  EXPECT_EQ(most_expensive(120), kOp4);
+}
+
+TEST(AnalyticModel, TableAgreesWithFunctionAtCalibrationPoints) {
+  const core::CostTable table = analytic_cost_table();
+  for (int op = 0; op < kGeOpCount; ++op) {
+    for (int b : default_block_sizes()) {
+      EXPECT_DOUBLE_EQ(table.cost(op, b).us(), analytic_op_cost(op, b).us());
+    }
+  }
+}
+
+TEST(AnalyticModel, CustomCalibrationPoints) {
+  const core::CostTable table = analytic_cost_table({8, 16});
+  EXPECT_EQ(table.block_sizes(kOp1), (std::vector<int>{8, 16}));
+}
+
+// --- the live measurement path -----------------------------------------
+
+TEST(OpTimer, MeasuresPositiveTimes) {
+  OpTimer timer{OpTimerOptions{.warmup_reps = 0, .timed_reps = 1}};
+  for (int op = 0; op < kGeOpCount; ++op) {
+    EXPECT_GT(timer.measure(op, 8).us(), 0.0) << "op=" << op;
+  }
+}
+
+TEST(OpTimer, LargerBlocksCostMore) {
+  // Coarse check (x8 size, O(b^3) work => ~x500 time; insist on x20 to be
+  // robust against scheduling noise).
+  OpTimer timer{OpTimerOptions{.warmup_reps = 1, .timed_reps = 2}};
+  const double small = timer.measure(kOp4, 8).us();
+  const double large = timer.measure(kOp4, 64).us();
+  EXPECT_GT(large, 20.0 * small);
+}
+
+TEST(OpTimer, CalibrateFillsWholeTable) {
+  OpTimer timer{OpTimerOptions{.warmup_reps = 0, .timed_reps = 1}};
+  const core::CostTable t = timer.calibrate({4, 8});
+  EXPECT_EQ(t.op_count(), 4);
+  for (int op = 0; op < kGeOpCount; ++op) {
+    EXPECT_EQ(t.block_sizes(op), (std::vector<int>{4, 8}));
+    EXPECT_GT(t.cost(op, 4).us(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace logsim::ops

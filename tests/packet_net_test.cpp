@@ -1,0 +1,147 @@
+#include "network/packet_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pattern/builders.hpp"
+
+namespace logsim::network {
+namespace {
+
+PacketNetConfig crossbar_cfg() {
+  PacketNetConfig cfg;
+  cfg.packet_bytes = 512;
+  cfg.software_overhead = Time{2.0};
+  cfg.us_per_byte = 0.01;
+  cfg.per_hop = Time{1.5};
+  return cfg;
+}
+
+TEST(PacketNet, SingleSmallMessageHandComputed) {
+  // 100 B -> one packet: o (2) + serialize (1) at the NIC, the same 1 us
+  // on the single crossbar link, 1.5 us router, + o at the receiver.
+  const auto pat = pattern::single_message(2, Bytes{100});
+  const auto r = PacketNetwork{crossbar_cfg()}.run(pat);
+  ASSERT_EQ(r.deliveries.size(), 1u);
+  EXPECT_EQ(r.packets, 1u);
+  EXPECT_DOUBLE_EQ(r.deliveries[0].delivered.us(), 2.0 + 1.0 + 1.0 + 1.5);
+  EXPECT_DOUBLE_EQ(r.proc_finish[1].us(), 5.5 + 2.0);
+}
+
+TEST(PacketNet, SegmentationCountsPackets) {
+  const auto pat = pattern::single_message(2, Bytes{1500});  // 512+512+476
+  const auto r = PacketNetwork{crossbar_cfg()}.run(pat);
+  EXPECT_EQ(r.packets, 3u);
+}
+
+TEST(PacketNet, ZeroByteMessageStillDelivered) {
+  const auto pat = pattern::single_message(2, Bytes{0});
+  const auto r = PacketNetwork{crossbar_cfg()}.run(pat);
+  EXPECT_EQ(r.packets, 1u);
+  EXPECT_EQ(r.deliveries.size(), 1u);
+}
+
+TEST(PacketNet, PipeliningBeatsSerialSum) {
+  // A long message's packets pipeline across NIC and link: total time is
+  // far less than (packets x full per-packet path).
+  const auto pat = pattern::single_message(2, Bytes{8192});  // 16 packets
+  const auto r = PacketNetwork{crossbar_cfg()}.run(pat);
+  const double per_packet_path = 5.12 + 5.12 + 1.5;
+  EXPECT_LT(r.makespan.us(), 16.0 * per_packet_path);
+  // ...but at least the serialization of all bytes once.
+  EXPECT_GT(r.makespan.us(), 81.92);
+}
+
+TEST(PacketNet, RoutesOnMeshAreDimensionOrdered) {
+  PacketNetConfig cfg = crossbar_cfg();
+  cfg.mesh_rows = 3;
+  cfg.mesh_cols = 3;
+  const PacketNetwork net{cfg};
+  // 0 (0,0) -> 8 (2,2): columns first then rows.
+  EXPECT_EQ(net.route(0, 8), (std::vector<int>{1, 2, 5, 8}));
+  EXPECT_EQ(net.route(8, 0), (std::vector<int>{7, 6, 3, 0}));
+  EXPECT_TRUE(net.route(4, 4).empty());
+}
+
+TEST(PacketNet, TorusTakesShorterWayRound) {
+  PacketNetConfig cfg = crossbar_cfg();
+  cfg.mesh_rows = 1;
+  cfg.mesh_cols = 4;
+  cfg.torus = true;
+  const PacketNetwork net{cfg};
+  EXPECT_EQ(net.route(0, 3), (std::vector<int>{3}));  // wrap: one hop
+  cfg.torus = false;
+  const PacketNetwork mesh{cfg};
+  EXPECT_EQ(mesh.route(0, 3), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(PacketNet, MoreHopsLaterArrival) {
+  PacketNetConfig cfg = crossbar_cfg();
+  cfg.mesh_rows = 1;
+  cfg.mesh_cols = 5;
+  pattern::CommPattern near{5};
+  near.add(0, 1, Bytes{100});
+  pattern::CommPattern far{5};
+  far.add(0, 4, Bytes{100});
+  const PacketNetwork net{cfg};
+  EXPECT_LT(net.run(near).makespan.us(), net.run(far).makespan.us());
+}
+
+TEST(PacketNet, SharedLinkSerializes) {
+  // Two messages crossing the same link take longer than two messages on
+  // disjoint links -- the contention LogGP cannot see.
+  PacketNetConfig cfg = crossbar_cfg();
+  cfg.mesh_rows = 1;
+  cfg.mesh_cols = 4;
+  pattern::CommPattern shared{4};
+  shared.add(0, 2, Bytes{2048});
+  shared.add(1, 2, Bytes{2048});  // both use link 1->2
+  pattern::CommPattern disjoint{4};
+  disjoint.add(0, 1, Bytes{2048});
+  disjoint.add(3, 2, Bytes{2048});
+  const PacketNetwork net{cfg};
+  EXPECT_GT(net.run(shared).makespan.us(), net.run(disjoint).makespan.us());
+}
+
+TEST(PacketNet, ReadyTimesDelayInjection) {
+  const auto pat = pattern::single_message(2, Bytes{100});
+  const auto base = PacketNetwork{crossbar_cfg()}.run(pat);
+  const auto delayed = PacketNetwork{crossbar_cfg()}.run(
+      pat, std::vector<Time>{Time{50.0}, Time{0.0}});
+  EXPECT_NEAR(delayed.makespan.us(), base.makespan.us() + 50.0, 1e-9);
+}
+
+TEST(PacketNet, SelfMessagesIgnored) {
+  pattern::CommPattern pat{2};
+  pat.add(0, 0, Bytes{4096});
+  const auto r = PacketNetwork{crossbar_cfg()}.run(pat);
+  EXPECT_EQ(r.packets, 0u);
+  EXPECT_DOUBLE_EQ(r.makespan.us(), 0.0);
+}
+
+TEST(PacketNet, DeterministicAcrossRuns) {
+  util::Rng rng{77};
+  const auto pat = pattern::random_pattern(rng, 8, 30, Bytes{64}, Bytes{4096});
+  PacketNetConfig cfg = crossbar_cfg();
+  cfg.mesh_rows = 2;
+  cfg.mesh_cols = 4;
+  const auto a = PacketNetwork{cfg}.run(pat);
+  const auto b = PacketNetwork{cfg}.run(pat);
+  EXPECT_DOUBLE_EQ(a.makespan.us(), b.makespan.us());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(PacketNet, AllMessagesDelivered) {
+  util::Rng rng{88};
+  const auto pat = pattern::random_pattern(rng, 9, 60, Bytes{1}, Bytes{3000});
+  PacketNetConfig cfg = crossbar_cfg();
+  cfg.mesh_rows = 3;
+  cfg.mesh_cols = 3;
+  const auto r = PacketNetwork{cfg}.run(pat);
+  EXPECT_EQ(r.deliveries.size(), pat.size());
+  for (const auto& d : r.deliveries) {
+    EXPECT_GT(d.delivered.us(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace logsim::network

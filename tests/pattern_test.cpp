@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "pattern/builders.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::pattern {
+namespace {
+
+TEST(CommPattern, EmptyPattern) {
+  const CommPattern p{4};
+  EXPECT_EQ(p.procs(), 4);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.network_bytes().count(), 0u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_FALSE(p.has_processor_cycle());
+}
+
+TEST(CommPattern, AddAndAccount) {
+  CommPattern p{4};
+  p.add(0, 1, Bytes{100});
+  p.add(1, 2, Bytes{50});
+  p.add(3, 3, Bytes{25});  // self message
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.self_message_count(), 1u);
+  EXPECT_EQ(p.network_bytes().count(), 150u);
+}
+
+TEST(CommPattern, SendListsPreserveProgramOrder) {
+  CommPattern p{3};
+  p.add(0, 1, Bytes{1}, 10);
+  p.add(0, 2, Bytes{1}, 20);
+  p.add(1, 0, Bytes{1}, 30);
+  p.add(0, 1, Bytes{1}, 40);
+  const auto lists = p.send_lists();
+  ASSERT_EQ(lists[0].size(), 3u);
+  EXPECT_EQ(p.messages()[lists[0][0]].tag, 10);
+  EXPECT_EQ(p.messages()[lists[0][1]].tag, 20);
+  EXPECT_EQ(p.messages()[lists[0][2]].tag, 40);
+  EXPECT_EQ(lists[1].size(), 1u);
+  EXPECT_TRUE(lists[2].empty());
+}
+
+TEST(CommPattern, SelfMessagesExcludedFromSendLists) {
+  CommPattern p{2};
+  p.add(0, 0, Bytes{5});
+  p.add(0, 1, Bytes{5});
+  EXPECT_EQ(p.send_lists()[0].size(), 1u);
+  EXPECT_EQ(p.receive_counts()[1], 1);
+  EXPECT_EQ(p.receive_counts()[0], 0);
+}
+
+TEST(CommPattern, ValidityChecksEndpoints) {
+  CommPattern p{2};
+  p.add(0, 1, Bytes{1});
+  EXPECT_TRUE(p.valid());
+  p.add(0, 5, Bytes{1});  // destination out of range
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(CommPattern, CycleDetectionOnRing) {
+  const CommPattern ring3 = ring(3, Bytes{8});
+  EXPECT_TRUE(ring3.has_processor_cycle());
+}
+
+TEST(CommPattern, CycleDetectionTwoNodeSwap) {
+  CommPattern p{2};
+  p.add(0, 1, Bytes{1});
+  p.add(1, 0, Bytes{1});
+  EXPECT_TRUE(p.has_processor_cycle());
+}
+
+TEST(CommPattern, NoCycleInDag) {
+  CommPattern p{4};
+  p.add(0, 1, Bytes{1});
+  p.add(0, 2, Bytes{1});
+  p.add(1, 3, Bytes{1});
+  p.add(2, 3, Bytes{1});
+  EXPECT_FALSE(p.has_processor_cycle());
+}
+
+TEST(CommPattern, SelfEdgesDoNotCreateCycles) {
+  CommPattern p{2};
+  p.add(0, 0, Bytes{1});
+  EXPECT_FALSE(p.has_processor_cycle());
+}
+
+TEST(CommPattern, DotContainsAllEdges) {
+  CommPattern p{2};
+  p.add(0, 1, Bytes{7});
+  const std::string dot = p.to_dot("g");
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+  EXPECT_NE(dot.find("P0 -> P1"), std::string::npos);
+  EXPECT_NE(dot.find("7B"), std::string::npos);
+}
+
+// --- builders ----------------------------------------------------------
+
+TEST(Builders, PaperFig3Shape) {
+  const CommPattern p = paper_fig3();
+  EXPECT_EQ(p.procs(), 10);
+  EXPECT_EQ(p.size(), 12u);
+  EXPECT_EQ(p.self_message_count(), 0u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_FALSE(p.has_processor_cycle());  // it is a wavefront DAG
+  // All messages have the same (reconstructed) 112-byte length.
+  for (const auto& m : p.messages()) EXPECT_EQ(m.bytes.count(), 112u);
+  // Textual clue: P8 (0-based id 7) receives from P4 and P5 (ids 3, 4).
+  int recv_from_3 = 0, recv_from_4 = 0;
+  for (const auto& m : p.messages()) {
+    if (m.dst == 7 && m.src == 3) ++recv_from_3;
+    if (m.dst == 7 && m.src == 4) ++recv_from_4;
+  }
+  EXPECT_EQ(recv_from_3, 1);
+  EXPECT_EQ(recv_from_4, 1);
+}
+
+TEST(Builders, RingHasOneMessagePerProc) {
+  const CommPattern p = ring(5, Bytes{64});
+  EXPECT_EQ(p.size(), 5u);
+  const auto counts = p.receive_counts();
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(Builders, SingleMessage) {
+  const CommPattern p = single_message(2, Bytes{8});
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.messages()[0].src, 0);
+  EXPECT_EQ(p.messages()[0].dst, 1);
+}
+
+TEST(Builders, FlatBroadcastFromNonZeroRoot) {
+  const CommPattern p = flat_broadcast(4, Bytes{8}, 2);
+  EXPECT_EQ(p.size(), 3u);
+  for (const auto& m : p.messages()) {
+    EXPECT_EQ(m.src, 2);
+    EXPECT_NE(m.dst, 2);
+  }
+}
+
+TEST(Builders, BinomialRoundsCoverEveryoneExactlyOnce) {
+  const int procs = 13;
+  std::vector<int> received(procs, 0);
+  received[0] = 1;  // root starts informed
+  for (int r = 0; (1 << r) < procs; ++r) {
+    const CommPattern p = binomial_round(procs, r, Bytes{8});
+    for (const auto& m : p.messages()) {
+      EXPECT_EQ(m.dst, m.src + (1 << r));
+      ++received[static_cast<std::size_t>(m.dst)];
+    }
+  }
+  for (int i = 0; i < procs; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], 1) << "proc " << i;
+  }
+}
+
+TEST(Builders, AllToAllCount) {
+  const CommPattern p = all_to_all(6, Bytes{8});
+  EXPECT_EQ(p.size(), 30u);  // P(P-1)
+  EXPECT_EQ(p.self_message_count(), 0u);
+  EXPECT_TRUE(p.has_processor_cycle());
+}
+
+TEST(Builders, GatherAndScatterAreDuals) {
+  const CommPattern g = gather(5, Bytes{8}, 1);
+  const CommPattern s = scatter(5, Bytes{8}, 1);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(s.size(), 4u);
+  for (const auto& m : g.messages()) EXPECT_EQ(m.dst, 1);
+  for (const auto& m : s.messages()) EXPECT_EQ(m.src, 1);
+}
+
+class RandomPatternTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPatternTest, RandomPatternsAreValidNoSelfEdges) {
+  util::Rng rng{GetParam()};
+  const CommPattern p = random_pattern(rng, 8, 40, Bytes{1}, Bytes{500});
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.size(), 40u);
+  EXPECT_EQ(p.self_message_count(), 0u);
+  for (const auto& m : p.messages()) {
+    EXPECT_GE(m.bytes.count(), 1u);
+    EXPECT_LE(m.bytes.count(), 500u);
+  }
+}
+
+TEST_P(RandomPatternTest, DagPatternsAreAcyclic) {
+  util::Rng rng{GetParam()};
+  const CommPattern p = random_dag_pattern(rng, 8, 40, Bytes{1}, Bytes{500});
+  EXPECT_TRUE(p.valid());
+  EXPECT_FALSE(p.has_processor_cycle());
+  for (const auto& m : p.messages()) EXPECT_LT(m.src, m.dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPatternTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace logsim::pattern

@@ -1,0 +1,99 @@
+#include "io/program_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "ops/analytic_model.hpp"
+#include "stencil/stencil.hpp"
+
+namespace logsim::io {
+namespace {
+
+constexpr const char* kSmallProgram =
+    "# tiny demo\n"
+    "procs 2\n"
+    "op work\n"
+    "cost 0 16 100\n"
+    "compute\n"
+    "item 0 0 16 7\n"
+    "item 1 0 16 8\n"
+    "comm\n"
+    "msg 0 1 1024 7\n"
+    "compute\n"
+    "item 1 0 16 7 8\n";
+
+TEST(ProgramIo, ParsesSections) {
+  const auto r = parse_program(kSmallProgram);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& b = *r.bundle;
+  EXPECT_EQ(b.program.procs(), 2);
+  EXPECT_EQ(b.program.size(), 3u);
+  EXPECT_EQ(b.program.compute_step_count(), 2u);
+  EXPECT_EQ(b.program.work_item_count(), 3u);
+  EXPECT_EQ(b.program.network_bytes().count(), 1024u);
+  EXPECT_EQ(b.costs.op_count(), 1);
+  EXPECT_DOUBLE_EQ(b.costs.cost(0, 16).us(), 100.0);
+}
+
+TEST(ProgramIo, ParsedProgramSimulates) {
+  const auto r = parse_program(kSmallProgram);
+  ASSERT_TRUE(r.ok());
+  const auto pred = core::Predictor{loggp::presets::meiko_cs2(2)}
+                        .predict_standard(r.bundle->program, r.bundle->costs);
+  // P0: 100 compute + send o; P1: 100, recv, 100.
+  EXPECT_GT(pred.total.us(), 200.0);
+}
+
+TEST(ProgramIo, ErrorsWithLineNumbers) {
+  const auto r = parse_program("procs 2\nitem 0 0 16\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error_line, 2);
+  EXPECT_NE(r.error.find("outside a compute section"), std::string::npos);
+}
+
+TEST(ProgramIo, RejectsBadReferences) {
+  EXPECT_FALSE(parse_program("procs 2\ncompute\nitem 5 0 16\n").ok());
+  EXPECT_FALSE(parse_program("procs 2\nop w\ncompute\nitem 0 3 16\n").ok());
+  EXPECT_FALSE(parse_program("procs 2\ncost 0 16 5\n").ok());  // no op yet
+  EXPECT_FALSE(parse_program("procs 2\ncomm\nmsg 0 9 5\n").ok());
+  EXPECT_FALSE(parse_program("compute\n").ok());
+  EXPECT_FALSE(parse_program("procs 2\nbogus\n").ok());
+}
+
+TEST(ProgramIo, RoundTripsGeneratedPrograms) {
+  // Serialize a real GE program and a stencil program; re-parse; compare
+  // structure and prediction.
+  const layout::DiagonalMap map{4};
+  const auto ge_prog =
+      ge::build_ge_program(ge::GeConfig{.n = 64, .block = 16}, map);
+  const auto ge_costs = ops::analytic_cost_table();
+
+  const auto r = parse_program(to_text(ge_prog, ge_costs));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.bundle->program.size(), ge_prog.size());
+  EXPECT_EQ(r.bundle->program.work_item_count(), ge_prog.work_item_count());
+  EXPECT_EQ(r.bundle->program.message_count(), ge_prog.message_count());
+
+  const core::Predictor pred{loggp::presets::meiko_cs2(4)};
+  EXPECT_DOUBLE_EQ(
+      pred.predict_standard(r.bundle->program, r.bundle->costs).total.us(),
+      pred.predict_standard(ge_prog, ge_costs).total.us());
+
+  const stencil::StencilConfig scfg{.n = 64, .iterations = 2, .procs = 4};
+  const auto st_prog = stencil::build_stencil_program(scfg);
+  const auto st_costs = stencil::stencil_cost_table(scfg);
+  const auto r2 = parse_program(to_text(st_prog, st_costs));
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_DOUBLE_EQ(
+      pred.predict_standard(r2.bundle->program, r2.bundle->costs).total.us(),
+      pred.predict_standard(st_prog, st_costs).total.us());
+}
+
+TEST(ProgramIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_program("/nonexistent_xyz/prog.txt").ok());
+}
+
+}  // namespace
+}  // namespace logsim::io

@@ -1,0 +1,160 @@
+// Whole-system cross-validation on randomly generated step programs:
+// the ProgramSimulator and the Testbed machine are two independent
+// implementations of program execution; with every Testbed-only effect
+// switched off they must agree exactly, and invariants (worst case
+// dominates, overlap never slower, bounds hold) must survive arbitrary
+// program shapes -- not just the hand-built applications.
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "analysis/critical_path.hpp"
+#include "core/predictor.hpp"
+#include "extensions/overlap_sim.hpp"
+#include "machine/testbed.hpp"
+#include "pattern/builders.hpp"
+#include "util/rng.hpp"
+
+namespace logsim {
+namespace {
+
+struct RandomProgram {
+  core::StepProgram program;
+  core::CostTable costs;
+  int procs;
+};
+
+/// Generates an arbitrary alternating program: random op mix, random
+/// block sizes, random patterns (possibly with self-messages), random
+/// touched-block lists.
+RandomProgram make_random_program(std::uint64_t seed) {
+  util::Rng rng{seed};
+  const int procs = static_cast<int>(2 + rng.below(7));
+  RandomProgram out{core::StepProgram{procs}, core::CostTable{}, procs};
+
+  const int op_count = static_cast<int>(1 + rng.below(4));
+  for (int op = 0; op < op_count; ++op) {
+    out.costs.register_op("op" + std::to_string(op));
+    for (int b : {4, 16, 64}) {
+      out.costs.set_cost(op, b, Time{rng.uniform(5.0, 500.0)});
+    }
+  }
+
+  const int steps = static_cast<int>(2 + rng.below(10));
+  for (int s = 0; s < steps; ++s) {
+    if (rng.chance(0.55)) {
+      core::ComputeStep cs;
+      const auto items = 1 + rng.below(12);
+      for (std::uint64_t i = 0; i < items; ++i) {
+        core::WorkItem item;
+        item.proc = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(procs)));
+        item.op = static_cast<core::OpId>(rng.below(static_cast<std::uint64_t>(op_count)));
+        item.block_size = std::array{4, 16, 64}[rng.below(3)];
+        const auto touched = rng.below(4);
+        for (std::uint64_t t = 0; t < touched; ++t) {
+          item.touched.push_back(static_cast<std::int64_t>(rng.below(40)));
+        }
+        cs.items.push_back(std::move(item));
+      }
+      out.program.add_compute(std::move(cs));
+    } else {
+      pattern::CommPattern pat{procs};
+      const auto msgs = 1 + rng.below(15);
+      for (std::uint64_t m = 0; m < msgs; ++m) {
+        const auto src = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(procs)));
+        const auto dst = static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(procs)));
+        pat.add(src, dst, Bytes{1 + rng.below(4096)},
+                static_cast<std::int64_t>(rng.below(40)));
+      }
+      out.program.add_comm(std::move(pat));
+    }
+  }
+  return out;
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgramTest, BareTestbedAgreesWithPredictorExactly) {
+  const auto rp = make_random_program(GetParam());
+  const auto params = loggp::presets::meiko_cs2(rp.procs);
+  const auto predicted =
+      core::Predictor{params}.predict_standard(rp.program, rp.costs);
+
+  machine::TestbedConfig cfg;
+  cfg.net = params;
+  cfg.cache_enabled = false;
+  cfg.iter_overhead = Time::zero();
+  cfg.local_copy_per_byte = 0.0;
+  cfg.latency_jitter_sd = 0.0;
+  const auto measured = machine::Testbed{cfg}.run(rp.program, rp.costs);
+
+  EXPECT_NEAR(measured.total_with_cache.us(), predicted.total.us(), 1e-6);
+  for (std::size_t p = 0; p < predicted.proc_end.size(); ++p) {
+    EXPECT_NEAR(measured.proc_end[p].us(), predicted.proc_end[p].us(), 1e-6)
+        << "proc " << p;
+  }
+}
+
+TEST_P(RandomProgramTest, WorstCaseNeverFasterThanStandard) {
+  const auto rp = make_random_program(GetParam() ^ 0x1111);
+  const auto params = loggp::presets::meiko_cs2(rp.procs);
+  const auto pred = core::Predictor{params}.predict(rp.program, rp.costs);
+  EXPECT_GE(pred.total_worst().us() + 1e-6, pred.total().us());
+}
+
+TEST_P(RandomProgramTest, OverlapAnomaliesStayBounded) {
+  // Overlapping is not provably monotone (Graham anomaly: reordering the
+  // Figure-2 scheduler's choices can backfire); on arbitrary programs we
+  // only require that any slowdown stays small.
+  const auto rp = make_random_program(GetParam() ^ 0x2222);
+  const auto params = loggp::presets::meiko_cs2(rp.procs);
+  const auto alt =
+      core::ProgramSimulator{params}.run(rp.program, rp.costs);
+  const auto ovl =
+      ext::OverlapProgramSimulator{params}.run(rp.program, rp.costs);
+  EXPECT_LE(ovl.total.us(), 1.30 * alt.total.us());
+}
+
+TEST(RandomProgramAggregate, OverlapUsuallyWins) {
+  int wins = 0, runs = 0;
+  for (std::uint64_t seed = 1; seed < 31; ++seed) {
+    const auto rp = make_random_program(seed ^ 0x2222);
+    const auto params = loggp::presets::meiko_cs2(rp.procs);
+    const double alt =
+        core::ProgramSimulator{params}.run(rp.program, rp.costs).total.us();
+    const double ovl = ext::OverlapProgramSimulator{params}
+                           .run(rp.program, rp.costs)
+                           .total.us();
+    ++runs;
+    if (ovl <= alt + 1e-6) ++wins;
+  }
+  EXPECT_GE(wins * 10, runs * 7) << wins << "/" << runs;
+}
+
+TEST_P(RandomProgramTest, LowerBoundsHold) {
+  const auto rp = make_random_program(GetParam() ^ 0x3333);
+  const auto params = loggp::presets::meiko_cs2(rp.procs);
+  const auto bounds = analysis::analyze_program(rp.program, rp.costs, params);
+  const auto sim =
+      core::Predictor{params}.predict_standard(rp.program, rp.costs);
+  EXPECT_LE(bounds.work_bound.us(), sim.total.us() + 1e-6);
+  EXPECT_LE(bounds.dependency_bound.us(), sim.total.us() + 1e-6);
+}
+
+TEST_P(RandomProgramTest, DecompositionConsistentPerProcessor) {
+  const auto rp = make_random_program(GetParam() ^ 0x4444);
+  const auto params = loggp::presets::meiko_cs2(rp.procs);
+  const auto result =
+      core::ProgramSimulator{params}.run(rp.program, rp.costs);
+  for (std::size_t p = 0; p < result.proc_end.size(); ++p) {
+    EXPECT_NEAR(result.proc_end[p].us(),
+                (result.comp[p] + result.comm[p]).us(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace logsim

@@ -1,0 +1,90 @@
+#include "search/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "layout/layout.hpp"
+
+namespace logsim::search {
+namespace {
+
+const std::vector<int> kBlocks{10, 12, 15, 16, 20, 24, 30, 32, 40, 48,
+                               60, 64, 80, 96, 120};
+
+TEST(ExhaustiveSearch, FindsGlobalMinimumAcrossLayouts) {
+  const layout::RowCyclic row{8};
+  const layout::DiagonalMap diag{8};
+  // Synthetic oracle: convex in block size, diagonal 10% cheaper.
+  const Evaluator eval = [](int b, const layout::Layout& l) {
+    const double base = (b - 40.0) * (b - 40.0) + 100.0;
+    return Time{l.name() == "diagonal" ? 0.9 * base : base};
+  };
+  const auto result = exhaustive_search(kBlocks, {&row, &diag}, eval);
+  EXPECT_EQ(result.best.block, 40);
+  EXPECT_EQ(result.best.layout, "diagonal");
+  EXPECT_EQ(result.evaluations, kBlocks.size() * 2);
+  EXPECT_EQ(result.evaluated.size(), kBlocks.size() * 2);
+}
+
+TEST(ExhaustiveSearch, TieKeepsFirstCandidate) {
+  const layout::RowCyclic row{8};
+  const Evaluator eval = [](int, const layout::Layout&) { return Time{5.0}; };
+  const auto result = exhaustive_search({10, 20}, {&row}, eval);
+  EXPECT_EQ(result.best.block, 10);
+}
+
+TEST(LocalDescent, FindsGlobalOnUnimodalCurve) {
+  const layout::DiagonalMap diag{8};
+  const Evaluator eval = [](int b, const layout::Layout&) {
+    return Time{std::abs(b - 48.0) + 10.0};
+  };
+  for (std::size_t start : {std::size_t{0}, kBlocks.size() / 2,
+                            kBlocks.size() - 1}) {
+    const auto result = local_descent(kBlocks, diag, eval, start);
+    EXPECT_EQ(result.best.block, 48) << "start=" << start;
+  }
+}
+
+TEST(LocalDescent, CanStopInLocalOptimumOfSawtooth) {
+  // Two valleys: a shallow one at 16 and the global one at 80.  Starting
+  // at the left edge the walk gets caught in the shallow valley -- the
+  // caveat the paper's "heuristics have to be used" remark anticipates.
+  const layout::DiagonalMap diag{8};
+  const std::map<int, double> saw{{10, 50}, {12, 40}, {15, 35}, {16, 30},
+                                  {20, 45}, {24, 60}, {30, 55}, {32, 50},
+                                  {40, 42}, {48, 30}, {60, 22}, {64, 18},
+                                  {80, 10}, {96, 25}, {120, 40}};
+  const Evaluator eval = [&](int b, const layout::Layout&) {
+    return Time{saw.at(b)};
+  };
+  const auto left = local_descent(kBlocks, diag, eval, 0);
+  EXPECT_EQ(left.best.block, 16);  // trapped
+  const auto right = local_descent(kBlocks, diag, eval, kBlocks.size() - 1);
+  EXPECT_EQ(right.best.block, 80);  // global from the other side
+}
+
+TEST(LocalDescent, CheaperThanExhaustive) {
+  const layout::DiagonalMap diag{8};
+  std::size_t calls = 0;
+  const Evaluator eval = [&](int b, const layout::Layout&) {
+    ++calls;
+    return Time{std::abs(b - 20.0)};
+  };
+  const auto result = local_descent(kBlocks, diag, eval, 2);  // start at 15
+  EXPECT_EQ(result.best.block, 20);
+  EXPECT_LT(calls, kBlocks.size());  // memoized walk, not a full sweep
+  EXPECT_EQ(result.evaluations, calls);
+}
+
+TEST(LocalDescent, SinglePointDomain) {
+  const layout::RowCyclic row{2};
+  const Evaluator eval = [](int, const layout::Layout&) { return Time{1.0}; };
+  const auto result = local_descent({42}, row, eval, 0);
+  EXPECT_EQ(result.best.block, 42);
+  EXPECT_EQ(result.evaluations, 1u);
+}
+
+}  // namespace
+}  // namespace logsim::search

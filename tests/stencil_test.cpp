@@ -1,0 +1,151 @@
+#include "stencil/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "core/comm_sim.hpp"
+#include "core/predictor.hpp"
+#include "stencil/stencil_reference.hpp"
+
+namespace logsim::stencil {
+namespace {
+
+TEST(StencilConfig, Validity) {
+  EXPECT_TRUE((StencilConfig{.n = 64, .procs = 8}.valid()));
+  EXPECT_FALSE((StencilConfig{.n = 65, .procs = 8}.valid()));  // 65 % 8
+  StencilConfig tiles{.n = 64, .partition = Partition::kTiles2D, .procs = 9};
+  EXPECT_FALSE(tiles.valid());  // 64 % 3 != 0
+  tiles.n = 63;
+  EXPECT_TRUE(tiles.valid());
+  tiles.procs = 8;  // not a perfect square
+  EXPECT_FALSE(tiles.valid());
+}
+
+TEST(StencilProgram, StripHaloCounts) {
+  const StencilConfig cfg{.n = 64, .iterations = 3, .procs = 8};
+  StencilScheduleInfo info;
+  const auto program = build_stencil_program(cfg, info);
+  // 2 messages per interior boundary.
+  EXPECT_EQ(info.halo_messages_per_iter, 2u * 7u);
+  EXPECT_EQ(info.halo_bytes_per_iter.count(), 14u * 64u * 8u);
+  EXPECT_EQ(info.tile_rows, 8);
+  EXPECT_EQ(info.tile_cols, 64);
+  EXPECT_EQ(program.comm_step_count(), 3u);
+  EXPECT_EQ(program.compute_step_count(), 3u);
+}
+
+TEST(StencilProgram, TileHaloCounts) {
+  const StencilConfig cfg{.n = 64, .iterations = 1,
+                          .partition = Partition::kTiles2D, .procs = 16};
+  StencilScheduleInfo info;
+  const auto program = build_stencil_program(cfg, info);
+  // 4x4 grid: 2*q*(q-1) interior boundaries, 2 messages each = 48.
+  EXPECT_EQ(info.halo_messages_per_iter, 48u);
+  EXPECT_EQ(info.tile_rows, 16);
+  EXPECT_EQ(program.comm_step_count(), 1u);
+}
+
+TEST(StencilProgram, TwoDMovesLessDataThanOneD) {
+  // The surface-to-volume argument: with P=16 on a 256 grid, 1-D halos
+  // carry 30 rows of 256 cells, 2-D only 48 edges of 64 cells.
+  const StencilConfig strips{.n = 256, .iterations = 1, .procs = 16};
+  const StencilConfig tiles{.n = 256, .iterations = 1,
+                            .partition = Partition::kTiles2D, .procs = 16};
+  StencilScheduleInfo si, ti;
+  [[maybe_unused]] auto p1 = build_stencil_program(strips, si);
+  [[maybe_unused]] auto p2 = build_stencil_program(tiles, ti);
+  EXPECT_LT(ti.halo_bytes_per_iter.count(), si.halo_bytes_per_iter.count());
+  // ...but in more, smaller messages.
+  EXPECT_GT(ti.halo_messages_per_iter, si.halo_messages_per_iter);
+}
+
+TEST(StencilProgram, PatternsValidUnderSimulation) {
+  for (auto partition : {Partition::kStrips1D, Partition::kTiles2D}) {
+    const StencilConfig cfg{.n = 64, .iterations = 1, .partition = partition,
+                            .procs = 16};
+    const auto program = build_stencil_program(cfg);
+    const auto params = loggp::presets::meiko_cs2(16);
+    for (std::size_t s = 0; s < program.size(); ++s) {
+      if (const auto* c = std::get_if<core::CommStep>(&program.step(s))) {
+        const auto trace = core::CommSimulator{params}.run(c->pattern);
+        const auto verdict = core::validate_trace(trace, c->pattern);
+        EXPECT_EQ(verdict, std::nullopt) << *verdict;
+      }
+    }
+  }
+}
+
+TEST(StencilProgram, SingleProcNoCommunication) {
+  const StencilConfig cfg{.n = 32, .iterations = 4, .procs = 1};
+  StencilScheduleInfo info;
+  const auto program = build_stencil_program(cfg, info);
+  EXPECT_EQ(info.halo_messages_per_iter, 0u);
+  EXPECT_EQ(program.comm_step_count(), 0u);
+  EXPECT_EQ(program.compute_step_count(), 4u);
+}
+
+TEST(StencilProgram, PredictionScalesWithIterations) {
+  const StencilConfig one{.n = 128, .iterations = 1, .procs = 8};
+  StencilConfig ten = one;
+  ten.iterations = 10;
+  const auto costs = stencil_cost_table(one);
+  const core::Predictor pred{loggp::presets::meiko_cs2(8)};
+  const double t1 =
+      pred.predict_standard(build_stencil_program(one), costs).total.us();
+  const double t10 =
+      pred.predict_standard(build_stencil_program(ten), costs).total.us();
+  // Slightly superlinear: the single-iteration run hides part of the halo
+  // latency behind the absence of a preceding receive history.
+  EXPECT_NEAR(t10 / t1, 10.0, 1.5);
+}
+
+TEST(StencilProgram, MoreProcsLessTimePerIteration) {
+  const core::Predictor pred{loggp::presets::meiko_cs2(16)};
+  const StencilConfig p4{.n = 512, .iterations = 2, .procs = 4};
+  const StencilConfig p16{.n = 512, .iterations = 2, .procs = 16};
+  const double t4 = pred.predict_standard(build_stencil_program(p4),
+                                          stencil_cost_table(p4)).total.us();
+  const double t16 = pred.predict_standard(build_stencil_program(p16),
+                                           stencil_cost_table(p16)).total.us();
+  EXPECT_LT(t16, t4);
+}
+
+// --- numeric reference ---------------------------------------------------
+
+TEST(StencilNumeric, SweepKeepsBorder) {
+  const std::size_t n = 8;
+  Field f(n * n, 0.0);
+  f[0] = 5.0;
+  f[n * n - 1] = -3.0;
+  const Field g = jacobi_sweep(f, n);
+  EXPECT_DOUBLE_EQ(g[0], 5.0);
+  EXPECT_DOUBLE_EQ(g[n * n - 1], -3.0);
+}
+
+TEST(StencilNumeric, SweepAveragesInterior) {
+  const std::size_t n = 3;
+  Field f(9, 0.0);
+  f[1] = 4.0;   // north of centre
+  f[3] = 8.0;   // west
+  const Field g = jacobi_sweep(f, n);
+  EXPECT_DOUBLE_EQ(g[4], 3.0);  // (4 + 8 + 0 + 0) / 4
+}
+
+class StencilDecompositionTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(StencilDecompositionTest, DecomposedMatchesMonolithic) {
+  const auto [n, strips, iters] = GetParam();
+  EXPECT_EQ(stencil_residual(n, strips, iters), 0.0)
+      << "n=" << n << " strips=" << strips << " iters=" << iters;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StencilDecompositionTest,
+    ::testing::Values(std::tuple{8ul, 2, 1}, std::tuple{8ul, 4, 3},
+                      std::tuple{16ul, 4, 5}, std::tuple{32ul, 8, 4},
+                      std::tuple{64ul, 16, 2}, std::tuple{24ul, 3, 6}));
+
+}  // namespace
+}  // namespace logsim::stencil

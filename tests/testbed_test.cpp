@@ -1,0 +1,154 @@
+#include "machine/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "ops/analytic_model.hpp"
+
+namespace logsim::machine {
+namespace {
+
+core::StepProgram small_ge(const layout::Layout& map, int n = 240,
+                           int block = 24) {
+  return ge::build_ge_program(ge::GeConfig{.n = n, .block = block}, map);
+}
+
+TestbedConfig bare_config() {
+  // All extra effects off: the Testbed must then agree exactly with the
+  // plain LogGP predictor -- the strongest possible cross-validation of
+  // the two independent execution paths.
+  TestbedConfig cfg = TestbedConfig::meiko_cs2(8);
+  cfg.cache_enabled = false;
+  cfg.iter_overhead = Time::zero();
+  cfg.local_copy_per_byte = 0.0;
+  cfg.latency_jitter_sd = 0.0;
+  return cfg;
+}
+
+TEST(Testbed, BareConfigMatchesPredictorExactly) {
+  const layout::DiagonalMap map{8};
+  const auto program = small_ge(map);
+  const auto costs = ops::analytic_cost_table();
+  const auto predicted =
+      core::Predictor{loggp::presets::meiko_cs2(8)}.predict_standard(program,
+                                                                     costs);
+  const auto measured = Testbed{bare_config()}.run(program, costs);
+  EXPECT_NEAR(measured.total_with_cache.us(), predicted.total.us(), 1e-6);
+  EXPECT_NEAR(measured.comp_max().us(), predicted.comp_max().us(), 1e-6);
+  EXPECT_NEAR(measured.comm_max().us(), predicted.comm_max().us(), 1e-6);
+}
+
+TEST(Testbed, EachEffectOnlyAddsTime) {
+  const layout::DiagonalMap map{8};
+  const auto program = small_ge(map);
+  const auto costs = ops::analytic_cost_table();
+  const double bare =
+      Testbed{bare_config()}.run(program, costs).total_with_cache.us();
+
+  auto with = [&](auto mutate) {
+    TestbedConfig cfg = bare_config();
+    mutate(cfg);
+    return Testbed{cfg}.run(program, costs).total_with_cache.us();
+  };
+  EXPECT_GT(with([](TestbedConfig& c) { c.cache_enabled = true; }), bare);
+  EXPECT_GT(with([](TestbedConfig& c) { c.iter_overhead = Time{5.0}; }), bare);
+  EXPECT_GE(with([](TestbedConfig& c) { c.local_copy_per_byte = 0.01; }), bare);
+  EXPECT_GT(with([](TestbedConfig& c) { c.latency_jitter_sd = 0.25; }), bare);
+}
+
+TEST(Testbed, DeterministicForFixedSeed) {
+  const layout::RowCyclic map{8};
+  const auto program = small_ge(map);
+  const auto costs = ops::analytic_cost_table();
+  const TestbedConfig cfg = TestbedConfig::meiko_cs2(8);
+  const auto a = Testbed{cfg}.run(program, costs);
+  const auto b = Testbed{cfg}.run(program, costs);
+  EXPECT_DOUBLE_EQ(a.total_with_cache.us(), b.total_with_cache.us());
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+TEST(Testbed, DifferentSeedsDifferentJitter) {
+  const layout::RowCyclic map{8};
+  const auto program = small_ge(map);
+  const auto costs = ops::analytic_cost_table();
+  TestbedConfig cfg = TestbedConfig::meiko_cs2(8);
+  cfg.seed = 1;
+  const double t1 = Testbed{cfg}.run(program, costs).total_with_cache.us();
+  cfg.seed = 2;
+  const double t2 = Testbed{cfg}.run(program, costs).total_with_cache.us();
+  EXPECT_NE(t1, t2);
+}
+
+TEST(Testbed, WithCacheAtLeastWithoutCache) {
+  const layout::DiagonalMap map{8};
+  const auto program = small_ge(map);
+  const auto costs = ops::analytic_cost_table();
+  const auto r = Testbed{TestbedConfig::meiko_cs2(8)}.run(program, costs);
+  EXPECT_GE(r.total_with_cache.us(), r.total_without_cache.us());
+  EXPECT_GT(r.cache_misses, 0u);
+  EXPECT_GT(r.stall_max().us(), 0.0);
+}
+
+TEST(Testbed, MeasuredCommExceedsStandardPrediction) {
+  // Jitter only delays messages, so the measured communication residence
+  // is at least the plain-LogGP prediction (the paper's "predicted values
+  // are expected to be under the measured ones").
+  const layout::DiagonalMap map{8};
+  const auto program = small_ge(map);
+  const auto costs = ops::analytic_cost_table();
+  TestbedConfig cfg = bare_config();
+  cfg.latency_jitter_sd = 0.25;
+  const auto measured = Testbed{cfg}.run(program, costs);
+  const auto predicted =
+      core::Predictor{loggp::presets::meiko_cs2(8)}.predict_standard(program,
+                                                                     costs);
+  EXPECT_GE(measured.total_with_cache.us(), predicted.total.us() - 1e-6);
+}
+
+TEST(Testbed, SelfMessagesChargedAsLocalCopies) {
+  // Row-cyclic GE produces self-messages; with only the local-copy knob
+  // enabled the testbed must exceed the predictor (which ignores them).
+  const layout::RowCyclic map{8};
+  const auto program = small_ge(map);
+  const auto costs = ops::analytic_cost_table();
+  TestbedConfig cfg = bare_config();
+  cfg.local_copy_per_byte = 0.05;
+  const auto measured = Testbed{cfg}.run(program, costs);
+  const auto predicted =
+      core::Predictor{loggp::presets::meiko_cs2(8)}.predict_standard(program,
+                                                                     costs);
+  EXPECT_GT(measured.total_with_cache.us(), predicted.total.us());
+}
+
+TEST(Testbed, SmallBlocksSufferMoreCacheStallShare) {
+  // The paper's observation: cache effects hit small block sizes hardest.
+  const layout::DiagonalMap map{8};
+  const auto costs = ops::analytic_cost_table();
+  const Testbed tb{TestbedConfig::meiko_cs2(8)};
+  const auto small = tb.run(small_ge(map, 240, 10), costs);
+  const auto large = tb.run(small_ge(map, 240, 60), costs);
+  const double small_share =
+      small.stall_max().us() / small.total_with_cache.us();
+  const double large_share =
+      large.stall_max().us() / large.total_with_cache.us();
+  EXPECT_GT(small_share, large_share);
+}
+
+TEST(Testbed, ResultVectorsSized) {
+  const layout::DiagonalMap map{8};
+  const auto r = Testbed{TestbedConfig::meiko_cs2(8)}.run(
+      small_ge(map), ops::analytic_cost_table());
+  EXPECT_EQ(r.proc_end.size(), 8u);
+  EXPECT_EQ(r.comp.size(), 8u);
+  EXPECT_EQ(r.comm.size(), 8u);
+  EXPECT_EQ(r.stall.size(), 8u);
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_NEAR(r.proc_end[p].us(),
+                (r.comp[p] + r.comm[p] + r.stall[p]).us(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace logsim::machine

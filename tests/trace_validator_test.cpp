@@ -1,0 +1,164 @@
+// The validator is the executable specification of the LogGP constraints;
+// these tests feed it deliberately broken traces and expect rejection.
+
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "loggp/cost.hpp"
+#include "pattern/comm_pattern.hpp"
+
+namespace logsim::core {
+namespace {
+
+const loggp::Params kP = loggp::presets::meiko_cs2(2);
+
+pattern::CommPattern one_message() {
+  pattern::CommPattern pat{2};
+  pat.add(0, 1, Bytes{1});
+  return pat;
+}
+
+OpRecord make_op(ProcId proc, loggp::OpKind kind, double start, ProcId peer,
+                 Bytes bytes, std::size_t msg_index) {
+  OpRecord op;
+  op.proc = proc;
+  op.kind = kind;
+  op.start = Time{start};
+  op.cpu_end = Time{start} + kP.o;
+  op.port_end = kind == loggp::OpKind::kSend
+                    ? Time{start} + loggp::send_occupancy(bytes, kP)
+                    : op.cpu_end;
+  op.peer = peer;
+  op.bytes = bytes;
+  op.msg_index = msg_index;
+  return op;
+}
+
+TEST(TraceValidator, AcceptsCorrectTrace) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  t.record(make_op(1, loggp::OpKind::kRecv, 11.0, 0, Bytes{1}, 0));
+  EXPECT_EQ(validate_trace(t, pat), std::nullopt);
+}
+
+TEST(TraceValidator, RejectsMissingReceive) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  const auto verdict = validate_trace(t, pat);
+  ASSERT_NE(verdict, std::nullopt);
+  EXPECT_NE(verdict->find("received 0x"), std::string::npos);
+}
+
+TEST(TraceValidator, RejectsDuplicateSend) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  t.record(make_op(0, loggp::OpKind::kSend, 50.0, 1, Bytes{1}, 0));
+  t.record(make_op(1, loggp::OpKind::kRecv, 61.0, 0, Bytes{1}, 0));
+  EXPECT_NE(validate_trace(t, pat), std::nullopt);
+}
+
+TEST(TraceValidator, RejectsEarlyReceive) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  t.record(make_op(1, loggp::OpKind::kRecv, 5.0, 0, Bytes{1}, 0));  // < 11
+  const auto verdict = validate_trace(t, pat);
+  ASSERT_NE(verdict, std::nullopt);
+  EXPECT_NE(verdict->find("before arrival"), std::string::npos);
+}
+
+TEST(TraceValidator, RejectsGapViolation) {
+  pattern::CommPattern pat{2};
+  pat.add(0, 1, Bytes{1});
+  pat.add(0, 1, Bytes{1});
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  t.record(make_op(0, loggp::OpKind::kSend, 5.0, 1, Bytes{1}, 1));  // < g=13
+  t.record(make_op(1, loggp::OpKind::kRecv, 11.0, 0, Bytes{1}, 0));
+  t.record(make_op(1, loggp::OpKind::kRecv, 24.0, 0, Bytes{1}, 1));
+  const auto verdict = validate_trace(t, pat);
+  ASSERT_NE(verdict, std::nullopt);
+  EXPECT_NE(verdict->find("gap"), std::string::npos);
+}
+
+TEST(TraceValidator, RejectsWrongEndpoints) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(1, loggp::OpKind::kSend, 0.0, 0, Bytes{1}, 0));  // swapped
+  t.record(make_op(0, loggp::OpKind::kRecv, 11.0, 1, Bytes{1}, 0));
+  EXPECT_NE(validate_trace(t, pat), std::nullopt);
+}
+
+TEST(TraceValidator, RejectsByteMismatch) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{99}, 0));
+  t.record(make_op(1, loggp::OpKind::kRecv, 11.0, 0, Bytes{99}, 0));
+  EXPECT_NE(validate_trace(t, pat), std::nullopt);
+}
+
+TEST(TraceValidator, RejectsOpBeforeReadyTime) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  t.record(make_op(1, loggp::OpKind::kRecv, 11.0, 0, Bytes{1}, 0));
+  const std::vector<Time> ready{Time{5.0}, Time{0.0}};
+  const auto verdict = validate_trace(t, pat, ready);
+  ASSERT_NE(verdict, std::nullopt);
+  EXPECT_NE(verdict->find("ready time"), std::string::npos);
+}
+
+TEST(TraceValidator, RejectsOutOfRangeMessageIndex) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 7));
+  EXPECT_NE(validate_trace(t, pat), std::nullopt);
+}
+
+TEST(TraceValidator, RejectsInconsistentCpuEnd) {
+  const auto pat = one_message();
+  CommTrace t{2, kP};
+  auto send = make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0);
+  send.cpu_end = Time{100.0};
+  t.record(send);
+  t.record(make_op(1, loggp::OpKind::kRecv, 11.0, 0, Bytes{1}, 0));
+  EXPECT_NE(validate_trace(t, pat), std::nullopt);
+}
+
+TEST(TraceValidator, SelfMessagesMustNotAppearInTrace) {
+  pattern::CommPattern pat{2};
+  pat.add(0, 0, Bytes{1});
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 0, Bytes{1}, 0));
+  EXPECT_NE(validate_trace(t, pat), std::nullopt);
+}
+
+TEST(Trace, FinishTimesAndCounts) {
+  CommTrace t{3, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  t.record(make_op(1, loggp::OpKind::kRecv, 11.0, 0, Bytes{1}, 0));
+  EXPECT_EQ(t.send_count(), 1u);
+  EXPECT_EQ(t.recv_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.finish_of(0).us(), 2.0);
+  EXPECT_DOUBLE_EQ(t.finish_of(1).us(), 13.0);
+  EXPECT_DOUBLE_EQ(t.finish_of(2).us(), 0.0);
+  const auto finishes = t.finish_times();
+  ASSERT_EQ(finishes.size(), 3u);
+  EXPECT_DOUBLE_EQ(finishes[1].us(), 13.0);
+  EXPECT_DOUBLE_EQ(t.makespan().us(), 13.0);
+}
+
+TEST(Trace, OpsOfSortsByStart) {
+  CommTrace t{2, kP};
+  t.record(make_op(0, loggp::OpKind::kSend, 20.0, 1, Bytes{1}, 1));
+  t.record(make_op(0, loggp::OpKind::kSend, 0.0, 1, Bytes{1}, 0));
+  const auto ops = t.ops_of(0);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_LT(ops[0].start, ops[1].start);
+}
+
+}  // namespace
+}  // namespace logsim::core

@@ -1,0 +1,124 @@
+#include "trisolve/trisolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "core/comm_sim.hpp"
+#include "core/predictor.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::trisolve {
+namespace {
+
+TEST(TriSolveConfig, Validity) {
+  EXPECT_TRUE((TriSolveConfig{.n = 960, .block = 48, .procs = 8}.valid()));
+  EXPECT_FALSE((TriSolveConfig{.n = 960, .block = 49, .procs = 8}.valid()));
+}
+
+TEST(TriSolveCosts, SolveCheaperThanUpdate) {
+  const auto costs = trisolve_cost_table(48);
+  EXPECT_LT(costs.cost(kSolve, 48).us(), costs.cost(kUpdate, 48).us());
+  EXPECT_DOUBLE_EQ(costs.cost(kUpdate, 48).us() / costs.cost(kSolve, 48).us(),
+                   2.0);
+}
+
+TEST(TriSolveProgram, OpCounts) {
+  const TriSolveConfig cfg{.n = 80, .block = 16, .procs = 4};  // nb = 5
+  TriSolveInfo info;
+  const auto program = build_trisolve_program(cfg, info);
+  EXPECT_EQ(info.solves, 5u);
+  EXPECT_EQ(info.updates, 4u + 3u + 2u + 1u);
+  EXPECT_EQ(program.compute_step_count(), 2u * 5u - 1u);
+  EXPECT_EQ(program.comm_step_count(), 4u);
+}
+
+TEST(TriSolveProgram, MulticastDedupedPerProcessor) {
+  // At step j the x_j block travels at most once to each processor.
+  const TriSolveConfig cfg{.n = 192, .block = 16, .procs = 4};  // nb = 12
+  const auto program = build_trisolve_program(cfg);
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    if (const auto* c = std::get_if<core::CommStep>(&program.step(s))) {
+      std::set<ProcId> dsts;
+      for (const auto& m : c->pattern.messages()) {
+        EXPECT_TRUE(dsts.insert(m.dst).second) << "duplicate destination";
+      }
+    }
+  }
+}
+
+TEST(TriSolveProgram, PatternsValid) {
+  const TriSolveConfig cfg{.n = 96, .block = 12, .procs = 4};
+  const auto program = build_trisolve_program(cfg);
+  const auto params = loggp::presets::meiko_cs2(4);
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    if (const auto* c = std::get_if<core::CommStep>(&program.step(s))) {
+      if (c->pattern.size() == c->pattern.self_message_count()) continue;
+      const auto verdict = core::validate_trace(
+          core::CommSimulator{params}.run(c->pattern), c->pattern);
+      EXPECT_EQ(verdict, std::nullopt) << *verdict;
+    }
+  }
+}
+
+TEST(TriSolveProgram, PipeliningBeatsSerialChain) {
+  // The substitution has a serial chain of nb solves, but the updates
+  // pipeline: with P processors the total must sit well under the fully
+  // serial sum of all ops, yet above the serial solve chain.
+  const TriSolveConfig cfg{.n = 960, .block = 48, .procs = 8};  // nb = 20
+  const auto costs = trisolve_cost_table(cfg.block);
+  const auto pred = core::Predictor{loggp::presets::meiko_cs2(cfg.procs)}
+                        .predict_standard(build_trisolve_program(cfg), costs);
+  const double solve_chain = 20.0 * costs.cost(kSolve, 48).us();
+  double serial_all = 20.0 * costs.cost(kSolve, 48).us();
+  serial_all += (19.0 * 20.0 / 2.0) * costs.cost(kUpdate, 48).us();
+  EXPECT_GT(pred.total.us(), solve_chain);
+  EXPECT_LT(pred.total.us(), serial_all);
+}
+
+TEST(TriSolveProgram, MoreProcsNoSlower) {
+  const auto costs = trisolve_cost_table(24);
+  auto total = [&](int procs) {
+    const TriSolveConfig cfg{.n = 480, .block = 24, .procs = procs};
+    return core::Predictor{loggp::presets::meiko_cs2(procs)}
+        .predict_standard(build_trisolve_program(cfg), costs)
+        .total.us();
+  };
+  EXPECT_LE(total(8), total(2) + 1e-6);
+}
+
+// --- numeric reference ---------------------------------------------------
+
+TEST(TriSolveNumeric, PlainSubstitutionSolves) {
+  util::Rng rng{3};
+  const std::size_t n = 12;
+  ops::Matrix l = ops::Matrix::random(rng, n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+    l(i, i) = 20.0;
+  }
+  const ops::Matrix b = ops::Matrix::random(rng, n, 1);
+  const ops::Matrix x = forward_substitute(l, b);
+  EXPECT_LT(l.multiply(x).max_abs_diff(b), 1e-10);
+}
+
+class TriSolveNumericTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(TriSolveNumericTest, BlockedMatchesPlain) {
+  const auto [n, block] = GetParam();
+  EXPECT_LT(trisolve_residual(n * 7 + static_cast<std::uint64_t>(block), n,
+                              block),
+            1e-10)
+      << "n=" << n << " block=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TriSolveNumericTest,
+    ::testing::Values(std::tuple{4ul, 2}, std::tuple{8ul, 2},
+                      std::tuple{12ul, 3}, std::tuple{16ul, 4},
+                      std::tuple{24ul, 8}, std::tuple{32ul, 16},
+                      std::tuple{48ul, 48}));
+
+}  // namespace
+}  // namespace logsim::trisolve

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace logsim::util {
+namespace {
+
+using namespace logsim::literals;
+
+TEST(TimeType, ArithmeticAndComparisons) {
+  const Time a{2.0};
+  const Time b{3.0};
+  EXPECT_DOUBLE_EQ((a + b).us(), 5.0);
+  EXPECT_DOUBLE_EQ((b - a).us(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 4.0).us(), 8.0);
+  EXPECT_DOUBLE_EQ((4.0 * a).us(), 8.0);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(min(a, b), a);
+}
+
+TEST(TimeType, LiteralsAndConversions) {
+  EXPECT_DOUBLE_EQ((1.5_ms).us(), 1500.0);
+  EXPECT_DOUBLE_EQ((2_s).us(), 2e6);
+  EXPECT_DOUBLE_EQ((3_us).us(), 3.0);
+  EXPECT_DOUBLE_EQ((1500_us).ms(), 1.5);
+  EXPECT_DOUBLE_EQ((2.0_s).sec(), 2.0);
+}
+
+TEST(TimeType, Infinity) {
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_FALSE(Time::zero().is_infinite());
+  EXPECT_LT(Time{1e30}, Time::infinity());
+}
+
+TEST(BytesType, SumAndCompare) {
+  EXPECT_EQ((Bytes{3} + Bytes{4}).count(), 7u);
+  EXPECT_LT(Bytes{3}, Bytes{4});
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, NumericRowsFormatted) {
+  Table t{{"x", "y"}};
+  t.add_row_numeric({1.23456, 7.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("7.00"), std::string::npos);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Csv, WritesHeaderAndEscapes) {
+  const std::string path = testing::TempDir() + "/logsim_csv_test.csv";
+  {
+    CsvWriter w{path, {"a", "b"}};
+    ASSERT_TRUE(w.ok());
+    w.add_row({"plain", "has,comma"});
+    w.add_row({"quote\"inside", "x"});
+  }
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LineChart, RendersAllSeriesInLegend) {
+  LineChart chart{40, 10};
+  chart.set_title("demo");
+  chart.add_series("up", '*', {0, 1, 2}, {0, 1, 2});
+  chart.add_series("down", 'o', {0, 1, 2}, {2, 1, 0});
+  const std::string s = chart.render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("[*] up"), std::string::npos);
+  EXPECT_NE(s.find("[o] down"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(LineChart, DegenerateSingularPointStillRenders) {
+  LineChart chart{20, 5};
+  chart.add_series("dot", '+', {1.0}, {1.0});
+  EXPECT_FALSE(chart.render().empty());
+}
+
+TEST(GanttChart, LanesAndBoxes) {
+  GanttChart g{40};
+  g.set_lane_name(0, "P1");
+  g.set_lane_name(1, "P2");
+  g.add_box(0, 0.0, 5.0, 's');
+  g.add_box(1, 5.0, 10.0, 'r');
+  const std::string s = g.render();
+  EXPECT_NE(s.find("P1"), std::string::npos);
+  EXPECT_NE(s.find("P2"), std::string::npos);
+  EXPECT_NE(s.find('s'), std::string::npos);
+  EXPECT_NE(s.find('r'), std::string::npos);
+}
+
+TEST(GanttChart, OverlapMarkedWithHash) {
+  GanttChart g{20};
+  g.set_lane_name(0, "P");
+  g.add_box(0, 0.0, 10.0, 'a');
+  g.add_box(0, 0.0, 10.0, 'b');
+  EXPECT_NE(g.render().find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logsim::util

@@ -1,0 +1,148 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace logsim::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a{1}, b{2};
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r{0};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(10), 10u);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r{13};
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r{17};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng r{19};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r{23};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.5, 4.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng r{29};
+  double sum = 0.0, sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r{31};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceProbabilityRoughlyHonored) {
+  Rng r{37};
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits, kDraws / 4, kDraws * 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{41};
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  Rng r{43};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  std::shuffle(v.begin(), v.end(), r);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace logsim::util

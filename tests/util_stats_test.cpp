@@ -1,0 +1,124 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace logsim::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZeroed) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator a;
+  a.add(-3.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), std::sqrt(18.0));
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, EmptyGivesNaN) {
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Ranks, SimpleOrder) {
+  const std::vector<double> xs{30, 10, 20};
+  const auto r = ranks(xs);
+  EXPECT_EQ(r, (std::vector<double>{3, 1, 2}));
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const std::vector<double> xs{10, 20, 10};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.5);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+  EXPECT_DOUBLE_EQ(r[2], 1.5);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  // Spearman sees through monotone transforms; Pearson would not be 1.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedIsMinusOne) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 8, 6, 4, 2};
+  EXPECT_NEAR(spearman(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Argmin, FindsFirstMinimum) {
+  const std::vector<double> xs{3, 1, 2, 1};
+  EXPECT_EQ(argmin(xs), 1u);
+}
+
+TEST(Argmin, EmptyReturnsSentinel) {
+  EXPECT_EQ(argmin({}), static_cast<std::size_t>(-1));
+}
+
+}  // namespace
+}  // namespace logsim::util

@@ -1,0 +1,146 @@
+#include "core/worst_case.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/comm_sim.hpp"
+#include "pattern/builders.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::core {
+namespace {
+
+const loggp::Params kMeiko = loggp::presets::meiko_cs2(10);
+
+TEST(WorstCase, SingleMessageSameAsStandard) {
+  const auto pat = pattern::single_message(2, Bytes{112});
+  const CommTrace std_trace = CommSimulator{kMeiko}.run(pat);
+  const CommTrace wc_trace = WorstCaseSimulator{kMeiko}.run(pat);
+  EXPECT_EQ(validate_trace(wc_trace, pat), std::nullopt);
+  EXPECT_DOUBLE_EQ(wc_trace.makespan().us(), std_trace.makespan().us());
+}
+
+TEST(WorstCase, ReceivesPrecedeSendsPerProcessor) {
+  const auto pat = pattern::paper_fig3();
+  const CommTrace trace = WorstCaseSimulator{kMeiko}.run(pat);
+  EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+  for (int p = 0; p < pat.procs(); ++p) {
+    const auto ops = trace.ops_of(p);
+    bool seen_send = false;
+    for (const auto& op : ops) {
+      if (op.kind == loggp::OpKind::kSend) {
+        seen_send = true;
+      } else {
+        EXPECT_FALSE(seen_send)
+            << "P" << p << " received after sending in the worst-case run";
+      }
+    }
+  }
+}
+
+TEST(WorstCase, PaperFig5SlowerThanFig4) {
+  const auto pat = pattern::paper_fig3();
+  const Time std_t = CommSimulator{kMeiko}.run(pat).makespan();
+  const Time wc_t = WorstCaseSimulator{kMeiko}.run(pat).makespan();
+  EXPECT_GT(wc_t.us(), std_t.us());
+}
+
+TEST(WorstCase, ChainPatternFullySequentializes) {
+  // 0 -> 1 -> 2: under the worst-case rule P1 may only send after its
+  // receive completes, so the makespan is two full point-to-point times
+  // plus the recv->send turnaround.
+  pattern::CommPattern pat{3};
+  pat.add(0, 1, Bytes{1});
+  pat.add(1, 2, Bytes{1});
+  const CommTrace trace = WorstCaseSimulator{kMeiko}.run(pat);
+  EXPECT_EQ(validate_trace(trace, pat), std::nullopt);
+  // recv at P1: [11, 13); next send >= 11 + max(o,g) = 24; arrival 35;
+  // recv at P2: [35, 37).
+  EXPECT_DOUBLE_EQ(trace.makespan().us(), 37.0);
+  const auto ops1 = trace.ops_of(1);
+  ASSERT_EQ(ops1.size(), 2u);
+  EXPECT_EQ(ops1[0].kind, loggp::OpKind::kRecv);
+  EXPECT_DOUBLE_EQ(ops1[1].start.us(), 24.0);
+}
+
+TEST(WorstCase, CyclicPatternTerminatesViaDeadlockBreak) {
+  const auto pat = pattern::ring(4, Bytes{64});
+  ASSERT_TRUE(pat.has_processor_cycle());
+  const CommTrace trace = WorstCaseSimulator{kMeiko}.run(pat);
+  const auto verdict = validate_trace(trace, pat);
+  EXPECT_EQ(verdict, std::nullopt) << *verdict;
+  EXPECT_EQ(trace.send_count(), 4u);
+  EXPECT_EQ(trace.recv_count(), 4u);
+}
+
+TEST(WorstCase, AllToAllTerminatesAndIsValid) {
+  const auto pat = pattern::all_to_all(6, Bytes{50});
+  const auto params = loggp::presets::meiko_cs2(6);
+  const CommTrace trace = WorstCaseSimulator{params}.run(pat);
+  const auto verdict = validate_trace(trace, pat);
+  EXPECT_EQ(verdict, std::nullopt) << *verdict;
+  EXPECT_EQ(trace.send_count(), 30u);
+}
+
+TEST(WorstCase, ReadyTimesHonored) {
+  const auto pat = pattern::single_message(2, Bytes{1});
+  const std::vector<Time> ready{Time{50.0}, Time{0.0}};
+  const CommTrace trace = WorstCaseSimulator{kMeiko}.run(pat, ready);
+  EXPECT_EQ(validate_trace(trace, pat, ready), std::nullopt);
+  EXPECT_DOUBLE_EQ(trace.ops_of(0)[0].start.us(), 50.0);
+}
+
+TEST(WorstCase, DeterministicForFixedSeed) {
+  const auto pat = pattern::all_to_all(5, Bytes{20});
+  const auto params = loggp::presets::meiko_cs2(5);
+  WorstCaseOptions opts;
+  opts.seed = 17;
+  const CommTrace a = WorstCaseSimulator{params, opts}.run(pat);
+  const CommTrace b = WorstCaseSimulator{params, opts}.run(pat);
+  ASSERT_EQ(a.ops().size(), b.ops().size());
+  for (std::size_t i = 0; i < a.ops().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ops()[i].start.us(), b.ops()[i].start.us());
+  }
+}
+
+class WorstCasePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorstCasePropertyTest, TraceValidOnRandomDagPatterns) {
+  util::Rng rng{GetParam()};
+  const int procs = static_cast<int>(2 + rng.below(9));
+  const auto pat = pattern::random_dag_pattern(rng, procs, 1 + rng.below(50),
+                                               Bytes{1}, Bytes{1500});
+  const auto params = loggp::presets::meiko_cs2(procs);
+  const CommTrace trace = WorstCaseSimulator{params}.run(pat);
+  const auto verdict = validate_trace(trace, pat);
+  EXPECT_EQ(verdict, std::nullopt) << *verdict;
+}
+
+TEST_P(WorstCasePropertyTest, OverestimatesStandardOnDagPatterns) {
+  // The whole point of the Section-4.2 algorithm: an upper bound on the
+  // communication time of the standard schedule.
+  util::Rng rng{GetParam() ^ 0x777};
+  const int procs = static_cast<int>(3 + rng.below(8));
+  const auto pat = pattern::random_dag_pattern(rng, procs, 1 + rng.below(40),
+                                               Bytes{1}, Bytes{1000});
+  const auto params = loggp::presets::meiko_cs2(procs);
+  const Time std_t = CommSimulator{params}.run(pat).makespan();
+  const Time wc_t = WorstCaseSimulator{params}.run(pat).makespan();
+  EXPECT_GE(wc_t.us() + 1e-9, std_t.us());
+}
+
+TEST_P(WorstCasePropertyTest, ValidOnRandomCyclicPatterns) {
+  util::Rng rng{GetParam() ^ 0xfeed};
+  const int procs = static_cast<int>(2 + rng.below(7));
+  const auto pat = pattern::random_pattern(rng, procs, 1 + rng.below(40),
+                                           Bytes{1}, Bytes{500});
+  const auto params = loggp::presets::meiko_cs2(procs);
+  const CommTrace trace = WorstCaseSimulator{params}.run(pat);
+  const auto verdict = validate_trace(trace, pat);
+  EXPECT_EQ(verdict, std::nullopt) << *verdict;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorstCasePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace logsim::core

@@ -1,0 +1,255 @@
+// logsim_cli -- command-line driver for the library.
+//
+//   logsim_cli simulate <pattern-file> [--params STR] [--worst] [--seed N]
+//                       [--csv FILE]
+//       Derive the send/receive schedule of a pattern file (see
+//       src/io/pattern_io.hpp for the format) and print the timeline.
+//
+//   logsim_cli predict-ge <N> <block> <procs> <layout> [--params STR]
+//       Predict blocked Gaussian Elimination (layout: diagonal|row-cyclic).
+//
+//   logsim_cli predict <program-file> [--params STR] [--worst]
+//       Predict a whole step program serialized in the program text
+//       format (see src/io/program_io.hpp).
+//
+//   logsim_cli fit [--params STR]
+//       Demonstrate LogGP parameter recovery against the built-in
+//       simulator configured with the given (hidden) parameters.
+//
+// --params accepts "meiko", "cluster", "ideal" or "L=..,o=..,g=..,G=..,P=..".
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <logsim/logsim.hpp>
+
+#include "io/params_io.hpp"
+#include "io/pattern_io.hpp"
+#include "io/program_io.hpp"
+
+using namespace logsim;
+
+namespace {
+
+struct Flags {
+  std::string params_text = "meiko";
+  bool worst = false;
+  std::uint64_t seed = 1;
+  std::string csv;
+  std::vector<std::string> positional;
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--worst") {
+      flags.worst = true;
+    } else if (arg == "--params" && i + 1 < argc) {
+      flags.params_text = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--csv" && i + 1 < argc) {
+      flags.csv = argv[++i];
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+int cmd_simulate(const Flags& flags) {
+  if (flags.positional.empty()) {
+    std::cerr << "simulate: missing pattern file\n";
+    return 2;
+  }
+  const auto parsed = io::load_pattern(flags.positional[0]);
+  if (!parsed.ok()) {
+    std::cerr << flags.positional[0] << ":" << parsed.error_line << ": "
+              << parsed.error << '\n';
+    return 1;
+  }
+  const auto& pat = *parsed.pattern;
+
+  loggp::Params defaults;
+  defaults.P = pat.procs();
+  const auto pr = io::parse_params(flags.params_text, defaults);
+  if (!pr.ok()) {
+    std::cerr << "--params: " << pr.error << '\n';
+    return 1;
+  }
+  loggp::Params params = *pr.params;
+  params.P = pat.procs();
+
+  core::CommTrace trace =
+      flags.worst
+          ? core::WorstCaseSimulator{params,
+                                     core::WorstCaseOptions{flags.seed}}
+                .run(pat)
+          : [&] {
+              core::CommSimOptions opts;
+              opts.seed = flags.seed;
+              return core::CommSimulator{params, opts}.run(pat);
+            }();
+  if (const auto verdict = core::validate_trace(trace, pat)) {
+    std::cerr << "internal error: invalid trace: " << *verdict << '\n';
+    return 1;
+  }
+
+  std::cout << params.to_string() << "  algorithm="
+            << (flags.worst ? "worst-case" : "standard") << "\n\n";
+  util::GanttChart gantt{72};
+  for (int p = 0; p < pat.procs(); ++p) {
+    gantt.set_lane_name(p, "P" + std::to_string(p));
+    for (const auto& op : trace.ops_of(p)) {
+      gantt.add_box(p, op.start.us(), op.cpu_end.us(),
+                    op.kind == loggp::OpKind::kSend ? 's' : 'r');
+    }
+  }
+  std::cout << gantt.render() << '\n';
+  std::cout << "makespan: " << util::fmt(trace.makespan().us(), 2) << " us\n";
+
+  const auto bindings = analysis::classify_receives(trace, pat);
+  std::cout << "receive bindings: " << bindings.arrival_bound << " arrival, "
+            << bindings.sequence_bound << " gap/occupancy, "
+            << bindings.ready_bound << " ready\n";
+
+  if (!flags.csv.empty()) {
+    if (analysis::write_trace_csv(flags.csv, trace)) {
+      std::cout << "trace written to " << flags.csv << '\n';
+    } else {
+      std::cerr << "cannot write " << flags.csv << '\n';
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_predict_ge(const Flags& flags) {
+  if (flags.positional.size() < 4) {
+    std::cerr << "predict-ge: need N block procs layout\n";
+    return 2;
+  }
+  const int n = std::atoi(flags.positional[0].c_str());
+  const int block = std::atoi(flags.positional[1].c_str());
+  const int procs = std::atoi(flags.positional[2].c_str());
+  const bool row = flags.positional[3] == "row-cyclic";
+
+  loggp::Params defaults;
+  defaults.P = procs;
+  const auto pr = io::parse_params(flags.params_text, defaults);
+  if (!pr.ok()) {
+    std::cerr << "--params: " << pr.error << '\n';
+    return 1;
+  }
+
+  const std::unique_ptr<layout::Layout> map =
+      row ? layout::make_row_cyclic(procs) : layout::make_diagonal(procs);
+  const ge::IrregularGeConfig cfg{.n = n, .block = block};
+  if (!cfg.valid()) {
+    std::cerr << "invalid N/block\n";
+    return 1;
+  }
+  const auto program = ge::build_ge_program_irregular(cfg, *map);
+  const auto costs = ops::analytic_cost_table();
+  const auto pred = core::Predictor{*pr.params}.predict(program, costs);
+  const auto bounds = analysis::analyze_program(program, costs, *pr.params);
+
+  std::cout << "GE " << n << "x" << n << " block " << block << " on " << procs
+            << " procs (" << map->name() << ")\n"
+            << "  predicted total: " << util::fmt(pred.total().sec(), 4)
+            << " s (worst case " << util::fmt(pred.total_worst().sec(), 4)
+            << " s)\n"
+            << "  computation:     " << util::fmt(pred.comp().sec(), 4)
+            << " s, communication: " << util::fmt(pred.comm().sec(), 4)
+            << " s\n"
+            << "  lower bound:     " << util::fmt(bounds.lower_bound().sec(), 4)
+            << " s (work " << util::fmt(bounds.work_bound.sec(), 4)
+            << ", dependency chain "
+            << util::fmt(bounds.dependency_bound.sec(), 4) << ")\n";
+  return 0;
+}
+
+int cmd_predict(const Flags& flags) {
+  if (flags.positional.empty()) {
+    std::cerr << "predict: missing program file\n";
+    return 2;
+  }
+  const auto parsed = io::load_program(flags.positional[0]);
+  if (!parsed.ok()) {
+    std::cerr << flags.positional[0] << ":" << parsed.error_line << ": "
+              << parsed.error << '\n';
+    return 1;
+  }
+  const auto& bundle = *parsed.bundle;
+
+  loggp::Params defaults;
+  defaults.P = bundle.program.procs();
+  const auto pr = io::parse_params(flags.params_text, defaults);
+  if (!pr.ok()) {
+    std::cerr << "--params: " << pr.error << '\n';
+    return 1;
+  }
+  loggp::Params params = *pr.params;
+  params.P = bundle.program.procs();
+
+  core::ProgramSimOptions opts;
+  opts.worst_case = flags.worst;
+  opts.seed = flags.seed;
+  const auto result = core::ProgramSimulator{params, opts}.run(bundle.program,
+                                                               bundle.costs);
+  std::cout << params.to_string() << "  schedule="
+            << (flags.worst ? "worst-case" : "standard") << '\n'
+            << "steps: " << bundle.program.compute_step_count()
+            << " compute + " << bundle.program.comm_step_count()
+            << " comm; " << bundle.program.work_item_count() << " ops, "
+            << bundle.program.network_bytes().count() << " network bytes\n"
+            << "predicted total: " << util::fmt(result.total.us(), 2)
+            << " us (computation " << util::fmt(result.comp_max().us(), 2)
+            << ", communication " << util::fmt(result.comm_max().us(), 2)
+            << ")\n";
+  if (!flags.csv.empty()) {
+    if (!analysis::write_result_csv(flags.csv, result)) {
+      std::cerr << "cannot write " << flags.csv << '\n';
+      return 1;
+    }
+    std::cout << "per-processor breakdown written to " << flags.csv << '\n';
+  }
+  return 0;
+}
+
+int cmd_fit(const Flags& flags) {
+  const auto pr = io::parse_params(flags.params_text);
+  if (!pr.ok()) {
+    std::cerr << "--params: " << pr.error << '\n';
+    return 1;
+  }
+  const fitting::FitResult fit =
+      fitting::fit_params(fitting::simulator_oracle(*pr.params));
+  std::cout << "hidden machine: " << pr.params->to_string() << '\n'
+            << "recovered:      " << fit.params.to_string() << '\n'
+            << (fit.g_dominates_o ? "" : "warning: o > g regime, fit unsound\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: logsim_cli simulate|predict|predict-ge|fit ... "
+                 "(see header comment)\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags = parse_flags(argc, argv, 2);
+  if (cmd == "simulate") return cmd_simulate(flags);
+  if (cmd == "predict") return cmd_predict(flags);
+  if (cmd == "predict-ge") return cmd_predict_ge(flags);
+  if (cmd == "fit") return cmd_fit(flags);
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return 2;
+}
