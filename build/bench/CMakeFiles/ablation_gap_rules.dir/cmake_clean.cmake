@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gap_rules.dir/ablation_gap_rules.cpp.o"
+  "CMakeFiles/ablation_gap_rules.dir/ablation_gap_rules.cpp.o.d"
+  "ablation_gap_rules"
+  "ablation_gap_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gap_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

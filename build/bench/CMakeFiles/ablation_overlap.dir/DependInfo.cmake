@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_overlap.cpp" "bench/CMakeFiles/ablation_overlap.dir/ablation_overlap.cpp.o" "gcc" "bench/CMakeFiles/ablation_overlap.dir/ablation_overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cannon/CMakeFiles/logsim_cannon.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/logsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/logsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/logsim_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/ge/CMakeFiles/logsim_ge.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/logsim_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/logsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/logsim_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitting/CMakeFiles/logsim_fitting.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/logsim_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/trisolve/CMakeFiles/logsim_trisolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/logsim_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/logsim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/logsim_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/logsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/logsim_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/logsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/logsim_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/logsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/logsim_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggp/CMakeFiles/logsim_loggp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_formulas.dir/baseline_formulas.cpp.o"
+  "CMakeFiles/baseline_formulas.dir/baseline_formulas.cpp.o.d"
+  "baseline_formulas"
+  "baseline_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannon_bench.dir/cannon_bench.cpp.o"
+  "CMakeFiles/cannon_bench.dir/cannon_bench.cpp.o.d"
+  "cannon_bench"
+  "cannon_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannon_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_bench.dir/collective_bench.cpp.o"
+  "CMakeFiles/collective_bench.dir/collective_bench.cpp.o.d"
+  "collective_bench"
+  "collective_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

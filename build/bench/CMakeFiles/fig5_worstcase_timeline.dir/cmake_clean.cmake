@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_worstcase_timeline.dir/fig5_worstcase_timeline.cpp.o"
+  "CMakeFiles/fig5_worstcase_timeline.dir/fig5_worstcase_timeline.cpp.o.d"
+  "fig5_worstcase_timeline"
+  "fig5_worstcase_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_worstcase_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

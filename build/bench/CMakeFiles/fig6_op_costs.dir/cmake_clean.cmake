@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_op_costs.dir/fig6_op_costs.cpp.o"
+  "CMakeFiles/fig6_op_costs.dir/fig6_op_costs.cpp.o.d"
+  "fig6_op_costs"
+  "fig6_op_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_op_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_variants.dir/ge_variants.cpp.o"
+  "CMakeFiles/ge_variants.dir/ge_variants.cpp.o.d"
+  "ge_variants"
+  "ge_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_contention.dir/network_contention.cpp.o"
+  "CMakeFiles/network_contention.dir/network_contention.cpp.o.d"
+  "network_contention"
+  "network_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_search.dir/opt_search.cpp.o"
+  "CMakeFiles/opt_search.dir/opt_search.cpp.o.d"
+  "opt_search"
+  "opt_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

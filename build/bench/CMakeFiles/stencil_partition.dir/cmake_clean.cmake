@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_partition.dir/stencil_partition.cpp.o"
+  "CMakeFiles/stencil_partition.dir/stencil_partition.cpp.o.d"
+  "stencil_partition"
+  "stencil_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

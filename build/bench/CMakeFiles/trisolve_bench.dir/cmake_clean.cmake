@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trisolve_bench.dir/trisolve_bench.cpp.o"
+  "CMakeFiles/trisolve_bench.dir/trisolve_bench.cpp.o.d"
+  "trisolve_bench"
+  "trisolve_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trisolve_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocksize_tuning.dir/blocksize_tuning.cpp.o"
+  "CMakeFiles/blocksize_tuning.dir/blocksize_tuning.cpp.o.d"
+  "blocksize_tuning"
+  "blocksize_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocksize_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

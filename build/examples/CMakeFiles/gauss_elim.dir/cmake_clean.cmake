@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_elim.dir/gauss_elim.cpp.o"
+  "CMakeFiles/gauss_elim.dir/gauss_elim.cpp.o.d"
+  "gauss_elim"
+  "gauss_elim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_elim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

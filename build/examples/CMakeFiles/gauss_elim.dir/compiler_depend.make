@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gauss_elim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for gauss_elim.
+# This may be replaced when dependencies are built.

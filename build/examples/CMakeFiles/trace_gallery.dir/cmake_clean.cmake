@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_gallery.dir/trace_gallery.cpp.o"
+  "CMakeFiles/trace_gallery.dir/trace_gallery.cpp.o.d"
+  "trace_gallery"
+  "trace_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("des")
+subdirs("loggp")
+subdirs("pattern")
+subdirs("core")
+subdirs("ops")
+subdirs("layout")
+subdirs("ge")
+subdirs("cannon")
+subdirs("analysis")
+subdirs("collective")
+subdirs("fitting")
+subdirs("stencil")
+subdirs("trisolve")
+subdirs("frontend")
+subdirs("io")
+subdirs("machine")
+subdirs("network")
+subdirs("baseline")
+subdirs("search")
+subdirs("extensions")
+subdirs("transform")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/critical_path.cpp" "src/analysis/CMakeFiles/logsim_analysis.dir/critical_path.cpp.o" "gcc" "src/analysis/CMakeFiles/logsim_analysis.dir/critical_path.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/logsim_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/logsim_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/html_export.cpp" "src/analysis/CMakeFiles/logsim_analysis.dir/html_export.cpp.o" "gcc" "src/analysis/CMakeFiles/logsim_analysis.dir/html_export.cpp.o.d"
+  "/root/repo/src/analysis/trace_stats.cpp" "src/analysis/CMakeFiles/logsim_analysis.dir/trace_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/logsim_analysis.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/logsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/logsim_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggp/CMakeFiles/logsim_loggp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

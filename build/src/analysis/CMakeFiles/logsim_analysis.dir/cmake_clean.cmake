@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_analysis.dir/critical_path.cpp.o"
+  "CMakeFiles/logsim_analysis.dir/critical_path.cpp.o.d"
+  "CMakeFiles/logsim_analysis.dir/export.cpp.o"
+  "CMakeFiles/logsim_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/logsim_analysis.dir/html_export.cpp.o"
+  "CMakeFiles/logsim_analysis.dir/html_export.cpp.o.d"
+  "CMakeFiles/logsim_analysis.dir/trace_stats.cpp.o"
+  "CMakeFiles/logsim_analysis.dir/trace_stats.cpp.o.d"
+  "liblogsim_analysis.a"
+  "liblogsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

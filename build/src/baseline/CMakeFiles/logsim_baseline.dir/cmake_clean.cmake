@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_baseline.dir/bounds.cpp.o"
+  "CMakeFiles/logsim_baseline.dir/bounds.cpp.o.d"
+  "CMakeFiles/logsim_baseline.dir/bsp.cpp.o"
+  "CMakeFiles/logsim_baseline.dir/bsp.cpp.o.d"
+  "CMakeFiles/logsim_baseline.dir/formulas.cpp.o"
+  "CMakeFiles/logsim_baseline.dir/formulas.cpp.o.d"
+  "liblogsim_baseline.a"
+  "liblogsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

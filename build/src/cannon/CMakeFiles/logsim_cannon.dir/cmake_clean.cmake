@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_cannon.dir/cannon.cpp.o"
+  "CMakeFiles/logsim_cannon.dir/cannon.cpp.o.d"
+  "CMakeFiles/logsim_cannon.dir/cannon_reference.cpp.o"
+  "CMakeFiles/logsim_cannon.dir/cannon_reference.cpp.o.d"
+  "liblogsim_cannon.a"
+  "liblogsim_cannon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_cannon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

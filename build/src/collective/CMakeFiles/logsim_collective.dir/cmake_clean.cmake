@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_collective.dir/collective.cpp.o"
+  "CMakeFiles/logsim_collective.dir/collective.cpp.o.d"
+  "liblogsim_collective.a"
+  "liblogsim_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_sim.cpp" "src/core/CMakeFiles/logsim_core.dir/comm_sim.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/comm_sim.cpp.o.d"
+  "/root/repo/src/core/cost_table.cpp" "src/core/CMakeFiles/logsim_core.dir/cost_table.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/cost_table.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/logsim_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/proc_timeline.cpp" "src/core/CMakeFiles/logsim_core.dir/proc_timeline.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/proc_timeline.cpp.o.d"
+  "/root/repo/src/core/program_sim.cpp" "src/core/CMakeFiles/logsim_core.dir/program_sim.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/program_sim.cpp.o.d"
+  "/root/repo/src/core/step_program.cpp" "src/core/CMakeFiles/logsim_core.dir/step_program.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/step_program.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/logsim_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/worst_case.cpp" "src/core/CMakeFiles/logsim_core.dir/worst_case.cpp.o" "gcc" "src/core/CMakeFiles/logsim_core.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggp/CMakeFiles/logsim_loggp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/logsim_pattern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

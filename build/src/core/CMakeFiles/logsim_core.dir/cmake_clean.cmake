@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_core.dir/comm_sim.cpp.o"
+  "CMakeFiles/logsim_core.dir/comm_sim.cpp.o.d"
+  "CMakeFiles/logsim_core.dir/cost_table.cpp.o"
+  "CMakeFiles/logsim_core.dir/cost_table.cpp.o.d"
+  "CMakeFiles/logsim_core.dir/predictor.cpp.o"
+  "CMakeFiles/logsim_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/logsim_core.dir/proc_timeline.cpp.o"
+  "CMakeFiles/logsim_core.dir/proc_timeline.cpp.o.d"
+  "CMakeFiles/logsim_core.dir/program_sim.cpp.o"
+  "CMakeFiles/logsim_core.dir/program_sim.cpp.o.d"
+  "CMakeFiles/logsim_core.dir/step_program.cpp.o"
+  "CMakeFiles/logsim_core.dir/step_program.cpp.o.d"
+  "CMakeFiles/logsim_core.dir/trace.cpp.o"
+  "CMakeFiles/logsim_core.dir/trace.cpp.o.d"
+  "CMakeFiles/logsim_core.dir/worst_case.cpp.o"
+  "CMakeFiles/logsim_core.dir/worst_case.cpp.o.d"
+  "liblogsim_core.a"
+  "liblogsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

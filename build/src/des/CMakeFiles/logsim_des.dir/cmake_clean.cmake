@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_des.dir/simulator.cpp.o"
+  "CMakeFiles/logsim_des.dir/simulator.cpp.o.d"
+  "liblogsim_des.a"
+  "liblogsim_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_ext.dir/overlap_sim.cpp.o"
+  "CMakeFiles/logsim_ext.dir/overlap_sim.cpp.o.d"
+  "liblogsim_ext.a"
+  "liblogsim_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

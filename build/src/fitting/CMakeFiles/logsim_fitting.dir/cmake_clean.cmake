@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_fitting.dir/fit.cpp.o"
+  "CMakeFiles/logsim_fitting.dir/fit.cpp.o.d"
+  "liblogsim_fitting.a"
+  "liblogsim_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for logsim_fitting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_frontend.dir/program_builder.cpp.o"
+  "CMakeFiles/logsim_frontend.dir/program_builder.cpp.o.d"
+  "liblogsim_frontend.a"
+  "liblogsim_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_ge.dir/blocked_ge.cpp.o"
+  "CMakeFiles/logsim_ge.dir/blocked_ge.cpp.o.d"
+  "CMakeFiles/logsim_ge.dir/irregular.cpp.o"
+  "CMakeFiles/logsim_ge.dir/irregular.cpp.o.d"
+  "CMakeFiles/logsim_ge.dir/left_looking.cpp.o"
+  "CMakeFiles/logsim_ge.dir/left_looking.cpp.o.d"
+  "CMakeFiles/logsim_ge.dir/reference.cpp.o"
+  "CMakeFiles/logsim_ge.dir/reference.cpp.o.d"
+  "liblogsim_ge.a"
+  "liblogsim_ge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_ge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/params_io.cpp" "src/io/CMakeFiles/logsim_io.dir/params_io.cpp.o" "gcc" "src/io/CMakeFiles/logsim_io.dir/params_io.cpp.o.d"
+  "/root/repo/src/io/pattern_io.cpp" "src/io/CMakeFiles/logsim_io.dir/pattern_io.cpp.o" "gcc" "src/io/CMakeFiles/logsim_io.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/io/program_io.cpp" "src/io/CMakeFiles/logsim_io.dir/program_io.cpp.o" "gcc" "src/io/CMakeFiles/logsim_io.dir/program_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pattern/CMakeFiles/logsim_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggp/CMakeFiles/logsim_loggp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/logsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_io.dir/params_io.cpp.o"
+  "CMakeFiles/logsim_io.dir/params_io.cpp.o.d"
+  "CMakeFiles/logsim_io.dir/pattern_io.cpp.o"
+  "CMakeFiles/logsim_io.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/logsim_io.dir/program_io.cpp.o"
+  "CMakeFiles/logsim_io.dir/program_io.cpp.o.d"
+  "liblogsim_io.a"
+  "liblogsim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

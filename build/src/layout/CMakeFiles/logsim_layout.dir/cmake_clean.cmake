@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_layout.dir/layout_stats.cpp.o"
+  "CMakeFiles/logsim_layout.dir/layout_stats.cpp.o.d"
+  "CMakeFiles/logsim_layout.dir/layouts.cpp.o"
+  "CMakeFiles/logsim_layout.dir/layouts.cpp.o.d"
+  "liblogsim_layout.a"
+  "liblogsim_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblogsim_layout.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loggp/cost.cpp" "src/loggp/CMakeFiles/logsim_loggp.dir/cost.cpp.o" "gcc" "src/loggp/CMakeFiles/logsim_loggp.dir/cost.cpp.o.d"
+  "/root/repo/src/loggp/params.cpp" "src/loggp/CMakeFiles/logsim_loggp.dir/params.cpp.o" "gcc" "src/loggp/CMakeFiles/logsim_loggp.dir/params.cpp.o.d"
+  "/root/repo/src/loggp/topology.cpp" "src/loggp/CMakeFiles/logsim_loggp.dir/topology.cpp.o" "gcc" "src/loggp/CMakeFiles/logsim_loggp.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_loggp.dir/cost.cpp.o"
+  "CMakeFiles/logsim_loggp.dir/cost.cpp.o.d"
+  "CMakeFiles/logsim_loggp.dir/params.cpp.o"
+  "CMakeFiles/logsim_loggp.dir/params.cpp.o.d"
+  "CMakeFiles/logsim_loggp.dir/topology.cpp.o"
+  "CMakeFiles/logsim_loggp.dir/topology.cpp.o.d"
+  "liblogsim_loggp.a"
+  "liblogsim_loggp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_loggp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

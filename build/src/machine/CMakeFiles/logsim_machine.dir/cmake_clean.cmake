@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_machine.dir/cache_model.cpp.o"
+  "CMakeFiles/logsim_machine.dir/cache_model.cpp.o.d"
+  "CMakeFiles/logsim_machine.dir/testbed.cpp.o"
+  "CMakeFiles/logsim_machine.dir/testbed.cpp.o.d"
+  "liblogsim_machine.a"
+  "liblogsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

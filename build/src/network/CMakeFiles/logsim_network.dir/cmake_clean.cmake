@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_network.dir/packet_net.cpp.o"
+  "CMakeFiles/logsim_network.dir/packet_net.cpp.o.d"
+  "liblogsim_network.a"
+  "liblogsim_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

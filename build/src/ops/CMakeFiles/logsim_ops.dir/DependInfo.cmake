@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/analytic_model.cpp" "src/ops/CMakeFiles/logsim_ops.dir/analytic_model.cpp.o" "gcc" "src/ops/CMakeFiles/logsim_ops.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/ops/ge_ops.cpp" "src/ops/CMakeFiles/logsim_ops.dir/ge_ops.cpp.o" "gcc" "src/ops/CMakeFiles/logsim_ops.dir/ge_ops.cpp.o.d"
+  "/root/repo/src/ops/kernels.cpp" "src/ops/CMakeFiles/logsim_ops.dir/kernels.cpp.o" "gcc" "src/ops/CMakeFiles/logsim_ops.dir/kernels.cpp.o.d"
+  "/root/repo/src/ops/matrix.cpp" "src/ops/CMakeFiles/logsim_ops.dir/matrix.cpp.o" "gcc" "src/ops/CMakeFiles/logsim_ops.dir/matrix.cpp.o.d"
+  "/root/repo/src/ops/op_timer.cpp" "src/ops/CMakeFiles/logsim_ops.dir/op_timer.cpp.o" "gcc" "src/ops/CMakeFiles/logsim_ops.dir/op_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/logsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/logsim_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggp/CMakeFiles/logsim_loggp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

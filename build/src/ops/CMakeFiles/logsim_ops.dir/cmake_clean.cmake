@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_ops.dir/analytic_model.cpp.o"
+  "CMakeFiles/logsim_ops.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/logsim_ops.dir/ge_ops.cpp.o"
+  "CMakeFiles/logsim_ops.dir/ge_ops.cpp.o.d"
+  "CMakeFiles/logsim_ops.dir/kernels.cpp.o"
+  "CMakeFiles/logsim_ops.dir/kernels.cpp.o.d"
+  "CMakeFiles/logsim_ops.dir/matrix.cpp.o"
+  "CMakeFiles/logsim_ops.dir/matrix.cpp.o.d"
+  "CMakeFiles/logsim_ops.dir/op_timer.cpp.o"
+  "CMakeFiles/logsim_ops.dir/op_timer.cpp.o.d"
+  "liblogsim_ops.a"
+  "liblogsim_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_pattern.dir/builders.cpp.o"
+  "CMakeFiles/logsim_pattern.dir/builders.cpp.o.d"
+  "CMakeFiles/logsim_pattern.dir/comm_pattern.cpp.o"
+  "CMakeFiles/logsim_pattern.dir/comm_pattern.cpp.o.d"
+  "liblogsim_pattern.a"
+  "liblogsim_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/optimizer.cpp" "src/search/CMakeFiles/logsim_search.dir/optimizer.cpp.o" "gcc" "src/search/CMakeFiles/logsim_search.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/logsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/logsim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/ge/CMakeFiles/logsim_ge.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/logsim_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/logsim_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggp/CMakeFiles/logsim_loggp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_search.dir/optimizer.cpp.o"
+  "CMakeFiles/logsim_search.dir/optimizer.cpp.o.d"
+  "liblogsim_search.a"
+  "liblogsim_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

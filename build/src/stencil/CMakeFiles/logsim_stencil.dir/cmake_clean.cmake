@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_stencil.dir/stencil.cpp.o"
+  "CMakeFiles/logsim_stencil.dir/stencil.cpp.o.d"
+  "CMakeFiles/logsim_stencil.dir/stencil_reference.cpp.o"
+  "CMakeFiles/logsim_stencil.dir/stencil_reference.cpp.o.d"
+  "liblogsim_stencil.a"
+  "liblogsim_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_transform.dir/transform.cpp.o"
+  "CMakeFiles/logsim_transform.dir/transform.cpp.o.d"
+  "liblogsim_transform.a"
+  "liblogsim_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_trisolve.dir/trisolve.cpp.o"
+  "CMakeFiles/logsim_trisolve.dir/trisolve.cpp.o.d"
+  "liblogsim_trisolve.a"
+  "liblogsim_trisolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_trisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblogsim_trisolve.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for logsim_trisolve.
+# This may be replaced when dependencies are built.

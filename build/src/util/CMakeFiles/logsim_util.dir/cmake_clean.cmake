@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/logsim_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/logsim_util.dir/csv.cpp.o"
+  "CMakeFiles/logsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/logsim_util.dir/rng.cpp.o"
+  "CMakeFiles/logsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/logsim_util.dir/stats.cpp.o"
+  "CMakeFiles/logsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/logsim_util.dir/table.cpp.o"
+  "CMakeFiles/logsim_util.dir/table.cpp.o.d"
+  "liblogsim_util.a"
+  "liblogsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannon_test.dir/cannon_test.cpp.o"
+  "CMakeFiles/cannon_test.dir/cannon_test.cpp.o.d"
+  "cannon_test"
+  "cannon_test.pdb"
+  "cannon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_sim_test.dir/comm_sim_test.cpp.o"
+  "CMakeFiles/comm_sim_test.dir/comm_sim_test.cpp.o.d"
+  "comm_sim_test"
+  "comm_sim_test.pdb"
+  "comm_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_numeric_test.dir/ge_numeric_test.cpp.o"
+  "CMakeFiles/ge_numeric_test.dir/ge_numeric_test.cpp.o.d"
+  "ge_numeric_test"
+  "ge_numeric_test.pdb"
+  "ge_numeric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ge_program_test.dir/ge_program_test.cpp.o"
+  "CMakeFiles/ge_program_test.dir/ge_program_test.cpp.o.d"
+  "ge_program_test"
+  "ge_program_test.pdb"
+  "ge_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ge_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_ge_test.dir/irregular_ge_test.cpp.o"
+  "CMakeFiles/irregular_ge_test.dir/irregular_ge_test.cpp.o.d"
+  "irregular_ge_test"
+  "irregular_ge_test.pdb"
+  "irregular_ge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_ge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

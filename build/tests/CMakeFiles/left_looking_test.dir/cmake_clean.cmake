@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/left_looking_test.dir/left_looking_test.cpp.o"
+  "CMakeFiles/left_looking_test.dir/left_looking_test.cpp.o.d"
+  "left_looking_test"
+  "left_looking_test.pdb"
+  "left_looking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/left_looking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loggp_test.dir/loggp_test.cpp.o"
+  "CMakeFiles/loggp_test.dir/loggp_test.cpp.o.d"
+  "loggp_test"
+  "loggp_test.pdb"
+  "loggp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loggp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

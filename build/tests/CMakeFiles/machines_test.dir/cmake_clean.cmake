@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machines_test.dir/machines_test.cpp.o"
+  "CMakeFiles/machines_test.dir/machines_test.cpp.o.d"
+  "machines_test"
+  "machines_test.pdb"
+  "machines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_kernels_test.dir/ops_kernels_test.cpp.o"
+  "CMakeFiles/ops_kernels_test.dir/ops_kernels_test.cpp.o.d"
+  "ops_kernels_test"
+  "ops_kernels_test.pdb"
+  "ops_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_model_test.dir/ops_model_test.cpp.o"
+  "CMakeFiles/ops_model_test.dir/ops_model_test.cpp.o.d"
+  "ops_model_test"
+  "ops_model_test.pdb"
+  "ops_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_test.dir/overlap_test.cpp.o"
+  "CMakeFiles/overlap_test.dir/overlap_test.cpp.o.d"
+  "overlap_test"
+  "overlap_test.pdb"
+  "overlap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

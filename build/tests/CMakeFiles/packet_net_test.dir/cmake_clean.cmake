@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_net_test.dir/packet_net_test.cpp.o"
+  "CMakeFiles/packet_net_test.dir/packet_net_test.cpp.o.d"
+  "packet_net_test"
+  "packet_net_test.pdb"
+  "packet_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_io_test.dir/program_io_test.cpp.o"
+  "CMakeFiles/program_io_test.dir/program_io_test.cpp.o.d"
+  "program_io_test"
+  "program_io_test.pdb"
+  "program_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

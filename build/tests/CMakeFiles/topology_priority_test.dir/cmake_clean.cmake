@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_priority_test.dir/topology_priority_test.cpp.o"
+  "CMakeFiles/topology_priority_test.dir/topology_priority_test.cpp.o.d"
+  "topology_priority_test"
+  "topology_priority_test.pdb"
+  "topology_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

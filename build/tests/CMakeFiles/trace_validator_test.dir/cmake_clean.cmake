@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_validator_test.dir/trace_validator_test.cpp.o"
+  "CMakeFiles/trace_validator_test.dir/trace_validator_test.cpp.o.d"
+  "trace_validator_test"
+  "trace_validator_test.pdb"
+  "trace_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trisolve_test.dir/trisolve_test.cpp.o"
+  "CMakeFiles/trisolve_test.dir/trisolve_test.cpp.o.d"
+  "trisolve_test"
+  "trisolve_test.pdb"
+  "trisolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trisolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_render_test.dir/util_render_test.cpp.o"
+  "CMakeFiles/util_render_test.dir/util_render_test.cpp.o.d"
+  "util_render_test"
+  "util_render_test.pdb"
+  "util_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_cli.dir/logsim_cli.cpp.o"
+  "CMakeFiles/logsim_cli.dir/logsim_cli.cpp.o.d"
+  "logsim_cli"
+  "logsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
