@@ -4,6 +4,7 @@
 // and "measured" (Testbed) series.  Paper setup: 960x960 doubles, 8
 // processors, Meiko CS-2 LogGP parameters.
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,22 +45,43 @@ struct SweepResult {
   }
 };
 
+/// Sweeps every paper block size for `map`.  The LogGP predictions go
+/// through `batch` (all blocks in flight at once, memoized when the batch
+/// predictor carries a cache); the Testbed "measurement" stays serial --
+/// it is the stand-in for the real machine, which cannot be parallelised
+/// away.  Results are identical to the historical serial loop.
 inline SweepResult run_sweep(const layout::Layout& map,
+                             runtime::BatchPredictor& batch,
                              int matrix_n = kMatrixN) {
   SweepResult result;
   result.layout = map.name();
   const auto costs = ops::analytic_cost_table();
-  const core::Predictor predictor{loggp::presets::meiko_cs2(kProcs)};
+  const auto params = loggp::presets::meiko_cs2(kProcs);
   const machine::Testbed testbed{machine::TestbedConfig::meiko_cs2(kProcs)};
+  const auto& blocks = ops::default_block_sizes();
 
-  for (int b : ops::default_block_sizes()) {
-    const auto program =
-        ge::build_ge_program(ge::GeConfig{.n = matrix_n, .block = b}, map);
-    const core::Prediction pred = predictor.predict(program, costs);
-    const machine::TestbedResult meas = testbed.run(program, costs);
+  std::vector<core::StepProgram> programs;
+  programs.reserve(blocks.size());
+  std::vector<runtime::PredictJob> jobs;
+  jobs.reserve(blocks.size());
+  for (int b : blocks) {
+    programs.push_back(
+        ge::build_ge_program(ge::GeConfig{.n = matrix_n, .block = b}, map));
+    jobs.push_back(runtime::PredictJob{&programs.back(), params, &costs});
+  }
+  const std::vector<runtime::JobResult> predictions = batch.predict_all(jobs);
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (!predictions[i].ok()) {
+      throw std::runtime_error("ge sweep: prediction failed for block " +
+                               std::to_string(blocks[i]) + ": " +
+                               predictions[i].error);
+    }
+    const core::Prediction& pred = predictions[i].value();
+    const machine::TestbedResult meas = testbed.run(programs[i], costs);
 
     SweepPoint pt;
-    pt.block = b;
+    pt.block = blocks[i];
     pt.measured_with_cache = meas.total_with_cache.sec();
     pt.measured_without_cache = meas.total_without_cache.sec();
     pt.simulated_standard = pred.total().sec();
@@ -72,6 +94,15 @@ inline SweepResult run_sweep(const layout::Layout& map,
     result.points.push_back(pt);
   }
   return result;
+}
+
+/// Convenience overload: sweeps with a freshly configured batch predictor
+/// (hardware-concurrency threads, no cache) -- the drop-in replacement for
+/// the historical serial signature used by the fig7/8/9 benches.
+inline SweepResult run_sweep(const layout::Layout& map,
+                             int matrix_n = kMatrixN) {
+  runtime::BatchPredictor batch{{}};
+  return run_sweep(map, batch, matrix_n);
 }
 
 }  // namespace logsim::bench

@@ -3,6 +3,7 @@
 // a search problem").
 
 #include <iostream>
+#include <stdexcept>
 
 #include <logsim/logsim.hpp>
 
@@ -15,18 +16,25 @@ int main() {
             << "N=" << bench::kMatrixN << ", P=" << bench::kProcs << "\n\n";
 
   const auto costs = ops::analytic_cost_table();
-  const core::Predictor predictor{loggp::presets::meiko_cs2(bench::kProcs)};
-  const search::Evaluator eval = [&](int b, const layout::Layout& l) {
-    const auto program =
-        ge::build_ge_program(ge::GeConfig{.n = bench::kMatrixN, .block = b}, l);
-    return predictor.predict_standard(program, costs).total;
-  };
+  const auto params = loggp::presets::meiko_cs2(bench::kProcs);
 
   const layout::DiagonalMap diag{bench::kProcs};
   const layout::RowCyclic row{bench::kProcs};
   const auto& blocks = ops::default_block_sizes();
 
-  const auto exhaustive = search::exhaustive_search(blocks, {&diag, &row}, eval);
+  // The exhaustive grid goes through the batch runtime: all (block, layout)
+  // candidates in flight across the pool, memoized so the local-descent
+  // walks below re-use the grid's predictions instead of re-simulating.
+  runtime::PredictionCache cache{{.byte_budget = 1ull << 30}};
+  runtime::BatchPredictor batch{{.cache = &cache}};
+  const search::ProgramFactory factory = [](int b, const layout::Layout& l) {
+    return ge::build_ge_program(ge::GeConfig{.n = bench::kMatrixN, .block = b},
+                                l);
+  };
+
+  const auto exhaustive = search::exhaustive_search(blocks, {&diag, &row},
+                                                    factory, batch, params,
+                                                    costs);
   util::Table table{{"block", "layout", "predicted total(s)"}};
   for (const auto& e : exhaustive.evaluated) {
     table.add_row({std::to_string(e.block), e.layout,
@@ -38,6 +46,15 @@ int main() {
             << util::fmt(exhaustive.best.predicted.sec(), 3) << " s) in "
             << exhaustive.evaluations << " evaluations\n";
 
+  // Local descent probes one candidate at a time; route it through the same
+  // batch predictor so every probe is answered from the warm grid cache.
+  const search::Evaluator eval = [&](int b, const layout::Layout& l) {
+    const auto program = factory(b, l);
+    const auto r =
+        batch.predict_one(runtime::PredictJob{&program, params, &costs});
+    if (!r.ok()) throw std::runtime_error(r.error);
+    return r.value().standard.total;
+  };
   for (std::size_t start : {std::size_t{0}, blocks.size() - 1}) {
     const auto descent = search::local_descent(blocks, diag, eval, start);
     std::cout << "local descent from block " << blocks[start]
@@ -60,5 +77,8 @@ int main() {
   std::cout << "measured time at the predicted optimum: "
             << util::fmt(testbed.run(chosen_prog, costs).total_with_cache.sec(), 3)
             << " s\n";
+
+  std::cout << "\n=== runtime metrics (" << batch.threads() << " threads) ===\n"
+            << batch.metrics().to_string();
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
+#include <vector>
 
 #include <logsim/logsim.hpp>
 
@@ -16,25 +18,33 @@ int main(int argc, char** argv) {
   const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
 
   const auto costs = ops::analytic_cost_table();
-  const core::Predictor predictor{loggp::presets::meiko_cs2(procs)};
-  const search::Evaluator eval = [&](int b, const layout::Layout& l) {
-    if (n % b != 0) return Time::infinity();  // keep blocks equal-sized
-    const auto program =
-        ge::build_ge_program(ge::GeConfig{.n = n, .block = b}, l);
-    return predictor.predict_standard(program, costs).total;
-  };
+  const auto params = loggp::presets::meiko_cs2(procs);
+
+  // Keep blocks equal-sized: only sweep divisors of N.
+  std::vector<int> blocks;
+  for (int b : ops::default_block_sizes()) {
+    if (n % b == 0) blocks.push_back(b);
+  }
 
   const layout::DiagonalMap diag{procs};
   const layout::RowCyclic row{procs};
   std::cout << "tuning blocked GE, N=" << n << ", P=" << procs << "\n\n";
 
-  const auto result = search::exhaustive_search(ops::default_block_sizes(),
-                                                {&diag, &row}, eval);
+  // The candidate grid is evaluated through the batch runtime: every
+  // (block, layout) simulation in flight across the thread pool, memoized
+  // so the local-descent walk below is answered from cache.
+  runtime::PredictionCache cache{{.byte_budget = 1ull << 30}};
+  runtime::BatchPredictor batch{{.cache = &cache}};
+  const search::ProgramFactory factory = [n](int b, const layout::Layout& l) {
+    return ge::build_ge_program(ge::GeConfig{.n = n, .block = b}, l);
+  };
+
+  const auto result = search::exhaustive_search(blocks, {&diag, &row}, factory,
+                                                batch, params, costs);
   util::Table table{{"layout", "block", "predicted(s)"}};
   for (const auto& e : result.evaluated) {
     table.add_row({e.layout, std::to_string(e.block),
-                   e.predicted.is_infinite() ? "n/a"
-                                             : util::fmt(e.predicted.sec(), 3)});
+                   util::fmt(e.predicted.sec(), 3)});
   }
   std::cout << table << '\n'
             << "recommendation: block " << result.best.block << ", layout "
@@ -43,11 +53,20 @@ int main(int argc, char** argv) {
             << result.evaluations << " simulator calls)\n\n";
 
   // The cheap alternative: local descent from the middle of the range.
+  // Probes route through the same batch engine, so the grid's cached
+  // predictions answer them without re-simulating.
+  const search::Evaluator eval = [&](int b, const layout::Layout& l) {
+    const auto program = factory(b, l);
+    const auto r =
+        batch.predict_one(runtime::PredictJob{&program, params, &costs});
+    if (!r.ok()) throw std::runtime_error(r.error);
+    return r.value().standard.total;
+  };
   const auto descent =
-      search::local_descent(ops::default_block_sizes(), diag, eval,
-                            ops::default_block_sizes().size() / 2);
+      search::local_descent(blocks, diag, eval, blocks.size() / 2);
   std::cout << "local descent agrees on block " << descent.best.block
-            << " after only " << descent.evaluations << " simulator calls\n\n";
+            << " after only " << descent.evaluations << " simulator calls ("
+            << cache.stats().hits << " answered from cache)\n\n";
 
   // Sanity-check the recommendation against the emulated machine.
   const layout::Layout& best_layout =

@@ -54,6 +54,10 @@
 #include "ops/op_timer.hpp"         // IWYU pragma: export
 #include "pattern/builders.hpp"     // IWYU pragma: export
 #include "pattern/comm_pattern.hpp" // IWYU pragma: export
+#include "runtime/batch_predictor.hpp"   // IWYU pragma: export
+#include "runtime/metrics.hpp"           // IWYU pragma: export
+#include "runtime/prediction_cache.hpp"  // IWYU pragma: export
+#include "runtime/thread_pool.hpp"       // IWYU pragma: export
 #include "stencil/stencil.hpp"      // IWYU pragma: export
 #include "stencil/stencil_reference.hpp"  // IWYU pragma: export
 #include "search/optimizer.hpp"     // IWYU pragma: export

@@ -24,14 +24,20 @@ struct WorkItem {
   /// order.  Ignored by the plain LogGP predictor; consumed by the cache
   /// model extension and by the Testbed machine.
   std::vector<std::int64_t> touched;
+
+  friend bool operator==(const WorkItem&, const WorkItem&) = default;
 };
 
 struct ComputeStep {
   std::vector<WorkItem> items;
+
+  friend bool operator==(const ComputeStep&, const ComputeStep&) = default;
 };
 
 struct CommStep {
   pattern::CommPattern pattern;
+
+  friend bool operator==(const CommStep&, const CommStep&) = default;
 };
 
 class StepProgram {
@@ -59,6 +65,11 @@ class StepProgram {
   [[nodiscard]] std::size_t message_count() const;
   /// Total bytes crossing the network across all comm steps.
   [[nodiscard]] Bytes network_bytes() const;
+
+  /// Structural equality: same processor count and step-for-step identical
+  /// contents.  The prediction cache relies on this to tell true hits from
+  /// 64-bit hash collisions.
+  friend bool operator==(const StepProgram&, const StepProgram&) = default;
 
  private:
   int procs_;

@@ -25,6 +25,8 @@ struct Message {
   /// Caller-defined label (e.g. which block of the matrix); carried through
   /// to the trace so consumers can attribute time to program objects.
   std::int64_t tag = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
 };
 
 class CommPattern {
@@ -67,6 +69,9 @@ class CommPattern {
 
   /// Graphviz DOT rendering (for documentation / debugging).
   [[nodiscard]] std::string to_dot(const std::string& name = "pattern") const;
+
+  /// Same processor count and identical message list (order-sensitive).
+  friend bool operator==(const CommPattern&, const CommPattern&) = default;
 
  private:
   int procs_;

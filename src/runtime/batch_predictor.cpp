@@ -1,0 +1,136 @@
+#include "runtime/batch_predictor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/table.hpp"
+
+namespace logsim::runtime {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+double to_us(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+BatchPredictor::BatchPredictor(Config config)
+    : sim_(std::move(config.sim)),
+      cache_(config.cache),
+      metrics_(config.metrics != nullptr ? config.metrics
+                                         : &metrics::Registry::global()),
+      jobs_run_(metrics_->counter("batch.jobs_run")),
+      job_errors_(metrics_->counter("batch.job_errors")),
+      job_wall_us_(metrics_->histogram("batch.job_wall", "us")),
+      queue_wait_us_(metrics_->histogram("batch.queue_wait", "us")),
+      pool_(resolve_threads(config.threads)) {}
+
+std::vector<JobResult> BatchPredictor::predict_all(
+    const std::vector<PredictJob>& jobs) {
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // Per-batch completion latch: predict_all calls may overlap on the shared
+  // pool, so each batch counts only its own jobs down.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = jobs.size();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool_.submit([this, &jobs, &results, &done_mu, &done_cv, &remaining,
+                  i](std::chrono::steady_clock::duration queue_wait) {
+      queue_wait_us_.record(to_us(queue_wait));
+      results[i] = run_job(jobs[i]);
+      {
+        // Notify under the lock: the waiter owns these stack variables and
+        // destroys them as soon as wait() returns, which it cannot do until
+        // this worker has released the mutex -- i.e. after notify_one is
+        // fully done touching the condvar.
+        std::lock_guard lock{done_mu};
+        if (--remaining == 0) done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock lock{done_mu};
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  lock.unlock();
+
+  publish_cache_gauges();
+  return results;
+}
+
+JobResult BatchPredictor::predict_one(const PredictJob& job) {
+  JobResult result = run_job(job);
+  publish_cache_gauges();
+  return result;
+}
+
+JobResult BatchPredictor::run_job(const PredictJob& job) {
+  const auto start = std::chrono::steady_clock::now();
+  JobResult result;
+  try {
+    if (job.program == nullptr || job.costs == nullptr) {
+      throw std::invalid_argument(
+          "PredictJob: program and costs must be non-null");
+    }
+    // A compute_overhead closure is opaque to the canonical hash, so such
+    // jobs must not share cache entries with closure-free ones.
+    const bool cacheable = cache_ != nullptr && !sim_.compute_overhead;
+    std::uint64_t key = 0;
+    if (cacheable) {
+      // Hash once: the same key serves the lookup and the miss-path insert.
+      key = prediction_key_hash(*job.program, job.params, sim_.seed);
+      if (auto hit = cache_->lookup(key, *job.program, job.params, sim_.seed)) {
+        result.prediction = std::move(hit);
+        jobs_run_.add();
+        job_wall_us_.record(
+            to_us(std::chrono::steady_clock::now() - start));
+        return result;
+      }
+    }
+    const core::Predictor predictor{job.params, sim_};
+    result.prediction = predictor.predict(*job.program, *job.costs);
+    if (cacheable) {
+      cache_->insert(key, *job.program, job.params, sim_.seed,
+                     *result.prediction);
+    }
+    jobs_run_.add();
+  } catch (const std::exception& e) {
+    result.prediction.reset();
+    result.error = e.what();
+    job_errors_.add();
+  } catch (...) {
+    result.prediction.reset();
+    result.error = "unknown exception";
+    job_errors_.add();
+  }
+  job_wall_us_.record(to_us(std::chrono::steady_clock::now() - start));
+  return result;
+}
+
+void BatchPredictor::publish_cache_gauges() {
+  if (cache_ == nullptr) return;
+  const PredictionCache::Stats stats = cache_->stats();
+  metrics_->set_gauge("cache.hits", std::to_string(stats.hits));
+  metrics_->set_gauge("cache.misses", std::to_string(stats.misses));
+  metrics_->set_gauge("cache.entries", std::to_string(stats.entries));
+  metrics_->set_gauge("cache.bytes", std::to_string(stats.bytes));
+  metrics_->set_gauge("cache.evictions", std::to_string(stats.evictions));
+  metrics_->set_gauge("cache.hit_rate",
+                      util::fmt(stats.hit_rate() * 100.0, 1) + "%");
+}
+
+}  // namespace logsim::runtime

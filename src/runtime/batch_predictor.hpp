@@ -1,0 +1,97 @@
+#pragma once
+// Parallel batch evaluation of the predictor.
+//
+// A BatchPredictor owns a ThreadPool and fans a vector of independent
+// PredictJobs out across it.  Results come back in input order, each as a
+// JobResult that either holds the Prediction or the error string of the
+// exception that job threw -- one bad job never takes down the batch.
+// Determinism: every job runs a self-contained core::Predictor with the
+// configured seed, so an N-thread batch returns bit-identical Predictions
+// to running the serial Predictor over the same jobs in a loop.
+//
+// An optional PredictionCache memoizes (program, params, seed) triples
+// across batches; hits skip the simulation entirely.  Metrics (jobs run,
+// errors, per-job wall time, queue wait, cache hit rate) are recorded into
+// a metrics::Registry.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "loggp/params.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/prediction_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace logsim::runtime {
+
+/// One prediction request.  The program and cost table are borrowed, not
+/// copied: both must outlive the predict_all() call that evaluates the job.
+struct PredictJob {
+  const core::StepProgram* program = nullptr;
+  loggp::Params params;
+  const core::CostTable* costs = nullptr;
+};
+
+/// std::expected-style per-job outcome: a Prediction or an error string.
+struct JobResult {
+  std::optional<core::Prediction> prediction;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return prediction.has_value(); }
+  /// Precondition: ok().
+  [[nodiscard]] const core::Prediction& value() const { return *prediction; }
+};
+
+class BatchPredictor {
+ public:
+  struct Config {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    std::size_t threads = 0;
+    /// Simulation options shared by every job (seed, worst-case toggle).
+    /// A compute_overhead callback, if set, must be thread-safe; jobs using
+    /// one bypass the cache (a closure has no canonical hash).
+    core::ProgramSimOptions sim;
+    /// Optional memoization cache; borrowed, may be shared across
+    /// BatchPredictors.  nullptr disables memoization.
+    PredictionCache* cache = nullptr;
+    /// Metrics sink; nullptr means metrics::Registry::global().
+    metrics::Registry* metrics = nullptr;
+  };
+
+  BatchPredictor() : BatchPredictor(Config{}) {}
+  explicit BatchPredictor(Config config);
+
+  /// Evaluates all jobs concurrently; result i corresponds to job i.
+  /// Blocks until the whole batch is done.  Thread-safe: concurrent
+  /// predict_all() calls share the pool fairly (FIFO).
+  [[nodiscard]] std::vector<JobResult> predict_all(
+      const std::vector<PredictJob>& jobs);
+
+  /// Convenience: evaluates one job through the same cache + metrics path.
+  [[nodiscard]] JobResult predict_one(const PredictJob& job);
+
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+  [[nodiscard]] PredictionCache* cache() const { return cache_; }
+  [[nodiscard]] metrics::Registry& metrics() const { return *metrics_; }
+
+  /// Publishes current cache hit-rate / entry gauges into the registry
+  /// (called automatically at the end of every predict_all).
+  void publish_cache_gauges();
+
+ private:
+  JobResult run_job(const PredictJob& job);
+
+  core::ProgramSimOptions sim_;
+  PredictionCache* cache_;
+  metrics::Registry* metrics_;
+  metrics::Counter& jobs_run_;
+  metrics::Counter& job_errors_;
+  metrics::Histogram& job_wall_us_;
+  metrics::Histogram& queue_wait_us_;
+  ThreadPool pool_;  // last: workers must never outlive the fields above
+};
+
+}  // namespace logsim::runtime

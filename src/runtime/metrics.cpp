@@ -1,0 +1,101 @@
+#include "runtime/metrics.hpp"
+
+#include <sstream>
+
+namespace logsim::runtime::metrics {
+
+void Histogram::record(double sample) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but libstdc++ lowers it to a CAS
+  // loop anyway; spell the loop out so the intent (and portability) is clear.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + sample,
+                                     std::memory_order_relaxed)) {
+  }
+  if (!has_sample_.exchange(true, std::memory_order_acq_rel)) {
+    // First sample seeds both extrema; racing recorders fall through to the
+    // CAS loops below, which converge regardless of seeding order.
+    min_.store(sample, std::memory_order_relaxed);
+    max_.store(sample, std::memory_order_relaxed);
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (sample < lo &&
+         !min_.compare_exchange_weak(lo, sample, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (sample > hi &&
+         !max_.compare_exchange_weak(hi, sample, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_sample_.store(false, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock{mu_};
+  return counters_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& unit) {
+  std::lock_guard lock{mu_};
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) it->second.unit = unit;
+  return it->second.histogram;
+}
+
+void Registry::set_gauge(const std::string& name, const std::string& value) {
+  std::lock_guard lock{mu_};
+  gauges_[name] = value;
+}
+
+util::Table Registry::render() const {
+  std::lock_guard lock{mu_};
+  util::Table table{{"metric", "count", "mean", "min", "max"}};
+  for (const auto& [name, c] : counters_) {
+    table.add_row({name, std::to_string(c.value()), "", "", ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string label = h.unit.empty() ? name : name + " (" + h.unit + ")";
+    table.add_row({label, std::to_string(h.histogram.count()),
+                   util::fmt(h.histogram.mean(), 3),
+                   util::fmt(h.histogram.min(), 3),
+                   util::fmt(h.histogram.max(), 3)});
+  }
+  for (const auto& [name, value] : gauges_) {
+    table.add_row({name, value, "", "", ""});
+  }
+  return table;
+}
+
+std::string Registry::to_string() const {
+  std::ostringstream os;
+  os << render();
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard lock{mu_};
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.histogram.reset();
+  gauges_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace logsim::runtime::metrics

@@ -1,0 +1,207 @@
+#include "runtime/prediction_cache.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace logsim::runtime {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+class Fnv1a {
+ public:
+  void mix_bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      state_ ^= p[i];
+      state_ *= kFnvPrime;
+    }
+  }
+  void mix_u64(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix_i64(std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); }
+  void mix_double(double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnvOffset;
+};
+
+}  // namespace
+
+std::uint64_t prediction_key_hash(const core::StepProgram& program,
+                                  const loggp::Params& params,
+                                  std::uint64_t seed) {
+  Fnv1a h;
+  h.mix_double(params.L.us());
+  h.mix_double(params.o.us());
+  h.mix_double(params.g.us());
+  h.mix_double(params.G);
+  h.mix_i64(params.P);
+  h.mix_u64(seed);
+  h.mix_i64(program.procs());
+  h.mix_u64(program.size());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const auto& step = program.step(i);
+    if (const auto* comp = std::get_if<core::ComputeStep>(&step)) {
+      h.mix_u64(0);  // step-kind tag
+      h.mix_u64(comp->items.size());
+      for (const auto& item : comp->items) {
+        h.mix_i64(item.proc);
+        h.mix_i64(item.op);
+        h.mix_i64(item.block_size);
+        h.mix_u64(item.touched.size());
+        for (std::int64_t id : item.touched) h.mix_i64(id);
+      }
+    } else {
+      const auto& pat = std::get<core::CommStep>(step).pattern;
+      h.mix_u64(1);
+      h.mix_i64(pat.procs());
+      h.mix_u64(pat.size());
+      for (const auto& msg : pat.messages()) {
+        h.mix_i64(msg.src);
+        h.mix_i64(msg.dst);
+        h.mix_u64(msg.bytes.count());
+        h.mix_i64(msg.tag);
+      }
+    }
+  }
+  return h.digest();
+}
+
+std::size_t prediction_entry_bytes(const core::StepProgram& program,
+                                   const core::Prediction& prediction) {
+  std::size_t bytes = sizeof(core::StepProgram) + sizeof(core::Prediction);
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const auto& step = program.step(i);
+    bytes += sizeof(step);
+    if (const auto* comp = std::get_if<core::ComputeStep>(&step)) {
+      bytes += comp->items.size() * sizeof(core::WorkItem);
+      for (const auto& item : comp->items) {
+        bytes += item.touched.size() * sizeof(std::int64_t);
+      }
+    } else {
+      bytes += std::get<core::CommStep>(step).pattern.size() *
+               sizeof(pattern::Message);
+    }
+  }
+  for (const auto* result : {&prediction.standard, &prediction.worst_case}) {
+    bytes += (result->proc_end.size() + result->comp.size() +
+              result->comm.size()) *
+             sizeof(Time);
+  }
+  return bytes;
+}
+
+PredictionCache::PredictionCache(Config config) {
+  const std::size_t shard_count = config.shards == 0 ? 1 : config.shards;
+  per_shard_budget_ = config.byte_budget / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<core::Prediction> PredictionCache::lookup(
+    const core::StepProgram& program, const loggp::Params& params,
+    std::uint64_t seed) {
+  return lookup(prediction_key_hash(program, params, seed), program, params,
+                seed);
+}
+
+std::optional<core::Prediction> PredictionCache::lookup(
+    std::uint64_t hash, const core::StepProgram& program,
+    const loggp::Params& params, std::uint64_t seed) {
+  Shard& shard = *shards_[shard_of(hash)];
+  std::lock_guard lock{shard.mu};
+  if (auto it = shard.index.find(hash); it != shard.index.end()) {
+    for (auto entry_it : it->second) {
+      if (entry_it->seed == seed && entry_it->params == params &&
+          entry_it->program == program) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
+        ++shard.hits;
+        return entry_it->prediction;
+      }
+    }
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void PredictionCache::insert(const core::StepProgram& program,
+                             const loggp::Params& params, std::uint64_t seed,
+                             const core::Prediction& prediction) {
+  insert(prediction_key_hash(program, params, seed), program, params, seed,
+         prediction);
+}
+
+void PredictionCache::insert(std::uint64_t hash,
+                             const core::StepProgram& program,
+                             const loggp::Params& params, std::uint64_t seed,
+                             const core::Prediction& prediction) {
+  Shard& shard = *shards_[shard_of(hash)];
+  std::lock_guard lock{shard.mu};
+  if (auto it = shard.index.find(hash); it != shard.index.end()) {
+    for (auto entry_it : it->second) {
+      if (entry_it->seed == seed && entry_it->params == params &&
+          entry_it->program == program) {
+        // Already cached (a racing worker got here first): refresh recency.
+        shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
+        return;
+      }
+    }
+  }
+  Entry entry{hash, program, params, seed, prediction,
+              prediction_entry_bytes(program, prediction)};
+  if (entry.bytes > per_shard_budget_) return;  // would evict everything
+  shard.lru.push_front(std::move(entry));
+  shard.index[hash].push_back(shard.lru.begin());
+  shard.bytes += shard.lru.front().bytes;
+  ++shard.insertions;
+  evict_to_budget_locked(shard);
+}
+
+void PredictionCache::evict_to_budget_locked(Shard& shard) {
+  while (shard.bytes > per_shard_budget_ && !shard.lru.empty()) {
+    auto victim = std::prev(shard.lru.end());
+    shard.bytes -= victim->bytes;
+    unindex(shard, victim);
+    shard.lru.erase(victim);
+    ++shard.evictions;
+  }
+}
+
+void PredictionCache::unindex(Shard& shard, std::list<Entry>::iterator it) {
+  auto bucket = shard.index.find(it->hash);
+  auto& vec = bucket->second;
+  std::erase(vec, it);
+  if (vec.empty()) shard.index.erase(bucket);
+}
+
+PredictionCache::Stats PredictionCache::stats() const {
+  Stats total;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard lock{shard.mu};
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.insertions += shard.insertions;
+    total.evictions += shard.evictions;
+    total.entries += shard.lru.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+void PredictionCache::clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard lock{shard.mu};
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace logsim::runtime

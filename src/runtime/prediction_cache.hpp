@@ -1,0 +1,138 @@
+#pragma once
+// Sharded memoization cache for predictions.
+//
+// Key: a canonical 64-bit FNV-1a hash over the step program's structure and
+// the LogGP parameters (plus the simulation seed, which changes worst-case
+// tie-breaking).  The hash selects a shard; each shard holds an LRU list of
+// entries guarded by its own mutex, so concurrent pool workers only contend
+// when they land on the same shard.  Because 64 bits can collide, every
+// entry keeps a full copy of its (program, params) key and lookups verify
+// with operator== before reporting a hit -- a collision is a miss, never a
+// wrong answer.
+//
+// Eviction is by approximate byte footprint: each entry is charged for its
+// program copy (steps, work items, touched-block ids, messages) and its
+// Prediction vectors; when the configured byte budget is exceeded the
+// least-recently-used entries are dropped, oldest first.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/step_program.hpp"
+#include "loggp/params.hpp"
+
+namespace logsim::runtime {
+
+/// Canonical FNV-1a-64 hash of a prediction-cache key.  Identical
+/// (program, params, seed) triples always hash equal; the encoding walks
+/// the program structurally (step kinds, work items, touched ids, messages)
+/// so logically equal programs built by different code paths agree.
+[[nodiscard]] std::uint64_t prediction_key_hash(const core::StepProgram& program,
+                                                const loggp::Params& params,
+                                                std::uint64_t seed);
+
+class PredictionCache {
+ public:
+  struct Config {
+    /// Number of independently locked shards (clamped to at least 1).
+    std::size_t shards = 16;
+    /// Total byte budget across shards; each shard gets an equal slice.
+    /// Entries larger than a slice are simply not retained.  The default
+    /// (16 MiB per shard at 16 shards) comfortably holds every program of
+    /// the paper's Fig-7 sweep, including the block-4 giants.
+    std::size_t byte_budget = 256ull << 20;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+
+    [[nodiscard]] double hit_rate() const {
+      const auto total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  PredictionCache() : PredictionCache(Config{}) {}
+  explicit PredictionCache(Config config);
+
+  /// Returns the cached prediction for an exactly-equal key, promoting the
+  /// entry to most-recently-used; counts a hit or a miss.
+  [[nodiscard]] std::optional<core::Prediction> lookup(
+      const core::StepProgram& program, const loggp::Params& params,
+      std::uint64_t seed);
+
+  /// Stores a prediction, copying the key for collision verification.
+  /// Re-inserting an existing key refreshes its LRU position; insertion may
+  /// evict LRU entries to respect the byte budget.
+  void insert(const core::StepProgram& program, const loggp::Params& params,
+              std::uint64_t seed, const core::Prediction& prediction);
+
+  /// Hashed-key variants: hashing walks the whole program, so callers that
+  /// look up and then insert on a miss should hash once (the hash MUST be
+  /// prediction_key_hash of the same key; a stale hash corrupts nothing but
+  /// wastes the entry).
+  [[nodiscard]] std::optional<core::Prediction> lookup(
+      std::uint64_t hash, const core::StepProgram& program,
+      const loggp::Params& params, std::uint64_t seed);
+  void insert(std::uint64_t hash, const core::StepProgram& program,
+              const loggp::Params& params, std::uint64_t seed,
+              const core::Prediction& prediction);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Shard a key hash routes to (exposed so tests can force collisions).
+  [[nodiscard]] std::size_t shard_of(std::uint64_t hash) const {
+    return hash % shards_.size();
+  }
+
+  /// Drops all entries; counters are kept (they are cumulative).
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    core::StepProgram program;  // full key copy for collision verification
+    loggp::Params params;
+    std::uint64_t seed = 0;
+    core::Prediction prediction;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // hash -> entries with that hash (usually one; collisions append).
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  void evict_to_budget_locked(Shard& shard);
+  static void unindex(Shard& shard, std::list<Entry>::iterator it);
+
+  std::size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Approximate heap footprint of one cached entry, used for the budget.
+[[nodiscard]] std::size_t prediction_entry_bytes(
+    const core::StepProgram& program, const core::Prediction& prediction);
+
+}  // namespace logsim::runtime

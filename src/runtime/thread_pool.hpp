@@ -1,0 +1,68 @@
+#pragma once
+// Fixed-size worker pool with a single mutex+condvar task queue.
+//
+// Deliberately work-stealing-free: batch prediction jobs are coarse
+// (one whole program simulation each), so a single shared FIFO keeps the
+// implementation small, makes submission order the service order, and
+// avoids the memory traffic of per-thread deques.  The queue records the
+// enqueue timestamp of every task so the runtime metrics can report queue
+// wait times.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace logsim::runtime {
+
+class ThreadPool {
+ public:
+  /// Task callbacks receive the time the task spent queued before a worker
+  /// picked it up, so callers can feed wait-time metrics without any
+  /// clock calls of their own.
+  using Task = std::function<void(std::chrono::steady_clock::duration queue_wait)>;
+
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; FIFO service order across the pool.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing (not merely
+  /// been dequeued).  Safe to call repeatedly and from multiple threads.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Tasks accepted over the pool's lifetime (for tests / metrics).
+  [[nodiscard]] std::size_t submitted() const;
+
+ private:
+  struct Pending {
+    Task task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;   // workers wait here for work
+  std::condition_variable all_done_;     // wait_idle() waits here
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;            // dequeued but not yet finished
+  std::size_t total_submitted_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace logsim::runtime

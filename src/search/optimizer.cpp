@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <map>
+#include <stdexcept>
+#include <utility>
 
 namespace logsim::search {
 
@@ -13,6 +15,51 @@ SearchResult exhaustive_search(const std::vector<int>& blocks,
   for (const layout::Layout* map : layouts) {
     for (int b : blocks) {
       const Time t = eval(b, *map);
+      result.evaluated.push_back(Evaluation{b, map->name(), t});
+      ++result.evaluations;
+      if (first || t < result.best.predicted) {
+        result.best = result.evaluated.back();
+        first = false;
+      }
+    }
+  }
+  return result;
+}
+
+SearchResult exhaustive_search(const std::vector<int>& blocks,
+                               const std::vector<const layout::Layout*>& layouts,
+                               const ProgramFactory& make_program,
+                               runtime::BatchPredictor& predictor,
+                               const loggp::Params& params,
+                               const core::CostTable& costs) {
+  // Candidate programs are built up front (serially -- builders are cheap
+  // relative to simulation) so the job vector can borrow stable pointers.
+  std::vector<core::StepProgram> programs;
+  programs.reserve(blocks.size() * layouts.size());
+  std::vector<runtime::PredictJob> jobs;
+  jobs.reserve(programs.capacity());
+  for (const layout::Layout* map : layouts) {
+    for (int b : blocks) {
+      programs.push_back(make_program(b, *map));
+      jobs.push_back(runtime::PredictJob{&programs.back(), params, &costs});
+    }
+  }
+
+  const std::vector<runtime::JobResult> outcomes = predictor.predict_all(jobs);
+
+  // Fold in submission order: identical semantics to the serial overload.
+  SearchResult result;
+  std::size_t i = 0;
+  bool first = true;
+  for (const layout::Layout* map : layouts) {
+    for (int b : blocks) {
+      const runtime::JobResult& outcome = outcomes[i++];
+      if (!outcome.ok()) {
+        throw std::runtime_error("exhaustive_search: prediction failed for "
+                                 "block " + std::to_string(b) + " / layout " +
+                                 map->name() + ": " + outcome.error);
+      }
+      const Time t = outcome.value().standard.total;
       result.evaluated.push_back(Evaluation{b, map->name(), t});
       ++result.evaluations;
       if (first || t < result.best.predicted) {

@@ -15,7 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_table.hpp"
+#include "core/step_program.hpp"
 #include "layout/layout.hpp"
+#include "loggp/params.hpp"
+#include "runtime/batch_predictor.hpp"
 #include "util/types.hpp"
 
 namespace logsim::search {
@@ -40,6 +44,23 @@ struct SearchResult {
 [[nodiscard]] SearchResult exhaustive_search(
     const std::vector<int>& blocks,
     const std::vector<const layout::Layout*>& layouts, const Evaluator& eval);
+
+/// Builds the StepProgram to evaluate for one (block, layout) candidate.
+using ProgramFactory =
+    std::function<core::StepProgram(int block, const layout::Layout&)>;
+
+/// Batch overload: builds every (block, layout) candidate program, fans the
+/// predictions out over `predictor`'s thread pool (memoized when the
+/// predictor carries a cache), and folds the results in the same
+/// (layout-major, block-minor) order as the serial overload -- so the best
+/// pick, tie-breaking, and the `evaluated` sequence are identical, just
+/// embarrassingly parallel.  `predicted` is the standard-schedule total.
+/// Throws std::runtime_error naming the candidate if any job fails.
+[[nodiscard]] SearchResult exhaustive_search(
+    const std::vector<int>& blocks,
+    const std::vector<const layout::Layout*>& layouts,
+    const ProgramFactory& make_program, runtime::BatchPredictor& predictor,
+    const loggp::Params& params, const core::CostTable& costs);
 
 /// Downhill walk over the block axis for one layout, starting at index
 /// `start` of `blocks` (which must be sorted ascending): move to the
