@@ -4,6 +4,7 @@
 // and "measured" (Testbed) series.  Paper setup: 960x960 doubles, 8
 // processors, Meiko CS-2 LogGP parameters.
 
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -75,7 +76,7 @@ inline SweepResult run_sweep(const layout::Layout& map,
     if (!predictions[i].ok()) {
       throw std::runtime_error("ge sweep: prediction failed for block " +
                                std::to_string(blocks[i]) + ": " +
-                               predictions[i].error);
+                               predictions[i].error());
     }
     const core::Prediction& pred = predictions[i].value();
     const machine::TestbedResult meas = testbed.run(programs[i], costs);
@@ -99,9 +100,21 @@ inline SweepResult run_sweep(const layout::Layout& map,
 /// Convenience overload: sweeps with a freshly configured batch predictor
 /// (hardware-concurrency threads, no cache) -- the drop-in replacement for
 /// the historical serial signature used by the fig7/8/9 benches.
+///
+/// Set LOGSIM_CHECKPOINT=<path> to make the sweep crash-safe: finished
+/// predictions are persisted there and a rerun after a kill resumes from
+/// the checkpoint, recomputing only the missing blocks (the resumed
+/// results are bit-identical -- the checkpoint stores hexfloat).  All
+/// layouts share one file; their jobs occupy disjoint key space.
 inline SweepResult run_sweep(const layout::Layout& map,
                              int matrix_n = kMatrixN) {
-  runtime::BatchPredictor batch{{}};
+  runtime::BatchPredictor::Config cfg;
+  if (const char* env = std::getenv("LOGSIM_CHECKPOINT");
+      env != nullptr && *env != '\0') {
+    cfg.checkpoint_path = env;
+    cfg.checkpoint_every = 1;  // a kill loses at most the in-flight jobs
+  }
+  runtime::BatchPredictor batch{cfg};
   return run_sweep(map, batch, matrix_n);
 }
 

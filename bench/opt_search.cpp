@@ -2,6 +2,7 @@
 // layout over the *predicted* running times (Section 6: "this reduces to
 // a search problem").
 
+#include <cstdlib>
 #include <iostream>
 #include <stdexcept>
 
@@ -26,7 +27,16 @@ int main() {
   // candidates in flight across the pool, memoized so the local-descent
   // walks below re-use the grid's predictions instead of re-simulating.
   runtime::PredictionCache cache{{.byte_budget = 1ull << 30}};
-  runtime::BatchPredictor batch{{.cache = &cache}};
+  runtime::BatchPredictor::Config batch_cfg;
+  batch_cfg.cache = &cache;
+  // LOGSIM_CHECKPOINT=<path> makes the grid crash-safe: a killed search
+  // rerun resumes from the persisted predictions bit-identically.
+  if (const char* env = std::getenv("LOGSIM_CHECKPOINT");
+      env != nullptr && *env != '\0') {
+    batch_cfg.checkpoint_path = env;
+    batch_cfg.checkpoint_every = 1;
+  }
+  runtime::BatchPredictor batch{batch_cfg};
   const search::ProgramFactory factory = [](int b, const layout::Layout& l) {
     return ge::build_ge_program(ge::GeConfig{.n = bench::kMatrixN, .block = b},
                                 l);
@@ -52,7 +62,7 @@ int main() {
     const auto program = factory(b, l);
     const auto r =
         batch.predict_one(runtime::PredictJob{&program, params, &costs});
-    if (!r.ok()) throw std::runtime_error(r.error);
+    if (!r.ok()) throw std::runtime_error(r.error());
     return r.value().standard.total;
   };
   for (std::size_t start : {std::size_t{0}, blocks.size() - 1}) {

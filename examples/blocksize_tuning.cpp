@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     const auto program = factory(b, l);
     const auto r =
         batch.predict_one(runtime::PredictJob{&program, params, &costs});
-    if (!r.ok()) throw std::runtime_error(r.error);
+    if (!r.ok()) throw std::runtime_error(r.error());
     return r.value().standard.total;
   };
   const auto descent =

@@ -34,6 +34,10 @@
 #include "core/worst_case.hpp"      // IWYU pragma: export
 #include "des/simulator.hpp"        // IWYU pragma: export
 #include "extensions/overlap_sim.hpp"  // IWYU pragma: export
+#include "fault/cancel.hpp"         // IWYU pragma: export
+#include "fault/failpoint.hpp"      // IWYU pragma: export
+#include "fault/retry.hpp"          // IWYU pragma: export
+#include "fault/status.hpp"         // IWYU pragma: export
 #include "fitting/fit.hpp"          // IWYU pragma: export
 #include "frontend/program_builder.hpp"  // IWYU pragma: export
 #include "ge/blocked_ge.hpp"        // IWYU pragma: export
@@ -55,6 +59,7 @@
 #include "pattern/builders.hpp"     // IWYU pragma: export
 #include "pattern/comm_pattern.hpp" // IWYU pragma: export
 #include "runtime/batch_predictor.hpp"   // IWYU pragma: export
+#include "runtime/checkpoint.hpp"        // IWYU pragma: export
 #include "runtime/metrics.hpp"           // IWYU pragma: export
 #include "runtime/prediction_cache.hpp"  // IWYU pragma: export
 #include "runtime/thread_pool.hpp"       // IWYU pragma: export

@@ -25,6 +25,12 @@ void CostTable::set_cost(OpId op, int block_size, Time cost) {
 Time CostTable::cost(OpId op, int block_size) const {
   const auto& points = ops_.at(static_cast<std::size_t>(op)).points;
   assert(!points.empty() && "cost table has no calibration for this op");
+  if (points.empty()) {
+    // Release-build backstop: historically this fell through to an empty
+    // front() dereference.  Boundaries reject uncalibrated ops up front
+    // (cost_checked / validate_inputs), so this is belt-and-braces.
+    return Time::zero();
+  }
   const auto it = std::lower_bound(
       points.begin(), points.end(), block_size,
       [](const Point& a, int b) { return a.block < b; });
@@ -36,6 +42,29 @@ Time CostTable::cost(OpId op, int block_size) const {
   const double frac = static_cast<double>(block_size - lo.block) /
                       static_cast<double>(hi.block - lo.block);
   return lo.cost + (hi.cost - lo.cost) * frac;
+}
+
+Result<Time> CostTable::cost_checked(OpId op, int block_size) const {
+  if (op < 0 || op >= op_count()) {
+    return Status::invalid_input("op id " + std::to_string(op) +
+                                 " out of range (have " +
+                                 std::to_string(op_count()) + " ops)");
+  }
+  const auto& entry = ops_[static_cast<std::size_t>(op)];
+  if (entry.points.empty()) {
+    return Status::invalid_input("op '" + entry.name +
+                                 "' has no calibration points");
+  }
+  if (block_size < 1) {
+    return Status::invalid_input("block size " + std::to_string(block_size) +
+                                 " must be positive");
+  }
+  return cost(op, block_size);
+}
+
+bool CostTable::has_calibration(OpId op) const {
+  return op >= 0 && op < op_count() &&
+         !ops_[static_cast<std::size_t>(op)].points.empty();
 }
 
 const std::string& CostTable::name(OpId op) const {

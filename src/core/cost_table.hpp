@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/status.hpp"
 #include "util/types.hpp"
 
 namespace logsim::core {
@@ -28,8 +29,19 @@ class CostTable {
 
   /// Cost lookup.  Exact match when `block_size` is a calibration point;
   /// otherwise linear interpolation between neighbours, clamped at the
-  /// extremes.  Precondition: the op has at least one calibration point.
+  /// extremes.  Precondition: the op has at least one calibration point
+  /// (use cost_checked() at untrusted boundaries); a release build returns
+  /// zero for an uncalibrated op instead of undefined behaviour.
   [[nodiscard]] Time cost(OpId op, int block_size) const;
+
+  /// Boundary-safe cost lookup: an out-of-range op or an op with no
+  /// calibration points yields an invalid-input Status instead of tripping
+  /// the debug assert (or, historically, dereferencing an empty vector).
+  [[nodiscard]] Result<Time> cost_checked(OpId op, int block_size) const;
+
+  /// True when `op` is registered and has at least one calibration point,
+  /// i.e. cost() is safe to call.
+  [[nodiscard]] bool has_calibration(OpId op) const;
 
   [[nodiscard]] int op_count() const { return static_cast<int>(ops_.size()); }
   [[nodiscard]] const std::string& name(OpId op) const;

@@ -11,6 +11,30 @@ Prediction Predictor::predict(const StepProgram& program,
                     predict_worst_case(program, costs)};
 }
 
+Result<Prediction> Predictor::predict_checked(const StepProgram& program,
+                                              const CostTable& costs) const {
+  if (Status st = validate_inputs(program, costs, params_); !st.ok()) {
+    return st.with_context("while validating prediction inputs");
+  }
+  ProgramSimOptions std_opts = opts_;
+  std_opts.worst_case = false;
+  Result<ProgramResult> standard =
+      ProgramSimulator{params_, std::move(std_opts)}.run_checked(program,
+                                                                 costs);
+  if (!standard.ok()) {
+    return Status{standard.status()}.with_context("in the standard schedule");
+  }
+  ProgramSimOptions worst_opts = opts_;
+  worst_opts.worst_case = true;
+  Result<ProgramResult> worst =
+      ProgramSimulator{params_, std::move(worst_opts)}.run_checked(program,
+                                                                   costs);
+  if (!worst.ok()) {
+    return Status{worst.status()}.with_context("in the worst-case schedule");
+  }
+  return Prediction{std::move(standard).value(), std::move(worst).value()};
+}
+
 ProgramResult Predictor::predict_standard(const StepProgram& program,
                                           const CostTable& costs) const {
   ProgramSimOptions o = opts_;

@@ -28,6 +28,13 @@ class Predictor {
   [[nodiscard]] Prediction predict(const StepProgram& program,
                                    const CostTable& costs) const;
 
+  /// Boundary-safe variant: validates the inputs (validate_inputs) before
+  /// simulating, and honours the options' cancel token / deadline between
+  /// simulation steps.  Invalid input, cancellation and deadline expiry
+  /// come back as a Status instead of an assert or a hang.
+  [[nodiscard]] Result<Prediction> predict_checked(const StepProgram& program,
+                                                   const CostTable& costs) const;
+
   /// Runs only the requested schedule.
   [[nodiscard]] ProgramResult predict_standard(const StepProgram& program,
                                                const CostTable& costs) const;

@@ -1,6 +1,9 @@
 #include "core/program_sim.hpp"
 
 #include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
 
 namespace logsim::core {
 
@@ -16,6 +19,56 @@ Time ProgramResult::comm_max() const {
   return t;
 }
 
+Status validate_inputs(const StepProgram& program, const CostTable& costs,
+                       const loggp::Params& params) {
+  if (!params.valid()) {
+    return Status::invalid_input("invalid LogGP parameters " +
+                                 params.to_string());
+  }
+  if (program.procs() < 1) {
+    return Status::invalid_input("program needs at least one processor");
+  }
+  for (std::size_t s = 0; s < program.size(); ++s) {
+    const auto& entry = program.step(s);
+    const std::string where = " in step " + std::to_string(s);
+    if (const auto* cs = std::get_if<ComputeStep>(&entry)) {
+      for (const auto& item : cs->items) {
+        if (item.proc < 0 || item.proc >= program.procs()) {
+          return Status::invalid_input(
+              "work item processor " + std::to_string(item.proc) +
+              " out of range [0, " + std::to_string(program.procs()) + ")" +
+              where);
+        }
+        if (item.op < 0 || item.op >= costs.op_count()) {
+          return Status::invalid_input("work item references unregistered op " +
+                                       std::to_string(item.op) + where);
+        }
+        if (!costs.has_calibration(item.op)) {
+          return Status::invalid_input("op '" + costs.name(item.op) +
+                                       "' has no calibration points" + where);
+        }
+        if (item.block_size < 1) {
+          return Status::invalid_input("work item block size " +
+                                       std::to_string(item.block_size) +
+                                       " must be positive" + where);
+        }
+      }
+    } else {
+      const auto& pattern = std::get<CommStep>(entry).pattern;
+      if (pattern.procs() != program.procs()) {
+        return Status::invalid_input(
+            "comm step over " + std::to_string(pattern.procs()) +
+            " processors inside a " + std::to_string(program.procs()) +
+            "-processor program" + where);
+      }
+      if (!pattern.valid()) {
+        return Status::invalid_input("message endpoint out of range" + where);
+      }
+    }
+  }
+  return Status{};
+}
+
 ProgramSimulator::ProgramSimulator(loggp::Params params, ProgramSimOptions opts)
     : params_(params), opts_(std::move(opts)) {
   assert(params_.valid());
@@ -23,15 +76,40 @@ ProgramSimulator::ProgramSimulator(loggp::Params params, ProgramSimOptions opts)
 
 ProgramResult ProgramSimulator::run(const StepProgram& program,
                                     const CostTable& costs) const {
+  Result<ProgramResult> result = run_checked(program, costs);
+  assert(result.ok() && "use run_checked() with cancel/deadline options");
+  if (!result.ok()) return ProgramResult{};
+  return std::move(result).value();
+}
+
+Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
+                                                    const CostTable& costs) const {
   const auto n = static_cast<std::size_t>(program.procs());
   ProgramResult result;
   result.proc_end.assign(n, Time::zero());
   result.comp.assign(n, Time::zero());
   result.comm.assign(n, Time::zero());
 
+  // Stop controls are polled at step boundaries: steps are coarse (one
+  // whole compute phase or LogGP communication round), so the poll cost is
+  // negligible and a cancelled sweep still unwinds through normal returns.
+  const bool check_cancel = opts_.cancel.armed();
+  const bool check_deadline =
+      opts_.deadline != std::chrono::steady_clock::time_point::max();
+
   std::vector<Time>& clock = result.proc_end;
 
   for (std::size_t step = 0; step < program.size(); ++step) {
+    if (check_cancel && opts_.cancel.cancelled()) {
+      return Status::cancelled("simulation cancelled before step " +
+                               std::to_string(step) + "/" +
+                               std::to_string(program.size()));
+    }
+    if (check_deadline && std::chrono::steady_clock::now() >= opts_.deadline) {
+      return Status::timeout("simulation deadline expired before step " +
+                             std::to_string(step) + "/" +
+                             std::to_string(program.size()));
+    }
     const auto& entry = program.step(step);
     if (const auto* cs = std::get_if<ComputeStep>(&entry)) {
       for (const auto& item : cs->items) {

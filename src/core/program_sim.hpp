@@ -7,6 +7,7 @@
 // program, estimate the computation running time, and determine the
 // sequence of send and receive operations").
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "core/cost_table.hpp"
 #include "core/step_program.hpp"
 #include "core/worst_case.hpp"
+#include "fault/cancel.hpp"
+#include "fault/status.hpp"
 #include "loggp/params.hpp"
 #include "util/types.hpp"
 
@@ -29,6 +32,13 @@ struct ProgramSimOptions {
   /// order.  Hook point for the cache-model extension: the callback may
   /// keep per-processor cache state and return the stall time to add.
   std::function<Time(const WorkItem&)> compute_overhead;
+  /// Cooperative cancellation, polled between simulation steps; the
+  /// default token is inert.  Only run_checked() honours it.
+  fault::CancelToken cancel;
+  /// Wall-clock deadline, also polled between steps; time_point::max()
+  /// (the default) disables it.  Only run_checked() honours it.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 struct ProgramResult {
@@ -42,12 +52,28 @@ struct ProgramResult {
   [[nodiscard]] Time comm_max() const;
 };
 
+/// Boundary validation establishing the simulator preconditions that the
+/// hot path only assert()s: valid LogGP parameters, every work item
+/// referencing an in-range processor / calibrated op / positive block
+/// size, and every comm step sized to the program.  Returns the first
+/// violation as an invalid-input Status.
+[[nodiscard]] Status validate_inputs(const StepProgram& program,
+                                     const CostTable& costs,
+                                     const loggp::Params& params);
+
 class ProgramSimulator {
  public:
   ProgramSimulator(loggp::Params params, ProgramSimOptions opts = {});
 
   [[nodiscard]] ProgramResult run(const StepProgram& program,
                                   const CostTable& costs) const;
+
+  /// Like run(), but polls the options' cancel token and deadline between
+  /// steps, returning a kCancelled / kTimeout Status instead of finishing.
+  /// Does NOT re-validate inputs; see validate_inputs() for the boundary
+  /// check that establishes run()'s preconditions.
+  [[nodiscard]] Result<ProgramResult> run_checked(const StepProgram& program,
+                                                  const CostTable& costs) const;
 
   [[nodiscard]] const loggp::Params& params() const { return params_; }
 

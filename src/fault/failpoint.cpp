@@ -1,0 +1,222 @@
+#include "fault/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <utility>
+
+namespace logsim::fault {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Parses "50ms" / "200us" / "1.5s" into microseconds.
+bool parse_duration(const std::string& text, Time* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || v < 0.0) return false;
+  const std::string unit{end};
+  if (unit == "us") {
+    *out = Time{v};
+  } else if (unit == "ms") {
+    *out = Time{v * 1e3};
+  } else if (unit == "s") {
+    *out = Time{v * 1e6};
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_probability(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses one "site:action[@arg][#n]" clause.
+Status parse_clause(const std::string& clause, std::string* site,
+                    FailpointSpec* spec) {
+  const auto colon = clause.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::invalid_input("failpoint clause needs 'site:action', got '" +
+                                 clause + "'");
+  }
+  *site = clause.substr(0, colon);
+  std::string action = clause.substr(colon + 1);
+
+  *spec = FailpointSpec{};
+  const auto hash_pos = action.find('#');
+  if (hash_pos != std::string::npos) {
+    const std::string count = action.substr(hash_pos + 1);
+    char* end = nullptr;
+    const long long n = std::strtoll(count.c_str(), &end, 10);
+    if (end == count.c_str() || *end != '\0' || n < 0) {
+      return Status::invalid_input("bad failpoint fire count '" + count + "'");
+    }
+    spec->max_fires = n;
+    action.erase(hash_pos);
+  }
+
+  std::string arg;
+  const auto at_pos = action.find('@');
+  if (at_pos != std::string::npos) {
+    arg = action.substr(at_pos + 1);
+    action.erase(at_pos);
+  }
+
+  if (action == "err") {
+    spec->kind = FailpointSpec::Kind::kError;
+    if (!arg.empty() && !parse_probability(arg, &spec->probability)) {
+      return Status::invalid_input("bad probability '" + arg + "' for '" +
+                                   *site + ":err'");
+    }
+  } else if (action == "alloc") {
+    spec->kind = FailpointSpec::Kind::kAllocFail;
+    if (!arg.empty() && !parse_probability(arg, &spec->probability)) {
+      return Status::invalid_input("bad probability '" + arg + "' for '" +
+                                   *site + ":alloc'");
+    }
+  } else if (action == "delay") {
+    spec->kind = FailpointSpec::Kind::kDelay;
+    if (arg.empty() || !parse_duration(arg, &spec->delay)) {
+      return Status::invalid_input(
+          "'delay' needs a duration like 50ms, got '" + arg + "'");
+    }
+  } else {
+    return Status::invalid_input("unknown failpoint action '" + action +
+                                 "' (want err|delay|alloc)");
+  }
+  return Status{};
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::global() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry;
+    // Env errors at process startup have nowhere to propagate; a bad spec
+    // leaves the registry disarmed, which evaluate() treats as "no fault".
+    (void)r->configure_from_env();
+    return r;
+  }();
+  return *registry;
+}
+
+Status FailpointRegistry::configure(const std::string& spec,
+                                    std::uint64_t seed) {
+  std::map<std::string, Site, std::less<>> parsed;
+  std::string clause;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    clause = spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                           : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (clause.empty()) continue;
+    std::string site;
+    FailpointSpec fp;
+    if (Status st = parse_clause(clause, &site, &fp); !st.ok()) {
+      return st.with_context("while parsing LOGSIM_FAILPOINTS");
+    }
+    Site s;
+    s.spec = fp;
+    s.rng = util::Rng{seed ^ fnv1a(site)};
+    parsed.insert_or_assign(std::move(site), std::move(s));
+  }
+
+  std::lock_guard lock{mu_};
+  sites_ = std::move(parsed);
+  armed_.store(!sites_.empty(), std::memory_order_relaxed);
+  return Status{};
+}
+
+Status FailpointRegistry::configure_from_env() {
+  const char* spec = std::getenv("LOGSIM_FAILPOINTS");
+  std::uint64_t seed = 1;
+  if (const char* seed_env = std::getenv("LOGSIM_FAILPOINT_SEED")) {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  return configure(spec == nullptr ? "" : spec, seed);
+}
+
+void FailpointRegistry::clear() {
+  std::lock_guard lock{mu_};
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::evaluate(std::string_view site) {
+  FailpointSpec::Kind kind;
+  Time delay = Time::zero();
+  std::string name;
+  {
+    std::lock_guard lock{mu_};
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return Status{};
+    Site& s = it->second;
+    ++s.evaluations;
+    if (s.spec.max_fires >= 0 &&
+        s.fires >= static_cast<std::uint64_t>(s.spec.max_fires)) {
+      return Status{};
+    }
+    // Draw even at p=1 so a site's decision stream depends only on its
+    // evaluation index, not on its configured probability.
+    if (s.rng.uniform01() >= s.spec.probability) return Status{};
+    ++s.fires;
+    kind = s.spec.kind;
+    delay = s.spec.delay;
+    name = it->first;
+  }
+  switch (kind) {
+    case FailpointSpec::Kind::kError:
+      return Status::transient("failpoint '" + name + "' injected error");
+    case FailpointSpec::Kind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(delay.us()));
+      return Status{};
+    case FailpointSpec::Kind::kAllocFail:
+      throw std::bad_alloc{};
+  }
+  return Status{};
+}
+
+std::uint64_t FailpointRegistry::evaluations(std::string_view site) const {
+  std::lock_guard lock{mu_};
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t FailpointRegistry::fires(std::string_view site) const {
+  std::lock_guard lock{mu_};
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FailpointRegistry::total_fires() const {
+  std::lock_guard lock{mu_};
+  std::uint64_t total = 0;
+  for (const auto& [name, site] : sites_) total += site.fires;
+  return total;
+}
+
+std::vector<std::string> FailpointRegistry::sites() const {
+  std::lock_guard lock{mu_};
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) out.push_back(name);
+  return out;
+}
+
+}  // namespace logsim::fault

@@ -1,0 +1,24 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace logsim::fault {
+
+bool should_retry(const Status& status, int attempt,
+                  const RetryPolicy& policy) {
+  return status.is_transient() && attempt < policy.max_attempts;
+}
+
+Time backoff_delay(const RetryPolicy& policy, int attempt, util::Rng& rng) {
+  if (attempt < 1) attempt = 1;
+  const double base_us =
+      policy.initial_backoff.us() *
+      std::pow(policy.multiplier, static_cast<double>(attempt - 1));
+  const double capped_us = std::min(base_us, policy.max_backoff.us());
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double factor = rng.uniform(1.0 - jitter, 1.0 + jitter);
+  return Time{std::max(0.0, capped_us * factor)};
+}
+
+}  // namespace logsim::fault

@@ -1,0 +1,37 @@
+#pragma once
+// Retry policy for transient failures: capped exponential backoff with
+// deterministic jitter.  Attempt k (1-based) backs off for
+//   clamp(initial * multiplier^(k-1), max_backoff) * U[1-jitter, 1+jitter]
+// where U is drawn from a seeded Rng, so a fleet of workers retrying the
+// same failing dependency desynchronizes instead of stampeding, yet every
+// test run reproduces the same delays bit-for-bit.
+
+#include <cstdint>
+
+#include "fault/status.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace logsim::fault {
+
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retry.
+  int max_attempts = 1;
+  Time initial_backoff = Time{1000.0};  ///< 1 ms
+  double multiplier = 2.0;
+  Time max_backoff = Time{100000.0};    ///< 100 ms cap
+  /// Fractional jitter: 0.5 means the delay lands in [0.5x, 1.5x].
+  double jitter = 0.5;
+};
+
+/// True when `status` failed transiently and `attempt` (1-based, the try
+/// that just failed) leaves budget for another go.
+[[nodiscard]] bool should_retry(const Status& status, int attempt,
+                                const RetryPolicy& policy);
+
+/// Backoff delay after failed attempt `attempt` (1-based): jittered, capped
+/// exponential.  Deterministic in (policy, rng state).
+[[nodiscard]] Time backoff_delay(const RetryPolicy& policy, int attempt,
+                                 util::Rng& rng);
+
+}  // namespace logsim::fault

@@ -1,0 +1,42 @@
+#include "fault/status.hpp"
+
+#include <sstream>
+
+namespace logsim {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidInput:
+      return "invalid-input";
+    case ErrorCode::kTransient:
+      return "transient";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << error_code_name(code_);
+  if (line_ > 0) os << ":" << line_;
+  os << ": " << message_;
+  if (!context_.empty()) {
+    os << " (";
+    for (std::size_t i = 0; i < context_.size(); ++i) {
+      if (i != 0) os << "; ";
+      os << context_[i];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace logsim

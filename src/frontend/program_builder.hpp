@@ -14,9 +14,16 @@
 //   b.step();                       // close the compute+comm pair
 //   core::StepProgram prog = b.build();
 
+// Error handling: the fluent recording API cannot return a Result from
+// every call, so the builder records the *first* out-of-range processor id
+// (or invalid processor count) as a sticky Status; recording calls after
+// an error are inert no-ops.  build_checked() surfaces the sticky error;
+// build() keeps the historical signature and assert()s it in debug.
+
 #include <cstdint>
 
 #include "core/step_program.hpp"
+#include "fault/status.hpp"
 #include "pattern/comm_pattern.hpp"
 #include "util/types.hpp"
 
@@ -61,19 +68,31 @@ class ProgramBuilder {
   /// ComputeStep, pending stores one CommStep (empty phases are elided).
   void step();
 
-  /// Final step() plus hand-over of the recorded program.
+  /// Final step() plus hand-over of the recorded program.  Precondition:
+  /// status().ok() (asserted in debug; the release build still returns the
+  /// well-formed prefix recorded before the first error).
   [[nodiscard]] core::StepProgram build();
+
+  /// Boundary-safe build: the sticky error (first invalid processor id /
+  /// count), or the recorded program.
+  [[nodiscard]] Result<core::StepProgram> build_checked();
+
+  /// First recording error, or ok.  Sticky until build()/build_checked().
+  [[nodiscard]] const Status& status() const { return status_; }
 
   [[nodiscard]] int procs() const { return procs_; }
   [[nodiscard]] std::size_t steps_recorded() const { return steps_; }
 
  private:
   friend class Proc;
+  void record_error(Status status);
+
   int procs_;
   core::StepProgram program_;
   core::ComputeStep pending_compute_;
   pattern::CommPattern pending_comm_;
   std::size_t steps_ = 0;
+  Status status_;
 };
 
 }  // namespace logsim::frontend

@@ -1,30 +1,26 @@
 #include "io/params_io.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
+#include "fault/failpoint.hpp"
+
 namespace logsim::io {
 
-namespace {
-
-ParamsParseResult fail(std::string message) {
-  ParamsParseResult r;
-  r.error = std::move(message);
-  return r;
-}
-
-}  // namespace
-
-ParamsParseResult parse_params(const std::string& text,
-                               const loggp::Params& defaults) {
+Result<loggp::Params> parse_params(const std::string& text,
+                                   const loggp::Params& defaults) {
+  if (Status st = fault::failpoint("io.params"); !st.ok()) {
+    return st.with_context("while parsing LogGP parameters");
+  }
   if (text == "meiko") {
-    return ParamsParseResult{loggp::presets::meiko_cs2(defaults.P), {}};
+    return loggp::presets::meiko_cs2(defaults.P);
   }
   if (text == "cluster") {
-    return ParamsParseResult{loggp::presets::cluster(defaults.P), {}};
+    return loggp::presets::cluster(defaults.P);
   }
   if (text == "ideal") {
-    return ParamsParseResult{loggp::presets::ideal(defaults.P), {}};
+    return loggp::presets::ideal(defaults.P);
   }
 
   loggp::Params p = defaults;
@@ -34,14 +30,31 @@ ParamsParseResult parse_params(const std::string& text,
     if (item.empty()) continue;
     const auto eq = item.find('=');
     if (eq == std::string::npos) {
-      return fail("expected key=value, got '" + item + "'");
+      return Status::invalid_input("expected key=value, got '" + item + "'");
     }
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
     char* end = nullptr;
     const double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0') {
-      return fail("malformed number '" + value + "' for key '" + key + "'");
+      return Status::invalid_input("malformed number '" + value +
+                                   "' for key '" + key + "'");
+    }
+    if (!std::isfinite(v)) {
+      return Status::invalid_input("non-finite value '" + value +
+                                   "' for key '" + key + "'");
+    }
+    if (key == "P") {
+      if (v < 1.0 || v != std::floor(v) || v > 1e9) {
+        return Status::invalid_input("'P' needs a positive integer, got '" +
+                                     value + "'");
+      }
+      p.P = static_cast<int>(v);
+      continue;
+    }
+    if (v < 0.0) {
+      return Status::invalid_input("'" + key + "' must be non-negative, got '" +
+                                   value + "'");
     }
     if (key == "L") {
       p.L = Time{v};
@@ -51,16 +64,15 @@ ParamsParseResult parse_params(const std::string& text,
       p.g = Time{v};
     } else if (key == "G") {
       p.G = v;
-    } else if (key == "P") {
-      p.P = static_cast<int>(v);
     } else {
-      return fail("unknown parameter '" + key + "'");
+      return Status::invalid_input("unknown parameter '" + key + "'");
     }
   }
   if (!p.valid()) {
-    return fail("resulting parameters are invalid");
+    return Status::invalid_input("resulting parameters are invalid: " +
+                                 p.to_string());
   }
-  return ParamsParseResult{p, {}};
+  return p;
 }
 
 }  // namespace logsim::io

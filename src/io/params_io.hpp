@@ -2,24 +2,22 @@
 // Parsing LogGP parameters from command-line-friendly strings:
 //   "L=9,o=2,g=13,G=0.03,P=8"      (any subset; omissions keep defaults)
 //   "meiko" / "cluster" / "ideal"  (preset names)
+//
+// Untrusted boundary: malformed numbers, unknown keys, and physically
+// meaningless values (NaN, negative times, P < 1) all come back as an
+// invalid-input Status naming the offending key.
 
-#include <optional>
 #include <string>
 
+#include "fault/status.hpp"
 #include "loggp/params.hpp"
 
 namespace logsim::io {
 
-struct ParamsParseResult {
-  std::optional<loggp::Params> params;
-  std::string error;
-
-  [[nodiscard]] bool ok() const { return params.has_value(); }
-};
-
-/// Parses a preset name or a comma-separated key=value list; unknown keys
-/// and malformed numbers are errors.  `defaults` seeds omitted fields.
-[[nodiscard]] ParamsParseResult parse_params(
+/// Parses a preset name or a comma-separated key=value list; unknown keys,
+/// malformed numbers and invalid resulting parameters are errors.
+/// `defaults` seeds omitted fields.
+[[nodiscard]] Result<loggp::Params> parse_params(
     const std::string& text, const loggp::Params& defaults = {});
 
 }  // namespace logsim::io

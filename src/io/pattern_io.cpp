@@ -1,22 +1,33 @@
 #include "io/pattern_io.hpp"
 
 #include <fstream>
+#include <new>
+#include <optional>
 #include <sstream>
+
+#include "fault/failpoint.hpp"
 
 namespace logsim::io {
 
 namespace {
 
-PatternParseResult fail(int line, std::string message) {
-  PatternParseResult r;
-  r.error = std::move(message);
-  r.error_line = line;
-  return r;
+Status fail(int line, std::string message) {
+  return Status::invalid_input(std::move(message)).at_line(line);
+}
+
+/// After the positional fields of a line, only whitespace or an inline
+/// '#' comment may remain.
+bool has_trailing_junk(std::istringstream& ls) {
+  ls.clear();
+  std::string rest;
+  ls >> rest;
+  return !rest.empty() && rest[0] != '#';
 }
 
 }  // namespace
 
-PatternParseResult parse_pattern(const std::string& text) {
+Result<pattern::CommPattern> parse_pattern(const std::string& text,
+                                           const PatternParseOptions& options) {
   std::istringstream in{text};
   std::string line;
   int line_no = 0;
@@ -36,6 +47,14 @@ PatternParseResult parse_pattern(const std::string& text) {
       if (!(ls >> procs) || procs < 1) {
         return fail(line_no, "'procs' needs a positive integer");
       }
+      if (procs > options.max_procs) {
+        return fail(line_no, "'procs' " + std::to_string(procs) +
+                                 " exceeds the limit of " +
+                                 std::to_string(options.max_procs));
+      }
+      if (has_trailing_junk(ls)) {
+        return fail(line_no, "trailing junk after 'procs' declaration");
+      }
       pat.emplace(procs);
     } else if (keyword == "msg") {
       if (!pat.has_value()) {
@@ -46,8 +65,19 @@ PatternParseResult parse_pattern(const std::string& text) {
         return fail(line_no, "'msg' needs: src dst bytes [tag]");
       }
       ls >> tag;  // optional
+      if (has_trailing_junk(ls)) {
+        return fail(line_no, "trailing junk after 'msg' fields");
+      }
       if (src < 0 || src >= pat->procs() || dst < 0 || dst >= pat->procs()) {
-        return fail(line_no, "message endpoint out of range");
+        return fail(line_no,
+                    "message endpoint out of range: " + std::to_string(src) +
+                        " -> " + std::to_string(dst) + " with procs " +
+                        std::to_string(pat->procs()));
+      }
+      if (!options.allow_self_messages && src == dst) {
+        return fail(line_no,
+                    "self-message " + std::to_string(src) + " -> " +
+                        std::to_string(dst) + " rejected by strict mode");
       }
       if (bytes < 0) {
         return fail(line_no, "negative message size");
@@ -61,19 +91,30 @@ PatternParseResult parse_pattern(const std::string& text) {
   if (!pat.has_value()) {
     return fail(line_no, "missing 'procs' declaration");
   }
-  PatternParseResult r;
-  r.pattern = std::move(pat);
-  return r;
+  return std::move(*pat);
 }
 
-PatternParseResult load_pattern(const std::string& path) {
-  std::ifstream in{path};
-  if (!in) {
-    return fail(0, "cannot open '" + path + "'");
+Result<pattern::CommPattern> load_pattern(const std::string& path,
+                                          const PatternParseOptions& options) {
+  try {
+    if (Status st = fault::failpoint("io.load"); !st.ok()) {
+      return st.with_context("while loading '" + path + "'");
+    }
+    std::ifstream in{path};
+    if (!in) {
+      return Status::invalid_input("cannot open '" + path + "'");
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    Result<pattern::CommPattern> parsed = parse_pattern(ss.str(), options);
+    if (!parsed.ok()) {
+      return Status{parsed.status()}.with_context("while loading '" + path +
+                                                  "'");
+    }
+    return parsed;
+  } catch (const std::bad_alloc&) {
+    return Status::transient("out of memory while loading '" + path + "'");
   }
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return parse_pattern(ss.str());
 }
 
 std::string to_text(const pattern::CommPattern& pattern) {

@@ -2,33 +2,40 @@
 // Text format for communication patterns, so schedules can be derived for
 // patterns authored outside the library (the logsim_cli tool consumes it):
 //
-//   # comment / blank lines ignored
+//   # comment / blank lines ignored ('#' also starts an inline comment)
 //   procs 10
 //   msg <src> <dst> <bytes> [tag]
 //
 // Processor ids are 0-based and validated against the procs declaration,
-// which must appear before the first msg line.
+// which must appear before the first msg line.  This is an untrusted
+// boundary: every malformation -- truncated lines, negative byte counts,
+// out-of-range endpoints, duplicate declarations, trailing junk, absurd
+// processor counts -- comes back as a line-numbered invalid-input Status,
+// never an assert or undefined behaviour.
 
-#include <optional>
 #include <string>
 
+#include "fault/status.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::io {
 
-struct PatternParseResult {
-  std::optional<pattern::CommPattern> pattern;
-  std::string error;  ///< empty on success
-  int error_line = 0; ///< 1-based line of the first error
-
-  [[nodiscard]] bool ok() const { return pattern.has_value(); }
+struct PatternParseOptions {
+  /// Self-messages (src == dst) are representable (local copies); strict
+  /// consumers that treat them as authoring mistakes can reject them.
+  bool allow_self_messages = true;
+  /// Resource guard: a hostile "procs 2000000000" must not allocate.
+  int max_procs = 1 << 20;
 };
 
-/// Parses the text format from a string.
-[[nodiscard]] PatternParseResult parse_pattern(const std::string& text);
+/// Parses the text format from a string.  Errors carry the 1-based line
+/// via Status::line().
+[[nodiscard]] Result<pattern::CommPattern> parse_pattern(
+    const std::string& text, const PatternParseOptions& options = {});
 
 /// Parses the text format from a file; a missing file is an error.
-[[nodiscard]] PatternParseResult load_pattern(const std::string& path);
+[[nodiscard]] Result<pattern::CommPattern> load_pattern(
+    const std::string& path, const PatternParseOptions& options = {});
 
 /// Serializes a pattern into the same text format (round-trips).
 [[nodiscard]] std::string to_text(const pattern::CommPattern& pattern);

@@ -1,25 +1,28 @@
 #include "io/program_io.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <map>
+#include <new>
+#include <optional>
 #include <sstream>
 #include <variant>
 
+#include "fault/failpoint.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::io {
 
 namespace {
 
-ProgramParseResult fail(int line, std::string message) {
-  ProgramParseResult r;
-  r.error = std::move(message);
-  r.error_line = line;
-  return r;
+Status fail(int line, std::string message) {
+  return Status::invalid_input(std::move(message)).at_line(line);
 }
 
 }  // namespace
 
-ProgramParseResult parse_program(const std::string& text) {
+Result<ProgramBundle> parse_program(const std::string& text,
+                                    const ProgramParseOptions& options) {
   std::istringstream in{text};
   std::string line;
   int line_no = 0;
@@ -30,6 +33,10 @@ ProgramParseResult parse_program(const std::string& text) {
   // Open section state.
   std::optional<core::ComputeStep> open_compute;
   std::optional<pattern::CommPattern> open_comm;
+  // op id -> line of the first item referencing it, for the end-of-parse
+  // calibration check (an uncalibrated op used to surface only as a debug
+  // assert -- or empty-vector UB -- inside CostTable::cost()).
+  std::map<core::OpId, int> op_first_use;
 
   auto close_section = [&] {
     if (open_compute.has_value()) {
@@ -53,6 +60,11 @@ ProgramParseResult parse_program(const std::string& text) {
       if (!(ls >> procs) || procs < 1) {
         return fail(line_no, "'procs' needs a positive integer");
       }
+      if (procs > options.max_procs) {
+        return fail(line_no, "'procs' " + std::to_string(procs) +
+                                 " exceeds the limit of " +
+                                 std::to_string(options.max_procs));
+      }
       program.emplace(procs);
     } else if (keyword == "op") {
       std::string name;
@@ -62,7 +74,7 @@ ProgramParseResult parse_program(const std::string& text) {
       int op = -1, block = 0;
       double us = -1.0;
       if (!(ls >> op >> block >> us) || op < 0 || op >= costs.op_count() ||
-          block < 1 || us < 0.0) {
+          block < 1 || us < 0.0 || !std::isfinite(us)) {
         return fail(line_no, "'cost' needs: valid-op block us");
       }
       costs.set_cost(op, block, Time{us});
@@ -89,6 +101,7 @@ ProgramParseResult parse_program(const std::string& text) {
       item.block_size = static_cast<int>(block);
       long long uid = 0;
       while (ls >> uid) item.touched.push_back(uid);
+      op_first_use.emplace(item.op, line_no);
       open_compute->items.push_back(std::move(item));
     } else if (keyword == "msg") {
       if (!open_comm.has_value()) {
@@ -109,17 +122,36 @@ ProgramParseResult parse_program(const std::string& text) {
   if (!program.has_value()) return fail(line_no, "missing 'procs'");
   close_section();
 
-  ProgramParseResult r;
-  r.bundle = ProgramBundle{std::move(*program), std::move(costs)};
-  return r;
+  for (const auto& [op, first_line] : op_first_use) {
+    if (!costs.has_calibration(op)) {
+      return fail(first_line, "op '" + costs.name(op) +
+                                  "' is used by an item but has no 'cost' "
+                                  "calibration points");
+    }
+  }
+
+  return ProgramBundle{std::move(*program), std::move(costs)};
 }
 
-ProgramParseResult load_program(const std::string& path) {
-  std::ifstream in{path};
-  if (!in) return fail(0, "cannot open '" + path + "'");
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return parse_program(ss.str());
+Result<ProgramBundle> load_program(const std::string& path,
+                                   const ProgramParseOptions& options) {
+  try {
+    if (Status st = fault::failpoint("io.load"); !st.ok()) {
+      return st.with_context("while loading '" + path + "'");
+    }
+    std::ifstream in{path};
+    if (!in) return Status::invalid_input("cannot open '" + path + "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    Result<ProgramBundle> parsed = parse_program(ss.str(), options);
+    if (!parsed.ok()) {
+      return Status{parsed.status()}.with_context("while loading '" + path +
+                                                  "'");
+    }
+    return parsed;
+  } catch (const std::bad_alloc&) {
+    return Status::transient("out of memory while loading '" + path + "'");
+  }
 }
 
 std::string to_text(const core::StepProgram& program,

@@ -13,12 +13,18 @@
 //
 // Sections end at the next section keyword or EOF.  Declarations (procs/
 // op/cost) must precede the first section.
+//
+// Untrusted boundary: every malformation is a line-numbered invalid-input
+// Status.  Beyond per-line syntax, the parser checks cross-references that
+// used to be caught only by debug asserts downstream: every item's op must
+// end up calibrated (>= 1 cost point), processor ids must be in range, and
+// cost values must be finite.
 
-#include <optional>
 #include <string>
 
 #include "core/cost_table.hpp"
 #include "core/step_program.hpp"
+#include "fault/status.hpp"
 
 namespace logsim::io {
 
@@ -27,16 +33,16 @@ struct ProgramBundle {
   core::CostTable costs;
 };
 
-struct ProgramParseResult {
-  std::optional<ProgramBundle> bundle;
-  std::string error;
-  int error_line = 0;
-
-  [[nodiscard]] bool ok() const { return bundle.has_value(); }
+struct ProgramParseOptions {
+  /// Resource guard for hostile processor counts.
+  int max_procs = 1 << 20;
 };
 
-[[nodiscard]] ProgramParseResult parse_program(const std::string& text);
-[[nodiscard]] ProgramParseResult load_program(const std::string& path);
+/// Errors carry the 1-based line via Status::line().
+[[nodiscard]] Result<ProgramBundle> parse_program(
+    const std::string& text, const ProgramParseOptions& options = {});
+[[nodiscard]] Result<ProgramBundle> load_program(
+    const std::string& path, const ProgramParseOptions& options = {});
 
 /// Serializes program + costs into the same format (round-trips).
 [[nodiscard]] std::string to_text(const core::StepProgram& program,

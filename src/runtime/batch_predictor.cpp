@@ -1,13 +1,16 @@
 #include "runtime/batch_predictor.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
-#include <stdexcept>
+#include <new>
 #include <thread>
+#include <utility>
 
+#include "fault/failpoint.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace logsim::runtime {
@@ -24,104 +27,321 @@ double to_us(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
 }
 
+std::chrono::steady_clock::duration from_time(Time t) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::micro>(t.us()));
+}
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
 }  // namespace
 
+/// One live batch.  Tasks hold a shared_ptr, so if the watchdog abandons
+/// the batch every late write still lands in valid heap memory; the
+/// caller's copy of `results` is taken under the mutex before returning.
+struct BatchPredictor::BatchState {
+  std::vector<PredictJob> jobs;  // copied: outlives an abandoned caller frame
+  std::vector<JobResult> results;
+  std::vector<char> done;
+  std::vector<std::uint64_t> keys;  // canonical FNV-1a hash per job
+  std::vector<char> keyed;          // key valid (non-null inputs, no closure)
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  bool abandoned = false;  // watchdog fired; unstarted tasks bail out
+
+  Checkpoint checkpoint;
+  std::size_t completed_since_write = 0;
+};
+
 BatchPredictor::BatchPredictor(Config config)
-    : sim_(std::move(config.sim)),
+    : config_(config),
+      sim_(std::move(config.sim)),
       cache_(config.cache),
       metrics_(config.metrics != nullptr ? config.metrics
                                          : &metrics::Registry::global()),
       jobs_run_(metrics_->counter("batch.jobs_run")),
       job_errors_(metrics_->counter("batch.job_errors")),
+      retries_(metrics_->counter("batch.retries")),
+      timeouts_(metrics_->counter("batch.timeouts")),
+      cancelled_(metrics_->counter("batch.cancelled")),
+      watchdog_expiries_(metrics_->counter("batch.watchdog_expiries")),
+      checkpoint_hits_(metrics_->counter("checkpoint.hits")),
+      checkpoint_writes_(metrics_->counter("checkpoint.writes")),
+      checkpoint_write_errors_(metrics_->counter("checkpoint.write_errors")),
+      checkpoint_load_errors_(metrics_->counter("checkpoint.load_errors")),
       job_wall_us_(metrics_->histogram("batch.job_wall", "us")),
       queue_wait_us_(metrics_->histogram("batch.queue_wait", "us")),
-      pool_(resolve_threads(config.threads)) {}
+      pool_(resolve_threads(config.threads)) {
+  if (config_.checkpoint_every == 0) config_.checkpoint_every = 1;
+  // The per-batch fields are injected per job; a caller-set value here
+  // would silently leak into predict_one, so normalize them away.
+  sim_.cancel = fault::CancelToken{};
+  sim_.deadline = kNoDeadline;
+}
 
 std::vector<JobResult> BatchPredictor::predict_all(
-    const std::vector<PredictJob>& jobs) {
-  std::vector<JobResult> results(jobs.size());
-  if (jobs.empty()) return results;
+    const std::vector<PredictJob>& jobs, fault::CancelToken cancel) {
+  if (jobs.empty()) return {};
 
-  // Per-batch completion latch: predict_all calls may overlap on the shared
-  // pool, so each batch counts only its own jobs down.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t remaining = jobs.size();
+  auto state = std::make_shared<BatchState>();
+  state->jobs = jobs;
+  state->results.resize(jobs.size());
+  state->done.assign(jobs.size(), 0);
+  state->keys.assign(jobs.size(), 0);
+  state->keyed.assign(jobs.size(), 0);
+  state->remaining = jobs.size();
+
+  const auto batch_deadline =
+      config_.batch_deadline.count() > 0
+          ? std::chrono::steady_clock::now() + config_.batch_deadline
+          : kNoDeadline;
+
+  // Hash every well-formed closure-free job once; the key serves the
+  // checkpoint probe, the cache lookup and the miss-path insert.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PredictJob& job = jobs[i];
+    if (job.program != nullptr && job.costs != nullptr &&
+        !sim_.compute_overhead) {
+      state->keys[i] = prediction_key_hash(*job.program, job.params, sim_.seed);
+      state->keyed[i] = 1;
+    }
+  }
+
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  if (checkpointing) {
+    Result<Checkpoint> loaded = Checkpoint::load_or_empty(config_.checkpoint_path);
+    if (loaded.ok()) {
+      state->checkpoint = std::move(loaded).value();
+    } else {
+      // Corrupt checkpoint: count it and start fresh -- resuming wrong
+      // data would be worse than redoing work.
+      checkpoint_load_errors_.add();
+    }
+  }
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    pool_.submit([this, &jobs, &results, &done_mu, &done_cv, &remaining,
+    // Checkpoint hits resolve on the calling thread: free, deterministic,
+    // and they never enter the pool queue.
+    if (checkpointing && state->keyed[i]) {
+      if (const core::Prediction* hit = state->checkpoint.find(state->keys[i])) {
+        state->results[i].prediction = *hit;
+        state->results[i].from_checkpoint = true;
+        checkpoint_hits_.add();
+        jobs_run_.add();
+        --state->remaining;
+        state->done[i] = 1;
+        continue;
+      }
+    }
+    pool_.submit([this, state, cancel, batch_deadline,
                   i](std::chrono::steady_clock::duration queue_wait) {
       queue_wait_us_.record(to_us(queue_wait));
-      results[i] = run_job(jobs[i]);
+      bool abandoned = false;
       {
-        // Notify under the lock: the waiter owns these stack variables and
-        // destroys them as soon as wait() returns, which it cannot do until
-        // this worker has released the mutex -- i.e. after notify_one is
-        // fully done touching the condvar.
-        std::lock_guard lock{done_mu};
-        if (--remaining == 0) done_cv.notify_one();
+        std::lock_guard lock{state->mu};
+        abandoned = state->abandoned;
       }
+      JobResult result;
+      if (abandoned) {
+        result.status = Status::timeout(
+            "batch deadline expired before the job started");
+        timeouts_.add();
+        job_errors_.add();
+      } else if (cancel.cancelled()) {
+        result.status =
+            Status::cancelled("batch cancelled before the job started");
+        cancelled_.add();
+        job_errors_.add();
+      } else {
+        result = run_job(state->jobs[i], cancel, batch_deadline,
+                         state->keys[i], state->keyed[i] != 0);
+      }
+      finish_job(state, i, std::move(result));
     });
   }
 
-  std::unique_lock lock{done_mu};
-  done_cv.wait(lock, [&remaining] { return remaining == 0; });
-  lock.unlock();
+  std::vector<JobResult> out;
+  {
+    std::unique_lock lock{state->mu};
+    auto batch_done = [&state] { return state->remaining == 0; };
+    if (state->remaining == 0) {
+      // Every job was a checkpoint hit; nothing was submitted.
+    } else if (batch_deadline == kNoDeadline) {
+      state->done_cv.wait(lock, batch_done);
+    } else if (!state->done_cv.wait_until(lock, batch_deadline, batch_done)) {
+      // Watchdog: the deadline passed with jobs outstanding.  Cooperative
+      // jobs observe the same deadline between simulation steps and finish
+      // on their own moments later; anything truly wedged (an injected
+      // pool fault that swallowed a task, a stuck closure) would otherwise
+      // hang this wait forever.  Mark the stragglers timed out and return.
+      watchdog_expiries_.add();
+      state->abandoned = true;
+      for (std::size_t i = 0; i < state->results.size(); ++i) {
+        if (state->done[i]) continue;
+        state->results[i].prediction.reset();
+        state->results[i].status = Status::timeout(
+            "batch deadline expired with the job still outstanding");
+        timeouts_.add();
+        job_errors_.add();
+      }
+    }
+    out = state->results;
+    // Final persist under the same lock that guards the checkpoint.
+    if (checkpointing && !state->checkpoint.empty()) {
+      if (Status st = state->checkpoint.write_atomic(config_.checkpoint_path);
+          st.ok()) {
+        checkpoint_writes_.add();
+      } else {
+        checkpoint_write_errors_.add();
+      }
+    }
+  }
 
   publish_cache_gauges();
-  return results;
+  return out;
 }
 
 JobResult BatchPredictor::predict_one(const PredictJob& job) {
-  JobResult result = run_job(job);
+  std::uint64_t key = 0;
+  bool keyed = false;
+  if (job.program != nullptr && job.costs != nullptr &&
+      !sim_.compute_overhead) {
+    key = prediction_key_hash(*job.program, job.params, sim_.seed);
+    keyed = true;
+  }
+  JobResult result =
+      run_job(job, fault::CancelToken{}, kNoDeadline, key, keyed);
   publish_cache_gauges();
   return result;
 }
 
-JobResult BatchPredictor::run_job(const PredictJob& job) {
+JobResult BatchPredictor::run_job(
+    const PredictJob& job, const fault::CancelToken& cancel,
+    std::chrono::steady_clock::time_point batch_deadline, std::uint64_t key,
+    bool keyed) {
   const auto start = std::chrono::steady_clock::now();
+  auto deadline = batch_deadline;
+  if (config_.job_deadline.count() > 0) {
+    deadline = std::min(deadline, start + config_.job_deadline);
+  }
+
+  // Backoff jitter stream: deterministic per (seed, job), so reruns of a
+  // faulty batch reproduce the exact same delay schedule.
+  util::Rng backoff_rng{sim_.seed ^ key ^ 0x9e3779b97f4a7c15ULL};
+
   JobResult result;
-  try {
-    if (job.program == nullptr || job.costs == nullptr) {
-      throw std::invalid_argument(
-          "PredictJob: program and costs must be non-null");
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    result.prediction.reset();
+    result.from_cache = false;
+    Status st = run_attempt(job, cancel, deadline, key, keyed, &result);
+    result.attempts = attempt;
+    result.status = st;
+    if (st.ok()) {
+      jobs_run_.add();
+      break;
     }
-    // A compute_overhead closure is opaque to the canonical hash, so such
-    // jobs must not share cache entries with closure-free ones.
-    const bool cacheable = cache_ != nullptr && !sim_.compute_overhead;
-    std::uint64_t key = 0;
-    if (cacheable) {
-      // Hash once: the same key serves the lookup and the miss-path insert.
-      key = prediction_key_hash(*job.program, job.params, sim_.seed);
-      if (auto hit = cache_->lookup(key, *job.program, job.params, sim_.seed)) {
-        result.prediction = std::move(hit);
-        jobs_run_.add();
-        job_wall_us_.record(
-            to_us(std::chrono::steady_clock::now() - start));
-        return result;
+    if (st.code() == ErrorCode::kTimeout) timeouts_.add();
+    if (st.code() == ErrorCode::kCancelled) cancelled_.add();
+    if (fault::should_retry(st, attempt, config_.retry)) {
+      const auto delay = from_time(
+          fault::backoff_delay(config_.retry, attempt, backoff_rng));
+      const auto wake = std::chrono::steady_clock::now() + delay;
+      if (wake < deadline) {
+        retries_.add();
+        std::this_thread::sleep_until(wake);
+        continue;
       }
+      // Retrying would blow the deadline: fail now rather than block past
+      // it waiting out a backoff we could never use.
+      result.status =
+          std::move(st).with_context("job deadline left no room to retry");
     }
-    const core::Predictor predictor{job.params, sim_};
-    result.prediction = predictor.predict(*job.program, *job.costs);
-    if (cacheable) {
-      cache_->insert(key, *job.program, job.params, sim_.seed,
-                     *result.prediction);
-    }
-    jobs_run_.add();
-  } catch (const std::exception& e) {
-    result.prediction.reset();
-    result.error = e.what();
     job_errors_.add();
-  } catch (...) {
-    result.prediction.reset();
-    result.error = "unknown exception";
-    job_errors_.add();
+    break;
   }
   job_wall_us_.record(to_us(std::chrono::steady_clock::now() - start));
   return result;
 }
 
+Status BatchPredictor::run_attempt(
+    const PredictJob& job, const fault::CancelToken& cancel,
+    std::chrono::steady_clock::time_point deadline, std::uint64_t key,
+    bool keyed, JobResult* result) {
+  try {
+    if (job.program == nullptr || job.costs == nullptr) {
+      return Status::invalid_input(
+          "PredictJob: program and costs must be non-null");
+    }
+    // The canonical transient-fault injection site for the batch runtime.
+    if (Status st = fault::failpoint("batch.job"); !st.ok()) {
+      return st.with_context("while running a prediction job");
+    }
+    // A compute_overhead closure is opaque to the canonical hash, so such
+    // jobs must not share cache entries with closure-free ones.
+    const bool cacheable = cache_ != nullptr && keyed;
+    if (cacheable) {
+      if (auto hit = cache_->lookup(key, *job.program, job.params, sim_.seed)) {
+        result->prediction = std::move(hit);
+        result->from_cache = true;
+        return Status{};
+      }
+    }
+    core::ProgramSimOptions opts = sim_;
+    opts.cancel = cancel;
+    opts.deadline = deadline;
+    const core::Predictor predictor{job.params, opts};
+    Result<core::Prediction> prediction =
+        predictor.predict_checked(*job.program, *job.costs);
+    if (!prediction.ok()) return prediction.status();
+    result->prediction = std::move(prediction).value();
+    if (cacheable) {
+      cache_->insert(key, *job.program, job.params, sim_.seed,
+                     *result->prediction);
+    }
+    return Status{};
+  } catch (const std::bad_alloc&) {
+    return Status::transient("out of memory while running a prediction job");
+  } catch (const std::exception& e) {
+    return Status::internal(std::string{"prediction job threw: "} + e.what());
+  } catch (...) {
+    return Status::internal("prediction job threw an unknown exception");
+  }
+}
+
+void BatchPredictor::finish_job(const std::shared_ptr<BatchState>& state,
+                                std::size_t index, JobResult result) {
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  std::lock_guard lock{state->mu};
+  if (checkpointing && result.ok() && state->keyed[index]) {
+    state->checkpoint.put(state->keys[index], *result.prediction);
+    if (++state->completed_since_write >= config_.checkpoint_every) {
+      state->completed_since_write = 0;
+      // Persist under the state lock: serializes workers briefly, but a
+      // checkpoint interval below every-job makes that rare, and it keeps
+      // file writes strictly ordered.
+      if (Status st = state->checkpoint.write_atomic(config_.checkpoint_path);
+          st.ok()) {
+        checkpoint_writes_.add();
+      } else {
+        checkpoint_write_errors_.add();
+      }
+    }
+  }
+  state->results[index] = std::move(result);
+  state->done[index] = 1;
+  if (--state->remaining == 0) state->done_cv.notify_all();
+}
+
 void BatchPredictor::publish_cache_gauges() {
+  if (fault::FailpointRegistry::global().armed()) {
+    metrics_->set_gauge(
+        "fault.failpoint_fires",
+        std::to_string(fault::FailpointRegistry::global().total_fires()));
+  }
   if (cache_ == nullptr) return;
   const PredictionCache::Stats stats = cache_->stats();
   metrics_->set_gauge("cache.hits", std::to_string(stats.hits));

@@ -1,0 +1,223 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "fault/failpoint.hpp"
+
+namespace logsim::runtime {
+
+namespace {
+
+constexpr const char* kMagic = "logsim-checkpoint v1";
+
+// "%a" prints the shortest exact hexfloat; strtod parses it back to the
+// identical bit pattern, which is what makes resumed sweeps bit-identical.
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_hex_double(const std::string& token, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+void append_result(std::ostringstream& os, const char* tag,
+                   const core::ProgramResult& r) {
+  os << tag << ' ' << r.comm_ops << ' ' << hex_double(r.total.us()) << ' '
+     << r.proc_end.size();
+  for (const Time& t : r.proc_end) os << ' ' << hex_double(t.us());
+  for (const Time& t : r.comp) os << ' ' << hex_double(t.us());
+  for (const Time& t : r.comm) os << ' ' << hex_double(t.us());
+  os << '\n';
+}
+
+Status parse_result(std::istringstream& ls, int line_no, const char* tag,
+                    core::ProgramResult* out) {
+  auto fail = [&](const std::string& what) {
+    return Status::invalid_input("checkpoint '" + std::string(tag) +
+                                 "' record: " + what)
+        .at_line(line_no);
+  };
+  long long comm_ops = -1, procs = -1;
+  std::string total_tok;
+  if (!(ls >> comm_ops >> total_tok >> procs) || comm_ops < 0 || procs < 0 ||
+      procs > (1 << 24)) {
+    return fail("needs: comm_ops total procs");
+  }
+  double total = 0.0;
+  if (!parse_hex_double(total_tok, &total)) return fail("bad total");
+  out->comm_ops = static_cast<std::size_t>(comm_ops);
+  out->total = Time{total};
+  auto read_times = [&](std::vector<Time>* vec, const char* field) -> Status {
+    vec->clear();
+    vec->reserve(static_cast<std::size_t>(procs));
+    for (long long i = 0; i < procs; ++i) {
+      std::string tok;
+      double v = 0.0;
+      if (!(ls >> tok) || !parse_hex_double(tok, &v)) {
+        return fail(std::string("truncated '") + field + "' vector");
+      }
+      vec->push_back(Time{v});
+    }
+    return Status{};
+  };
+  if (Status st = read_times(&out->proc_end, "proc_end"); !st.ok()) return st;
+  if (Status st = read_times(&out->comp, "comp"); !st.ok()) return st;
+  if (Status st = read_times(&out->comm, "comm"); !st.ok()) return st;
+  std::string extra;
+  if (ls >> extra) return fail("trailing data '" + extra + "'");
+  return Status{};
+}
+
+}  // namespace
+
+void Checkpoint::put(std::uint64_t key, const core::Prediction& prediction) {
+  entries_[key] = prediction;
+}
+
+const core::Prediction* Checkpoint::find(std::uint64_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::string Checkpoint::to_text() const {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  for (const auto& [key, prediction] : entries_) {
+    char keybuf[32];
+    std::snprintf(keybuf, sizeof keybuf, "%016llx",
+                  static_cast<unsigned long long>(key));
+    os << "entry " << keybuf << '\n';
+    append_result(os, "standard", prediction.standard);
+    append_result(os, "worst", prediction.worst_case);
+    os << "end\n";
+  }
+  return os.str();
+}
+
+Result<Checkpoint> Checkpoint::load(const std::string& path) {
+  try {
+    if (Status st = fault::failpoint("checkpoint.load"); !st.ok()) {
+      return st.with_context("while loading checkpoint '" + path + "'");
+    }
+    std::ifstream in{path};
+    if (!in) {
+      return Status::invalid_input("cannot open checkpoint '" + path + "'");
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::istringstream text{ss.str()};
+
+    auto fail = [&](int line_no, const std::string& what) {
+      return Status::invalid_input(what).at_line(line_no).with_context(
+          "while loading checkpoint '" + path + "'");
+    };
+
+    std::string line;
+    int line_no = 1;
+    if (!std::getline(text, line) || line != kMagic) {
+      return fail(1, "bad checkpoint header (expected '" +
+                         std::string(kMagic) + "')");
+    }
+
+    Checkpoint cp;
+    while (std::getline(text, line)) {
+      ++line_no;
+      std::istringstream ls{line};
+      std::string keyword;
+      if (!(ls >> keyword) || keyword[0] == '#') continue;
+      if (keyword != "entry") {
+        return fail(line_no, "expected 'entry', got '" + keyword + "'");
+      }
+      std::string keytok;
+      if (!(ls >> keytok)) return fail(line_no, "'entry' needs a hex key");
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long key = std::strtoull(keytok.c_str(), &end, 16);
+      if (end == keytok.c_str() || *end != '\0' || errno == ERANGE) {
+        return fail(line_no, "bad entry key '" + keytok + "'");
+      }
+
+      core::Prediction prediction;
+      for (const char* tag : {"standard", "worst"}) {
+        if (!std::getline(text, line)) {
+          return fail(line_no, "entry truncated before '" + std::string(tag) +
+                                   "' record");
+        }
+        ++line_no;
+        std::istringstream rs{line};
+        std::string got;
+        if (!(rs >> got) || got != tag) {
+          return fail(line_no, "expected '" + std::string(tag) + "' record");
+        }
+        core::ProgramResult* slot = std::strcmp(tag, "standard") == 0
+                                        ? &prediction.standard
+                                        : &prediction.worst_case;
+        if (Status st = parse_result(rs, line_no, tag, slot); !st.ok()) {
+          return st.with_context("while loading checkpoint '" + path + "'");
+        }
+      }
+      if (!std::getline(text, line)) return fail(line_no, "missing 'end'");
+      ++line_no;
+      std::istringstream es{line};
+      std::string endkw;
+      if (!(es >> endkw) || endkw != "end") {
+        return fail(line_no, "missing 'end'");
+      }
+      cp.entries_[key] = prediction;
+    }
+    return cp;
+  } catch (const std::bad_alloc&) {
+    return Status::transient("out of memory while loading checkpoint '" +
+                             path + "'");
+  }
+}
+
+Result<Checkpoint> Checkpoint::load_or_empty(const std::string& path) {
+  {
+    std::ifstream probe{path};
+    if (!probe) return Checkpoint{};  // absent: start fresh, not an error
+  }
+  return load(path);
+}
+
+Status Checkpoint::write_atomic(const std::string& path) const {
+  if (Status st = fault::failpoint("checkpoint.write"); !st.ok()) {
+    return st.with_context("while writing checkpoint '" + path + "'");
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    if (!out) {
+      return Status::transient("cannot open '" + tmp + "' for writing");
+    }
+    out << to_text();
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::transient("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::transient("rename('" + tmp + "' -> '" + path +
+                             "') failed: " + std::strerror(err));
+  }
+  return Status{};
+}
+
+}  // namespace logsim::runtime

@@ -1,0 +1,66 @@
+#pragma once
+// Crash-safe checkpointing for long prediction sweeps.
+//
+// A Checkpoint is an in-memory map from the canonical FNV-1a job key hash
+// (prediction_key_hash over program + params + seed) to the finished
+// Prediction.  The batch runtime records completed jobs into it and
+// periodically persists with write_atomic(): serialize to "<path>.tmp",
+// then std::rename over the target, so a crash mid-write leaves either the
+// previous complete checkpoint or a stray .tmp -- never a torn file.
+//
+// The format is line-oriented text with doubles in C99 hexfloat ("%a"),
+// which round-trips bit-exactly: a sweep resumed from a checkpoint yields
+// results bit-identical to an uninterrupted run.
+//
+//   logsim-checkpoint v1
+//   entry <16-hex-digit key>
+//   standard <comm_ops> <total> <procs> <proc_end...> <comp...> <comm...>
+//   worst    <comm_ops> <total> <procs> <proc_end...> <comp...> <comm...>
+//   end
+//
+// A checkpoint is advisory: corruption is reported as an invalid-input
+// Status and callers are expected to fall back to a fresh sweep (the
+// batch runtime does exactly that, counting checkpoint.load_errors).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/predictor.hpp"
+#include "fault/status.hpp"
+
+namespace logsim::runtime {
+
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+
+  /// Parses `path`.  A missing file is an error (use load_or_empty for the
+  /// resume-or-start-fresh pattern); so is any malformed line.
+  [[nodiscard]] static Result<Checkpoint> load(const std::string& path);
+
+  /// Missing file -> empty checkpoint; corrupt file -> error.
+  [[nodiscard]] static Result<Checkpoint> load_or_empty(
+      const std::string& path);
+
+  /// Inserts or overwrites the entry for `key`.
+  void put(std::uint64_t key, const core::Prediction& prediction);
+
+  /// Entry for `key`, or nullptr.  The pointer is invalidated by put().
+  [[nodiscard]] const core::Prediction* find(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Serializes every entry to `path` via tmp-file + rename.  Honours the
+  /// "checkpoint.write" failpoint (transient error, nothing written).
+  [[nodiscard]] Status write_atomic(const std::string& path) const;
+
+  /// The serialized text (exposed for tests).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::unordered_map<std::uint64_t, core::Prediction> entries_;
+};
+
+}  // namespace logsim::runtime

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "fault/failpoint.hpp"
+
 namespace logsim::runtime {
 
 namespace {
@@ -113,6 +115,14 @@ std::optional<core::Prediction> PredictionCache::lookup(
 std::optional<core::Prediction> PredictionCache::lookup(
     std::uint64_t hash, const core::StepProgram& program,
     const loggp::Params& params, std::uint64_t seed) {
+  // An injected lookup failure degrades to a miss: the cache is an
+  // optimization, so a flaky backing store must never fail a prediction.
+  if (Status st = fault::failpoint("cache.lookup"); !st.ok()) {
+    Shard& shard = *shards_[shard_of(hash)];
+    std::lock_guard lock{shard.mu};
+    ++shard.misses;
+    return std::nullopt;
+  }
   Shard& shard = *shards_[shard_of(hash)];
   std::lock_guard lock{shard.mu};
   if (auto it = shard.index.find(hash); it != shard.index.end()) {
@@ -140,6 +150,9 @@ void PredictionCache::insert(std::uint64_t hash,
                              const core::StepProgram& program,
                              const loggp::Params& params, std::uint64_t seed,
                              const core::Prediction& prediction) {
+  // An injected insert failure skips the store; correctness is unaffected,
+  // the entry is simply recomputed next time.
+  if (Status st = fault::failpoint("cache.insert"); !st.ok()) return;
   Shard& shard = *shards_[shard_of(hash)];
   std::lock_guard lock{shard.mu};
   if (auto it = shard.index.find(hash); it != shard.index.end()) {

@@ -1,6 +1,9 @@
 #include "runtime/thread_pool.hpp"
 
+#include <stdexcept>
 #include <utility>
+
+#include "fault/failpoint.hpp"
 
 namespace logsim::runtime {
 
@@ -52,7 +55,17 @@ void ThreadPool::worker_loop() {
       ++in_flight_;
     }
     const auto wait = std::chrono::steady_clock::now() - pending.enqueued;
-    pending.task(wait);
+    try {
+      // "pool.job" injects failures at the dispatch boundary: a delay spec
+      // models a descheduled worker, an error spec a task that throws
+      // before running any caller code.
+      if (Status st = fault::failpoint("pool.job"); !st.ok()) {
+        throw std::runtime_error(st.to_string());
+      }
+      pending.task(wait);
+    } catch (...) {
+      task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard lock{mu_};
       --in_flight_;

@@ -8,6 +8,7 @@
 // enqueue timestamp of every task so the runtime metrics can report queue
 // wait times.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -47,6 +48,15 @@ class ThreadPool {
   /// Tasks accepted over the pool's lifetime (for tests / metrics).
   [[nodiscard]] std::size_t submitted() const;
 
+  /// Tasks whose callback escaped with an exception.  A throwing task is
+  /// swallowed by the worker (the pool must keep serving the queue -- one
+  /// bad job must never wedge a batch) and counted here; callers that care
+  /// about individual failures report them through their own result
+  /// channel, as BatchPredictor does with JobResult.
+  [[nodiscard]] std::size_t task_exceptions() const {
+    return task_exceptions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Pending {
     Task task;
@@ -61,6 +71,7 @@ class ThreadPool {
   std::deque<Pending> queue_;
   std::size_t in_flight_ = 0;            // dequeued but not yet finished
   std::size_t total_submitted_ = 0;
+  std::atomic<std::size_t> task_exceptions_{0};
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

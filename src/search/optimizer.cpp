@@ -57,7 +57,7 @@ SearchResult exhaustive_search(const std::vector<int>& blocks,
       if (!outcome.ok()) {
         throw std::runtime_error("exhaustive_search: prediction failed for "
                                  "block " + std::to_string(b) + " / layout " +
-                                 map->name() + ": " + outcome.error);
+                                 map->name() + ": " + outcome.error());
       }
       const Time t = outcome.value().standard.total;
       result.evaluated.push_back(Evaluation{b, map->name(), t});

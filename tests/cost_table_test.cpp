@@ -78,5 +78,48 @@ TEST(CostTable, IndependentOps) {
   EXPECT_DOUBLE_EQ(t.cost(b, 10).us(), 2.0);
 }
 
+TEST(CostTable, HasCalibrationTracksPoints) {
+  CostTable t;
+  EXPECT_FALSE(t.has_calibration(0));   // unregistered
+  EXPECT_FALSE(t.has_calibration(-1));  // nonsense id
+  const OpId op = t.register_op("op");
+  EXPECT_FALSE(t.has_calibration(op));  // registered but uncalibrated
+  t.set_cost(op, 10, Time{1.0});
+  EXPECT_TRUE(t.has_calibration(op));
+}
+
+// Regression: cost() on a registered-but-uncalibrated op used to
+// dereference an empty vector in release builds (the debug assert was
+// compiled out).  The boundary API must return a Status, and the release
+// backstop in cost() must return zero rather than touch the empty points.
+TEST(CostTable, UncalibratedOpIsAnErrorNotUb) {
+  CostTable t;
+  const OpId op = t.register_op("empty");
+
+  const auto checked = t.cost_checked(op, 16);
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), ErrorCode::kInvalidInput);
+  EXPECT_NE(checked.status().message().find("no calibration"),
+            std::string::npos);
+
+#ifdef NDEBUG
+  // Release builds survive the unchecked call and report zero cost.
+  EXPECT_DOUBLE_EQ(t.cost(op, 16).us(), 0.0);
+#endif
+}
+
+TEST(CostTable, CostCheckedValidatesEveryInput) {
+  CostTable t;
+  const OpId op = t.register_op("op");
+  t.set_cost(op, 10, Time{100.0});
+
+  EXPECT_FALSE(t.cost_checked(-1, 10).ok());     // op below range
+  EXPECT_FALSE(t.cost_checked(op + 1, 10).ok());  // op above range
+  EXPECT_FALSE(t.cost_checked(op, 0).ok());       // non-positive block
+  const auto good = t.cost_checked(op, 10);
+  ASSERT_TRUE(good.ok());
+  EXPECT_DOUBLE_EQ(good.value().us(), 100.0);
+}
+
 }  // namespace
 }  // namespace logsim::core

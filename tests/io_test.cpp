@@ -12,43 +12,43 @@ namespace {
 
 TEST(PatternIo, ParsesMinimalPattern) {
   const auto r = parse_pattern("procs 3\nmsg 0 1 100\nmsg 1 2 50 7\n");
-  ASSERT_TRUE(r.ok()) << r.error;
-  EXPECT_EQ(r.pattern->procs(), 3);
-  ASSERT_EQ(r.pattern->size(), 2u);
-  EXPECT_EQ(r.pattern->messages()[0].bytes.count(), 100u);
-  EXPECT_EQ(r.pattern->messages()[1].tag, 7);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->procs(), 3);
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->messages()[0].bytes.count(), 100u);
+  EXPECT_EQ(r->messages()[1].tag, 7);
 }
 
 TEST(PatternIo, CommentsAndBlanksIgnored) {
   const auto r = parse_pattern(
       "# a pattern\n\nprocs 2\n# the only message\nmsg 0 1 8\n");
-  ASSERT_TRUE(r.ok()) << r.error;
-  EXPECT_EQ(r.pattern->size(), 1u);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->size(), 1u);
 }
 
 TEST(PatternIo, ErrorsCarryLineNumbers) {
   const auto r = parse_pattern("procs 2\nmsg 0 5 8\n");
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.error_line, 2);
-  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+  EXPECT_EQ(r.status().line(), 2);
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
 }
 
 TEST(PatternIo, MsgBeforeProcsRejected) {
   const auto r = parse_pattern("msg 0 1 8\nprocs 2\n");
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.error_line, 1);
+  EXPECT_EQ(r.status().line(), 1);
 }
 
 TEST(PatternIo, DuplicateProcsRejected) {
   const auto r = parse_pattern("procs 2\nprocs 3\n");
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
 }
 
 TEST(PatternIo, UnknownKeywordRejected) {
   const auto r = parse_pattern("procs 2\nfrobnicate 1\n");
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("unknown keyword"), std::string::npos);
+  EXPECT_NE(r.status().message().find("unknown keyword"), std::string::npos);
 }
 
 TEST(PatternIo, MalformedMsgRejected) {
@@ -61,13 +61,13 @@ TEST(PatternIo, MalformedMsgRejected) {
 TEST(PatternIo, RoundTripsFig3) {
   const auto original = pattern::paper_fig3();
   const auto r = parse_pattern(to_text(original));
-  ASSERT_TRUE(r.ok()) << r.error;
-  ASSERT_EQ(r.pattern->size(), original.size());
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r->size(), original.size());
   for (std::size_t i = 0; i < original.size(); ++i) {
-    EXPECT_EQ(r.pattern->messages()[i].src, original.messages()[i].src);
-    EXPECT_EQ(r.pattern->messages()[i].dst, original.messages()[i].dst);
-    EXPECT_EQ(r.pattern->messages()[i].bytes, original.messages()[i].bytes);
-    EXPECT_EQ(r.pattern->messages()[i].tag, original.messages()[i].tag);
+    EXPECT_EQ(r->messages()[i].src, original.messages()[i].src);
+    EXPECT_EQ(r->messages()[i].dst, original.messages()[i].dst);
+    EXPECT_EQ(r->messages()[i].bytes, original.messages()[i].bytes);
+    EXPECT_EQ(r->messages()[i].tag, original.messages()[i].tag);
   }
 }
 
@@ -78,15 +78,15 @@ TEST(PatternIo, LoadFromFile) {
     out << "procs 2\nmsg 0 1 42\n";
   }
   const auto r = load_pattern(path);
-  ASSERT_TRUE(r.ok()) << r.error;
-  EXPECT_EQ(r.pattern->messages()[0].bytes.count(), 42u);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->messages()[0].bytes.count(), 42u);
   std::remove(path.c_str());
 }
 
 TEST(PatternIo, MissingFileIsError) {
   const auto r = load_pattern("/nonexistent_xyz/pattern.txt");
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+  EXPECT_NE(r.status().message().find("cannot open"), std::string::npos);
 }
 
 // --- params --------------------------------------------------------------
@@ -96,28 +96,28 @@ TEST(ParamsIo, PresetNames) {
   defaults.P = 16;
   const auto r = parse_params("meiko", defaults);
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.params->L.us(), 9.0);
-  EXPECT_EQ(r.params->P, 16);  // preset keeps the default proc count
+  EXPECT_DOUBLE_EQ(r->L.us(), 9.0);
+  EXPECT_EQ(r->P, 16);  // preset keeps the default proc count
   EXPECT_TRUE(parse_params("cluster").ok());
   EXPECT_TRUE(parse_params("ideal").ok());
 }
 
 TEST(ParamsIo, KeyValueList) {
   const auto r = parse_params("L=20,o=3,g=15,G=0.1,P=32");
-  ASSERT_TRUE(r.ok()) << r.error;
-  EXPECT_DOUBLE_EQ(r.params->L.us(), 20.0);
-  EXPECT_DOUBLE_EQ(r.params->o.us(), 3.0);
-  EXPECT_DOUBLE_EQ(r.params->g.us(), 15.0);
-  EXPECT_DOUBLE_EQ(r.params->G, 0.1);
-  EXPECT_EQ(r.params->P, 32);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_DOUBLE_EQ(r->L.us(), 20.0);
+  EXPECT_DOUBLE_EQ(r->o.us(), 3.0);
+  EXPECT_DOUBLE_EQ(r->g.us(), 15.0);
+  EXPECT_DOUBLE_EQ(r->G, 0.1);
+  EXPECT_EQ(r->P, 32);
 }
 
 TEST(ParamsIo, PartialListKeepsDefaults) {
   loggp::Params defaults = loggp::presets::meiko_cs2(8);
   const auto r = parse_params("L=100", defaults);
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.params->L.us(), 100.0);
-  EXPECT_DOUBLE_EQ(r.params->g.us(), 13.0);
+  EXPECT_DOUBLE_EQ(r->L.us(), 100.0);
+  EXPECT_DOUBLE_EQ(r->g.us(), 13.0);
 }
 
 TEST(ParamsIo, RejectsGarbage) {
@@ -130,7 +130,7 @@ TEST(ParamsIo, RejectsGarbage) {
 TEST(ParamsIo, EmptyStringKeepsDefaults) {
   const auto r = parse_params("", loggp::presets::meiko_cs2(4));
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(*r.params, loggp::presets::meiko_cs2(4));
+  EXPECT_EQ(*r, loggp::presets::meiko_cs2(4));
 }
 
 }  // namespace

@@ -26,8 +26,8 @@ constexpr const char* kSmallProgram =
 
 TEST(ProgramIo, ParsesSections) {
   const auto r = parse_program(kSmallProgram);
-  ASSERT_TRUE(r.ok()) << r.error;
-  const auto& b = *r.bundle;
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const auto& b = *r;
   EXPECT_EQ(b.program.procs(), 2);
   EXPECT_EQ(b.program.size(), 3u);
   EXPECT_EQ(b.program.compute_step_count(), 2u);
@@ -41,7 +41,7 @@ TEST(ProgramIo, ParsedProgramSimulates) {
   const auto r = parse_program(kSmallProgram);
   ASSERT_TRUE(r.ok());
   const auto pred = core::Predictor{loggp::presets::meiko_cs2(2)}
-                        .predict_standard(r.bundle->program, r.bundle->costs);
+                        .predict_standard(r->program, r->costs);
   // P0: 100 compute + send o; P1: 100, recv, 100.
   EXPECT_GT(pred.total.us(), 200.0);
 }
@@ -49,8 +49,9 @@ TEST(ProgramIo, ParsedProgramSimulates) {
 TEST(ProgramIo, ErrorsWithLineNumbers) {
   const auto r = parse_program("procs 2\nitem 0 0 16\n");
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.error_line, 2);
-  EXPECT_NE(r.error.find("outside a compute section"), std::string::npos);
+  EXPECT_EQ(r.status().line(), 2);
+  EXPECT_NE(r.status().message().find("outside a compute section"),
+            std::string::npos);
 }
 
 TEST(ProgramIo, RejectsBadReferences) {
@@ -71,23 +72,23 @@ TEST(ProgramIo, RoundTripsGeneratedPrograms) {
   const auto ge_costs = ops::analytic_cost_table();
 
   const auto r = parse_program(to_text(ge_prog, ge_costs));
-  ASSERT_TRUE(r.ok()) << r.error;
-  EXPECT_EQ(r.bundle->program.size(), ge_prog.size());
-  EXPECT_EQ(r.bundle->program.work_item_count(), ge_prog.work_item_count());
-  EXPECT_EQ(r.bundle->program.message_count(), ge_prog.message_count());
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->program.size(), ge_prog.size());
+  EXPECT_EQ(r->program.work_item_count(), ge_prog.work_item_count());
+  EXPECT_EQ(r->program.message_count(), ge_prog.message_count());
 
   const core::Predictor pred{loggp::presets::meiko_cs2(4)};
   EXPECT_DOUBLE_EQ(
-      pred.predict_standard(r.bundle->program, r.bundle->costs).total.us(),
+      pred.predict_standard(r->program, r->costs).total.us(),
       pred.predict_standard(ge_prog, ge_costs).total.us());
 
   const stencil::StencilConfig scfg{.n = 64, .iterations = 2, .procs = 4};
   const auto st_prog = stencil::build_stencil_program(scfg);
   const auto st_costs = stencil::stencil_cost_table(scfg);
   const auto r2 = parse_program(to_text(st_prog, st_costs));
-  ASSERT_TRUE(r2.ok()) << r2.error;
+  ASSERT_TRUE(r2.ok()) << r2.status().to_string();
   EXPECT_DOUBLE_EQ(
-      pred.predict_standard(r2.bundle->program, r2.bundle->costs).total.us(),
+      pred.predict_standard(r2->program, r2->costs).total.us(),
       pred.predict_standard(st_prog, st_costs).total.us());
 }
 

@@ -215,7 +215,7 @@ TEST(BatchPredictor, FourThreadBatchBitIdenticalToSerial) {
   const auto results = batch.predict_all(jobs);
   ASSERT_EQ(results.size(), jobs.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    ASSERT_TRUE(results[i].ok()) << results[i].error;
+    ASSERT_TRUE(results[i].ok()) << results[i].error();
     expect_identical(results[i].value(), serial[i]);
   }
 
@@ -226,8 +226,8 @@ TEST(BatchPredictor, FourThreadBatchBitIdenticalToSerial) {
   const auto cold = cached.predict_all(jobs);
   const auto warm = cached.predict_all(jobs);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    ASSERT_TRUE(cold[i].ok()) << cold[i].error;
-    ASSERT_TRUE(warm[i].ok()) << warm[i].error;
+    ASSERT_TRUE(cold[i].ok()) << cold[i].error();
+    ASSERT_TRUE(warm[i].ok()) << warm[i].error();
     expect_identical(cold[i].value(), serial[i]);
     expect_identical(warm[i].value(), serial[i]);
   }
@@ -251,7 +251,8 @@ TEST(BatchPredictor, ErrorsPropagatePerJobWithoutKillingBatch) {
   ASSERT_EQ(results.size(), 4u);
   EXPECT_TRUE(results[0].ok());
   EXPECT_FALSE(results[1].ok());
-  EXPECT_FALSE(results[1].error.empty());
+  EXPECT_FALSE(results[1].error().empty());
+  EXPECT_EQ(results[1].status.code(), ErrorCode::kInvalidInput);
   EXPECT_TRUE(results[2].ok());
   EXPECT_FALSE(results[3].ok());
   EXPECT_EQ(metrics.counter("batch.job_errors").value(), 2u);

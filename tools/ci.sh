@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Local CI: configure, build and run the full tier-1 suite twice --
+# once in the default RelWithDebInfo configuration (NDEBUG: the corpus
+# tests exercise release-build error paths) and once under
+# AddressSanitizer, which catches the class of bug the fault layer is
+# designed to keep out (use-after-free on watchdog-abandoned batches,
+# empty-vector reads on uncalibrated ops, torn checkpoint buffers).
+#
+# Usage: tools/ci.sh [build-dir-prefix]
+#   LOGSIM_CI_SANITIZER=undefined tools/ci.sh   # swap ASan for UBSan
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+prefix=${1:-"$repo_root/build-ci"}
+sanitizer=${LOGSIM_CI_SANITIZER:-address}
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+run_pass() {
+  pass_name=$1
+  build_dir=$2
+  shift 2
+  echo "==> [$pass_name] configure: $build_dir"
+  cmake -S "$repo_root" -B "$build_dir" "$@" >/dev/null
+  echo "==> [$pass_name] build"
+  cmake --build "$build_dir" -j "$jobs"
+  echo "==> [$pass_name] ctest"
+  ctest --test-dir "$build_dir" -j "$jobs" --output-on-failure
+}
+
+run_pass default "$prefix-default"
+run_pass "$sanitizer" "$prefix-$sanitizer" "-DLOGSIM_SANITIZE=$sanitizer"
+
+echo "==> ci.sh: both passes green"

@@ -20,6 +20,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -42,6 +43,16 @@ struct Flags {
   std::string csv;
   std::vector<std::string> positional;
 };
+
+/// Renders a boundary Status as a compiler-style diagnostic:
+/// "<origin>:<line>: <code>: <message> (<context>; ...)".
+void report(const std::string& origin, const Status& st) {
+  std::cerr << origin;
+  if (st.line() > 0) std::cerr << ':' << st.line();
+  std::cerr << ": " << error_code_name(st.code()) << ": " << st.message();
+  for (const auto& frame : st.context()) std::cerr << " (" << frame << ')';
+  std::cerr << '\n';
+}
 
 Flags parse_flags(int argc, char** argv, int first) {
   Flags flags;
@@ -69,20 +80,19 @@ int cmd_simulate(const Flags& flags) {
   }
   const auto parsed = io::load_pattern(flags.positional[0]);
   if (!parsed.ok()) {
-    std::cerr << flags.positional[0] << ":" << parsed.error_line << ": "
-              << parsed.error << '\n';
+    report(flags.positional[0], parsed.status());
     return 1;
   }
-  const auto& pat = *parsed.pattern;
+  const auto& pat = *parsed;
 
   loggp::Params defaults;
   defaults.P = pat.procs();
   const auto pr = io::parse_params(flags.params_text, defaults);
   if (!pr.ok()) {
-    std::cerr << "--params: " << pr.error << '\n';
+    report("--params", pr.status());
     return 1;
   }
-  loggp::Params params = *pr.params;
+  loggp::Params params = *pr;
   params.P = pat.procs();
 
   core::CommTrace trace =
@@ -143,7 +153,7 @@ int cmd_predict_ge(const Flags& flags) {
   defaults.P = procs;
   const auto pr = io::parse_params(flags.params_text, defaults);
   if (!pr.ok()) {
-    std::cerr << "--params: " << pr.error << '\n';
+    report("--params", pr.status());
     return 1;
   }
 
@@ -156,8 +166,8 @@ int cmd_predict_ge(const Flags& flags) {
   }
   const auto program = ge::build_ge_program_irregular(cfg, *map);
   const auto costs = ops::analytic_cost_table();
-  const auto pred = core::Predictor{*pr.params}.predict(program, costs);
-  const auto bounds = analysis::analyze_program(program, costs, *pr.params);
+  const auto pred = core::Predictor{*pr}.predict(program, costs);
+  const auto bounds = analysis::analyze_program(program, costs, *pr);
 
   std::cout << "GE " << n << "x" << n << " block " << block << " on " << procs
             << " procs (" << map->name() << ")\n"
@@ -181,20 +191,19 @@ int cmd_predict(const Flags& flags) {
   }
   const auto parsed = io::load_program(flags.positional[0]);
   if (!parsed.ok()) {
-    std::cerr << flags.positional[0] << ":" << parsed.error_line << ": "
-              << parsed.error << '\n';
+    report(flags.positional[0], parsed.status());
     return 1;
   }
-  const auto& bundle = *parsed.bundle;
+  const auto& bundle = *parsed;
 
   loggp::Params defaults;
   defaults.P = bundle.program.procs();
   const auto pr = io::parse_params(flags.params_text, defaults);
   if (!pr.ok()) {
-    std::cerr << "--params: " << pr.error << '\n';
+    report("--params", pr.status());
     return 1;
   }
-  loggp::Params params = *pr.params;
+  loggp::Params params = *pr;
   params.P = bundle.program.procs();
 
   core::ProgramSimOptions opts;
@@ -225,12 +234,12 @@ int cmd_predict(const Flags& flags) {
 int cmd_fit(const Flags& flags) {
   const auto pr = io::parse_params(flags.params_text);
   if (!pr.ok()) {
-    std::cerr << "--params: " << pr.error << '\n';
+    report("--params", pr.status());
     return 1;
   }
   const fitting::FitResult fit =
-      fitting::fit_params(fitting::simulator_oracle(*pr.params));
-  std::cout << "hidden machine: " << pr.params->to_string() << '\n'
+      fitting::fit_params(fitting::simulator_oracle(*pr));
+  std::cout << "hidden machine: " << pr->to_string() << '\n'
             << "recovered:      " << fit.params.to_string() << '\n'
             << (fit.g_dominates_o ? "" : "warning: o > g regime, fit unsound\n");
   return 0;
@@ -246,10 +255,17 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
-  if (cmd == "simulate") return cmd_simulate(flags);
-  if (cmd == "predict") return cmd_predict(flags);
-  if (cmd == "predict-ge") return cmd_predict_ge(flags);
-  if (cmd == "fit") return cmd_fit(flags);
+  try {
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "predict") return cmd_predict(flags);
+    if (cmd == "predict-ge") return cmd_predict_ge(flags);
+    if (cmd == "fit") return cmd_fit(flags);
+  } catch (const std::exception& e) {
+    // Boundary errors arrive as Status; anything escaping as an exception
+    // is a logsim bug, but the CLI still exits cleanly with a diagnostic.
+    std::cerr << "logsim_cli " << cmd << ": internal: " << e.what() << '\n';
+    return 1;
+  }
   std::cerr << "unknown command '" << cmd << "'\n";
   return 2;
 }
