@@ -13,9 +13,16 @@ namespace {
 
 Time run_pattern(const pattern::CommPattern& pat, const loggp::Params& p,
                  bool send_priority) {
+  // Makespan only: skip trace recording via the finish-times sink.
   core::CommSimOptions opts;
   opts.send_priority = send_priority;
-  return core::CommSimulator{p, opts}.run(pat).makespan();
+  thread_local core::CommSimScratch scratch;
+  core::FinishOnlySink sink;
+  sink.reset(pat.procs());
+  const std::vector<Time> ready(static_cast<std::size_t>(pat.procs()),
+                                Time::zero());
+  core::CommSimulator{p, opts}.run_into(pat, ready, {}, sink, scratch);
+  return sink.makespan();
 }
 
 }  // namespace
@@ -62,10 +69,15 @@ int main() {
     // program simulator by reversing the tie in a custom pass.
     double sp = 0.0;
     {
-      // Identical walk with the flipped comm simulator.
+      // Identical walk with the flipped comm simulator; only finish
+      // times are consumed, so record into the cheap sink with one
+      // scratch shared across the steps.
       const auto params = loggp::presets::meiko_cs2(8);
       std::vector<Time> clock(8, Time::zero());
       std::vector<Time> comp(8, Time::zero());
+      core::CommSimScratch scratch;
+      core::FinishOnlySink sink;
+      const std::vector<Time> no_msg_ready;
       for (std::size_t s = 0; s < program.size(); ++s) {
         if (const auto* cs = std::get_if<core::ComputeStep>(&program.step(s))) {
           for (const auto& item : cs->items) {
@@ -78,8 +90,10 @@ int main() {
           core::CommSimOptions opts;
           opts.send_priority = true;
           opts.seed = s;
-          const auto trace = core::CommSimulator{params, opts}.run(pat, clock);
-          const auto fin = trace.finish_times();
+          sink.reset(pat.procs());
+          core::CommSimulator{params, opts}.run_into(pat, clock, no_msg_ready,
+                                                     sink, scratch);
+          const std::vector<Time>& fin = sink.finish_times();
           for (std::size_t p = 0; p < clock.size(); ++p) {
             if (fin[p] > Time::zero()) clock[p] = fin[p];
           }

@@ -1,9 +1,12 @@
 #include "core/comm_sim.hpp"
 
 #include <cassert>
+#include <utility>
 #include <vector>
 
+#include "core/comm_sink.hpp"
 #include "core/proc_timeline.hpp"
+#include "core/sim_scratch.hpp"
 #include "des/event_queue.hpp"
 #include "loggp/cost.hpp"
 
@@ -11,17 +14,51 @@ namespace logsim::core {
 
 namespace {
 
-struct PendingRecv {
-  std::size_t msg_index;
-  ProcId src;
-  Bytes bytes;
-  Time arrival;
-};
+using MinEntry = CommSimScratch::MinEntry;
+
+// Strict ordering of min-heap candidates: earlier ctime first, then lower
+// processor id.  The proc tie-break makes equal-ctime entries pop in
+// ascending processor order -- exactly the order the original O(P) scan
+// appended them to `minima`, which the rng draw below depends on.
+bool min_before(const MinEntry& a, const MinEntry& b) {
+  if (a.ctime != b.ctime) return a.ctime < b.ctime;
+  return a.proc < b.proc;
+}
+
+void heap_push(std::vector<MinEntry>& h, MinEntry e) {
+  h.push_back(e);
+  std::size_t i = h.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!min_before(h[i], h[parent])) break;
+    std::swap(h[i], h[parent]);
+    i = parent;
+  }
+}
+
+MinEntry heap_pop(std::vector<MinEntry>& h) {
+  const MinEntry out = h.front();
+  h.front() = h.back();
+  h.pop_back();
+  const std::size_t n = h.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t best = i;
+    if (l < n && min_before(h[l], h[best])) best = l;
+    if (r < n && min_before(h[r], h[best])) best = r;
+    if (best == i) break;
+    std::swap(h[i], h[best]);
+    i = best;
+  }
+  return out;
+}
 
 }  // namespace
 
 CommSimulator::CommSimulator(loggp::Params params, CommSimOptions opts)
-    : params_(params), opts_(opts) {
+    : params_(params), opts_(std::move(opts)) {
   assert(params_.valid());
 }
 
@@ -38,61 +75,78 @@ CommTrace CommSimulator::run(const pattern::CommPattern& pattern,
 CommTrace CommSimulator::run(const pattern::CommPattern& pattern,
                              const std::vector<Time>& ready,
                              const std::vector<Time>& msg_ready) const {
+  // The recording wrapper: fresh trace per call (callers keep it), scratch
+  // reused per thread so repeated runs stop allocating simulation state.
+  thread_local CommSimScratch scratch;
+  CommTrace trace{pattern.procs(), params_};
+  trace.reserve(2 * pattern.size());
+  run_into(pattern, ready, msg_ready, trace, scratch);
+  return trace;
+}
+
+// Determinism contract: this produces the exact op sequence, times and rng
+// stream of the original Figure-2 loop.  Each iteration gathers ALL
+// processors tied at the minimum ctime in ascending processor order and
+// draws rng.below(count) -- the same draw, on the same collection order,
+// as the historical full scan (below(1) consumes no randomness, also as
+// before).  tests/golden_trace_test.cpp holds hashes pinned from the
+// pre-rewrite implementation.
+template <CommSink Sink>
+void CommSimulator::run_into(const pattern::CommPattern& pattern,
+                             const std::vector<Time>& ready,
+                             const std::vector<Time>& msg_ready, Sink& sink,
+                             CommSimScratch& s) const {
   assert(pattern.valid());
   assert(msg_ready.empty() || msg_ready.size() == pattern.size());
   const auto n = static_cast<std::size_t>(pattern.procs());
   assert(ready.size() == n);
 
-  CommTrace trace{pattern.procs(), params_};
+  s.prepare(pattern, ready, &params_);
   util::Rng rng{opts_.seed};
-
-  std::vector<ProcTimeline> tl;
-  tl.reserve(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    tl.emplace_back(static_cast<ProcId>(p), ready[p], &params_);
-  }
-
-  const auto send_lists = pattern.send_lists();
-  std::vector<std::size_t> send_cursor(n, 0);
-  // Arrival-ordered in-flight messages per destination; the stable event
-  // queue gives a deterministic order for simultaneous arrivals.
-  std::vector<des::EventQueue<PendingRecv>> inbox(n);
+  const auto& msgs = pattern.messages();
 
   auto wants_to_send = [&](std::size_t p) {
-    return send_cursor[p] < send_lists[p].size();
+    return s.send_off[p] + s.send_cursor[p] < s.send_off[p + 1];
   };
 
+  // Seed the candidate heap: one live entry per processor with sends.
+  for (std::size_t p = 0; p < n; ++p) {
+    if (wants_to_send(p)) {
+      heap_push(s.heap, MinEntry{s.tl[p].ctime(),
+                                 static_cast<std::uint32_t>(p)});
+    }
+  }
+
   // --- main loop: as printed in the paper's Figure 2 --------------------
-  while (true) {
+  while (!s.heap.empty()) {
     // min_proc = processor with minimum ctime among those wanting to send;
     // several minima are resolved by a reproducible random choice.
-    std::vector<std::size_t> minima;
-    Time best = Time::infinity();
-    for (std::size_t p = 0; p < n; ++p) {
-      if (!wants_to_send(p)) continue;
-      const Time c = tl[p].ctime();
-      if (c < best) {
-        best = c;
-        minima.assign(1, p);
-      } else if (c == best) {
-        minima.push_back(p);
-      }
+    const Time best = s.heap.front().ctime;
+    s.minima.clear();
+    while (!s.heap.empty() && s.heap.front().ctime == best) {
+      s.minima.push_back(heap_pop(s.heap).proc);
     }
-    if (minima.empty()) break;  // nobody wants to send any more
-    const std::size_t proc =
-        minima[rng.below(static_cast<std::uint64_t>(minima.size()))];
+    const std::size_t chosen =
+        rng.below(static_cast<std::uint64_t>(s.minima.size()));
+    const auto proc = static_cast<std::size_t>(s.minima[chosen]);
+    // The tied losers re-enter the heap unchanged; only the chosen
+    // processor's ctime moves this iteration.
+    for (std::size_t i = 0; i < s.minima.size(); ++i) {
+      if (i != chosen) heap_push(s.heap, MinEntry{best, s.minima[i]});
+    }
 
     // Candidate receive: the earliest-arriving in-flight message, if any.
     Time start_recv = Time::infinity();
-    if (!inbox[proc].empty()) {
-      const auto& top = inbox[proc].top().payload;
-      start_recv = tl[proc].earliest_start(loggp::OpKind::kRecv, top.arrival);
+    if (!s.inbox[proc].empty()) {
+      const auto& top = s.inbox[proc].top().payload;
+      start_recv = s.tl[proc].earliest_start(loggp::OpKind::kRecv, top.arrival);
     }
     // Candidate send: the next message in program order, no earlier than
     // its own production time when per-message readiness is supplied.
-    const std::size_t msg_index = send_lists[proc][send_cursor[proc]];
-    const auto& msg = pattern.messages()[msg_index];
-    Time start_send = tl[proc].earliest_start(loggp::OpKind::kSend);
+    const std::size_t msg_index =
+        s.send_flat[s.send_off[proc] + s.send_cursor[proc]];
+    const auto& msg = msgs[msg_index];
+    Time start_send = s.tl[proc].earliest_start(loggp::OpKind::kSend);
     if (!msg_ready.empty()) start_send = max(start_send, msg_ready[msg_index]);
 
     const bool do_send = opts_.send_priority ? start_send <= start_recv
@@ -100,33 +154,43 @@ CommTrace CommSimulator::run(const pattern::CommPattern& pattern,
     if (do_send) {
       // SEND: with the default strict '<', receives win ties (Split-C
       // active-message semantics, the paper's assumption).
-      trace.record(tl[proc].commit_send(start_send, msg.dst, msg.bytes,
-                                        msg_index));
-      ++send_cursor[proc];
+      sink.record(s.tl[proc].commit_send(start_send, msg.dst, msg.bytes,
+                                         msg_index));
+      ++s.send_cursor[proc];
       Time arrival = loggp::arrival_time(start_send, msg.bytes, params_);
       if (opts_.extra_latency) arrival += opts_.extra_latency(msg_index);
-      inbox[static_cast<std::size_t>(msg.dst)].push(
+      s.inbox[static_cast<std::size_t>(msg.dst)].push(
           arrival, PendingRecv{msg_index, msg.src, msg.bytes, arrival});
     } else {
       // RECEIVE the earliest pending message.
-      const auto entry = inbox[proc].pop();
+      const auto entry = s.inbox[proc].pop();
       const auto& pr = entry.payload;
-      trace.record(
-          tl[proc].commit_recv(start_recv, pr.src, pr.bytes, pr.msg_index));
+      sink.record(
+          s.tl[proc].commit_recv(start_recv, pr.src, pr.bytes, pr.msg_index));
+    }
+    if (wants_to_send(proc)) {
+      heap_push(s.heap, MinEntry{s.tl[proc].ctime(),
+                                 static_cast<std::uint32_t>(proc)});
     }
   }
 
   // --- drain loop: all sends done; processors absorb remaining receives.
   for (std::size_t p = 0; p < n; ++p) {
-    while (!inbox[p].empty()) {
-      const auto entry = inbox[p].pop();
+    while (!s.inbox[p].empty()) {
+      const auto entry = s.inbox[p].pop();
       const auto& pr = entry.payload;
       const Time start =
-          tl[p].earliest_start(loggp::OpKind::kRecv, pr.arrival);
-      trace.record(tl[p].commit_recv(start, pr.src, pr.bytes, pr.msg_index));
+          s.tl[p].earliest_start(loggp::OpKind::kRecv, pr.arrival);
+      sink.record(s.tl[p].commit_recv(start, pr.src, pr.bytes, pr.msg_index));
     }
   }
-  return trace;
 }
+
+template void CommSimulator::run_into<CommTrace>(
+    const pattern::CommPattern&, const std::vector<Time>&,
+    const std::vector<Time>&, CommTrace&, CommSimScratch&) const;
+template void CommSimulator::run_into<FinishOnlySink>(
+    const pattern::CommPattern&, const std::vector<Time>&,
+    const std::vector<Time>&, FinishOnlySink&, CommSimScratch&) const;
 
 }  // namespace logsim::core

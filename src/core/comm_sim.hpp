@@ -15,10 +15,18 @@
 // choose between its next send and its earliest pending receive by
 // comparing the start times both would get, performs the cheaper one
 // (receives win ties), and finally drains all remaining receives.
+//
+// The minimum selection is incremental: a binary heap keyed on
+// (ctime, proc) holds one entry per processor that still wants to send,
+// so each committed op costs O(t log P) (t = processors tied at the
+// minimum) instead of the former O(P) rescan.  Tie-break semantics are
+// preserved exactly -- see the determinism contract in run_into().
 
 #include <cstdint>
 #include <functional>
 
+#include "core/comm_sink.hpp"
+#include "core/sim_scratch.hpp"
 #include "core/trace.hpp"
 #include "loggp/params.hpp"
 #include "pattern/comm_pattern.hpp"
@@ -63,6 +71,19 @@ class CommSimulator {
   [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern,
                               const std::vector<Time>& ready,
                               const std::vector<Time>& msg_ready) const;
+
+  /// The zero-allocation hot path: simulates into a caller-supplied sink
+  /// using caller-supplied scratch state.  With a warmed-up scratch (one
+  /// prior run of comparable size) and a FinishOnlySink this performs no
+  /// heap allocation at all; the run() overloads above are thin wrappers
+  /// recording into a fresh CommTrace via a thread-local scratch.
+  /// `msg_ready` may be empty (no per-message injection floors).  The
+  /// library instantiates Sink = CommTrace and Sink = FinishOnlySink.
+  template <CommSink Sink>
+  void run_into(const pattern::CommPattern& pattern,
+                const std::vector<Time>& ready,
+                const std::vector<Time>& msg_ready, Sink& sink,
+                CommSimScratch& scratch) const;
 
   [[nodiscard]] const loggp::Params& params() const { return params_; }
 

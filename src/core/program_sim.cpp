@@ -99,6 +99,14 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
 
   std::vector<Time>& clock = result.proc_end;
 
+  // Hot-path state reused across every comm step of this run: the
+  // simulators record into a finish-times-only sink (no caller here ever
+  // consumes full traces) and share one scratch, so after the first comm
+  // step the per-step simulations allocate nothing.
+  CommSimScratch scratch;
+  FinishOnlySink sink;
+  const std::vector<Time> no_msg_ready;
+
   for (std::size_t step = 0; step < program.size(); ++step) {
     if (check_cancel && opts_.cancel.cancelled()) {
       return Status::cancelled("simulation cancelled before step " +
@@ -126,15 +134,18 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
       }
       const std::uint64_t step_seed = opts_.seed * 0x100000001b3ULL +
                                       static_cast<std::uint64_t>(step);
-      CommSimOptions std_opts;
-      std_opts.seed = step_seed;
-      CommTrace trace =
-          opts_.worst_case
-              ? WorstCaseSimulator{params_, WorstCaseOptions{step_seed}}.run(
-                    pattern, clock)
-              : CommSimulator{params_, std_opts}.run(pattern, clock);
-      result.comm_ops += trace.ops().size();
-      const auto finish = trace.finish_times();
+      sink.reset(program.procs());
+      if (opts_.worst_case) {
+        WorstCaseSimulator{params_, WorstCaseOptions{step_seed}}.run_into(
+            pattern, clock, sink, scratch);
+      } else {
+        CommSimOptions std_opts;
+        std_opts.seed = step_seed;
+        CommSimulator{params_, std_opts}.run_into(pattern, clock, no_msg_ready,
+                                                  sink, scratch);
+      }
+      result.comm_ops += sink.op_count();
+      const std::vector<Time>& finish = sink.finish_times();
       for (std::size_t p = 0; p < n; ++p) {
         if (finish[p] > Time::zero()) {
           // Residence in the comm phase = exit clock - entry clock.

@@ -1,0 +1,68 @@
+#include "core/sim_scratch.hpp"
+
+#include <cassert>
+
+namespace logsim::core {
+
+void CommSimScratch::prepare(const pattern::CommPattern& pattern,
+                             const std::vector<Time>& ready,
+                             const loggp::Params* params) {
+  const auto n = static_cast<std::size_t>(pattern.procs());
+  assert(ready.size() == n);
+
+  // Grow-only sizing: shrink never releases capacity, and inbox never
+  // shrinks at all so each EventQueue keeps its warmed-up heap storage.
+  if (tl.size() < n) tl.resize(n);
+  if (send_cursor.size() < n) send_cursor.resize(n);
+  if (inbox.size() < n) inbox.resize(n);
+  if (recv_count.size() < n) recv_count.resize(n);
+  if (received.size() < n) received.resize(n);
+  if (send_off.size() < n + 1) send_off.resize(n + 1);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    tl[p] = ProcTimeline{static_cast<ProcId>(p), ready[p], params};
+    send_cursor[p] = 0;
+    recv_count[p] = 0;
+    received[p] = 0;
+    send_off[p] = 0;
+    inbox[p].clear();
+  }
+  send_off[n] = 0;
+
+  // CSR build, two passes: count per source, prefix-sum into offsets,
+  // then place message indices in insertion order (send_cursor doubles as
+  // the per-source write cursor and is re-zeroed afterwards).
+  const auto& msgs = pattern.messages();
+  std::size_t network = 0;
+  for (const auto& m : msgs) {
+    if (m.src == m.dst) continue;
+    ++send_off[static_cast<std::size_t>(m.src)];
+    ++recv_count[static_cast<std::size_t>(m.dst)];
+    ++network;
+  }
+  std::size_t acc = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t c = send_off[p];
+    send_off[p] = acc;
+    acc += c;
+  }
+  send_off[n] = acc;
+  send_flat.resize(network);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const auto& m = msgs[i];
+    if (m.src == m.dst) continue;
+    const auto s = static_cast<std::size_t>(m.src);
+    send_flat[send_off[s] + send_cursor[s]++] = i;
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    send_cursor[p] = 0;
+    inbox[p].reserve(static_cast<std::size_t>(recv_count[p]));
+  }
+
+  heap.clear();
+  minima.clear();
+  senders.clear();
+  blocked.clear();
+}
+
+}  // namespace logsim::core

@@ -1,0 +1,81 @@
+#pragma once
+// Reusable simulation state for the communication-simulator hot path.
+//
+// Every buffer the Figure-2 and Section-4.2 algorithms need per run --
+// processor timelines, send cursors, arrival-ordered inboxes, the flat
+// (CSR) send lists that replace pattern.send_lists()'s vector-of-vectors,
+// the tie-break minima buffer and the incremental min-selection heap --
+// lives here and is sized grow-only: capacity reached once is never
+// released, so a warmed-up scratch runs an entire simulation without a
+// single heap allocation.  One scratch serves both simulators; the
+// program simulator keeps one alive across all comm steps of a run, and
+// the legacy CommSimulator::run() overloads fall back to a thread-local
+// instance.
+//
+// A scratch is plain mutable state with no invariants between runs: the
+// simulators call prepare() at the start of every run, which rebuilds all
+// per-pattern data.  Not safe for concurrent use; use one per thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/proc_timeline.hpp"
+#include "des/event_queue.hpp"
+#include "loggp/params.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::core {
+
+/// One in-flight message queued at its destination, ordered by arrival.
+struct PendingRecv {
+  std::size_t msg_index;
+  ProcId src;
+  Bytes bytes;
+  Time arrival;
+};
+
+struct CommSimScratch {
+  // --- shared by both algorithms ---------------------------------------
+  std::vector<ProcTimeline> tl;
+  std::vector<std::size_t> send_cursor;
+  std::vector<des::EventQueue<PendingRecv>> inbox;
+  /// CSR send lists: processor p's network sends are the message indices
+  /// send_flat[send_off[p] .. send_off[p+1]), in program (insertion)
+  /// order -- the allocation-free equivalent of pattern.send_lists().
+  std::vector<std::size_t> send_flat;
+  std::vector<std::size_t> send_off;
+  /// Network messages each processor must receive (== receive_counts()).
+  std::vector<int> recv_count;
+
+  // --- standard algorithm (Figure 2) ------------------------------------
+  /// Candidate for the min-ctime selection: exactly one live entry per
+  /// processor that still wants to send.  Heap-ordered by (ctime, proc)
+  /// so equal-ctime entries pop in ascending processor order -- the same
+  /// order the original O(P) scan collected them in.
+  struct MinEntry {
+    Time ctime;
+    std::uint32_t proc;
+  };
+  std::vector<MinEntry> heap;
+  std::vector<std::uint32_t> minima;
+
+  // --- worst-case algorithm (Section 4.2) -------------------------------
+  std::vector<int> received;
+  std::vector<std::uint32_t> senders;
+  std::vector<std::uint32_t> blocked;
+
+  /// Rebuilds all per-pattern state for a fresh run: timelines at their
+  /// ready times, cleared cursors/inboxes (inboxes reserved to the exact
+  /// expected receive count), CSR send lists, cleared heap and buffers.
+  void prepare(const pattern::CommPattern& pattern,
+               const std::vector<Time>& ready, const loggp::Params* params);
+
+  /// Total network messages of the prepared pattern.
+  [[nodiscard]] std::size_t network_messages() const {
+    return send_flat.size();
+  }
+};
+
+}  // namespace logsim::core

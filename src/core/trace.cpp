@@ -14,9 +14,20 @@ constexpr double kEps = 1e-6;
 }  // namespace
 
 CommTrace::CommTrace(int procs, loggp::Params params)
-    : procs_(procs), params_(params) {}
+    : procs_(procs), params_(params),
+      finish_(static_cast<std::size_t>(procs), Time::zero()) {}
 
-void CommTrace::record(OpRecord op) { ops_.push_back(op); }
+void CommTrace::reserve(std::size_t ops) { ops_.reserve(ops); }
+
+void CommTrace::record(OpRecord op) {
+  ops_.push_back(op);
+  makespan_ = max(makespan_, op.cpu_end);
+  if (op.kind == loggp::OpKind::kSend) ++sends_;
+  // Hand-built traces (tests) may record procs outside [0, procs); the
+  // accessors treat those as "performed no op", as the rescans did.
+  const auto p = static_cast<std::size_t>(op.proc);
+  if (p < finish_.size()) finish_[p] = max(finish_[p], op.cpu_end);
+}
 
 std::vector<OpRecord> CommTrace::ops_of(ProcId p) const {
   std::vector<OpRecord> out;
@@ -30,39 +41,9 @@ std::vector<OpRecord> CommTrace::ops_of(ProcId p) const {
   return out;
 }
 
-Time CommTrace::makespan() const {
-  Time t = Time::zero();
-  for (const auto& op : ops_) t = max(t, op.cpu_end);
-  return t;
-}
-
 Time CommTrace::finish_of(ProcId p) const {
-  Time t = Time::zero();
-  for (const auto& op : ops_) {
-    if (op.proc == p) t = max(t, op.cpu_end);
-  }
-  return t;
-}
-
-std::vector<Time> CommTrace::finish_times() const {
-  std::vector<Time> out(static_cast<std::size_t>(procs_), Time::zero());
-  for (const auto& op : ops_) {
-    auto& slot = out[static_cast<std::size_t>(op.proc)];
-    slot = max(slot, op.cpu_end);
-  }
-  return out;
-}
-
-std::size_t CommTrace::send_count() const {
-  std::size_t n = 0;
-  for (const auto& op : ops_) n += (op.kind == loggp::OpKind::kSend) ? 1 : 0;
-  return n;
-}
-
-std::size_t CommTrace::recv_count() const {
-  std::size_t n = 0;
-  for (const auto& op : ops_) n += (op.kind == loggp::OpKind::kRecv) ? 1 : 0;
-  return n;
+  const auto i = static_cast<std::size_t>(p);
+  return i < finish_.size() ? finish_[i] : Time::zero();
 }
 
 std::optional<std::string> validate_trace(const CommTrace& trace,

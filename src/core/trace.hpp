@@ -30,6 +30,11 @@ class CommTrace {
  public:
   CommTrace(int procs, loggp::Params params);
 
+  /// Pre-sizes the op storage (e.g. to 2x the pattern's message count:
+  /// one send plus one receive per network message) so steady-state
+  /// recording never reallocates.
+  void reserve(std::size_t ops);
+
   void record(OpRecord op);
 
   [[nodiscard]] int procs() const { return procs_; }
@@ -42,22 +47,29 @@ class CommTrace {
 
   /// Time the last receive's CPU block ends -- the communication step's
   /// completion time the paper quotes ("processor 7 will terminate the
-  /// last, after ~7x us").
-  [[nodiscard]] Time makespan() const;
+  /// last, after ~7x us").  Maintained incrementally by record(): O(1).
+  [[nodiscard]] Time makespan() const { return makespan_; }
 
-  /// Completion time of one processor (zero if it performed no op).
+  /// Completion time of one processor (zero if it performed no op).  O(1).
   [[nodiscard]] Time finish_of(ProcId p) const;
 
-  /// Per-processor completion times.
-  [[nodiscard]] std::vector<Time> finish_times() const;
+  /// Per-processor completion times, maintained incrementally: O(P) copy
+  /// instead of the former full rescan of every op.
+  [[nodiscard]] const std::vector<Time>& finish_times() const {
+    return finish_;
+  }
 
-  [[nodiscard]] std::size_t send_count() const;
-  [[nodiscard]] std::size_t recv_count() const;
+  [[nodiscard]] std::size_t send_count() const { return sends_; }
+  [[nodiscard]] std::size_t recv_count() const { return ops_.size() - sends_; }
 
  private:
   int procs_;
   loggp::Params params_;
   std::vector<OpRecord> ops_;
+  /// Running per-processor max of cpu_end, updated by record().
+  std::vector<Time> finish_;
+  Time makespan_;
+  std::size_t sends_ = 0;
 };
 
 /// Re-checks every LogGP constraint on a finished trace.  Used pervasively

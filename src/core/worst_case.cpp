@@ -3,23 +3,14 @@
 #include <cassert>
 #include <vector>
 
+#include "core/comm_sink.hpp"
 #include "core/proc_timeline.hpp"
+#include "core/sim_scratch.hpp"
 #include "des/event_queue.hpp"
 #include "loggp/cost.hpp"
 #include "util/rng.hpp"
 
 namespace logsim::core {
-
-namespace {
-
-struct PendingRecv {
-  std::size_t msg_index;
-  ProcId src;
-  Bytes bytes;
-  Time arrival;
-};
-
-}  // namespace
 
 WorstCaseSimulator::WorstCaseSimulator(loggp::Params params,
                                        WorstCaseOptions opts)
@@ -34,73 +25,77 @@ CommTrace WorstCaseSimulator::run(const pattern::CommPattern& pattern) const {
 
 CommTrace WorstCaseSimulator::run(const pattern::CommPattern& pattern,
                                   const std::vector<Time>& ready) const {
+  thread_local CommSimScratch scratch;
+  CommTrace trace{pattern.procs(), params_};
+  trace.reserve(2 * pattern.size());
+  run_into(pattern, ready, trace, scratch);
+  return trace;
+}
+
+template <CommSink Sink>
+void WorstCaseSimulator::run_into(const pattern::CommPattern& pattern,
+                                  const std::vector<Time>& ready, Sink& sink,
+                                  CommSimScratch& s) const {
   assert(pattern.valid());
   const auto n = static_cast<std::size_t>(pattern.procs());
   assert(ready.size() == n);
 
-  CommTrace trace{pattern.procs(), params_};
+  s.prepare(pattern, ready, &params_);
   util::Rng rng{opts_.seed};
+  const auto& msgs = pattern.messages();
+  std::size_t unsent = s.network_messages();
 
-  std::vector<ProcTimeline> tl;
-  tl.reserve(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    tl.emplace_back(static_cast<ProcId>(p), ready[p], &params_);
-  }
-
-  const auto send_lists = pattern.send_lists();
-  const auto expected = pattern.receive_counts();
-  std::vector<std::size_t> send_cursor(n, 0);
-  std::vector<int> received(n, 0);
-  std::vector<des::EventQueue<PendingRecv>> inbox(n);
-  std::size_t unsent = 0;
-  for (const auto& list : send_lists) unsent += list.size();
+  auto has_sends = [&](std::size_t p) {
+    return s.send_off[p] + s.send_cursor[p] < s.send_off[p + 1];
+  };
 
   auto send_one = [&](std::size_t p) {
-    const std::size_t msg_index = send_lists[p][send_cursor[p]++];
-    const auto& msg = pattern.messages()[msg_index];
-    const Time start = tl[p].earliest_start(loggp::OpKind::kSend);
-    trace.record(tl[p].commit_send(start, msg.dst, msg.bytes, msg_index));
+    const std::size_t msg_index =
+        s.send_flat[s.send_off[p] + s.send_cursor[p]++];
+    const auto& msg = msgs[msg_index];
+    const Time start = s.tl[p].earliest_start(loggp::OpKind::kSend);
+    sink.record(s.tl[p].commit_send(start, msg.dst, msg.bytes, msg_index));
     const Time arrival = loggp::arrival_time(start, msg.bytes, params_);
-    inbox[static_cast<std::size_t>(msg.dst)].push(
+    s.inbox[static_cast<std::size_t>(msg.dst)].push(
         arrival, PendingRecv{msg_index, msg.src, msg.bytes, arrival});
     --unsent;
   };
 
   auto drain_inbox = [&](std::size_t p) {
-    while (!inbox[p].empty()) {
-      const auto entry = inbox[p].pop();
+    while (!s.inbox[p].empty()) {
+      const auto entry = s.inbox[p].pop();
       const auto& pr = entry.payload;
-      const Time start = tl[p].earliest_start(loggp::OpKind::kRecv, pr.arrival);
-      trace.record(tl[p].commit_recv(start, pr.src, pr.bytes, pr.msg_index));
-      ++received[p];
+      const Time start = s.tl[p].earliest_start(loggp::OpKind::kRecv,
+                                                pr.arrival);
+      sink.record(s.tl[p].commit_recv(start, pr.src, pr.bytes, pr.msg_index));
+      ++s.received[p];
     }
   };
 
   while (unsent > 0) {
     // Part 1: every processor that has completed all its receives sends
     // all of its messages.
-    std::vector<std::size_t> senders;
+    s.senders.clear();
     for (std::size_t p = 0; p < n; ++p) {
-      if (send_cursor[p] < send_lists[p].size() &&
-          received[p] == expected[p]) {
-        senders.push_back(p);
+      if (has_sends(p) && s.received[p] == s.recv_count[p]) {
+        s.senders.push_back(static_cast<std::uint32_t>(p));
       }
     }
-    if (senders.empty()) {
+    if (s.senders.empty()) {
       // Deadlock: a cycle of processors each waiting to receive first.
       // Break it by forcing a random processor with pending sends to
       // transmit one message (paper Section 4.2).
-      std::vector<std::size_t> blocked;
+      s.blocked.clear();
       for (std::size_t p = 0; p < n; ++p) {
-        if (send_cursor[p] < send_lists[p].size()) blocked.push_back(p);
+        if (has_sends(p)) s.blocked.push_back(static_cast<std::uint32_t>(p));
       }
-      assert(!blocked.empty());
+      assert(!s.blocked.empty());
       const std::size_t p =
-          blocked[rng.below(static_cast<std::uint64_t>(blocked.size()))];
+          s.blocked[rng.below(static_cast<std::uint64_t>(s.blocked.size()))];
       send_one(p);
     } else {
-      for (std::size_t p : senders) {
-        while (send_cursor[p] < send_lists[p].size()) send_one(p);
+      for (const std::uint32_t p : s.senders) {
+        while (has_sends(p)) send_one(p);
       }
     }
     // Part 2: destinations perform the receives of everything in flight.
@@ -109,7 +104,13 @@ CommTrace WorstCaseSimulator::run(const pattern::CommPattern& pattern,
   // Messages sent in the final iteration were drained by its part 2, but a
   // deadlock-break send may leave residues; sweep once more.
   for (std::size_t p = 0; p < n; ++p) drain_inbox(p);
-  return trace;
 }
+
+template void WorstCaseSimulator::run_into<CommTrace>(
+    const pattern::CommPattern&, const std::vector<Time>&, CommTrace&,
+    CommSimScratch&) const;
+template void WorstCaseSimulator::run_into<FinishOnlySink>(
+    const pattern::CommPattern&, const std::vector<Time>&, FinishOnlySink&,
+    CommSimScratch&) const;
 
 }  // namespace logsim::core

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 
+#include "core/comm_sink.hpp"
+#include "core/sim_scratch.hpp"
 #include "core/trace.hpp"
 #include "loggp/params.hpp"
 #include "pattern/comm_pattern.hpp"
@@ -35,6 +37,15 @@ class WorstCaseSimulator {
   [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern) const;
   [[nodiscard]] CommTrace run(const pattern::CommPattern& pattern,
                               const std::vector<Time>& ready) const;
+
+  /// Zero-allocation hot path, mirroring CommSimulator::run_into(): emits
+  /// into a caller-supplied sink with caller-supplied scratch.  Traces are
+  /// bit-identical to run()'s, including the deadlock-break rng stream.
+  /// The library instantiates Sink = CommTrace and Sink = FinishOnlySink.
+  template <CommSink Sink>
+  void run_into(const pattern::CommPattern& pattern,
+                const std::vector<Time>& ready, Sink& sink,
+                CommSimScratch& scratch) const;
 
   [[nodiscard]] const loggp::Params& params() const { return params_; }
 

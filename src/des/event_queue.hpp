@@ -43,10 +43,17 @@ class EventQueue {
     return out;
   }
 
+  /// Resets to empty, KEEPING the underlying storage: a cleared queue
+  /// re-fills to its previous high-water mark without reallocating.  The
+  /// sequence counter restarts so a reused queue breaks timestamp ties
+  /// exactly like a freshly constructed one.
   void clear() {
     heap_.clear();
     next_seq_ = 0;
   }
+
+  /// Pre-sizes the storage so pushes up to `n` never reallocate.
+  void reserve(std::size_t n) { heap_.reserve(n); }
 
  private:
   [[nodiscard]] static bool before(const Entry& a, const Entry& b) {

@@ -33,6 +33,14 @@ core::ProgramResult OverlapProgramSimulator::run(
   std::unordered_map<std::int64_t, Time> producer_offset;
   std::vector<Time> running(n, Time::zero());
 
+  // Reused across comm steps: finish-times-only sink (this simulator never
+  // consumes full traces), shared simulation scratch, and the per-step
+  // ready / msg_ready buffers.
+  core::CommSimScratch scratch;
+  core::FinishOnlySink sink;
+  std::vector<Time> ready;
+  std::vector<Time> msg_ready;
+
   for (std::size_t step = 0; step < program.size(); ++step) {
     const auto& s = program.step(step);
     if (const auto* cs = std::get_if<core::ComputeStep>(&s)) {
@@ -61,8 +69,8 @@ core::ProgramResult OverlapProgramSimulator::run(
       // receives with its residual computation entirely.  The worst-case
       // simulator has no per-message hook, so it conservatively waits for
       // the sender's last producing item.
-      std::vector<Time> ready = entry;
-      std::vector<Time> msg_ready(pat.size(), Time::zero());
+      ready.assign(entry.begin(), entry.end());
+      msg_ready.assign(pat.size(), Time::zero());
       const auto& msgs = pat.messages();
       for (std::size_t i = 0; i < msgs.size(); ++i) {
         const auto& m = msgs[i];
@@ -77,18 +85,19 @@ core::ProgramResult OverlapProgramSimulator::run(
 
       const std::uint64_t step_seed = opts_.seed * 0x100000001b3ULL +
                                       static_cast<std::uint64_t>(step);
-      core::CommSimOptions std_opts;
-      std_opts.seed = step_seed;
-      core::CommTrace trace =
-          opts_.worst_case
-              ? core::WorstCaseSimulator{params_,
-                                         core::WorstCaseOptions{step_seed}}
-                    .run(pat, ready)
-              : core::CommSimulator{params_, std_opts}.run(pat, ready,
-                                                           msg_ready);
-      result.comm_ops += trace.ops().size();
+      sink.reset(program.procs());
+      if (opts_.worst_case) {
+        core::WorstCaseSimulator{params_, core::WorstCaseOptions{step_seed}}
+            .run_into(pat, ready, sink, scratch);
+      } else {
+        core::CommSimOptions std_opts;
+        std_opts.seed = step_seed;
+        core::CommSimulator{params_, std_opts}.run_into(pat, ready, msg_ready,
+                                                        sink, scratch);
+      }
+      result.comm_ops += sink.op_count();
 
-      const auto finish = trace.finish_times();
+      const std::vector<Time>& finish = sink.finish_times();
       for (std::size_t p = 0; p < n; ++p) {
         const Time compute_done = entry[p] + full[p];
         const Time leave =

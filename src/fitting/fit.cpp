@@ -42,11 +42,21 @@ FitResult fit_params(const Oracle& oracle, FitOptions opts) {
 }
 
 Oracle simulator_oracle(const loggp::Params& p) {
+  // Makespans only: record into the finish-times sink so oracle probes
+  // (called in a tight loop by calibration sweeps) stay allocation-free
+  // after warm-up.
   return [p](const pattern::CommPattern& pat, bool worst_case) {
+    thread_local core::CommSimScratch scratch;
+    core::FinishOnlySink sink;
+    sink.reset(pat.procs());
+    const std::vector<Time> ready(static_cast<std::size_t>(pat.procs()),
+                                  Time::zero());
     if (worst_case) {
-      return core::WorstCaseSimulator{p}.run(pat).makespan();
+      core::WorstCaseSimulator{p}.run_into(pat, ready, sink, scratch);
+    } else {
+      core::CommSimulator{p}.run_into(pat, ready, {}, sink, scratch);
     }
-    return core::CommSimulator{p}.run(pat).makespan();
+    return sink.makespan();
   };
 }
 

@@ -48,6 +48,13 @@ TestbedResult Testbed::run(const core::StepProgram& program,
   util::Rng rng{cfg_.seed};
   std::vector<CacheModel> caches(n, CacheModel{cfg_.cache});
 
+  // Reused across comm steps: the Testbed only consumes finish times, so
+  // it records into the cheap sink with a shared simulation scratch.
+  core::CommSimScratch scratch;
+  core::FinishOnlySink sink;
+  const std::vector<Time> no_msg_ready;
+  std::vector<Time> entry_clock;
+
   for (std::size_t step = 0; step < program.size(); ++step) {
     const auto& entry = program.step(step);
     if (const auto* cs = std::get_if<core::ComputeStep>(&entry)) {
@@ -69,7 +76,7 @@ TestbedResult Testbed::run(const core::StepProgram& program,
       }
     } else {
       const auto& pattern = std::get<core::CommStep>(entry).pattern;
-      const std::vector<Time> entry_clock = clock;
+      entry_clock.assign(clock.begin(), clock.end());
 
       // Self-messages: local memory copies, charged to the owner before it
       // engages the network; the fresh version invalidates the cache line.
@@ -93,8 +100,9 @@ TestbedResult Testbed::run(const core::StepProgram& program,
           return Time{std::abs(jitter_rng->normal(0.0, sd)) * latency.us()};
         };
         const core::CommSimulator sim{cfg_.net, opts};
-        const core::CommTrace trace = sim.run(pattern, clock);
-        const auto finish = trace.finish_times();
+        sink.reset(program.procs());
+        sim.run_into(pattern, clock, no_msg_ready, sink, scratch);
+        const std::vector<Time>& finish = sink.finish_times();
         for (std::size_t p = 0; p < n; ++p) {
           if (finish[p] > Time::zero()) clock[p] = finish[p];
         }

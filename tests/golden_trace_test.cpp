@@ -1,0 +1,206 @@
+// Golden-trace determinism suite: hashes the FULL op sequence of
+// fixed-seed simulations (every field of every OpRecord, in emission
+// order) and compares against constants captured from the original
+// implementation.  Any rewrite of the simulator hot path -- scratch
+// reuse, incremental min-selection, sink-based trace elision -- must keep
+// every one of these hashes bit-identical: same op order, same times,
+// same rng draws.  Covers the standard Figure-2 algorithm, the
+// worst-case Section-4.2 algorithm (including the deadlock-break rng
+// path), the msg-ready (overlap) path, and whole-program simulations of
+// GE and Cannon with both schedules.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "cannon/cannon.hpp"
+#include "core/comm_sim.hpp"
+#include "core/predictor.hpp"
+#include "core/worst_case.hpp"
+#include "extensions/overlap_sim.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "loggp/params.hpp"
+#include "ops/analytic_model.hpp"
+#include "pattern/builders.hpp"
+#include "util/rng.hpp"
+
+namespace logsim::core {
+namespace {
+
+// --- FNV-1a 64 over the raw bit patterns --------------------------------
+
+class Fnv {
+ public:
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ ((v >> (8 * i)) & 0xffu)) * 0x100000001b3ULL;
+    }
+  }
+  void add_double(double d) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    add_u64(bits);
+  }
+  void add_time(Time t) { add_double(t.us()); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t hash_trace(const CommTrace& trace) {
+  Fnv f;
+  f.add_u64(trace.ops().size());
+  for (const auto& op : trace.ops()) {
+    f.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(op.proc)));
+    f.add_u64(op.kind == loggp::OpKind::kSend ? 0u : 1u);
+    f.add_time(op.start);
+    f.add_time(op.cpu_end);
+    f.add_time(op.port_end);
+    f.add_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(op.peer)));
+    f.add_u64(op.bytes.count());
+    f.add_u64(op.msg_index);
+  }
+  // Derived accessors must agree with the op sequence as well.
+  f.add_time(trace.makespan());
+  for (const Time t : trace.finish_times()) f.add_time(t);
+  return f.value();
+}
+
+std::uint64_t hash_result(const ProgramResult& r) {
+  Fnv f;
+  f.add_time(r.total);
+  f.add_u64(r.comm_ops);
+  for (const Time t : r.proc_end) f.add_time(t);
+  for (const Time t : r.comp) f.add_time(t);
+  for (const Time t : r.comm) f.add_time(t);
+  return f.value();
+}
+
+const loggp::Params kMeiko10 = loggp::presets::meiko_cs2(10);
+
+// --- standard algorithm -------------------------------------------------
+
+TEST(GoldenTrace, Fig3Standard) {
+  const auto pat = pattern::paper_fig3();
+  const CommTrace trace = CommSimulator{kMeiko10}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0xa927844905f9c6d9ULL);
+}
+
+TEST(GoldenTrace, AllToAllHeavyTies) {
+  // 16 processors, all ready at t=0: every selection round starts with a
+  // large ctime tie, exercising the rng-draw order exhaustively.
+  const auto pat = pattern::all_to_all(16, Bytes{112});
+  CommSimOptions opts;
+  opts.seed = 7;
+  const CommTrace trace =
+      CommSimulator{loggp::presets::meiko_cs2(16), opts}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0x1f102da9aa3ccdf6ULL);
+}
+
+TEST(GoldenTrace, RandomPatternStaggeredReady) {
+  util::Rng rng{99};
+  const auto pat = pattern::random_pattern(rng, 8, 30, Bytes{1}, Bytes{400});
+  std::vector<Time> ready;
+  for (int p = 0; p < 8; ++p) ready.push_back(Time{1.5 * p});
+  CommSimOptions opts;
+  opts.seed = 5;
+  const CommTrace trace =
+      CommSimulator{loggp::presets::meiko_cs2(8), opts}.run(pat, ready);
+  EXPECT_EQ(hash_trace(trace), 0xd6436b87bc9a853aULL);
+}
+
+TEST(GoldenTrace, MsgReadyPath) {
+  // Per-message injection times: the third run() overload, as driven by
+  // the overlapping-communication extension.
+  util::Rng rng{1234};
+  const auto pat = pattern::random_pattern(rng, 6, 24, Bytes{8}, Bytes{512});
+  const std::vector<Time> ready(6, Time::zero());
+  std::vector<Time> msg_ready;
+  for (std::size_t i = 0; i < pat.size(); ++i) {
+    msg_ready.push_back(Time{static_cast<double>((i * 7) % 23)});
+  }
+  CommSimOptions opts;
+  opts.seed = 17;
+  const CommTrace trace = CommSimulator{loggp::presets::meiko_cs2(6), opts}.run(
+      pat, ready, msg_ready);
+  EXPECT_EQ(hash_trace(trace), 0x89ee1b6dc33ed045ULL);
+}
+
+TEST(GoldenTrace, SendPriorityAblation) {
+  util::Rng rng{55};
+  const auto pat = pattern::random_pattern(rng, 8, 40, Bytes{1}, Bytes{256});
+  CommSimOptions opts;
+  opts.seed = 3;
+  opts.send_priority = true;
+  const CommTrace trace =
+      CommSimulator{loggp::presets::meiko_cs2(8), opts}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0x8aa4d1f7a18605d9ULL);
+}
+
+// --- worst-case algorithm -----------------------------------------------
+
+TEST(GoldenTrace, Fig3WorstCase) {
+  const auto pat = pattern::paper_fig3();
+  const CommTrace trace = WorstCaseSimulator{kMeiko10}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0xcc311bf090642ff5ULL);
+}
+
+TEST(GoldenTrace, RingWorstCaseDeadlockBreak) {
+  // A ring is one big processor cycle: every round deadlocks and the
+  // random release draw fires, pinning the deadlock-break rng stream.
+  const auto pat = pattern::ring(8, Bytes{112});
+  const CommTrace trace =
+      WorstCaseSimulator{loggp::presets::meiko_cs2(8),
+                         WorstCaseOptions{11}}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0x258c8d4c330dcdcULL);
+}
+
+TEST(GoldenTrace, RandomWorstCase) {
+  util::Rng rng{43};
+  const auto pat =
+      pattern::random_pattern(rng, 16, 120, Bytes{16}, Bytes{2048});
+  const CommTrace trace =
+      WorstCaseSimulator{loggp::presets::meiko_cs2(16),
+                         WorstCaseOptions{29}}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0x81f996553a99f749ULL);
+}
+
+// --- whole programs ------------------------------------------------------
+
+TEST(GoldenTrace, GeProgramBothSchedules) {
+  const layout::DiagonalMap map{8};
+  const auto program =
+      ge::build_ge_program(ge::GeConfig{.n = 240, .block = 30}, map);
+  const auto costs = ops::analytic_cost_table();
+  const Predictor predictor{loggp::presets::meiko_cs2(8)};
+  const Prediction pred = predictor.predict(program, costs);
+  EXPECT_EQ(hash_result(pred.standard), 0x566a06eb3425b6dcULL);
+  EXPECT_EQ(hash_result(pred.worst_case), 0xd9b553e5f396c2e0ULL);
+}
+
+TEST(GoldenTrace, CannonProgramBothSchedules) {
+  const auto program = cannon::build_cannon_program(
+      cannon::CannonConfig{.n = 240, .block = 24, .q = 2});
+  const auto costs = ops::analytic_cost_table();
+  const Predictor predictor{loggp::presets::meiko_cs2(4)};
+  const Prediction pred = predictor.predict(program, costs);
+  EXPECT_EQ(hash_result(pred.standard), 0x601e3b215560e297ULL);
+  EXPECT_EQ(hash_result(pred.worst_case), 0x9b886599a1010a16ULL);
+}
+
+TEST(GoldenTrace, OverlapSimulatorGeProgram) {
+  const layout::DiagonalMap map{8};
+  const auto program =
+      ge::build_ge_program(ge::GeConfig{.n = 240, .block = 30}, map);
+  const auto costs = ops::analytic_cost_table();
+  const ext::OverlapProgramSimulator sim{loggp::presets::meiko_cs2(8)};
+  EXPECT_EQ(hash_result(sim.run(program, costs)), 0x3b06b34295e04548ULL);
+}
+
+}  // namespace
+}  // namespace logsim::core

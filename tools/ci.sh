@@ -30,4 +30,31 @@ run_pass() {
 run_pass default "$prefix-default"
 run_pass "$sanitizer" "$prefix-$sanitizer" "-DLOGSIM_SANITIZE=$sanitizer"
 
-echo "==> ci.sh: both passes green"
+# Perf smoke: a Release build of the regression harness must run, emit a
+# schema-valid BENCH_perf.json, and -- when a baseline has been checked in
+# under bench/baselines/ -- stay within 25% of it on every benchmark.
+# Skippable for quick local iterations with LOGSIM_CI_SKIP_PERF=1.
+if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
+  perf_dir="$prefix-perf"
+  echo "==> [perf] configure: $perf_dir (Release)"
+  cmake -S "$repo_root" -B "$perf_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "==> [perf] build perf_regression"
+  cmake --build "$perf_dir" --target perf_regression -j "$jobs"
+  echo "==> [perf] run --quick"
+  perf_json="$repo_root/BENCH_perf.json"
+  baseline="$repo_root/bench/baselines/BENCH_perf_baseline.json"
+  if [ -f "$baseline" ]; then
+    "$perf_dir/bench/perf_regression" --quick --out "$perf_json" \
+      --baseline "$baseline" --max-regress 0.25
+  else
+    echo "==> [perf] no baseline at $baseline; running ungated"
+    "$perf_dir/bench/perf_regression" --quick --out "$perf_json"
+  fi
+  grep -q '"schema": "logsim-perf-v1"' "$perf_json" || {
+    echo "==> [perf] BENCH_perf.json failed schema check" >&2
+    exit 1
+  }
+  echo "==> [perf] BENCH_perf.json OK"
+fi
+
+echo "==> ci.sh: all passes green"
