@@ -2,7 +2,13 @@
 // tiers the zero-allocation rewrite targets -- raw communication
 // simulation (standard + worst-case), whole-program prediction, and
 // batch throughput -- on fixed-seed workloads, and emits a
-// machine-readable JSON report (schema "logsim-perf-v1").
+// machine-readable JSON report (schema "logsim-perf-v2").
+//
+// Schema note: v2 added the comm_step_cache_warm / comm_step_cache_cold
+// rows and turned the comm-step cache on for batch_ge_block_sweep.  The
+// JSON layout is unchanged (read_baseline scans name/value pairs and is
+// schema-agnostic), so v1 baselines still parse -- only the schema string
+// and the benchmark set moved.
 //
 // Methodology: every benchmark runs one discarded warm-up sample (page
 // faults, scratch growth, cache warm-up), then k timed samples
@@ -12,8 +18,13 @@
 // commits on the same machine.
 //
 // Usage:
-//   perf_regression [--quick] [--out FILE] [--baseline FILE]
-//                   [--max-regress FRAC] [--write-baseline FILE]
+//   perf_regression [--quick] [--no-step-cache] [--out FILE]
+//                   [--baseline FILE] [--max-regress FRAC]
+//                   [--write-baseline FILE]
+//
+// --no-step-cache (or LOGSIM_STEP_CACHE=0) disables the comm-step cache:
+// batch_ge_block_sweep then measures the uncached engine and the two
+// comm_step_cache_* rows are omitted.
 //
 // With --baseline, every benchmark whose value falls more than
 // --max-regress (default 0.25 = 25%) below the baseline's value fails
@@ -137,7 +148,7 @@ BenchResult bench_program_ge(int iters, int samples) {
                    });
 }
 
-BenchResult bench_batch_throughput(int samples) {
+BenchResult bench_batch_throughput(int samples, bool use_step_cache) {
   const auto costs = ops::analytic_cost_table();
   const auto params = loggp::presets::meiko_cs2(bench::kProcs);
   const layout::DiagonalMap map{bench::kProcs};
@@ -155,16 +166,58 @@ BenchResult bench_batch_throughput(int samples) {
     jobs.push_back(runtime::PredictJob{&p, params, &costs});
   }
 
-  runtime::BatchPredictor batch{{.threads = 4}};
+  // The step cache persists across samples; sample 0 is discarded as
+  // warm-up, so the reported number is the warm steady state -- each
+  // distinct canonical comm step simulated once, then replayed.
+  runtime::SharedStepCache step_cache;
+  runtime::BatchPredictor batch{
+      {.threads = 4,
+       .step_cache = use_step_cache ? &step_cache : nullptr}};
   const double n_jobs = static_cast<double>(jobs.size());
   return run_bench("batch_ge_block_sweep", "jobs_per_sec", samples, n_jobs,
                    [&] { (void)batch.predict_all(jobs); });
 }
 
+// The comm-step cache in isolation, on one GE program (N=960, b=32,
+// diagonal layout, standard + worst-case schedules via the Predictor):
+// cold recreates the cache every iteration (misses + inserts on top of
+// the full simulation), warm reuses one filled cache (pure replay).
+BenchResult bench_step_cache(bool warmed, int iters, int samples) {
+  const auto costs = ops::analytic_cost_table();
+  const auto params = loggp::presets::meiko_cs2(bench::kProcs);
+  const layout::DiagonalMap map{bench::kProcs};
+  const auto program = ge::build_ge_program(
+      ge::GeConfig{.n = bench::kMatrixN, .block = 32}, map);
+
+  const double steps = static_cast<double>(program.size()) * iters;
+  const std::string name =
+      warmed ? "comm_step_cache_warm" : "comm_step_cache_cold";
+  if (warmed) {
+    runtime::SharedStepCache cache;
+    core::ProgramSimOptions opts;
+    opts.step_cache = &cache;
+    const core::Predictor predictor{params, opts};
+    (void)predictor.predict(program, costs);  // fill
+    return run_bench(name, "steps_per_sec", samples, steps, [&] {
+      for (int i = 0; i < iters; ++i) {
+        (void)predictor.predict(program, costs);
+      }
+    });
+  }
+  return run_bench(name, "steps_per_sec", samples, steps, [&] {
+    for (int i = 0; i < iters; ++i) {
+      runtime::SharedStepCache cache;
+      core::ProgramSimOptions opts;
+      opts.step_cache = &cache;
+      (void)core::Predictor{params, opts}.predict(program, costs);
+    }
+  });
+}
+
 void write_json(std::ostream& out, const std::vector<BenchResult>& results,
                 bool quick) {
   out << "{\n"
-      << "  \"schema\": \"logsim-perf-v1\",\n"
+      << "  \"schema\": \"logsim-perf-v2\",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
       << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -215,6 +268,7 @@ std::vector<std::pair<std::string, double>> read_baseline(
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool step_cache = logsim::runtime::step_cache_env_enabled();
   std::string out_path;
   std::string baseline_path;
   std::string write_baseline_path;
@@ -230,6 +284,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--no-step-cache") {
+      step_cache = false;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--baseline") {
@@ -255,7 +311,11 @@ int main(int argc, char** argv) {
   results.push_back(bench_comm_standard(64, 4096, 25 * scale, samples));
   results.push_back(bench_comm_worst_case(32, 2000, 50 * scale, samples));
   results.push_back(bench_program_ge(5 * scale, samples));
-  results.push_back(bench_batch_throughput(samples));
+  if (step_cache) {
+    results.push_back(bench_step_cache(/*warmed=*/false, 2 * scale, samples));
+    results.push_back(bench_step_cache(/*warmed=*/true, 5 * scale, samples));
+  }
+  results.push_back(bench_batch_throughput(samples, step_cache));
 
   util::Table table{{"benchmark", "metric", "median", "samples"}};
   for (const auto& r : results) {

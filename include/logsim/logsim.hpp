@@ -29,6 +29,7 @@
 #include "core/cost_table.hpp"      // IWYU pragma: export
 #include "core/predictor.hpp"       // IWYU pragma: export
 #include "core/program_sim.hpp"     // IWYU pragma: export
+#include "core/step_cache.hpp"      // IWYU pragma: export
 #include "core/step_program.hpp"    // IWYU pragma: export
 #include "core/trace.hpp"           // IWYU pragma: export
 #include "core/worst_case.hpp"      // IWYU pragma: export
@@ -57,11 +58,13 @@
 #include "ops/matrix.hpp"           // IWYU pragma: export
 #include "ops/op_timer.hpp"         // IWYU pragma: export
 #include "pattern/builders.hpp"     // IWYU pragma: export
+#include "pattern/canonical.hpp"    // IWYU pragma: export
 #include "pattern/comm_pattern.hpp" // IWYU pragma: export
 #include "runtime/batch_predictor.hpp"   // IWYU pragma: export
 #include "runtime/checkpoint.hpp"        // IWYU pragma: export
 #include "runtime/metrics.hpp"           // IWYU pragma: export
 #include "runtime/prediction_cache.hpp"  // IWYU pragma: export
+#include "runtime/step_cache.hpp"        // IWYU pragma: export
 #include "runtime/thread_pool.hpp"       // IWYU pragma: export
 #include "stencil/stencil.hpp"      // IWYU pragma: export
 #include "stencil/stencil_reference.hpp"  // IWYU pragma: export

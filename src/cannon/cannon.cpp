@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "ops/ge_ops.hpp"
+#include "pattern/canonical.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::cannon {
@@ -114,6 +115,7 @@ core::StepProgram build_cannon_program(const CannonConfig& cfg,
     }
     if (!pat.empty()) program.add_comm(std::move(pat));
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 

@@ -4,6 +4,7 @@
 #include <variant>
 #include <vector>
 
+#include "pattern/canonical.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::collective {
@@ -29,6 +30,7 @@ core::StepProgram broadcast_flat(int procs, const std::vector<Bytes>& segs) {
     }
     program.add_comm(std::move(pat));
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 
@@ -45,6 +47,7 @@ core::StepProgram broadcast_binomial(int procs, const std::vector<Bytes>& segs) 
       program.add_comm(std::move(pat));
     }
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 
@@ -62,6 +65,7 @@ core::StepProgram broadcast_chain(int procs, const std::vector<Bytes>& segs) {
     }
     if (!pat.empty()) program.add_comm(std::move(pat));
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 
@@ -104,6 +108,7 @@ ReducePlan reduce_binomial(int procs, Bytes bytes, double combine_us_per_byte) {
       plan.program.add_compute(std::move(fold));
     }
   }
+  plan.program.intern_patterns(pattern::PatternInterner::global());
   return plan;
 }
 
@@ -118,6 +123,7 @@ core::StepProgram allgather_ring(int procs, Bytes bytes) {
     }
     program.add_comm(std::move(pat));
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 

@@ -107,6 +107,13 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
   FinishOnlySink sink;
   const std::vector<Time> no_msg_ready;
 
+  // Step-cache state, equally reused (grow-only): the canonicalizer's
+  // relabel maps plus the canonical-order ready/finish buffers.  A warmed
+  // cache hit therefore costs a pattern walk and a map probe, no heap.
+  pattern::Canonicalizer canonicalizer;
+  std::vector<Time> canon_ready;
+  std::vector<Time> canon_finish;
+
   for (std::size_t step = 0; step < program.size(); ++step) {
     if (check_cancel && opts_.cancel.cancelled()) {
       return Status::cancelled("simulation cancelled before step " +
@@ -128,12 +135,77 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
         result.comp[p] += dt;
       }
     } else {
-      const auto& pattern = std::get<CommStep>(entry).pattern;
+      const auto& comm = std::get<CommStep>(entry);
+      const auto& pattern = comm.pattern;
       if (pattern.size() == pattern.self_message_count()) {
         continue;  // only local copies: free under the plain LogGP model
       }
       const std::uint64_t step_seed = opts_.seed * 0x100000001b3ULL +
                                       static_cast<std::uint64_t>(step);
+
+      CommStepQuery query;
+      std::size_t participants = 0;
+      if (opts_.step_cache != nullptr) {
+        // Interned steps carry their canonicalization from build time
+        // (steps are immutable once added), so the per-run cost of a
+        // warmed hit is O(participants) -- no walk over the messages.
+        // Un-interned patterns (hand-built programs, transform outputs)
+        // fall back to analyzing here.
+        std::uint64_t canonical_hash = 0;
+        bool uniform = true;
+        const std::vector<ProcId>* to = nullptr;
+        const std::vector<ProcId>* from = nullptr;
+        if (comm.canon != nullptr && !comm.from_canonical.empty()) {
+          canonical_hash = comm.canon->hash;
+          uniform = comm.canon->uniform_bytes;
+          to = &comm.to_canonical;
+          from = &comm.from_canonical;
+          query.canon = comm.canon;
+        } else {
+          canonicalizer.analyze(pattern);
+          canonical_hash = canonicalizer.hash();
+          uniform = canonicalizer.uniform_bytes();
+          to = &canonicalizer.to_canonical();
+          from = &canonicalizer.from_canonical();
+          if (comm.canon != nullptr && comm.canon->hash == canonical_hash) {
+            query.canon = comm.canon;
+          }
+        }
+        participants = from->size();
+        canon_ready.resize(participants);
+        for (std::size_t c = 0; c < participants; ++c) {
+          canon_ready[c] = clock[static_cast<std::size_t>((*from)[c])];
+        }
+        // Relabel/seed sharing is only sound for uniform-byte steps under
+        // the standard schedule (see core/step_cache.hpp); everything else
+        // keys on the exact (seed, permutation) pair.
+        query.exact = opts_.worst_case || !uniform;
+        query.worst_case = opts_.worst_case;
+        query.seed = step_seed;
+        query.pattern = &pattern;
+        query.to_canonical = to;
+        query.from_canonical = from;
+        query.ready = &canon_ready;
+        query.params = &params_;
+        query.key_hash =
+            comm_step_key_hash(canonical_hash, canon_ready, params_,
+                               query.worst_case, query.exact, step_seed, *from);
+
+        std::size_t cached_ops = 0;
+        if (opts_.step_cache->lookup(query, canon_finish, cached_ops)) {
+          result.comm_ops += cached_ops;
+          for (std::size_t c = 0; c < participants; ++c) {
+            const auto p = static_cast<std::size_t>((*from)[c]);
+            const Time f = canon_finish[c];
+            if (f > Time::zero()) {
+              result.comm[p] += f - clock[p];
+              clock[p] = f;
+            }
+          }
+          continue;
+        }
+      }
+
       sink.reset(program.procs());
       if (opts_.worst_case) {
         WorstCaseSimulator{params_, WorstCaseOptions{step_seed}}.run_into(
@@ -146,6 +218,15 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
       }
       result.comm_ops += sink.op_count();
       const std::vector<Time>& finish = sink.finish_times();
+      if (opts_.step_cache != nullptr) {
+        const auto& from = *query.from_canonical;
+        canon_finish.resize(participants);
+        for (std::size_t c = 0; c < participants; ++c) {
+          canon_finish[c] = finish[static_cast<std::size_t>(from[c])];
+        }
+        query.ops = sink.op_count();
+        opts_.step_cache->insert(query, canon_finish);
+      }
       for (std::size_t p = 0; p < n; ++p) {
         if (finish[p] > Time::zero()) {
           // Residence in the comm phase = exit clock - entry clock.

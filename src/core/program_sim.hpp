@@ -14,6 +14,7 @@
 
 #include "core/comm_sim.hpp"
 #include "core/cost_table.hpp"
+#include "core/step_cache.hpp"
 #include "core/step_program.hpp"
 #include "core/worst_case.hpp"
 #include "fault/cancel.hpp"
@@ -32,6 +33,11 @@ struct ProgramSimOptions {
   /// order.  Hook point for the cache-model extension: the callback may
   /// keep per-processor cache state and return the stall time to add.
   std::function<Time(const WorkItem&)> compute_overhead;
+  /// Optional comm-step memoization (borrowed; may be shared across
+  /// simulators and threads).  Hits replay stored finish times through the
+  /// canonical permutation, bit-identical to simulating; see
+  /// core/step_cache.hpp for the key discipline.  nullptr disables.
+  CommStepCache* step_cache = nullptr;
   /// Cooperative cancellation, polled between simulation steps; the
   /// default token is inert.  Only run_checked() honours it.
   fault::CancelToken cancel;

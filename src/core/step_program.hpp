@@ -6,12 +6,18 @@
 // program: an ordered list of ComputeStep / CommStep entries.
 
 #include <cstdint>
+#include <memory>
 #include <variant>
 #include <vector>
 
 #include "core/cost_table.hpp"
 #include "pattern/comm_pattern.hpp"
 #include "util/types.hpp"
+
+namespace logsim::pattern {
+struct CanonicalPattern;
+class PatternInterner;
+}  // namespace logsim::pattern
 
 namespace logsim::core {
 
@@ -36,8 +42,24 @@ struct ComputeStep {
 
 struct CommStep {
   pattern::CommPattern pattern;
+  /// Shared canonical form, populated by StepProgram::intern_patterns().
+  /// Pure acceleration state (lets the comm-step cache share one canonical
+  /// instance across shifted copies of the pattern); carries no semantic
+  /// content, so it is excluded from equality.
+  std::shared_ptr<const pattern::CanonicalPattern> canon;
+  /// The relabeling between this pattern and `canon->form`, recorded at
+  /// intern time (empty when canon is null).  Steps are immutable once
+  /// added to a StepProgram, so the simulator can trust these instead of
+  /// re-canonicalizing the pattern on every run -- that walk is what the
+  /// maps exist to avoid.  to_canonical: original proc -> canonical id
+  /// (kNoProc for non-participants); from_canonical: canonical id ->
+  /// original proc, sized to the participant count.
+  std::vector<ProcId> to_canonical;
+  std::vector<ProcId> from_canonical;
 
-  friend bool operator==(const CommStep&, const CommStep&) = default;
+  friend bool operator==(const CommStep& a, const CommStep& b) {
+    return a.pattern == b.pattern;
+  }
 };
 
 class StepProgram {
@@ -66,6 +88,14 @@ class StepProgram {
   /// Total bytes crossing the network across all comm steps.
   [[nodiscard]] Bytes network_bytes() const;
 
+  /// Attaches a shared canonical form to every comm step that carries
+  /// network messages (see pattern::PatternInterner): shifted copies of
+  /// one pattern -- within this program or across programs interned in the
+  /// same pool -- end up sharing a single CanonicalPattern instance, which
+  /// the comm-step cache then reuses instead of copying pattern storage.
+  /// Idempotent; called by the program generators at build time.
+  void intern_patterns(pattern::PatternInterner& interner);
+
   /// Structural equality: same processor count and step-for-step identical
   /// contents.  The prediction cache relies on this to tell true hits from
   /// 64-bit hash collisions.
@@ -75,5 +105,11 @@ class StepProgram {
   int procs_;
   std::vector<std::variant<ComputeStep, CommStep>> steps_;
 };
+
+/// Structural FNV-1a-64 hash of a whole program: the companion to
+/// StepProgram::operator==.  Comm steps are folded in via
+/// CommPattern::hash(), so the prediction cache and the comm-step cache
+/// share one message encoding.
+[[nodiscard]] std::uint64_t structural_hash(const StepProgram& program);
 
 }  // namespace logsim::core

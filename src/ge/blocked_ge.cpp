@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ops/ge_ops.hpp"
+#include "pattern/canonical.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::ge {
@@ -140,6 +141,7 @@ core::StepProgram build_ge_program(const GeConfig& cfg,
     }
     // Interior results stay put (owner-computes): no communication step.
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 

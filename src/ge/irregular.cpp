@@ -6,6 +6,7 @@
 #include "ge/reference.hpp"
 #include "ops/ge_ops.hpp"
 #include "ops/kernels.hpp"
+#include "pattern/canonical.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::ge {
@@ -149,6 +150,7 @@ core::StepProgram build_ge_program_irregular(const IrregularGeConfig& cfg,
       ++info.levels;
     }
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 

@@ -5,6 +5,7 @@
 #include "ge/reference.hpp"
 #include "ops/ge_ops.hpp"
 #include "ops/kernels.hpp"
+#include "pattern/canonical.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::ge {
@@ -71,6 +72,7 @@ core::StepProgram build_ge_left_looking(const GeConfig& cfg, int procs,
     program.add_compute(std::move(step));
     ++info.levels;
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 

@@ -78,7 +78,8 @@ PacketNetResult PacketNetwork::run(const pattern::CommPattern& pattern,
   // Per-source NIC injection: messages in program order, packets
   // back-to-back; o of software overhead opens each message.
   std::vector<Time> nic_free = ready;
-  const auto send_lists = pattern.send_lists();
+  std::vector<std::vector<std::size_t>> send_lists;
+  pattern.send_lists(send_lists);
   for (std::size_t src = 0; src < n; ++src) {
     for (std::size_t msg_index : send_lists[src]) {
       const auto& m = pattern.messages()[msg_index];

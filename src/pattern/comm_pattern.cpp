@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "util/hash.hpp"
+
 namespace logsim::pattern {
 
 CommPattern::CommPattern(int procs) : procs_(procs) { assert(procs >= 1); }
@@ -26,20 +28,49 @@ Bytes CommPattern::network_bytes() const {
 }
 
 std::vector<std::vector<std::size_t>> CommPattern::send_lists() const {
-  std::vector<std::vector<std::size_t>> lists(static_cast<std::size_t>(procs_));
-  for (std::size_t i = 0; i < messages_.size(); ++i) {
-    const auto& m = messages_[i];
-    if (m.src != m.dst) lists[static_cast<std::size_t>(m.src)].push_back(i);
-  }
+  std::vector<std::vector<std::size_t>> lists;
+  send_lists(lists);
   return lists;
 }
 
 std::vector<int> CommPattern::receive_counts() const {
-  std::vector<int> counts(static_cast<std::size_t>(procs_), 0);
-  for (const auto& m : messages_) {
-    if (m.src != m.dst) ++counts[static_cast<std::size_t>(m.dst)];
-  }
+  std::vector<int> counts;
+  receive_counts(counts);
   return counts;
+}
+
+void CommPattern::send_lists(std::vector<std::vector<std::size_t>>& out) const {
+  // Clear per-proc lists individually (resize + clear keeps every inner
+  // vector's capacity; assign would discard them on shrink).
+  if (out.size() > static_cast<std::size_t>(procs_)) {
+    out.resize(static_cast<std::size_t>(procs_));
+  }
+  for (auto& list : out) list.clear();
+  out.resize(static_cast<std::size_t>(procs_));
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const auto& m = messages_[i];
+    if (m.src != m.dst) out[static_cast<std::size_t>(m.src)].push_back(i);
+  }
+}
+
+void CommPattern::receive_counts(std::vector<int>& out) const {
+  out.assign(static_cast<std::size_t>(procs_), 0);
+  for (const auto& m : messages_) {
+    if (m.src != m.dst) ++out[static_cast<std::size_t>(m.dst)];
+  }
+}
+
+std::uint64_t CommPattern::hash() const {
+  util::Fnv1a h;
+  h.mix_i64(procs_);
+  h.mix_u64(messages_.size());
+  for (const auto& m : messages_) {
+    h.mix_i64(m.src);
+    h.mix_i64(m.dst);
+    h.mix_u64(m.bytes.count());
+    h.mix_i64(m.tag);
+  }
+  return h.digest();
 }
 
 bool CommPattern::valid() const {

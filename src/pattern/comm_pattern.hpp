@@ -58,6 +58,16 @@ class CommPattern {
   /// Number of network messages each processor must receive.
   [[nodiscard]] std::vector<int> receive_counts() const;
 
+  /// Scratch variants: rebuild into caller-owned storage, reusing inner
+  /// capacity, so repeated calls on warmed buffers allocate nothing.
+  void send_lists(std::vector<std::vector<std::size_t>>& out) const;
+  void receive_counts(std::vector<int>& out) const;
+
+  /// Structural FNV-1a-64 hash: the companion to operator==.  Equal
+  /// patterns always hash equal; the encoding covers the processor count
+  /// and every message's (src, dst, bytes, tag) in order.
+  [[nodiscard]] std::uint64_t hash() const;
+
   /// True if every endpoint is a valid processor id.
   [[nodiscard]] bool valid() const;
 

@@ -59,6 +59,7 @@ BatchPredictor::BatchPredictor(Config config)
     : config_(config),
       sim_(std::move(config.sim)),
       cache_(config.cache),
+      step_cache_(config.step_cache),
       metrics_(config.metrics != nullptr ? config.metrics
                                          : &metrics::Registry::global()),
       jobs_run_(metrics_->counter("batch.jobs_run")),
@@ -79,6 +80,10 @@ BatchPredictor::BatchPredictor(Config config)
   // would silently leak into predict_one, so normalize them away.
   sim_.cancel = fault::CancelToken{};
   sim_.deadline = kNoDeadline;
+  // Config.step_cache wins over a cache wired in via sim options, so the
+  // step_cache.* gauges always describe the cache the workers actually use
+  // (a plain sim-options pointer still works, it just publishes no stats).
+  if (step_cache_ != nullptr) sim_.step_cache = step_cache_;
 }
 
 std::vector<JobResult> BatchPredictor::predict_all(
@@ -98,18 +103,23 @@ std::vector<JobResult> BatchPredictor::predict_all(
           ? std::chrono::steady_clock::now() + config_.batch_deadline
           : kNoDeadline;
 
+  const bool checkpointing = !config_.checkpoint_path.empty();
+
   // Hash every well-formed closure-free job once; the key serves the
-  // checkpoint probe, the cache lookup and the miss-path insert.
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const PredictJob& job = jobs[i];
-    if (job.program != nullptr && job.costs != nullptr &&
-        !sim_.compute_overhead) {
-      state->keys[i] = prediction_key_hash(*job.program, job.params, sim_.seed);
-      state->keyed[i] = 1;
+  // checkpoint probe, the cache lookup and the miss-path insert.  With no
+  // consumer the walk is pure overhead (it visits every work item of every
+  // program), so skip it.
+  if (cache_ != nullptr || checkpointing) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const PredictJob& job = jobs[i];
+      if (job.program != nullptr && job.costs != nullptr &&
+          !sim_.compute_overhead) {
+        state->keys[i] =
+            prediction_key_hash(*job.program, job.params, sim_.seed);
+        state->keyed[i] = 1;
+      }
     }
   }
-
-  const bool checkpointing = !config_.checkpoint_path.empty();
   if (checkpointing) {
     Result<Checkpoint> loaded = Checkpoint::load_or_empty(config_.checkpoint_path);
     if (loaded.ok()) {
@@ -206,7 +216,7 @@ std::vector<JobResult> BatchPredictor::predict_all(
 JobResult BatchPredictor::predict_one(const PredictJob& job) {
   std::uint64_t key = 0;
   bool keyed = false;
-  if (job.program != nullptr && job.costs != nullptr &&
+  if (cache_ != nullptr && job.program != nullptr && job.costs != nullptr &&
       !sim_.compute_overhead) {
     key = prediction_key_hash(*job.program, job.params, sim_.seed);
     keyed = true;
@@ -341,6 +351,19 @@ void BatchPredictor::publish_cache_gauges() {
     metrics_->set_gauge(
         "fault.failpoint_fires",
         std::to_string(fault::FailpointRegistry::global().total_fires()));
+  }
+  if (step_cache_ != nullptr) {
+    const SharedStepCache::Stats stats = step_cache_->stats();
+    metrics_->set_gauge("step_cache.hits", std::to_string(stats.hits));
+    metrics_->set_gauge("step_cache.relabel_hits",
+                        std::to_string(stats.relabel_hits));
+    metrics_->set_gauge("step_cache.misses", std::to_string(stats.misses));
+    metrics_->set_gauge("step_cache.entries", std::to_string(stats.entries));
+    metrics_->set_gauge("step_cache.bytes", std::to_string(stats.bytes));
+    metrics_->set_gauge("step_cache.evictions",
+                        std::to_string(stats.evictions));
+    metrics_->set_gauge("step_cache.hit_rate",
+                        util::fmt(stats.hit_rate() * 100.0, 1) + "%");
   }
   if (cache_ == nullptr) return;
   const PredictionCache::Stats stats = cache_->stats();

@@ -48,6 +48,7 @@
 #include "runtime/checkpoint.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/prediction_cache.hpp"
+#include "runtime/step_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace logsim::runtime {
@@ -92,6 +93,13 @@ class BatchPredictor {
     /// Optional memoization cache; borrowed, may be shared across
     /// BatchPredictors.  nullptr disables memoization.
     PredictionCache* cache = nullptr;
+    /// Optional comm-step cache shared by every worker (and across
+    /// BatchPredictors); distinct canonical comm steps are simulated once
+    /// per (params, readies) key across the whole batch.  Unlike the
+    /// whole-program cache, it also serves jobs with a compute_overhead
+    /// closure -- the closure only perturbs compute steps, never the comm
+    /// steps this cache keys on.  nullptr disables.
+    SharedStepCache* step_cache = nullptr;
     /// Metrics sink; nullptr means metrics::Registry::global().
     metrics::Registry* metrics = nullptr;
     /// Retry budget for transient job failures; max_attempts = 1 (the
@@ -126,6 +134,7 @@ class BatchPredictor {
 
   [[nodiscard]] std::size_t threads() const { return pool_.size(); }
   [[nodiscard]] PredictionCache* cache() const { return cache_; }
+  [[nodiscard]] SharedStepCache* step_cache() const { return step_cache_; }
   [[nodiscard]] metrics::Registry& metrics() const { return *metrics_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -151,6 +160,7 @@ class BatchPredictor {
   Config config_;
   core::ProgramSimOptions sim_;
   PredictionCache* cache_;
+  SharedStepCache* step_cache_;
   metrics::Registry* metrics_;
   metrics::Counter& jobs_run_;
   metrics::Counter& job_errors_;

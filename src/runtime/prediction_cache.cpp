@@ -1,74 +1,26 @@
 #include "runtime/prediction_cache.hpp"
 
-#include <bit>
-#include <cstring>
-
 #include "fault/failpoint.hpp"
+#include "util/hash.hpp"
 
 namespace logsim::runtime {
-
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-class Fnv1a {
- public:
-  void mix_bytes(const void* data, std::size_t len) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < len; ++i) {
-      state_ ^= p[i];
-      state_ *= kFnvPrime;
-    }
-  }
-  void mix_u64(std::uint64_t v) { mix_bytes(&v, sizeof v); }
-  void mix_i64(std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); }
-  void mix_double(double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); }
-  [[nodiscard]] std::uint64_t digest() const { return state_; }
-
- private:
-  std::uint64_t state_ = kFnvOffset;
-};
-
-}  // namespace
 
 std::uint64_t prediction_key_hash(const core::StepProgram& program,
                                   const loggp::Params& params,
                                   std::uint64_t seed) {
-  Fnv1a h;
+  // One encoding for all structural keys: the program is folded in via
+  // core::structural_hash (which reuses CommPattern::hash per comm step).
+  // Note: this changed the digest values relative to the inline walk it
+  // replaced, so checkpoints written before the change simply miss and
+  // recompute -- the keys are cache keys, not stored-format contracts.
+  util::Fnv1a h;
   h.mix_double(params.L.us());
   h.mix_double(params.o.us());
   h.mix_double(params.g.us());
   h.mix_double(params.G);
   h.mix_i64(params.P);
   h.mix_u64(seed);
-  h.mix_i64(program.procs());
-  h.mix_u64(program.size());
-  for (std::size_t i = 0; i < program.size(); ++i) {
-    const auto& step = program.step(i);
-    if (const auto* comp = std::get_if<core::ComputeStep>(&step)) {
-      h.mix_u64(0);  // step-kind tag
-      h.mix_u64(comp->items.size());
-      for (const auto& item : comp->items) {
-        h.mix_i64(item.proc);
-        h.mix_i64(item.op);
-        h.mix_i64(item.block_size);
-        h.mix_u64(item.touched.size());
-        for (std::int64_t id : item.touched) h.mix_i64(id);
-      }
-    } else {
-      const auto& pat = std::get<core::CommStep>(step).pattern;
-      h.mix_u64(1);
-      h.mix_i64(pat.procs());
-      h.mix_u64(pat.size());
-      for (const auto& msg : pat.messages()) {
-        h.mix_i64(msg.src);
-        h.mix_i64(msg.dst);
-        h.mix_u64(msg.bytes.count());
-        h.mix_i64(msg.tag);
-      }
-    }
-  }
+  h.mix_u64(core::structural_hash(program));
   return h.digest();
 }
 

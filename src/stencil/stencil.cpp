@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "pattern/canonical.hpp"
 #include "pattern/comm_pattern.hpp"
 
 namespace logsim::stencil {
@@ -126,6 +127,7 @@ core::StepProgram build_stencil_program(const StencilConfig& cfg,
     step.items = items;
     program.add_compute(std::move(step));
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 

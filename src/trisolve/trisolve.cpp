@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "pattern/canonical.hpp"
 #include "pattern/comm_pattern.hpp"
 #include "util/rng.hpp"
 
@@ -70,6 +71,7 @@ core::StepProgram build_trisolve_program(const TriSolveConfig& cfg,
       program.add_compute(std::move(step));
     }
   }
+  program.intern_patterns(pattern::PatternInterner::global());
   return program;
 }
 

@@ -1,0 +1,35 @@
+#pragma once
+// Shared FNV-1a-64 streaming hasher.  One implementation serves every
+// structural key in the library (CommPattern::hash, StepProgram
+// structural_hash, the prediction and comm-step cache keys), so two caches
+// can never disagree about the encoding of the same object.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace logsim::util {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  void mix_bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      state_ ^= p[i];
+      state_ *= kPrime;
+    }
+  }
+  void mix_u64(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix_i64(std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); }
+  void mix_double(double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffset;
+};
+
+}  // namespace logsim::util

@@ -29,9 +29,15 @@
 #include <gtest/gtest.h>
 
 #include "core/comm_sim.hpp"
+#include "core/program_sim.hpp"
 #include "core/worst_case.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
 #include "loggp/params.hpp"
+#include "ops/analytic_model.hpp"
+#include "ops/ge_ops.hpp"
 #include "pattern/builders.hpp"
+#include "runtime/step_cache.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -199,6 +205,36 @@ TEST(AllocCount, LegacyRunBeatsSeedBaselineFivefold) {
       << "legacy worst-case run() regressed past the 5x bar";
   EXPECT_LE(standard, 8u) << "expected only the CommTrace's own buffers";
   EXPECT_LE(worst, 8u) << "expected only the CommTrace's own buffers";
+}
+
+TEST(AllocCount, CachedProgramSimHitPathStaysConstant) {
+  // A warmed comm-step cache turns every comm step of a repeat run into a
+  // lookup: no simulator scratch growth, no sink, no canonicalization walk
+  // (interned steps carry their relabeling).  The remaining allocations
+  // are the returned ProgramResult's own vectors plus the run's two
+  // canonical-order scratch buffers -- a small constant independent of the
+  // program's size.
+  const auto costs = ops::analytic_cost_table();
+  const auto params = loggp::presets::meiko_cs2(4);
+  const layout::DiagonalMap map{4};
+  const auto program =
+      ge::build_ge_program(ge::GeConfig{.n = 192, .block = 16}, map);
+
+  runtime::SharedStepCache cache;
+  core::ProgramSimOptions opts;
+  opts.step_cache = &cache;
+  const core::ProgramSimulator sim{params, opts};
+
+  (void)sim.run(program, costs);  // fill the cache
+  const Time want = sim.run(program, costs).total;
+  const auto warm_stats = cache.stats();
+  EXPECT_EQ(warm_stats.misses, warm_stats.entries)
+      << "second run expected to be all hits";
+
+  Time got = Time::zero();
+  const std::size_t n = count_allocs([&] { got = sim.run(program, costs).total; });
+  EXPECT_EQ(got, want);
+  EXPECT_LE(n, 16u) << "warmed cached run must allocate O(1), got " << n;
 }
 
 TEST(AllocCount, RepeatedScratchRunsStayFlatAcrossPatterns) {

@@ -50,6 +50,21 @@ TEST(CommPattern, SelfMessagesExcludedFromSendLists) {
   EXPECT_EQ(p.receive_counts()[0], 0);
 }
 
+TEST(CommPattern, ScratchOverloadsMatchReturningVersions) {
+  util::Rng rng{5};
+  const auto p = random_pattern(rng, 6, 20, Bytes{8}, Bytes{64});
+  std::vector<std::vector<std::size_t>> lists;
+  std::vector<int> counts;
+  // Seed the scratch with stale, over-sized contents: the overloads must
+  // fully overwrite them.
+  lists.assign(9, {1, 2, 3});
+  counts.assign(9, 42);
+  p.send_lists(lists);
+  p.receive_counts(counts);
+  EXPECT_EQ(lists, p.send_lists());
+  EXPECT_EQ(counts, p.receive_counts());
+}
+
 TEST(CommPattern, ValidityChecksEndpoints) {
   CommPattern p{2};
   p.add(0, 1, Bytes{1});

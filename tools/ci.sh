@@ -50,7 +50,7 @@ if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
     echo "==> [perf] no baseline at $baseline; running ungated"
     "$perf_dir/bench/perf_regression" --quick --out "$perf_json"
   fi
-  grep -q '"schema": "logsim-perf-v1"' "$perf_json" || {
+  grep -q '"schema": "logsim-perf-v2"' "$perf_json" || {
     echo "==> [perf] BENCH_perf.json failed schema check" >&2
     exit 1
   }

@@ -17,6 +17,9 @@
 //       simulator configured with the given (hidden) parameters.
 //
 // --params accepts "meiko", "cluster", "ideal" or "L=..,o=..,g=..,G=..,P=..".
+// --no-step-cache (or LOGSIM_STEP_CACHE=0 in the environment) disables the
+// comm-step memoization cache in predict / predict-ge; predictions are
+// bit-identical either way.
 
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +42,7 @@ namespace {
 struct Flags {
   std::string params_text = "meiko";
   bool worst = false;
+  bool step_cache = runtime::step_cache_env_enabled();
   std::uint64_t seed = 1;
   std::string csv;
   std::vector<std::string> positional;
@@ -60,6 +64,8 @@ Flags parse_flags(int argc, char** argv, int first) {
     const std::string arg = argv[i];
     if (arg == "--worst") {
       flags.worst = true;
+    } else if (arg == "--no-step-cache") {
+      flags.step_cache = false;
     } else if (arg == "--params" && i + 1 < argc) {
       flags.params_text = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -166,7 +172,12 @@ int cmd_predict_ge(const Flags& flags) {
   }
   const auto program = ge::build_ge_program_irregular(cfg, *map);
   const auto costs = ops::analytic_cost_table();
-  const auto pred = core::Predictor{*pr}.predict(program, costs);
+  // The predictor runs the program under both schedules; the comm-step
+  // cache dedups the shared structure between them within this one call.
+  runtime::SharedStepCache step_cache;
+  core::ProgramSimOptions opts;
+  if (flags.step_cache) opts.step_cache = &step_cache;
+  const auto pred = core::Predictor{*pr, opts}.predict(program, costs);
   const auto bounds = analysis::analyze_program(program, costs, *pr);
 
   std::cout << "GE " << n << "x" << n << " block " << block << " on " << procs
@@ -206,9 +217,11 @@ int cmd_predict(const Flags& flags) {
   loggp::Params params = *pr;
   params.P = bundle.program.procs();
 
+  runtime::SharedStepCache step_cache;
   core::ProgramSimOptions opts;
   opts.worst_case = flags.worst;
   opts.seed = flags.seed;
+  if (flags.step_cache) opts.step_cache = &step_cache;
   const auto result = core::ProgramSimulator{params, opts}.run(bundle.program,
                                                                bundle.costs);
   std::cout << params.to_string() << "  schedule="
