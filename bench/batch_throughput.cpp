@@ -4,13 +4,25 @@
 // then a warm-cache rerun showing the memoization hit rate.  Acceptance
 // targets: >= 2x speedup at 4 threads (on >= 4 hardware threads) and > 90%
 // hit rate on the warm rerun.
+//
+// --trace-out FILE (or --trace-out=FILE) appends a traced pass: one more
+// 4-thread batch run with the global TraceSession enabled, the first job
+// carrying a SimTraceRecorder, exported as Chrome trace-event JSON (one
+// track per worker thread plus one per simulated processor of job 0).
+// All timed passes above run with tracing disabled, so the numbers are
+// unaffected.
 
 #include <chrono>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include <logsim/logsim.hpp>
+#include <logsim/core.hpp>
+#include <logsim/obs.hpp>
+#include <logsim/programs.hpp>
+#include <logsim/runtime.hpp>
 
 #include "ge_sweep.hpp"
 
@@ -25,7 +37,17 @@ double seconds_since(Clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    }
+  }
+
   const auto costs = ops::analytic_cost_table();
   const auto params = loggp::presets::meiko_cs2(bench::kProcs);
   const layout::DiagonalMap diag{bench::kProcs};
@@ -61,7 +83,7 @@ int main() {
   {
     const core::Predictor predictor{params};
     for (const auto& job : jobs) {
-      serial.push_back(predictor.predict(*job.program, *job.costs));
+      serial.push_back(predictor.predict_or_die(*job.program, *job.costs));
     }
   }
   const double serial_sec = seconds_since(serial_start);
@@ -227,5 +249,33 @@ int main() {
   }
 
   std::cout << "=== runtime metrics ===\n" << metrics.to_string();
+
+  // Traced pass, after every timed section: rerun the batch once with the
+  // global session enabled and job 0 carrying a simulated-machine recorder.
+  if (!trace_out.empty()) {
+    obs::TraceSession& session = obs::TraceSession::global();
+    session.set_thread_name("main");
+    session.enable();
+    obs::SimTraceRecorder recorder;
+    std::vector<runtime::PredictJob> traced_jobs = jobs;
+    traced_jobs.front().sim_trace = &recorder;
+    runtime::metrics::Registry trace_metrics;
+    runtime::BatchPredictor traced_batch{
+        {.threads = 4, .metrics = &trace_metrics}};
+    const auto traced = traced_batch.predict_all(traced_jobs);
+    session.disable();
+    bool traced_ok = true;
+    for (const auto& r : traced) traced_ok = traced_ok && r.ok();
+    if (obs::write_chrome_trace(trace_out, session, &recorder)) {
+      std::cout << "\n=== traced pass ===\ntrace written to " << trace_out
+                << " (" << session.event_count() << " wall events, "
+                << recorder.slices().size() << " simulated slices, jobs ok: "
+                << (traced_ok ? "yes" : "NO") << ")\n";
+    } else {
+      std::cerr << "cannot write trace to " << trace_out << '\n';
+      return 1;
+    }
+    session.clear();
+  }
   return 0;
 }

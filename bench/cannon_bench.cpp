@@ -27,7 +27,7 @@ int main() {
     if (!cfg.valid()) continue;
     cannon::CannonScheduleInfo info;
     const auto program = cannon::build_cannon_program(cfg, info);
-    const auto pred = predictor.predict(program, costs);
+    const auto pred = predictor.predict_or_die(program, costs);
     const auto meas = testbed.run(program, costs);
     const double err = 100.0 *
         (pred.total().sec() - meas.total_with_cache.sec()) /

@@ -24,7 +24,7 @@ int main() {
     if (!cfg.valid()) continue;
     const auto costs = trisolve::trisolve_cost_table(b);
     const auto program = trisolve::build_trisolve_program(cfg);
-    const auto pred = core::Predictor{params}.predict(program, costs);
+    const auto pred = core::Predictor{params}.predict_or_die(program, costs);
     const auto bounds = analysis::analyze_program(program, costs, params);
     table.add_row({std::to_string(b), std::to_string(cfg.grid()),
                    util::fmt(pred.total().ms(), 2),

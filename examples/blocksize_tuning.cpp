@@ -9,7 +9,10 @@
 #include <stdexcept>
 #include <vector>
 
-#include <logsim/logsim.hpp>
+#include <logsim/analysis.hpp>
+#include <logsim/core.hpp>
+#include <logsim/programs.hpp>
+#include <logsim/runtime.hpp>
 
 using namespace logsim;
 

@@ -11,7 +11,9 @@
 #include <iostream>
 #include <memory>
 
-#include <logsim/logsim.hpp>
+#include <logsim/analysis.hpp>
+#include <logsim/core.hpp>
+#include <logsim/programs.hpp>
 
 using namespace logsim;
 
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
 
   const auto costs = ops::analytic_cost_table();
   const core::Prediction pred =
-      core::Predictor{loggp::presets::meiko_cs2(procs)}.predict(program, costs);
+      core::Predictor{loggp::presets::meiko_cs2(procs)}.predict_or_die(program, costs);
   const machine::TestbedResult meas =
       machine::Testbed{machine::TestbedConfig::meiko_cs2(procs)}.run(program,
                                                                      costs);

@@ -9,7 +9,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include <logsim/logsim.hpp>
+#include <logsim/core.hpp>
+#include <logsim/programs.hpp>
 
 using namespace logsim;
 

@@ -6,7 +6,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include <logsim/logsim.hpp>
+#include <logsim/core.hpp>
+#include <logsim/programs.hpp>
 
 using namespace logsim;
 
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
       {"Ethernet cluster", loggp::presets::cluster(procs)},
   };
   for (const auto& m : machines) {
-    const auto pred = core::Predictor{m.params}.predict(program, costs);
+    const auto pred = core::Predictor{m.params}.predict_or_die(program, costs);
     table.add_row({m.name, util::fmt(pred.total().sec(), 3),
                    util::fmt(pred.comm().sec(), 3),
                    util::fmt(100.0 * pred.comm().us() / pred.total().us(), 1),

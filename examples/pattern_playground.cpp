@@ -9,7 +9,8 @@
 #include <iostream>
 #include <string>
 
-#include <logsim/logsim.hpp>
+#include <logsim/analysis.hpp>
+#include <logsim/core.hpp>
 
 using namespace logsim;
 

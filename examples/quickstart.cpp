@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include <logsim/logsim.hpp>
+#include <logsim/core.hpp>
 
 using namespace logsim;
 
@@ -63,7 +63,7 @@ int main() {
   // 6. Predict.  The result carries both schedules and a per-processor
   //    breakdown into computation and communication time.
   const core::Prediction prediction =
-      core::Predictor{machine}.predict(program, costs);
+      core::Predictor{machine}.predict_or_die(program, costs);
   std::cout << "program prediction:\n"
             << "  total (standard):   " << util::fmt(prediction.total().us(), 1)
             << " us\n"

@@ -6,7 +6,9 @@
 #include <iostream>
 #include <string>
 
-#include <logsim/logsim.hpp>
+#include <logsim/analysis.hpp>
+#include <logsim/core.hpp>
+#include <logsim/programs.hpp>
 
 using namespace logsim;
 

@@ -1,0 +1,20 @@
+#pragma once
+// logsim/analysis.hpp -- analysis, baselines and validation tooling.
+//
+// Trace statistics and exporters, critical-path analysis, analytic lower
+// bounds and BSP/formula baselines, LogGP parameter fitting, block-size
+// search, the machine testbed, the packet-level network cross-check and
+// the overlap-extension simulator.
+
+#include "analysis/critical_path.hpp"  // IWYU pragma: export
+#include "analysis/export.hpp"         // IWYU pragma: export
+#include "analysis/html_export.hpp"    // IWYU pragma: export
+#include "analysis/trace_stats.hpp"    // IWYU pragma: export
+#include "baseline/bounds.hpp"         // IWYU pragma: export
+#include "baseline/bsp.hpp"            // IWYU pragma: export
+#include "baseline/formulas.hpp"       // IWYU pragma: export
+#include "extensions/overlap_sim.hpp"  // IWYU pragma: export
+#include "fitting/fit.hpp"             // IWYU pragma: export
+#include "machine/testbed.hpp"         // IWYU pragma: export
+#include "network/packet_net.hpp"      // IWYU pragma: export
+#include "search/optimizer.hpp"        // IWYU pragma: export

@@ -12,68 +12,24 @@
 //   auto layout  = layout::DiagonalMap{8};
 //   auto program = ge::build_ge_program({.n = 960, .block = 48}, layout);
 //   auto costs   = ops::analytic_cost_table();
-//   auto pred    = core::Predictor{params}.predict(program, costs);
+//   auto pred    = core::Predictor{params}.predict_or_die(program, costs);
 //   // pred.total(), pred.comm(), pred.comm_worst(), ...
+//
+// This header aggregates the whole public API.  Code that only needs one
+// layer should include the narrower module header instead:
+//   <logsim/core.hpp>      simulation core: types, patterns, simulators,
+//                          Predictor
+//   <logsim/fault.hpp>     Status/Result, cancellation, retry, failpoints
+//   <logsim/obs.hpp>       tracing, profiling, metrics, trace exporters
+//   <logsim/runtime.hpp>   BatchPredictor, caches, checkpointing, pool
+//   <logsim/programs.hpp>  GE / Cannon / stencil / trisolve builders,
+//                          layouts, op models, frontend, transforms
+//   <logsim/analysis.hpp>  trace analysis, bounds, fitting, search,
+//                          testbed, packet network, extensions
 
-#include "analysis/critical_path.hpp"  // IWYU pragma: export
-#include "analysis/export.hpp"      // IWYU pragma: export
-#include "analysis/html_export.hpp" // IWYU pragma: export
-#include "analysis/trace_stats.hpp" // IWYU pragma: export
-#include "baseline/bounds.hpp"      // IWYU pragma: export
-#include "baseline/bsp.hpp"         // IWYU pragma: export
-#include "baseline/formulas.hpp"    // IWYU pragma: export
-#include "cannon/cannon.hpp"        // IWYU pragma: export
-#include "cannon/cannon_reference.hpp"  // IWYU pragma: export
-#include "collective/collective.hpp"  // IWYU pragma: export
-#include "core/comm_sim.hpp"        // IWYU pragma: export
-#include "core/cost_table.hpp"      // IWYU pragma: export
-#include "core/predictor.hpp"       // IWYU pragma: export
-#include "core/program_sim.hpp"     // IWYU pragma: export
-#include "core/step_cache.hpp"      // IWYU pragma: export
-#include "core/step_program.hpp"    // IWYU pragma: export
-#include "core/trace.hpp"           // IWYU pragma: export
-#include "core/worst_case.hpp"      // IWYU pragma: export
-#include "des/simulator.hpp"        // IWYU pragma: export
-#include "extensions/overlap_sim.hpp"  // IWYU pragma: export
-#include "fault/cancel.hpp"         // IWYU pragma: export
-#include "fault/failpoint.hpp"      // IWYU pragma: export
-#include "fault/retry.hpp"          // IWYU pragma: export
-#include "fault/status.hpp"         // IWYU pragma: export
-#include "fitting/fit.hpp"          // IWYU pragma: export
-#include "frontend/program_builder.hpp"  // IWYU pragma: export
-#include "ge/blocked_ge.hpp"        // IWYU pragma: export
-#include "ge/irregular.hpp"         // IWYU pragma: export
-#include "ge/left_looking.hpp"      // IWYU pragma: export
-#include "ge/reference.hpp"         // IWYU pragma: export
-#include "layout/layout.hpp"        // IWYU pragma: export
-#include "layout/layout_stats.hpp"  // IWYU pragma: export
-#include "loggp/cost.hpp"           // IWYU pragma: export
-#include "loggp/params.hpp"         // IWYU pragma: export
-#include "loggp/topology.hpp"       // IWYU pragma: export
-#include "machine/testbed.hpp"      // IWYU pragma: export
-#include "network/packet_net.hpp"   // IWYU pragma: export
-#include "ops/analytic_model.hpp"   // IWYU pragma: export
-#include "ops/ge_ops.hpp"           // IWYU pragma: export
-#include "ops/kernels.hpp"          // IWYU pragma: export
-#include "ops/matrix.hpp"           // IWYU pragma: export
-#include "ops/op_timer.hpp"         // IWYU pragma: export
-#include "pattern/builders.hpp"     // IWYU pragma: export
-#include "pattern/canonical.hpp"    // IWYU pragma: export
-#include "pattern/comm_pattern.hpp" // IWYU pragma: export
-#include "runtime/batch_predictor.hpp"   // IWYU pragma: export
-#include "runtime/checkpoint.hpp"        // IWYU pragma: export
-#include "runtime/metrics.hpp"           // IWYU pragma: export
-#include "runtime/prediction_cache.hpp"  // IWYU pragma: export
-#include "runtime/step_cache.hpp"        // IWYU pragma: export
-#include "runtime/thread_pool.hpp"       // IWYU pragma: export
-#include "stencil/stencil.hpp"      // IWYU pragma: export
-#include "stencil/stencil_reference.hpp"  // IWYU pragma: export
-#include "search/optimizer.hpp"     // IWYU pragma: export
-#include "transform/transform.hpp"  // IWYU pragma: export
-#include "trisolve/trisolve.hpp"    // IWYU pragma: export
-#include "util/ascii_chart.hpp"     // IWYU pragma: export
-#include "util/csv.hpp"             // IWYU pragma: export
-#include "util/rng.hpp"             // IWYU pragma: export
-#include "util/stats.hpp"           // IWYU pragma: export
-#include "util/table.hpp"           // IWYU pragma: export
-#include "util/types.hpp"           // IWYU pragma: export
+#include "logsim/analysis.hpp"  // IWYU pragma: export
+#include "logsim/core.hpp"      // IWYU pragma: export
+#include "logsim/fault.hpp"     // IWYU pragma: export
+#include "logsim/obs.hpp"       // IWYU pragma: export
+#include "logsim/programs.hpp"  // IWYU pragma: export
+#include "logsim/runtime.hpp"   // IWYU pragma: export

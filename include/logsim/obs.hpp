@@ -1,0 +1,14 @@
+#pragma once
+// logsim/obs.hpp -- observability: tracing, profiling, metrics.
+//
+// TraceSession / Span record wall-clock events from every instrumented
+// layer onto per-thread tracks; SimTraceRecorder captures the simulated
+// machine's timeline (one track per simulated processor).  Exporters turn
+// both into a Perfetto-loadable Chrome trace, a flat profile, or a unified
+// metrics snapshot (obs::metrics is the registry the runtime feeds).
+
+#include "obs/chrome_trace.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"       // IWYU pragma: export
+#include "obs/profile.hpp"       // IWYU pragma: export
+#include "obs/sim_trace.hpp"     // IWYU pragma: export
+#include "obs/trace.hpp"         // IWYU pragma: export

@@ -1,0 +1,28 @@
+#pragma once
+// logsim/programs.hpp -- program builders and their building blocks.
+//
+// The paper's benchmark programs (blocked Gaussian Elimination in its
+// variants, Cannon's matrix multiply, stencil relaxation, triangular
+// solve), collective-communication schedules, data layouts, the analytic
+// op cost models, the fluent ProgramBuilder frontend, and program-level
+// transforms.
+
+#include "cannon/cannon.hpp"            // IWYU pragma: export
+#include "cannon/cannon_reference.hpp"  // IWYU pragma: export
+#include "collective/collective.hpp"    // IWYU pragma: export
+#include "frontend/program_builder.hpp" // IWYU pragma: export
+#include "ge/blocked_ge.hpp"            // IWYU pragma: export
+#include "ge/irregular.hpp"             // IWYU pragma: export
+#include "ge/left_looking.hpp"          // IWYU pragma: export
+#include "ge/reference.hpp"             // IWYU pragma: export
+#include "layout/layout.hpp"            // IWYU pragma: export
+#include "layout/layout_stats.hpp"      // IWYU pragma: export
+#include "ops/analytic_model.hpp"       // IWYU pragma: export
+#include "ops/ge_ops.hpp"               // IWYU pragma: export
+#include "ops/kernels.hpp"              // IWYU pragma: export
+#include "ops/matrix.hpp"               // IWYU pragma: export
+#include "ops/op_timer.hpp"             // IWYU pragma: export
+#include "stencil/stencil.hpp"          // IWYU pragma: export
+#include "stencil/stencil_reference.hpp"  // IWYU pragma: export
+#include "transform/transform.hpp"      // IWYU pragma: export
+#include "trisolve/trisolve.hpp"        // IWYU pragma: export

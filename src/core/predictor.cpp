@@ -1,18 +1,15 @@
 #include "core/predictor.hpp"
 
+#include "obs/trace.hpp"
+
 namespace logsim::core {
 
 Predictor::Predictor(loggp::Params params, ProgramSimOptions opts)
     : params_(params), opts_(std::move(opts)) {}
 
-Prediction Predictor::predict(const StepProgram& program,
-                              const CostTable& costs) const {
-  return Prediction{predict_standard(program, costs),
-                    predict_worst_case(program, costs)};
-}
-
-Result<Prediction> Predictor::predict_checked(const StepProgram& program,
-                                              const CostTable& costs) const {
+Result<Prediction> Predictor::predict(const StepProgram& program,
+                                      const CostTable& costs) const {
+  obs::Span span{obs::TraceSession::global(), "predict", "core"};
   if (Status st = validate_inputs(program, costs, params_); !st.ok()) {
     return st.with_context("while validating prediction inputs");
   }
@@ -26,6 +23,9 @@ Result<Prediction> Predictor::predict_checked(const StepProgram& program,
   }
   ProgramSimOptions worst_opts = opts_;
   worst_opts.worst_case = true;
+  // The recorder (if any) now holds the standard run; detach it so the
+  // worst-case pass neither clears nor overwrites it.
+  worst_opts.sim_trace = nullptr;
   Result<ProgramResult> worst =
       ProgramSimulator{params_, std::move(worst_opts)}.run_checked(program,
                                                                    costs);
@@ -33,6 +33,11 @@ Result<Prediction> Predictor::predict_checked(const StepProgram& program,
     return Status{worst.status()}.with_context("in the worst-case schedule");
   }
   return Prediction{std::move(standard).value(), std::move(worst).value()};
+}
+
+Prediction Predictor::predict_or_die(const StepProgram& program,
+                                     const CostTable& costs) const {
+  return predict(program, costs).value();
 }
 
 ProgramResult Predictor::predict_standard(const StepProgram& program,

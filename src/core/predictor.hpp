@@ -3,6 +3,14 @@
 // get the paper's deliverable -- predicted total / computation /
 // communication time for a blocked parallel program, with both the
 // standard and the worst-case communication schedules.
+//
+// API shape: predict() is THE entry point and returns Result<Prediction>.
+// It validates its inputs (validate_inputs) and honours the options'
+// cancel token / deadline between simulation steps, so invalid input,
+// cancellation and deadline expiry come back as a Status -- never an
+// assert or a hang.  predict_or_die() is the thin convenience for tests,
+// examples and benches that know their inputs are good: it unwraps the
+// Result and dies (Result::value's logic_error) on failure.
 
 #include "core/program_sim.hpp"
 
@@ -24,16 +32,19 @@ class Predictor {
  public:
   explicit Predictor(loggp::Params params, ProgramSimOptions opts = {});
 
-  /// Runs both communication schedules over the program.
-  [[nodiscard]] Prediction predict(const StepProgram& program,
-                                   const CostTable& costs) const;
+  /// Runs both communication schedules over the program.  Validates the
+  /// inputs first and polls the options' cancel token / deadline between
+  /// simulation steps.  When the options carry a sim_trace recorder it
+  /// captures the standard-schedule run (the paper's Figs 4-5 view); the
+  /// worst-case pass never touches it.
+  [[nodiscard]] Result<Prediction> predict(const StepProgram& program,
+                                           const CostTable& costs) const;
 
-  /// Boundary-safe variant: validates the inputs (validate_inputs) before
-  /// simulating, and honours the options' cancel token / deadline between
-  /// simulation steps.  Invalid input, cancellation and deadline expiry
-  /// come back as a Status instead of an assert or a hang.
-  [[nodiscard]] Result<Prediction> predict_checked(const StepProgram& program,
-                                                   const CostTable& costs) const;
+  /// predict() for callers with known-good inputs and no stop controls:
+  /// unwraps the Result, terminating via Result::value()'s logic_error if
+  /// the prediction failed.  Tests, examples and benches only.
+  [[nodiscard]] Prediction predict_or_die(const StepProgram& program,
+                                          const CostTable& costs) const;
 
   /// Runs only the requested schedule.
   [[nodiscard]] ProgramResult predict_standard(const StepProgram& program,

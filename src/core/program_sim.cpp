@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "obs/trace.hpp"
+
 namespace logsim::core {
 
 Time ProgramResult::comp_max() const {
@@ -114,6 +116,14 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
   std::vector<Time> canon_ready;
   std::vector<Time> canon_finish;
 
+  // Observability, both timelines.  Wall-clock spans go to the global
+  // trace session (one relaxed load per step when disabled); the optional
+  // recorder captures the simulated-machine timeline and is cleared here
+  // so a retried job records exactly one run.
+  obs::TraceSession& tracer = obs::TraceSession::global();
+  obs::SimTraceRecorder* const recorder = opts_.sim_trace;
+  if (recorder != nullptr) recorder->clear();
+
   for (std::size_t step = 0; step < program.size(); ++step) {
     if (check_cancel && opts_.cancel.cancelled()) {
       return Status::cancelled("simulation cancelled before step " +
@@ -127,19 +137,26 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
     }
     const auto& entry = program.step(step);
     if (const auto* cs = std::get_if<ComputeStep>(&entry)) {
+      obs::Span span{tracer, "sim.comp_step", "core", step};
+      if (recorder != nullptr) recorder->begin_step("comp", step, n);
       for (const auto& item : cs->items) {
         Time dt = costs.cost(item.op, item.block_size);
         if (opts_.compute_overhead) dt += opts_.compute_overhead(item);
         const auto p = static_cast<std::size_t>(item.proc);
+        const Time before = clock[p];
         clock[p] += dt;
         result.comp[p] += dt;
+        if (recorder != nullptr) recorder->note(item.proc, before, clock[p]);
       }
+      if (recorder != nullptr) recorder->end_step();
     } else {
       const auto& comm = std::get<CommStep>(entry);
       const auto& pattern = comm.pattern;
       if (pattern.size() == pattern.self_message_count()) {
         continue;  // only local copies: free under the plain LogGP model
       }
+      obs::Span span{tracer, "sim.comm_step", "core", step};
+      if (recorder != nullptr) recorder->begin_step("comm", step, n);
       const std::uint64_t step_seed = opts_.seed * 0x100000001b3ULL +
                                       static_cast<std::uint64_t>(step);
 
@@ -199,9 +216,11 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
             const Time f = canon_finish[c];
             if (f > Time::zero()) {
               result.comm[p] += f - clock[p];
+              if (recorder != nullptr) recorder->note((*from)[c], clock[p], f);
               clock[p] = f;
             }
           }
+          if (recorder != nullptr) recorder->end_step();
           continue;
         }
       }
@@ -231,9 +250,13 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
         if (finish[p] > Time::zero()) {
           // Residence in the comm phase = exit clock - entry clock.
           result.comm[p] += finish[p] - clock[p];
+          if (recorder != nullptr) {
+            recorder->note(static_cast<ProcId>(p), clock[p], finish[p]);
+          }
           clock[p] = finish[p];
         }
       }
+      if (recorder != nullptr) recorder->end_step();
     }
   }
 

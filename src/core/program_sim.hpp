@@ -20,6 +20,7 @@
 #include "fault/cancel.hpp"
 #include "fault/status.hpp"
 #include "loggp/params.hpp"
+#include "obs/sim_trace.hpp"
 #include "util/types.hpp"
 
 namespace logsim::core {
@@ -37,7 +38,14 @@ struct ProgramSimOptions {
   /// simulators and threads).  Hits replay stored finish times through the
   /// canonical permutation, bit-identical to simulating; see
   /// core/step_cache.hpp for the key discipline.  nullptr disables.
-  CommStepCache* step_cache = nullptr;
+  StepCache* step_cache = nullptr;
+  /// Optional simulated-machine timeline recorder (borrowed, not thread-
+  /// safe: one recorder per traced run).  When set, the simulator records
+  /// one slice per (step, processor) in simulated time -- the paper's
+  /// Figs 4-5 view -- cleared at the start of the run.  Recording is
+  /// cache-transparent: the slices are bit-identical with the step cache
+  /// on or off.  nullptr (the default) records nothing.
+  obs::SimTraceRecorder* sim_trace = nullptr;
   /// Cooperative cancellation, polled between simulation steps; the
   /// default token is inert.  Only run_checked() honours it.
   fault::CancelToken cancel;

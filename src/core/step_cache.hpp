@@ -1,14 +1,33 @@
 #pragma once
-// Comm-step memoization interface for the program simulator.
+// StepCache: THE comm-step memoization interface -- the single documented
+// contract between the program simulator (which consumes it) and the
+// runtime (whose runtime::SharedStepCache implements it).
 //
 // One GE block-size sweep re-simulates the same LogGP communication steps
 // thousands of times: the per-iteration pivot broadcast is the identical
 // pattern rotated by one processor, and neighbouring sweep configurations
 // share most steps outright.  ProgramSimulator can route every comm step
-// through a CommStepCache: before simulating, it canonicalizes the pattern
+// through a StepCache: before simulating, it canonicalizes the pattern
 // (pattern::Canonicalizer) and looks up the step's key; on a hit it applies
 // the stored per-processor finish times through the canonical permutation
 // instead of simulating.
+//
+// Ownership and construction (all knobs in one place):
+//   * core::ProgramSimOptions::step_cache borrows a StepCache; nullptr (the
+//     default) bypasses memoization entirely.  The simulator never owns or
+//     constructs a cache.
+//   * runtime::SharedStepCache is the (only) implementation: sharded,
+//     thread-safe, byte-budgeted.  Construct it directly with a Config, or
+//     from the environment with runtime::SharedStepCache::config_from_env().
+//   * runtime::BatchPredictor::Config::step_cache shares one instance
+//     across all workers of a batch.
+//   * Environment / CLI switches, honoured by logsim_cli, the benches and
+//     the sweep drivers:
+//       LOGSIM_STEP_CACHE=0        disable (runtime::step_cache_env_enabled)
+//       LOGSIM_STEP_CACHE_SHARDS=N lock shards      (default 16)
+//       LOGSIM_STEP_CACHE_MB=N     byte budget in MiB (default 64)
+//       --no-step-cache            per-invocation CLI/bench equivalent
+//     Predictions are bit-identical with the cache on or off.
 //
 // Key anatomy (DESIGN.md section 10):
 //   * the canonical pattern hash (relabel-invariant structure),
@@ -78,9 +97,9 @@ struct CommStepQuery {
 /// must verify candidate entries against the full query before reporting
 /// a hit -- a 64-bit collision must degrade to a miss, never corrupt a
 /// prediction.
-class CommStepCache {
+class StepCache {
  public:
-  virtual ~CommStepCache() = default;
+  virtual ~StepCache() = default;
 
   /// On hit: fills `finish` with the participants' absolute finish times
   /// in canonical order, sets `ops`, and returns true.  `finish` is reused

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace logsim::fault {
 
 namespace {
@@ -178,6 +180,12 @@ Status FailpointRegistry::evaluate(std::string_view site) {
     kind = s.spec.kind;
     delay = s.spec.delay;
     name = it->first;
+  }
+  // Fired: emit the trace instant outside the registry lock (recording
+  // takes the thread buffer's own mutex; never nest the two).
+  if (obs::TraceSession& tracer = obs::TraceSession::global();
+      tracer.enabled()) {
+    tracer.instant_detail("fault.failpoint", "fault", name);
   }
   switch (kind) {
     case FailpointSpec::Kind::kError:

@@ -1,0 +1,144 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <set>
+
+#include "util/table.hpp"
+
+namespace logsim::obs {
+
+namespace {
+
+constexpr int kSimPid = 2;  // wall-clock process is pid 1
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_metadata(std::string& out, int pid, std::uint32_t tid,
+                     const char* which, const std::string& name) {
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"name\":\"" + which +
+         "\",\"args\":{\"name\":\"" + escape(name) + "\"}},\n";
+}
+
+void append_event(std::string& out, int pid, std::uint32_t tid,
+                  const TraceEvent& ev) {
+  out += "{\"ph\":\"";
+  out += static_cast<char>(ev.phase);
+  out += "\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"name\":\"" +
+         escape(ev.name) + "\",\"cat\":\"" + escape(ev.category) +
+         "\",\"ts\":" + util::fmt(ev.ts_us, 3);
+  if (ev.phase == Phase::kComplete) {
+    out += ",\"dur\":" + util::fmt(ev.dur_us, 3);
+  }
+  if (ev.phase == Phase::kInstant) {
+    out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  std::string args;
+  if (ev.id != kNoId) {
+    args += "\"id\":" + std::to_string(ev.id);
+  }
+  if (ev.phase == Phase::kCounter) {
+    if (!args.empty()) args += ',';
+    args += "\"value\":" + util::fmt(ev.value, 3);
+  }
+  if (!ev.detail.empty()) {
+    if (!args.empty()) args += ',';
+    args += "\"detail\":\"" + escape(ev.detail) + "\"";
+  }
+  if (!args.empty()) out += ",\"args\":{" + args + "}";
+  out += "},\n";
+}
+
+void append_sim_section(std::string& out, const SimTraceRecorder& sim) {
+  append_metadata(out, kSimPid, 0, "process_name", "simulated machine");
+  // Track metadata for every processor that appears, in processor order,
+  // so the Perfetto track list matches the paper's figures top-to-bottom.
+  std::set<std::uint32_t> procs;
+  for (const SimSlice& slice : sim.slices()) procs.insert(slice.proc);
+  for (const std::uint32_t proc : procs) {
+    append_metadata(out, kSimPid, proc, "thread_name",
+                    "proc " + std::to_string(proc));
+  }
+  for (const SimSlice& slice : sim.slices()) {
+    TraceEvent ev;
+    ev.name = slice.kind;
+    ev.category = "sim";
+    ev.phase = Phase::kComplete;
+    ev.ts_us = slice.start_us;
+    ev.dur_us = slice.end_us - slice.start_us;
+    ev.id = slice.step;
+    append_event(out, kSimPid, slice.proc, ev);
+  }
+}
+
+void strip_trailing_comma(std::string& out) {
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<TraceSession::Track>& tracks,
+                           const SimTraceRecorder* sim) {
+  std::string out = "{\"traceEvents\":[\n";
+  if (!tracks.empty()) {
+    append_metadata(out, 1, 0, "process_name", "logsim");
+    for (const TraceSession::Track& track : tracks) {
+      append_metadata(out, 1, track.track, "thread_name", track.name);
+    }
+    for (const TraceSession::Track& track : tracks) {
+      for (const TraceEvent& ev : track.events) {
+        append_event(out, 1, track.track, ev);
+      }
+    }
+  }
+  if (sim != nullptr && !sim->empty()) {
+    append_sim_section(out, *sim);
+  }
+  strip_trailing_comma(out);
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string sim_tracks_json(const SimTraceRecorder& sim) {
+  std::string out = "{\"traceEvents\":[\n";
+  append_sim_section(out, sim);
+  strip_trailing_comma(out);
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const TraceSession& session,
+                        const SimTraceRecorder* sim) {
+  std::ofstream file{path};
+  if (!file) return false;
+  file << to_chrome_json(session.collect(), sim);
+  file.flush();
+  return static_cast<bool>(file);
+}
+
+}  // namespace logsim::obs

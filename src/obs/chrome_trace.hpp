@@ -1,0 +1,46 @@
+#pragma once
+// Chrome trace-event JSON exporter: turns a TraceSession's wall-clock
+// tracks and an optional SimTraceRecorder's simulated-processor timeline
+// into a file Perfetto / chrome://tracing loads directly.
+//
+// Layout of the exported trace:
+//   * process 1 ("logsim") -- one thread track per recording thread
+//     ("main", "worker-0", ...), carrying the wall-clock spans, instants
+//     and counters the instrumented layers emitted;
+//   * process 2 ("simulated machine") -- one thread track per simulated
+//     processor ("proc 0", ...), carrying the per-step compute / comm
+//     slices of the traced prediction in *simulated* time.
+//
+// Determinism: events are emitted in (track, record order); every number
+// is printed with fixed precision through util::fmt; only the stable field
+// subset {ph, pid, tid, name, cat, ts, dur, args} is written.  The
+// simulated-machine section is bit-reproducible across runs (simulated
+// time has no jitter), which is what the golden-file test pins down.
+
+#include <string>
+#include <vector>
+
+#include "obs/sim_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace logsim::obs {
+
+/// Renders the full trace document: `{"traceEvents": [...]}`.
+/// Either section may be empty; `sim` may be null.
+[[nodiscard]] std::string to_chrome_json(
+    const std::vector<TraceSession::Track>& tracks,
+    const SimTraceRecorder* sim = nullptr);
+
+/// Renders only the simulated-machine section (the deterministic subset
+/// the golden test compares byte-for-byte).
+[[nodiscard]] std::string sim_tracks_json(const SimTraceRecorder& sim);
+
+/// Collects `session` and writes the trace to `path`.  Returns false when
+/// the file cannot be opened or the write comes up short (obs sits below
+/// the fault layer, so -- like analysis' CSV writers -- this reports
+/// failure as a bool, not a Status).
+[[nodiscard]] bool write_chrome_trace(const std::string& path,
+                                      const TraceSession& session,
+                                      const SimTraceRecorder* sim = nullptr);
+
+}  // namespace logsim::obs

@@ -1,8 +1,8 @@
-#include "runtime/metrics.hpp"
+#include "obs/metrics.hpp"
 
 #include <sstream>
 
-namespace logsim::runtime::metrics {
+namespace logsim::obs::metrics {
 
 void Histogram::record(double sample) {
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -61,6 +61,27 @@ void Registry::set_gauge(const std::string& name, const std::string& value) {
   gauges_[name] = value;
 }
 
+std::vector<Registry::Sample> Registry::samples() const {
+  std::lock_guard lock{mu_};
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + histograms_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter", std::to_string(c.value()), ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string detail = "mean=" + util::fmt(h.histogram.mean(), 3) +
+                         " min=" + util::fmt(h.histogram.min(), 3) +
+                         " max=" + util::fmt(h.histogram.max(), 3);
+    if (!h.unit.empty()) detail += " " + h.unit;
+    out.push_back({name, "histogram", std::to_string(h.histogram.count()),
+                   std::move(detail)});
+  }
+  for (const auto& [name, value] : gauges_) {
+    out.push_back({name, "gauge", value, ""});
+  }
+  return out;
+}
+
 util::Table Registry::render() const {
   std::lock_guard lock{mu_};
   util::Table table{{"metric", "count", "mean", "min", "max"}};
@@ -98,4 +119,4 @@ Registry& Registry::global() {
   return instance;
 }
 
-}  // namespace logsim::runtime::metrics
+}  // namespace logsim::obs::metrics

@@ -1,0 +1,83 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace logsim::obs {
+
+std::vector<ProfileRow> flat_profile(
+    const std::vector<TraceSession::Track>& tracks) {
+  // Keyed by (category, name); std::map keeps the accumulation order
+  // deterministic regardless of thread interleaving in the input.
+  std::map<std::pair<std::string, std::string>, ProfileRow> acc;
+  for (const TraceSession::Track& track : tracks) {
+    for (const TraceEvent& ev : track.events) {
+      if (ev.phase != Phase::kComplete) continue;
+      auto [it, inserted] =
+          acc.try_emplace({ev.category, ev.name}, ProfileRow{});
+      ProfileRow& row = it->second;
+      if (inserted) {
+        row.name = ev.name;
+        row.category = ev.category;
+        row.min_us = ev.dur_us;
+        row.max_us = ev.dur_us;
+      }
+      row.count += 1;
+      row.total_us += ev.dur_us;
+      row.min_us = std::min(row.min_us, ev.dur_us);
+      row.max_us = std::max(row.max_us, ev.dur_us);
+    }
+  }
+  std::vector<ProfileRow> rows;
+  rows.reserve(acc.size());
+  for (auto& [key, row] : acc) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(), [](const ProfileRow& a,
+                                         const ProfileRow& b) {
+    if (a.total_us != b.total_us) return a.total_us > b.total_us;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+util::Table render_profile(const std::vector<ProfileRow>& rows) {
+  util::Table table{{"span", "cat", "count", "total(us)", "mean(us)",
+                     "min(us)", "max(us)"}};
+  for (const ProfileRow& row : rows) {
+    table.add_row({row.name, row.category, std::to_string(row.count),
+                   util::fmt(row.total_us, 1), util::fmt(row.mean_us(), 1),
+                   util::fmt(row.min_us, 1), util::fmt(row.max_us, 1)});
+  }
+  return table;
+}
+
+Snapshot Snapshot::capture(const metrics::Registry* registry,
+                           const TraceSession* session) {
+  Snapshot snap;
+  if (registry != nullptr) snap.metric_samples_ = registry->samples();
+  if (session != nullptr) snap.span_rows_ = flat_profile(session->collect());
+  return snap;
+}
+
+util::Table Snapshot::render() const {
+  util::Table table{{"name", "kind", "count/value", "detail"}};
+  for (const auto& sample : metric_samples_) {
+    table.add_row({sample.name, sample.kind, sample.value, sample.detail});
+  }
+  for (const ProfileRow& row : span_rows_) {
+    table.add_row({row.category + "/" + row.name, "span",
+                   std::to_string(row.count),
+                   "total=" + util::fmt(row.total_us, 1) +
+                       "us mean=" + util::fmt(row.mean_us(), 1) +
+                       "us max=" + util::fmt(row.max_us, 1) + "us"});
+  }
+  return table;
+}
+
+std::string Snapshot::to_string() const {
+  std::ostringstream os;
+  os << render();
+  return os.str();
+}
+
+}  // namespace logsim::obs

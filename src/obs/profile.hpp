@@ -1,0 +1,59 @@
+#pragma once
+// Human-readable views of a trace: a flat profile (span aggregates) and a
+// unified snapshot that merges a metrics Registry with the same aggregates,
+// so counters, histograms, gauges and spans come out of one render path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace logsim::obs {
+
+/// Aggregate of every kComplete event sharing one (name, category).
+struct ProfileRow {
+  std::string name;
+  std::string category;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+
+  [[nodiscard]] double mean_us() const {
+    return count == 0 ? 0.0 : total_us / static_cast<double>(count);
+  }
+};
+
+/// Span aggregates over the collected tracks, sorted by total time
+/// descending (ties broken by name, so the table is deterministic).
+[[nodiscard]] std::vector<ProfileRow> flat_profile(
+    const std::vector<TraceSession::Track>& tracks);
+
+/// Renders the flat profile as an aligned table.
+[[nodiscard]] util::Table render_profile(const std::vector<ProfileRow>& rows);
+
+/// One unified snapshot of a run's observability state: the registry's
+/// counters / histograms / gauges plus the session's span aggregates, all
+/// through a single table.  Either source may be null.
+class Snapshot {
+ public:
+  [[nodiscard]] static Snapshot capture(const metrics::Registry* registry,
+                                        const TraceSession* session);
+
+  [[nodiscard]] util::Table render() const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Row count (metrics rows + span rows), for tests.
+  [[nodiscard]] std::size_t size() const {
+    return metric_samples_.size() + span_rows_.size();
+  }
+
+ private:
+  std::vector<metrics::Registry::Sample> metric_samples_;
+  std::vector<ProfileRow> span_rows_;
+};
+
+}  // namespace logsim::obs

@@ -1,0 +1,60 @@
+#include "obs/sim_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace logsim::obs {
+
+void SimTraceRecorder::clear() {
+  slices_.clear();
+  procs_ = 0;
+  touched_.clear();
+  seen_.assign(seen_.size(), 0);
+}
+
+void SimTraceRecorder::begin_step(const char* kind, std::uint64_t step,
+                                  std::size_t procs) {
+  kind_ = kind;
+  step_ = step;
+  procs_ = std::max(procs_, procs);
+  if (first_start_.size() < procs) {
+    first_start_.resize(procs);
+    last_end_.resize(procs);
+    seen_.resize(procs, 0);
+  }
+  touched_.clear();
+}
+
+void SimTraceRecorder::note(ProcId proc, Time start, Time end) {
+  assert(proc >= 0 && static_cast<std::size_t>(proc) < seen_.size());
+  const auto p = static_cast<std::size_t>(proc);
+  if (seen_[p] == 0) {
+    seen_[p] = 1;
+    first_start_[p] = start.us();
+    last_end_[p] = end.us();
+    touched_.push_back(proc);
+  } else {
+    first_start_[p] = std::min(first_start_[p], start.us());
+    last_end_[p] = std::max(last_end_[p], end.us());
+  }
+}
+
+void SimTraceRecorder::end_step() {
+  // Processor order, independent of the order the simulator visited work
+  // items in, so the recorded timeline is deterministic.
+  std::sort(touched_.begin(), touched_.end());
+  for (ProcId proc : touched_) {
+    const auto p = static_cast<std::size_t>(proc);
+    SimSlice slice;
+    slice.kind = kind_;
+    slice.proc = static_cast<std::uint32_t>(proc);
+    slice.step = step_;
+    slice.start_us = first_start_[p];
+    slice.end_us = last_end_[p];
+    slices_.push_back(slice);
+    seen_[p] = 0;
+  }
+  touched_.clear();
+}
+
+}  // namespace logsim::obs

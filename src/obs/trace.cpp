@@ -1,0 +1,168 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace logsim::obs {
+
+namespace {
+
+std::uint64_t next_session_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local cache of (session id -> buffer) resolutions.  Keyed by the
+/// process-unique session id, never the session address, so a session that
+/// dies and another allocated at the same address cannot alias.  The list
+/// is tiny (one entry per session this thread ever recorded into) and
+/// scanned linearly.
+struct LocalCache {
+  struct Entry {
+    std::uint64_t session_id;
+    void* buffer;
+  };
+  std::vector<Entry> entries;
+
+  void* find(std::uint64_t session_id) const {
+    for (const Entry& e : entries) {
+      if (e.session_id == session_id) return e.buffer;
+    }
+    return nullptr;
+  }
+};
+
+thread_local LocalCache t_cache;
+
+}  // namespace
+
+TraceSession::TraceSession()
+    : epoch_(std::chrono::steady_clock::now()), session_id_(next_session_id()) {}
+
+TraceSession::~TraceSession() = default;
+
+double TraceSession::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceSession::ThreadBuffer& TraceSession::local_buffer() {
+  if (void* cached = t_cache.find(session_id_)) {
+    return *static_cast<ThreadBuffer*>(cached);
+  }
+  std::lock_guard lock{reg_mu_};
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->track = static_cast<std::uint32_t>(buffers_.size());
+  buffer->name = "thread-" + std::to_string(buffer->track);
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  t_cache.entries.push_back({session_id_, raw});
+  return *raw;
+}
+
+void TraceSession::record(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock{buffer.mu};
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceSession::instant(const char* name, const char* category,
+                           std::uint64_t id) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = Phase::kInstant;
+  ev.ts_us = now_us();
+  ev.id = id;
+  record(std::move(ev));
+}
+
+void TraceSession::instant_detail(const char* name, const char* category,
+                                  std::string detail) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = Phase::kInstant;
+  ev.ts_us = now_us();
+  ev.detail = std::move(detail);
+  record(std::move(ev));
+}
+
+void TraceSession::counter(const char* name, const char* category,
+                           double value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = Phase::kCounter;
+  ev.ts_us = now_us();
+  ev.value = value;
+  record(std::move(ev));
+}
+
+void TraceSession::complete(const char* name, const char* category,
+                            double ts_us, double dur_us, std::uint64_t id) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = Phase::kComplete;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.id = id;
+  record(std::move(ev));
+}
+
+void TraceSession::set_thread_name(std::string name) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock{buffer.mu};
+  buffer.name = std::move(name);
+}
+
+std::vector<TraceSession::Track> TraceSession::collect() const {
+  std::vector<Track> out;
+  std::lock_guard reg_lock{reg_mu_};
+  out.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    std::lock_guard lock{buffer->mu};
+    Track track;
+    track.track = buffer->track;
+    track.name = buffer->name;
+    track.events = buffer->events;
+    out.push_back(std::move(track));
+  }
+  // Registration order already is track order, but keep the contract
+  // explicit for readers of the exported trace.
+  std::sort(out.begin(), out.end(),
+            [](const Track& a, const Track& b) { return a.track < b.track; });
+  return out;
+}
+
+void TraceSession::clear() {
+  std::lock_guard reg_lock{reg_mu_};
+  for (const auto& buffer : buffers_) {
+    std::lock_guard lock{buffer->mu};
+    buffer->events.clear();
+  }
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard reg_lock{reg_mu_};
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard lock{buffer->mu};
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession session;
+  return session;
+}
+
+}  // namespace logsim::obs

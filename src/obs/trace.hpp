@@ -1,0 +1,169 @@
+#pragma once
+// Structured tracing for logsim: RAII spans and instant/counter events
+// recorded into per-thread buffered sinks, compiled in everywhere and
+// costing one relaxed atomic load when disabled.
+//
+// The paper's thesis is that simulating control flow shows *where* time
+// goes inside a parallel program; this layer applies the same idea to the
+// runtime itself.  A TraceSession collects wall-clock events from every
+// instrumented layer (core::ProgramSimulator steps, runtime::BatchPredictor
+// jobs, cache decisions, failpoint firings) onto one timeline with one
+// track per thread; obs/sim_trace.hpp adds the paper's complementary view,
+// one track per *simulated* processor.  Exporters (obs/chrome_trace.hpp,
+// obs/profile.hpp) turn both into a Perfetto-loadable Chrome trace, a flat
+// profile, or a unified metrics snapshot.
+//
+// Threading and cost model:
+//   * record()/Span/instant() may be called from any thread; each thread
+//     owns a buffer (registered on first use) guarded by its own mutex, so
+//     recording threads never contend with each other, only -- briefly --
+//     with a concurrent collect().
+//   * when the session is disabled (the default), every entry point is a
+//     relaxed atomic load and an early return; no allocation, no lock, no
+//     clock read.  bench/perf_regression runs with this code compiled in
+//     and must stay within its gate (tools/ci.sh asserts this).
+//   * enable()/disable() flip the flag; events recorded while enabled stay
+//     buffered until collect() or clear().
+//
+// Instrumented code uses the process-wide TraceSession::global(); tests
+// construct private sessions.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace logsim::obs {
+
+/// No correlation id attached to an event.
+inline constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+
+/// Chrome trace-event phase of a record (the exporter writes it verbatim).
+enum class Phase : char {
+  kComplete = 'X',  ///< span: ts + duration
+  kInstant = 'i',   ///< point event
+  kCounter = 'C',   ///< sampled numeric value
+};
+
+struct TraceEvent {
+  const char* name = "";      ///< static string: event / span name
+  const char* category = "";  ///< static string: "core", "batch", "cache", ...
+  Phase phase = Phase::kInstant;
+  double ts_us = 0.0;   ///< start, microseconds since the session epoch
+  double dur_us = 0.0;  ///< kComplete only: span duration
+  std::uint64_t id = kNoId;  ///< correlation id (step / job index)
+  double value = 0.0;        ///< kCounter only: the sample
+  std::string detail;        ///< optional free-form arg (rare events only:
+                             ///< non-empty strings allocate)
+};
+
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Events of one thread's track, in the order the thread recorded them.
+  struct Track {
+    std::uint32_t track = 0;  ///< dense id, registration order
+    std::string name;         ///< "main", "worker-0", ... (or "thread-N")
+    std::vector<TraceEvent> events;
+  };
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the session epoch (construction time).
+  [[nodiscard]] double now_us() const;
+
+  /// Appends `event` to the calling thread's buffer.  No-op when disabled.
+  void record(TraceEvent event);
+
+  /// Convenience recorders (no-ops when disabled).
+  void instant(const char* name, const char* category,
+               std::uint64_t id = kNoId);
+  void instant_detail(const char* name, const char* category,
+                      std::string detail);
+  void counter(const char* name, const char* category, double value);
+  void complete(const char* name, const char* category, double ts_us,
+                double dur_us, std::uint64_t id = kNoId);
+
+  /// Names the calling thread's track ("main", "worker-3").  Registers the
+  /// buffer even while disabled, so a later enable() sees named tracks.
+  void set_thread_name(std::string name);
+
+  /// Snapshot of every track, ordered by track id.  Safe to call while
+  /// other threads record (their buffers are drained under each buffer's
+  /// mutex); events recorded concurrently may land in this snapshot or the
+  /// next.  Tracks that never recorded an event are included (named
+  /// registration only), so worker tracks appear even in a sparse trace.
+  [[nodiscard]] std::vector<Track> collect() const;
+
+  /// Drops every buffered event; track registrations and names survive.
+  void clear();
+
+  /// Total events currently buffered across all tracks.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Process-wide session every instrumented layer records into.
+  static TraceSession& global();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::uint32_t track = 0;
+    std::string name;
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t session_id_;  ///< process-unique, keys thread-local lookup
+
+  mutable std::mutex reg_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: captures the start time at construction and records one
+/// kComplete event at destruction.  When the session is disabled at
+/// construction the span is inert (a null pointer and no clock reads);
+/// a session disabled mid-span records nothing.
+class Span {
+ public:
+  Span(TraceSession& session, const char* name, const char* category,
+       std::uint64_t id = kNoId)
+      : session_(session.enabled() ? &session : nullptr),
+        name_(name),
+        category_(category),
+        id_(id),
+        start_us_(session_ != nullptr ? session.now_us() : 0.0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (session_ != nullptr && session_->enabled()) {
+      session_->complete(name_, category_, start_us_,
+                         session_->now_us() - start_us_, id_);
+    }
+  }
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  const char* category_;
+  std::uint64_t id_;
+  double start_us_;
+};
+
+}  // namespace logsim::obs

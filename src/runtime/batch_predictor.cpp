@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "fault/failpoint.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -113,7 +114,7 @@ std::vector<JobResult> BatchPredictor::predict_all(
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const PredictJob& job = jobs[i];
       if (job.program != nullptr && job.costs != nullptr &&
-          !sim_.compute_overhead) {
+          !sim_.compute_overhead && job.sim_trace == nullptr) {
         state->keys[i] =
             prediction_key_hash(*job.program, job.params, sim_.seed);
         state->keyed[i] = 1;
@@ -148,6 +149,14 @@ std::vector<JobResult> BatchPredictor::predict_all(
     pool_.submit([this, state, cancel, batch_deadline,
                   i](std::chrono::steady_clock::duration queue_wait) {
       queue_wait_us_.record(to_us(queue_wait));
+      if (obs::TraceSession& tracer = obs::TraceSession::global();
+          tracer.enabled()) {
+        // Queueing time as a span ending "now": makes queue pressure
+        // visible on the worker's track right before the job span.
+        const double wait_us = to_us(queue_wait);
+        tracer.complete("batch.queued", "batch", tracer.now_us() - wait_us,
+                        wait_us, i);
+      }
       bool abandoned = false;
       {
         std::lock_guard lock{state->mu};
@@ -166,7 +175,7 @@ std::vector<JobResult> BatchPredictor::predict_all(
         job_errors_.add();
       } else {
         result = run_job(state->jobs[i], cancel, batch_deadline,
-                         state->keys[i], state->keyed[i] != 0);
+                         state->keys[i], state->keyed[i] != 0, i);
       }
       finish_job(state, i, std::move(result));
     });
@@ -187,6 +196,10 @@ std::vector<JobResult> BatchPredictor::predict_all(
       // pool fault that swallowed a task, a stuck closure) would otherwise
       // hang this wait forever.  Mark the stragglers timed out and return.
       watchdog_expiries_.add();
+      if (obs::TraceSession& tracer = obs::TraceSession::global();
+          tracer.enabled()) {
+        tracer.instant("batch.watchdog_expiry", "batch");
+      }
       state->abandoned = true;
       for (std::size_t i = 0; i < state->results.size(); ++i) {
         if (state->done[i]) continue;
@@ -217,12 +230,12 @@ JobResult BatchPredictor::predict_one(const PredictJob& job) {
   std::uint64_t key = 0;
   bool keyed = false;
   if (cache_ != nullptr && job.program != nullptr && job.costs != nullptr &&
-      !sim_.compute_overhead) {
+      !sim_.compute_overhead && job.sim_trace == nullptr) {
     key = prediction_key_hash(*job.program, job.params, sim_.seed);
     keyed = true;
   }
   JobResult result =
-      run_job(job, fault::CancelToken{}, kNoDeadline, key, keyed);
+      run_job(job, fault::CancelToken{}, kNoDeadline, key, keyed, obs::kNoId);
   publish_cache_gauges();
   return result;
 }
@@ -230,7 +243,9 @@ JobResult BatchPredictor::predict_one(const PredictJob& job) {
 JobResult BatchPredictor::run_job(
     const PredictJob& job, const fault::CancelToken& cancel,
     std::chrono::steady_clock::time_point batch_deadline, std::uint64_t key,
-    bool keyed) {
+    bool keyed, std::uint64_t trace_id) {
+  obs::TraceSession& tracer = obs::TraceSession::global();
+  obs::Span job_span{tracer, "batch.job", "batch", trace_id};
   const auto start = std::chrono::steady_clock::now();
   auto deadline = batch_deadline;
   if (config_.job_deadline.count() > 0) {
@@ -254,14 +269,23 @@ JobResult BatchPredictor::run_job(
       jobs_run_.add();
       break;
     }
-    if (st.code() == ErrorCode::kTimeout) timeouts_.add();
-    if (st.code() == ErrorCode::kCancelled) cancelled_.add();
+    if (st.code() == ErrorCode::kTimeout) {
+      timeouts_.add();
+      if (tracer.enabled()) tracer.instant("batch.timeout", "batch", trace_id);
+    }
+    if (st.code() == ErrorCode::kCancelled) {
+      cancelled_.add();
+      if (tracer.enabled()) {
+        tracer.instant("batch.cancelled", "batch", trace_id);
+      }
+    }
     if (fault::should_retry(st, attempt, config_.retry)) {
       const auto delay = from_time(
           fault::backoff_delay(config_.retry, attempt, backoff_rng));
       const auto wake = std::chrono::steady_clock::now() + delay;
       if (wake < deadline) {
         retries_.add();
+        if (tracer.enabled()) tracer.instant("batch.retry", "batch", trace_id);
         std::this_thread::sleep_until(wake);
         continue;
       }
@@ -303,9 +327,10 @@ Status BatchPredictor::run_attempt(
     core::ProgramSimOptions opts = sim_;
     opts.cancel = cancel;
     opts.deadline = deadline;
+    opts.sim_trace = job.sim_trace;
     const core::Predictor predictor{job.params, opts};
     Result<core::Prediction> prediction =
-        predictor.predict_checked(*job.program, *job.costs);
+        predictor.predict(*job.program, *job.costs);
     if (!prediction.ok()) return prediction.status();
     result->prediction = std::move(prediction).value();
     if (cacheable) {

@@ -42,6 +42,7 @@
 
 #include "core/predictor.hpp"
 #include "fault/cancel.hpp"
+#include "obs/sim_trace.hpp"
 #include "fault/retry.hpp"
 #include "fault/status.hpp"
 #include "loggp/params.hpp"
@@ -61,6 +62,12 @@ struct PredictJob {
   const core::StepProgram* program = nullptr;
   loggp::Params params;
   const core::CostTable* costs = nullptr;
+  /// Optional simulated-machine timeline capture for THIS job (borrowed,
+  /// not thread-safe -- set it on at most one job per batch).  A traced
+  /// job bypasses the prediction cache and checkpoint: a hit would skip
+  /// the simulation and leave the recorder empty.  The recorder ends up
+  /// holding the standard-schedule run (see core::Predictor).
+  obs::SimTraceRecorder* sim_trace = nullptr;
 };
 
 /// Per-job outcome: a Prediction, or the Status explaining its absence.
@@ -150,7 +157,7 @@ class BatchPredictor {
 
   JobResult run_job(const PredictJob& job, const fault::CancelToken& cancel,
                     std::chrono::steady_clock::time_point batch_deadline,
-                    std::uint64_t key, bool keyed);
+                    std::uint64_t key, bool keyed, std::uint64_t trace_id);
   Status run_attempt(const PredictJob& job, const fault::CancelToken& cancel,
                      std::chrono::steady_clock::time_point deadline,
                      std::uint64_t key, bool keyed, JobResult* result);

@@ -1,92 +1,12 @@
 #pragma once
-// Run metrics for the batch-prediction runtime: a registry of named
-// atomic counters and summary histograms that any component can register
-// into, rendered as a text table via util::Table.
-//
-// Counters and histograms are created on first use and live as long as the
-// registry; references handed out stay valid (node-based storage), so hot
-// paths resolve the name once and then touch only atomics.
+// Compatibility alias: the metrics registry moved into the observability
+// layer (obs/metrics.hpp) so counters, histograms and trace spans share
+// one registry model and one render path (obs::Snapshot).  Existing
+// runtime::metrics::{Counter,Histogram,Registry} spellings keep working
+// through this namespace alias; new code should include obs/metrics.hpp.
 
-#include <atomic>
-#include <cstdint>
-#include <map>
-#include <mutex>
-#include <string>
-#include <vector>
+#include "obs/metrics.hpp"
 
-#include "util/table.hpp"
-
-namespace logsim::runtime::metrics {
-
-/// Monotonic event counter.
-class Counter {
- public:
-  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  [[nodiscard]] std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Streaming summary of a distribution: count / sum / min / max, enough for
-/// mean and range without storing samples.  Lock-free (CAS loops for the
-/// extrema) so recording from pool workers never serializes.
-class Histogram {
- public:
-  void record(double sample);
-
-  [[nodiscard]] std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
-  [[nodiscard]] double mean() const;
-  [[nodiscard]] double min() const;  ///< 0 when empty
-  [[nodiscard]] double max() const;  ///< 0 when empty
-  void reset();
-
- private:
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
-  std::atomic<bool> has_sample_{false};
-};
-
-class Registry {
- public:
-  /// Returns the counter registered under `name`, creating it on first use.
-  Counter& counter(const std::string& name);
-  /// Returns the histogram registered under `name`; `unit` is cosmetic and
-  /// fixed by the first caller.
-  Histogram& histogram(const std::string& name, const std::string& unit = "");
-
-  /// Sets a free-form gauge rendered verbatim (e.g. a precomputed ratio).
-  void set_gauge(const std::string& name, const std::string& value);
-
-  /// Renders every registered metric, sorted by name, as an aligned table.
-  [[nodiscard]] util::Table render() const;
-  [[nodiscard]] std::string to_string() const;
-
-  /// Zeroes all counters and histograms and drops gauges; registered
-  /// references remain valid.
-  void reset();
-
-  /// Process-wide default registry.
-  static Registry& global();
-
- private:
-  mutable std::mutex mu_;
-  // std::map: node-based (stable addresses) and renders pre-sorted.
-  std::map<std::string, Counter> counters_;
-  struct NamedHistogram {
-    Histogram histogram;
-    std::string unit;
-  };
-  std::map<std::string, NamedHistogram> histograms_;
-  std::map<std::string, std::string> gauges_;
-};
-
-}  // namespace logsim::runtime::metrics
+namespace logsim::runtime {
+namespace metrics = ::logsim::obs::metrics;
+}  // namespace logsim::runtime

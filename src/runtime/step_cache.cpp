@@ -5,12 +5,31 @@
 #include <utility>
 
 #include "fault/failpoint.hpp"
+#include "obs/trace.hpp"
 
 namespace logsim::runtime {
 
 bool step_cache_env_enabled() {
   const char* v = std::getenv("LOGSIM_STEP_CACHE");
   return v == nullptr || std::string_view{v} != "0";
+}
+
+SharedStepCache::Config SharedStepCache::config_from_env() {
+  Config config;
+  // strtoull accepts the whole numeric prefix; a stray suffix or a fully
+  // non-numeric value parses to 0 and falls back to the default -- env
+  // knobs should degrade, not crash the process.
+  if (const char* v = std::getenv("LOGSIM_STEP_CACHE_SHARDS")) {
+    if (const auto n = std::strtoull(v, nullptr, 10); n > 0) {
+      config.shards = static_cast<std::size_t>(n);
+    }
+  }
+  if (const char* v = std::getenv("LOGSIM_STEP_CACHE_MB")) {
+    if (const auto mb = std::strtoull(v, nullptr, 10); mb > 0) {
+      config.byte_budget = static_cast<std::size_t>(mb) << 20;
+    }
+  }
+  return config;
 }
 
 namespace {
@@ -64,10 +83,12 @@ bool SharedStepCache::lookup(const core::CommStepQuery& query,
                              std::vector<Time>& finish, std::size_t& ops) {
   // An injected lookup failure degrades to a miss: the cache is an
   // optimization, so a flaky backing store must never fail a simulation.
+  obs::TraceSession& tracer = obs::TraceSession::global();
   if (Status st = fault::failpoint("step_cache.lookup"); !st.ok()) {
     Shard& shard = *shards_[shard_of(query.key_hash)];
     std::lock_guard lock{shard.mu};
     ++shard.misses;
+    if (tracer.enabled()) tracer.instant("step_cache.miss", "cache");
     return false;
   }
   Shard& shard = *shards_[shard_of(query.key_hash)];
@@ -77,8 +98,12 @@ bool SharedStepCache::lookup(const core::CommStepQuery& query,
       if (!matches(*entry_it, query)) continue;
       shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
       ++shard.hits;
-      if (!entry_it->exact && entry_it->origin_perm != *query.from_canonical) {
-        ++shard.relabel_hits;
+      const bool relabel =
+          !entry_it->exact && entry_it->origin_perm != *query.from_canonical;
+      if (relabel) ++shard.relabel_hits;
+      if (tracer.enabled()) {
+        tracer.instant(relabel ? "step_cache.relabel_hit" : "step_cache.hit",
+                       "cache");
       }
       finish.assign(entry_it->finish.begin(), entry_it->finish.end());
       ops = entry_it->ops;
@@ -86,6 +111,7 @@ bool SharedStepCache::lookup(const core::CommStepQuery& query,
     }
   }
   ++shard.misses;
+  if (tracer.enabled()) tracer.instant("step_cache.miss", "cache");
   return false;
 }
 
@@ -132,16 +158,22 @@ void SharedStepCache::insert(const core::CommStepQuery& query,
   shard.index[query.key_hash].push_back(shard.lru.begin());
   shard.bytes += shard.lru.front().bytes;
   ++shard.insertions;
+  if (obs::TraceSession& tracer = obs::TraceSession::global();
+      tracer.enabled()) {
+    tracer.instant("step_cache.insert", "cache");
+  }
   evict_to_budget_locked(shard);
 }
 
 void SharedStepCache::evict_to_budget_locked(Shard& shard) {
+  obs::TraceSession& tracer = obs::TraceSession::global();
   while (shard.bytes > per_shard_budget_ && !shard.lru.empty()) {
     auto victim = std::prev(shard.lru.end());
     shard.bytes -= victim->bytes;
     unindex(shard, victim);
     shard.lru.erase(victim);
     ++shard.evictions;
+    if (tracer.enabled()) tracer.instant("step_cache.evict", "cache");
   }
 }
 

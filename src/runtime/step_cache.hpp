@@ -1,6 +1,6 @@
 #pragma once
 // Sharded cross-job comm-step cache: the runtime implementation of
-// core::CommStepCache, mirroring PredictionCache's design (FNV-1a-keyed
+// core::StepCache, mirroring PredictionCache's design (FNV-1a-keyed
 // shards, per-shard mutex + LRU list, byte-budget eviction, full-key
 // verification on every candidate so a 64-bit collision is a miss, never
 // a wrong answer).
@@ -38,7 +38,7 @@ namespace logsim::runtime {
 /// the process-wide escape hatch honoured by benches, sweeps and the CLI.
 [[nodiscard]] bool step_cache_env_enabled();
 
-class SharedStepCache final : public core::CommStepCache {
+class SharedStepCache final : public core::StepCache {
  public:
   struct Config {
     /// Number of independently locked shards (clamped to at least 1).
@@ -48,6 +48,13 @@ class SharedStepCache final : public core::CommStepCache {
     /// working set of sweeps far larger than the paper's.
     std::size_t byte_budget = 64ull << 20;
   };
+
+  /// Config from the environment: LOGSIM_STEP_CACHE_SHARDS overrides the
+  /// shard count, LOGSIM_STEP_CACHE_MB the byte budget in MiB.  Unset,
+  /// empty or unparseable values keep the defaults above; zero is clamped
+  /// to the minimum (1 shard / 1 MiB).  See core/step_cache.hpp for the
+  /// full knob inventory.
+  [[nodiscard]] static Config config_from_env();
 
   struct Stats {
     std::uint64_t hits = 0;

@@ -1,9 +1,11 @@
 #include "runtime/thread_pool.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "fault/failpoint.hpp"
+#include "obs/trace.hpp"
 
 namespace logsim::runtime {
 
@@ -11,7 +13,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -43,7 +45,12 @@ std::size_t ThreadPool::submitted() const {
   return total_submitted_;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  // Name this worker's trace track up front: the call is cheap, happens
+  // once per thread, and makes the Chrome trace readable even when
+  // tracing is enabled mid-run.
+  obs::TraceSession::global().set_thread_name("worker-" +
+                                              std::to_string(index));
   for (;;) {
     Pending pending;
     {

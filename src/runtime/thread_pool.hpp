@@ -63,7 +63,7 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mu_;
   std::condition_variable task_ready_;   // workers wait here for work

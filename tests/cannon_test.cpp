@@ -117,7 +117,7 @@ TEST(CannonProgram, WorstCaseDominates) {
   const auto program =
       build_cannon_program(CannonConfig{.n = 96, .block = 12, .q = 4});
   const core::Predictor pred{loggp::presets::meiko_cs2(16)};
-  const auto p = pred.predict(program, costs);
+  const auto p = pred.predict_or_die(program, costs);
   EXPECT_GE(p.total_worst().us() + 1e-9, p.total().us());
 }
 

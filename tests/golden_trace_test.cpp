@@ -178,7 +178,7 @@ TEST(GoldenTrace, GeProgramBothSchedules) {
       ge::build_ge_program(ge::GeConfig{.n = 240, .block = 30}, map);
   const auto costs = ops::analytic_cost_table();
   const Predictor predictor{loggp::presets::meiko_cs2(8)};
-  const Prediction pred = predictor.predict(program, costs);
+  const Prediction pred = predictor.predict_or_die(program, costs);
   EXPECT_EQ(hash_result(pred.standard), 0x566a06eb3425b6dcULL);
   EXPECT_EQ(hash_result(pred.worst_case), 0xd9b553e5f396c2e0ULL);
 }
@@ -188,7 +188,7 @@ TEST(GoldenTrace, CannonProgramBothSchedules) {
       cannon::CannonConfig{.n = 240, .block = 24, .q = 2});
   const auto costs = ops::analytic_cost_table();
   const Predictor predictor{loggp::presets::meiko_cs2(4)};
-  const Prediction pred = predictor.predict(program, costs);
+  const Prediction pred = predictor.predict_or_die(program, costs);
   EXPECT_EQ(hash_result(pred.standard), 0x601e3b215560e297ULL);
   EXPECT_EQ(hash_result(pred.worst_case), 0x9b886599a1010a16ULL);
 }

@@ -90,7 +90,7 @@ struct Fixture {
     sim.seed = seed;
     for (const auto& p : programs) {
       jobs.push_back(runtime::PredictJob{&p, params, &costs});
-      serial.push_back(core::Predictor{params, sim}.predict(p, costs));
+      serial.push_back(core::Predictor{params, sim}.predict_or_die(p, costs));
     }
   }
 };

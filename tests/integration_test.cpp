@@ -42,7 +42,7 @@ Curves sweep(const layout::Layout& map) {
   for (int b : kBlocks) {
     const auto program =
         ge::build_ge_program(ge::GeConfig{.n = kN, .block = b}, map);
-    const core::Prediction pred = predictor.predict(program, costs);
+    const core::Prediction pred = predictor.predict_or_die(program, costs);
     const machine::TestbedResult meas = testbed.run(program, costs);
     c.predicted_std.push_back(pred.total().us());
     c.predicted_wc.push_back(pred.total_worst().us());

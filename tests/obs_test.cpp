@@ -1,0 +1,426 @@
+// logsim::obs test suite: TraceSession/Span semantics (enable gating,
+// nesting, per-thread track attribution), the simulated-machine recorder
+// (merging, determinism, cache transparency), the Chrome trace exporter
+// (including a byte-for-byte golden document), the flat profile, the
+// unified metrics snapshot, and the observation-only guarantee -- tracing
+// on vs off never changes a prediction bit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "ge/blocked_ge.hpp"
+#include "layout/layout.hpp"
+#include "loggp/params.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/sim_trace.hpp"
+#include "obs/trace.hpp"
+#include "ops/analytic_model.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/step_cache.hpp"
+
+namespace logsim::obs {
+namespace {
+
+// --- TraceSession / Span ------------------------------------------------
+
+TEST(TraceSession, SpanRecordsOneCompleteEventPerScope) {
+  TraceSession session;
+  session.enable();
+  {
+    Span span{session, "work", "test", 7};
+  }
+  const auto tracks = session.collect();
+  ASSERT_EQ(tracks.size(), 1u);
+  ASSERT_EQ(tracks[0].events.size(), 1u);
+  const TraceEvent& ev = tracks[0].events[0];
+  EXPECT_EQ(std::string{ev.name}, "work");
+  EXPECT_EQ(std::string{ev.category}, "test");
+  EXPECT_EQ(ev.phase, Phase::kComplete);
+  EXPECT_EQ(ev.id, 7u);
+  EXPECT_GE(ev.ts_us, 0.0);
+  EXPECT_GE(ev.dur_us, 0.0);
+}
+
+TEST(TraceSession, DisabledSessionRecordsNothing) {
+  TraceSession session;  // disabled is the default
+  {
+    Span span{session, "work", "test"};
+  }
+  session.instant("point", "test");
+  session.counter("gauge", "test", 1.0);
+  session.instant_detail("detail", "test", "payload");
+  EXPECT_EQ(session.event_count(), 0u);
+  EXPECT_FALSE(session.enabled());
+}
+
+TEST(TraceSession, SpanConstructedWhileDisabledStaysInert) {
+  TraceSession session;
+  {
+    Span span{session, "work", "test"};
+    session.enable();  // too late for this span
+  }
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(TraceSession, SpanDroppedWhenSessionDisabledMidSpan) {
+  TraceSession session;
+  session.enable();
+  {
+    Span span{session, "work", "test"};
+    session.disable();
+  }
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(TraceSession, NestedSpansRecordInnerFirstAndContained) {
+  TraceSession session;
+  session.enable();
+  {
+    Span outer{session, "outer", "test"};
+    {
+      Span inner{session, "inner", "test"};
+    }
+  }
+  const auto tracks = session.collect();
+  ASSERT_EQ(tracks.size(), 1u);
+  ASSERT_EQ(tracks[0].events.size(), 2u);
+  const TraceEvent& inner = tracks[0].events[0];  // destroyed first
+  const TraceEvent& outer = tracks[0].events[1];
+  EXPECT_EQ(std::string{inner.name}, "inner");
+  EXPECT_EQ(std::string{outer.name}, "outer");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-9);
+}
+
+TEST(TraceSession, ThreadsRecordOntoDistinctNamedTracks) {
+  TraceSession session;
+  session.enable();
+  session.set_thread_name("main");
+  session.instant("from-main", "test");
+  std::thread worker{[&session] {
+    session.set_thread_name("helper");
+    session.instant("from-helper", "test");
+  }};
+  worker.join();
+  const auto tracks = session.collect();
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_EQ(tracks[0].name, "main");
+  EXPECT_EQ(tracks[1].name, "helper");
+  EXPECT_NE(tracks[0].track, tracks[1].track);
+  ASSERT_EQ(tracks[0].events.size(), 1u);
+  ASSERT_EQ(tracks[1].events.size(), 1u);
+  EXPECT_EQ(std::string{tracks[0].events[0].name}, "from-main");
+  EXPECT_EQ(std::string{tracks[1].events[0].name}, "from-helper");
+}
+
+TEST(TraceSession, ClearDropsEventsButKeepsTrackNames) {
+  TraceSession session;
+  session.enable();
+  session.set_thread_name("main");
+  session.instant("one", "test");
+  ASSERT_EQ(session.event_count(), 1u);
+  session.clear();
+  EXPECT_EQ(session.event_count(), 0u);
+  const auto tracks = session.collect();
+  ASSERT_EQ(tracks.size(), 1u);  // named registration survives
+  EXPECT_EQ(tracks[0].name, "main");
+  EXPECT_TRUE(tracks[0].events.empty());
+}
+
+TEST(TraceSession, InstantCounterAndDetailCarryTheirFields) {
+  TraceSession session;
+  session.enable();
+  session.instant("point", "test", 3);
+  session.counter("load", "test", 42.5);
+  session.instant_detail("fired", "test", "site-a");
+  const auto tracks = session.collect();
+  ASSERT_EQ(tracks.size(), 1u);
+  ASSERT_EQ(tracks[0].events.size(), 3u);
+  EXPECT_EQ(tracks[0].events[0].phase, Phase::kInstant);
+  EXPECT_EQ(tracks[0].events[0].id, 3u);
+  EXPECT_EQ(tracks[0].events[1].phase, Phase::kCounter);
+  EXPECT_DOUBLE_EQ(tracks[0].events[1].value, 42.5);
+  EXPECT_EQ(tracks[0].events[2].phase, Phase::kInstant);
+  EXPECT_EQ(tracks[0].events[2].detail, "site-a");
+}
+
+// --- SimTraceRecorder ---------------------------------------------------
+
+TEST(SimTraceRecorder, NotesMergePerProcessorAndFlushInProcOrder) {
+  SimTraceRecorder rec;
+  rec.begin_step("comp", 0, 3);
+  rec.note(2, Time{4.0}, Time{5.0});  // out-of-order proc ids
+  rec.note(0, Time{1.0}, Time{2.0});
+  rec.note(0, Time{3.0}, Time{6.0});  // merges with the first proc-0 note
+  rec.end_step();
+  ASSERT_EQ(rec.slices().size(), 2u);
+  const SimSlice& first = rec.slices()[0];
+  const SimSlice& second = rec.slices()[1];
+  EXPECT_EQ(first.proc, 0u);  // processor order, not note order
+  EXPECT_DOUBLE_EQ(first.start_us, 1.0);
+  EXPECT_DOUBLE_EQ(first.end_us, 6.0);
+  EXPECT_EQ(second.proc, 2u);
+  EXPECT_EQ(std::string{first.kind}, "comp");
+  EXPECT_EQ(first.step, 0u);
+  EXPECT_EQ(rec.procs(), 3u);
+}
+
+TEST(SimTraceRecorder, ClearDropsSlices) {
+  SimTraceRecorder rec;
+  rec.begin_step("comm", 5, 2);
+  rec.note(1, Time{0.0}, Time{1.0});
+  rec.end_step();
+  ASSERT_FALSE(rec.empty());
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.slices().size(), 0u);
+}
+
+// --- Chrome trace exporter ----------------------------------------------
+
+TEST(ChromeTrace, GoldenSimulatedMachineDocument) {
+  SimTraceRecorder rec;
+  rec.begin_step("comp", 0, 2);
+  rec.note(0, Time{1.0}, Time{2.5});
+  rec.note(1, Time{0.0}, Time{3.0});
+  rec.end_step();
+  rec.begin_step("comm", 1, 2);
+  rec.note(1, Time{3.0}, Time{4.25});
+  rec.end_step();
+
+  // Byte-for-byte golden: simulated time has no jitter, numbers print
+  // through util::fmt at fixed precision, slices flush in (step, proc)
+  // order.  Any exporter or recorder change that moves a byte here is a
+  // breaking change to the trace contract.
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"simulated machine\"}},\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"proc 0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"proc 1\"}},\n"
+      "{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"name\":\"comp\",\"cat\":\"sim\","
+      "\"ts\":1.000,\"dur\":1.500,\"args\":{\"id\":0}},\n"
+      "{\"ph\":\"X\",\"pid\":2,\"tid\":1,\"name\":\"comp\",\"cat\":\"sim\","
+      "\"ts\":0.000,\"dur\":3.000,\"args\":{\"id\":0}},\n"
+      "{\"ph\":\"X\",\"pid\":2,\"tid\":1,\"name\":\"comm\",\"cat\":\"sim\","
+      "\"ts\":3.000,\"dur\":1.250,\"args\":{\"id\":1}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(sim_tracks_json(rec), expected);
+}
+
+TEST(ChromeTrace, FullDocumentCarriesBothProcesses) {
+  TraceSession session;
+  session.enable();
+  session.set_thread_name("main");
+  {
+    Span span{session, "work", "test"};
+  }
+  SimTraceRecorder rec;
+  rec.begin_step("comp", 0, 1);
+  rec.note(0, Time{0.0}, Time{1.0});
+  rec.end_step();
+
+  const std::string json = to_chrome_json(session.collect(), &rec);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"logsim\"}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"simulated machine\"}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"main\"}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"proc 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  // No dangling comma before the closing bracket.
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+}
+
+TEST(ChromeTrace, DetailStringsAreJsonEscaped) {
+  TraceSession session;
+  session.enable();
+  session.instant_detail("fired", "test", "quote \" backslash \\ tab \t");
+  const std::string json = to_chrome_json(session.collect(), nullptr);
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ tab \\t"),
+            std::string::npos);
+}
+
+// --- Tracing a real prediction ------------------------------------------
+
+struct GeFixture {
+  loggp::Params params = loggp::presets::meiko_cs2(8);
+  layout::DiagonalMap map{8};
+  core::StepProgram program =
+      ge::build_ge_program(ge::GeConfig{.n = 192, .block = 24}, map);
+  core::CostTable costs = ops::analytic_cost_table();
+};
+
+TEST(SimTrace, PredictorRecordsTheStandardSchedule) {
+  GeFixture fix;
+  SimTraceRecorder rec;
+  core::ProgramSimOptions opts;
+  opts.sim_trace = &rec;
+  const Result<core::Prediction> pred =
+      core::Predictor{fix.params, opts}.predict(fix.program, fix.costs);
+  ASSERT_TRUE(pred.ok());
+  ASSERT_FALSE(rec.empty());
+  EXPECT_LE(rec.procs(), 8u);
+  for (const SimSlice& slice : rec.slices()) {
+    EXPECT_LT(slice.proc, 8u);
+    EXPECT_LE(slice.start_us, slice.end_us);
+    const std::string kind = slice.kind;
+    EXPECT_TRUE(kind == "comp" || kind == "comm") << kind;
+  }
+}
+
+TEST(SimTrace, RecorderIsDeterministicAcrossRuns) {
+  GeFixture fix;
+  SimTraceRecorder a;
+  SimTraceRecorder b;
+  core::ProgramSimOptions opts;
+  opts.sim_trace = &a;
+  ASSERT_TRUE(
+      (core::Predictor{fix.params, opts}.predict(fix.program, fix.costs).ok()));
+  opts.sim_trace = &b;
+  ASSERT_TRUE(
+      (core::Predictor{fix.params, opts}.predict(fix.program, fix.costs).ok()));
+  ASSERT_EQ(a.slices().size(), b.slices().size());
+  for (std::size_t i = 0; i < a.slices().size(); ++i) {
+    EXPECT_EQ(std::string{a.slices()[i].kind}, b.slices()[i].kind);
+    EXPECT_EQ(a.slices()[i].proc, b.slices()[i].proc);
+    EXPECT_EQ(a.slices()[i].step, b.slices()[i].step);
+    EXPECT_EQ(a.slices()[i].start_us, b.slices()[i].start_us);  // bitwise
+    EXPECT_EQ(a.slices()[i].end_us, b.slices()[i].end_us);
+  }
+}
+
+TEST(SimTrace, SlicesAreIdenticalWithAndWithoutStepCache) {
+  GeFixture fix;
+  SimTraceRecorder uncached;
+  core::ProgramSimOptions opts;
+  opts.sim_trace = &uncached;
+  ASSERT_TRUE(
+      (core::Predictor{fix.params, opts}.predict(fix.program, fix.costs).ok()));
+
+  runtime::SharedStepCache cache;
+  SimTraceRecorder cached;
+  opts.step_cache = &cache;
+  opts.sim_trace = &cached;
+  // Two passes so the second run records through cache hits.
+  ASSERT_TRUE(
+      (core::Predictor{fix.params, opts}.predict(fix.program, fix.costs).ok()));
+  ASSERT_TRUE(
+      (core::Predictor{fix.params, opts}.predict(fix.program, fix.costs).ok()));
+  ASSERT_GT(cache.stats().hits, 0u);
+
+  ASSERT_EQ(cached.slices().size(), uncached.slices().size());
+  for (std::size_t i = 0; i < cached.slices().size(); ++i) {
+    EXPECT_EQ(std::string{cached.slices()[i].kind}, uncached.slices()[i].kind);
+    EXPECT_EQ(cached.slices()[i].proc, uncached.slices()[i].proc);
+    EXPECT_EQ(cached.slices()[i].step, uncached.slices()[i].step);
+    EXPECT_EQ(cached.slices()[i].start_us, uncached.slices()[i].start_us);
+    EXPECT_EQ(cached.slices()[i].end_us, uncached.slices()[i].end_us);
+  }
+}
+
+TEST(SimTrace, TracingOnOrOffNeverChangesThePrediction) {
+  GeFixture fix;
+  const core::Predictor plain{fix.params};
+  const Result<core::Prediction> off = plain.predict(fix.program, fix.costs);
+  ASSERT_TRUE(off.ok());
+
+  // Tracing fully on: global wall-clock session enabled AND a simulated-
+  // machine recorder attached.
+  TraceSession& global = TraceSession::global();
+  global.enable();
+  SimTraceRecorder rec;
+  core::ProgramSimOptions opts;
+  opts.sim_trace = &rec;
+  const Result<core::Prediction> on =
+      core::Predictor{fix.params, opts}.predict(fix.program, fix.costs);
+  global.disable();
+  global.clear();
+  ASSERT_TRUE(on.ok());
+
+  EXPECT_EQ(on->standard.total, off->standard.total);  // bitwise Time
+  EXPECT_EQ(on->worst_case.total, off->worst_case.total);
+  EXPECT_EQ(on->standard.comm_ops, off->standard.comm_ops);
+  ASSERT_EQ(on->standard.proc_end.size(), off->standard.proc_end.size());
+  for (std::size_t p = 0; p < on->standard.proc_end.size(); ++p) {
+    EXPECT_EQ(on->standard.proc_end[p], off->standard.proc_end[p]);
+  }
+}
+
+TEST(PredictorApi, InvalidInputComesBackAsStatusNotAssert) {
+  core::StepProgram empty{0};  // zero processors: invalid by contract
+  const core::CostTable costs = ops::analytic_cost_table();
+  const Result<core::Prediction> pred =
+      core::Predictor{loggp::presets::meiko_cs2(8)}.predict(empty, costs);
+  ASSERT_FALSE(pred.ok());
+  EXPECT_EQ(pred.status().code(), ErrorCode::kInvalidInput);
+}
+
+// --- Flat profile and unified snapshot ----------------------------------
+
+TEST(Profile, FlatProfileAggregatesByNameAndCategory) {
+  TraceSession session;
+  session.enable();
+  session.complete("alpha", "test", 0.0, 10.0);
+  session.complete("alpha", "test", 20.0, 30.0);
+  session.complete("beta", "test", 0.0, 5.0);
+  session.instant("noise", "test");  // non-span events are ignored
+
+  const auto rows = flat_profile(session.collect());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "alpha");  // 40us total sorts first
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].total_us, 40.0);
+  EXPECT_DOUBLE_EQ(rows[0].min_us, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].max_us, 30.0);
+  EXPECT_DOUBLE_EQ(rows[0].mean_us(), 20.0);
+  EXPECT_EQ(rows[1].name, "beta");
+  EXPECT_EQ(rows[1].count, 1u);
+}
+
+TEST(Snapshot, UnifiesMetricsAndSpanAggregates) {
+  metrics::Registry registry;
+  registry.counter("jobs").add(3);
+  registry.histogram("wait", "us").record(2.0);
+  registry.set_gauge("rate", "75%");
+
+  TraceSession session;
+  session.enable();
+  session.complete("span-a", "cat", 0.0, 1.0);
+
+  const Snapshot snap = Snapshot::capture(&registry, &session);
+  EXPECT_EQ(snap.size(), 4u);  // counter + histogram + gauge + one span row
+  const std::string text = snap.to_string();
+  EXPECT_NE(text.find("jobs"), std::string::npos);
+  EXPECT_NE(text.find("wait"), std::string::npos);
+  EXPECT_NE(text.find("rate"), std::string::npos);
+  EXPECT_NE(text.find("cat/span-a"), std::string::npos);
+}
+
+TEST(Snapshot, EitherSourceMayBeNull) {
+  EXPECT_EQ(Snapshot::capture(nullptr, nullptr).size(), 0u);
+  metrics::Registry registry;
+  registry.counter("only").add();
+  EXPECT_EQ(Snapshot::capture(&registry, nullptr).size(), 1u);
+}
+
+TEST(MetricsCompat, RuntimeMetricsIsAnAliasOfObsMetrics) {
+  static_assert(std::is_same_v<runtime::metrics::Registry,
+                               obs::metrics::Registry>);
+  static_assert(std::is_same_v<runtime::metrics::Counter,
+                               obs::metrics::Counter>);
+  runtime::metrics::Registry registry;  // old spelling keeps compiling
+  registry.counter("legacy").add();
+  EXPECT_EQ(registry.samples().size(), 1u);
+}
+
+}  // namespace
+}  // namespace logsim::obs

@@ -143,7 +143,7 @@ TEST(Predictor, ReturnsBothSchedules) {
   pat.add(1, 2, Bytes{1});
   prog.add_comm(pat);
   const auto params = loggp::presets::meiko_cs2(3);
-  const Prediction pred = Predictor{params}.predict(prog, simple_costs());
+  const Prediction pred = Predictor{params}.predict_or_die(prog, simple_costs());
   EXPECT_GT(pred.total_worst().us(), pred.total().us());
   EXPECT_DOUBLE_EQ(pred.comp().us(), 0.0);
   EXPECT_GT(pred.comm().us(), 0.0);

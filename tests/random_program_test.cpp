@@ -99,7 +99,7 @@ TEST_P(RandomProgramTest, BareTestbedAgreesWithPredictorExactly) {
 TEST_P(RandomProgramTest, WorstCaseNeverFasterThanStandard) {
   const auto rp = make_random_program(GetParam() ^ 0x1111);
   const auto params = loggp::presets::meiko_cs2(rp.procs);
-  const auto pred = core::Predictor{params}.predict(rp.program, rp.costs);
+  const auto pred = core::Predictor{params}.predict_or_die(rp.program, rp.costs);
   EXPECT_GE(pred.total_worst().us() + 1e-6, pred.total().us());
 }
 

@@ -205,7 +205,7 @@ TEST(BatchPredictor, FourThreadBatchBitIdenticalToSerial) {
   serial.reserve(jobs.size());
   for (const auto& job : jobs) {
     serial.push_back(
-        core::Predictor{job.params, sim}.predict(*job.program, *job.costs));
+        core::Predictor{job.params, sim}.predict_or_die(*job.program, *job.costs));
   }
 
   // Without cache.
@@ -266,7 +266,7 @@ TEST(PredictionCache, HitAndMissCountersAndExactKeying) {
   const auto params = loggp::presets::meiko_cs2(2);
   const core::Predictor predictor{params};
   const auto prog_a = tiny_program(4);
-  const auto pred_a = predictor.predict(prog_a, costs);
+  const auto pred_a = predictor.predict_or_die(prog_a, costs);
 
   runtime::PredictionCache cache;
   EXPECT_FALSE(cache.lookup(prog_a, params, 1).has_value());  // miss
@@ -305,8 +305,8 @@ TEST(PredictionCache, DistinctProgramsForcedIntoOneShardStayDistinct) {
   const auto hash_b = runtime::prediction_key_hash(prog_b, params, 1);
   EXPECT_EQ(cache.shard_of(hash_a), cache.shard_of(hash_b));  // same shard
 
-  const auto pred_a = predictor.predict(prog_a, costs);
-  const auto pred_b = predictor.predict(prog_b, costs);
+  const auto pred_a = predictor.predict_or_die(prog_a, costs);
+  const auto pred_b = predictor.predict_or_die(prog_b, costs);
   cache.insert(prog_a, params, 1, pred_a);
   cache.insert(prog_b, params, 1, pred_b);
 
@@ -329,9 +329,9 @@ TEST(PredictionCache, LruEvictionUnderByteBudget) {
   const auto prog_a = tiny_program(4);
   const auto prog_b = tiny_program(8);
   const auto prog_c = tiny_program(16);
-  const auto pred_a = predictor.predict(prog_a, costs);
-  const auto pred_b = predictor.predict(prog_b, costs);
-  const auto pred_c = predictor.predict(prog_c, costs);
+  const auto pred_a = predictor.predict_or_die(prog_a, costs);
+  const auto pred_b = predictor.predict_or_die(prog_b, costs);
+  const auto pred_c = predictor.predict_or_die(prog_c, costs);
   const auto entry_bytes = runtime::prediction_entry_bytes(prog_a, pred_a);
   ASSERT_EQ(entry_bytes, runtime::prediction_entry_bytes(prog_b, pred_b));
 
@@ -358,7 +358,7 @@ TEST(PredictionCache, OversizedEntryIsNotRetained) {
   const auto costs = tiny_costs();
   const auto params = loggp::presets::meiko_cs2(2);
   const auto prog = tiny_program(4);
-  const auto pred = core::Predictor{params}.predict(prog, costs);
+  const auto pred = core::Predictor{params}.predict_or_die(prog, costs);
   runtime::PredictionCache cache{{.shards = 1, .byte_budget = 16}};
   cache.insert(prog, params, 1, pred);
   EXPECT_EQ(cache.stats().entries, 0u);

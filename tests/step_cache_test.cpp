@@ -1,6 +1,6 @@
 // Tests for the structure-aware comm-step memoization stack: pattern
 // canonicalization and interning (src/pattern/canonical.*), the
-// simulator-side cache hook (core::CommStepCache in ProgramSimulator),
+// simulator-side cache hook (core::StepCache in ProgramSimulator),
 // and the cross-job SharedStepCache (src/runtime/step_cache.*).
 //
 // The load-bearing property throughout is BIT-IDENTITY: a prediction made
@@ -356,8 +356,8 @@ TEST(StepCacheBitIdentity, Fig7GeSweepMatchesUncached) {
     for (int block : {8, 16, 32, 64, 96, 120}) {
       const auto program = ge::build_ge_program(
           ge::GeConfig{.n = 960, .block = block}, *map);
-      const core::Prediction a = cached.predict(program, costs);
-      const core::Prediction b = uncached.predict(program, costs);
+      const core::Prediction a = cached.predict_or_die(program, costs);
+      const core::Prediction b = uncached.predict_or_die(program, costs);
       const auto expect_bit_identical = [&](const core::ProgramResult& with,
                                             const core::ProgramResult& sans) {
         EXPECT_EQ(with.total.us(), sans.total.us())

@@ -30,9 +30,24 @@ run_pass() {
 run_pass default "$prefix-default"
 run_pass "$sanitizer" "$prefix-$sanitizer" "-DLOGSIM_SANITIZE=$sanitizer"
 
+# Header self-sufficiency: every public <logsim/*.hpp> module header must
+# compile standalone (own includes only, nothing leaked from a sibling).
+# Catches a header that silently relies on the umbrella's include order.
+echo "==> [headers] compile each include/logsim/*.hpp standalone"
+for hdr in "$repo_root"/include/logsim/*.hpp; do
+  rel=${hdr#"$repo_root/include/"}
+  printf '    %s\n' "$rel"
+  printf '#include <%s>\n' "$rel" |
+    ${CXX:-c++} -std=c++20 -fsyntax-only -x c++ \
+      -I "$repo_root/include" -I "$repo_root/src" -
+done
+echo "==> [headers] all public headers self-sufficient"
+
 # Perf smoke: a Release build of the regression harness must run, emit a
 # schema-valid BENCH_perf.json, and -- when a baseline has been checked in
 # under bench/baselines/ -- stay within 25% of it on every benchmark.
+# The harness is built with tracing compiled in; LOGSIM_TRACE is unset so
+# the gate asserts the compiled-in-but-disabled overhead stays in budget.
 # Skippable for quick local iterations with LOGSIM_CI_SKIP_PERF=1.
 if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
   perf_dir="$prefix-perf"
@@ -44,11 +59,12 @@ if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
   perf_json="$repo_root/BENCH_perf.json"
   baseline="$repo_root/bench/baselines/BENCH_perf_baseline.json"
   if [ -f "$baseline" ]; then
-    "$perf_dir/bench/perf_regression" --quick --out "$perf_json" \
-      --baseline "$baseline" --max-regress 0.25
+    env -u LOGSIM_TRACE "$perf_dir/bench/perf_regression" --quick \
+      --out "$perf_json" --baseline "$baseline" --max-regress 0.25
   else
     echo "==> [perf] no baseline at $baseline; running ungated"
-    "$perf_dir/bench/perf_regression" --quick --out "$perf_json"
+    env -u LOGSIM_TRACE "$perf_dir/bench/perf_regression" --quick \
+      --out "$perf_json"
   fi
   grep -q '"schema": "logsim-perf-v2"' "$perf_json" || {
     echo "==> [perf] BENCH_perf.json failed schema check" >&2

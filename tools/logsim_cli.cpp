@@ -20,6 +20,11 @@
 // --no-step-cache (or LOGSIM_STEP_CACHE=0 in the environment) disables the
 // comm-step memoization cache in predict / predict-ge; predictions are
 // bit-identical either way.
+// --trace-out FILE (or --trace-out=FILE, or LOGSIM_TRACE=FILE in the
+// environment) makes predict / predict-ge write a Chrome trace-event JSON
+// file: wall-clock tracks for the process plus one track per simulated
+// processor (load it at ui.perfetto.dev or chrome://tracing).  Tracing is
+// observation-only -- predictions are bit-identical with it on or off.
 
 #include <cstdlib>
 #include <cstring>
@@ -27,9 +32,15 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
-#include <logsim/logsim.hpp>
+#include <logsim/analysis.hpp>
+#include <logsim/core.hpp>
+#include <logsim/obs.hpp>
+#include <logsim/programs.hpp>
+#include <logsim/runtime.hpp>
 
 #include "io/params_io.hpp"
 #include "io/pattern_io.hpp"
@@ -45,6 +56,7 @@ struct Flags {
   bool step_cache = runtime::step_cache_env_enabled();
   std::uint64_t seed = 1;
   std::string csv;
+  std::string trace_out;  // empty = tracing off
   std::vector<std::string> positional;
 };
 
@@ -72,12 +84,53 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--csv" && i + 1 < argc) {
       flags.csv = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      flags.trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      flags.trace_out = arg.substr(std::strlen("--trace-out="));
     } else {
       flags.positional.push_back(arg);
     }
   }
+  if (flags.trace_out.empty()) {
+    // Environment fallback: LOGSIM_TRACE names the output file ("0" and
+    // the empty string keep tracing off).
+    if (const char* env = std::getenv("LOGSIM_TRACE");
+        env != nullptr && *env != '\0' && std::string_view{env} != "0") {
+      flags.trace_out = env;
+    }
+  }
   return flags;
 }
+
+/// RAII tracing scope for one CLI command: enables the global session and
+/// names the calling thread, then writes the Chrome trace on destruction.
+class TraceScope {
+ public:
+  TraceScope(std::string path, const obs::SimTraceRecorder* sim)
+      : path_(std::move(path)), sim_(sim) {
+    if (!active()) return;
+    obs::TraceSession::global().set_thread_name("main");
+    obs::TraceSession::global().enable();
+  }
+
+  ~TraceScope() {
+    if (!active()) return;
+    obs::TraceSession::global().disable();
+    if (obs::write_chrome_trace(path_, obs::TraceSession::global(), sim_)) {
+      std::cout << "trace written to " << path_ << '\n';
+    } else {
+      std::cerr << "cannot write trace to " << path_ << '\n';
+    }
+    obs::TraceSession::global().clear();
+  }
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+  const obs::SimTraceRecorder* sim_;
+};
 
 int cmd_simulate(const Flags& flags) {
   if (flags.positional.empty()) {
@@ -174,10 +227,20 @@ int cmd_predict_ge(const Flags& flags) {
   const auto costs = ops::analytic_cost_table();
   // The predictor runs the program under both schedules; the comm-step
   // cache dedups the shared structure between them within this one call.
-  runtime::SharedStepCache step_cache;
+  runtime::SharedStepCache step_cache{
+      runtime::SharedStepCache::config_from_env()};
   core::ProgramSimOptions opts;
   if (flags.step_cache) opts.step_cache = &step_cache;
-  const auto pred = core::Predictor{*pr, opts}.predict(program, costs);
+  obs::SimTraceRecorder recorder;
+  TraceScope trace{flags.trace_out, &recorder};
+  if (trace.active()) opts.sim_trace = &recorder;
+  const Result<core::Prediction> predicted =
+      core::Predictor{*pr, opts}.predict(program, costs);
+  if (!predicted.ok()) {
+    report("predict-ge", predicted.status());
+    return 1;
+  }
+  const core::Prediction& pred = *predicted;
   const auto bounds = analysis::analyze_program(program, costs, *pr);
 
   std::cout << "GE " << n << "x" << n << " block " << block << " on " << procs
@@ -217,11 +280,15 @@ int cmd_predict(const Flags& flags) {
   loggp::Params params = *pr;
   params.P = bundle.program.procs();
 
-  runtime::SharedStepCache step_cache;
+  runtime::SharedStepCache step_cache{
+      runtime::SharedStepCache::config_from_env()};
   core::ProgramSimOptions opts;
   opts.worst_case = flags.worst;
   opts.seed = flags.seed;
   if (flags.step_cache) opts.step_cache = &step_cache;
+  obs::SimTraceRecorder recorder;
+  TraceScope trace{flags.trace_out, &recorder};
+  if (trace.active()) opts.sim_trace = &recorder;
   const auto result = core::ProgramSimulator{params, opts}.run(bundle.program,
                                                                bundle.costs);
   std::cout << params.to_string() << "  schedule="
