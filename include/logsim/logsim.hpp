@@ -26,6 +26,8 @@
 //                          layouts, op models, frontend, transforms
 //   <logsim/analysis.hpp>  trace analysis, bounds, fitting, search,
 //                          testbed, packet network, extensions
+//   <logsim/serve.hpp>     the TCP serving layer: daemon, client, wire
+//                          codecs
 
 #include "logsim/analysis.hpp"  // IWYU pragma: export
 #include "logsim/core.hpp"      // IWYU pragma: export
@@ -33,3 +35,4 @@
 #include "logsim/obs.hpp"       // IWYU pragma: export
 #include "logsim/programs.hpp"  // IWYU pragma: export
 #include "logsim/runtime.hpp"   // IWYU pragma: export
+#include "logsim/serve.hpp"     // IWYU pragma: export

@@ -51,14 +51,26 @@ class CostTable {
   /// All calibration block sizes recorded for `op`, ascending.
   [[nodiscard]] std::vector<int> block_sizes(OpId op) const;
 
+  /// Structural equality: same ops (names, order) with the same
+  /// calibration points.  The prediction cache keys on this -- two
+  /// programs that differ only in their cost tables must never share an
+  /// entry (the serving layer takes a table from every request).
+  [[nodiscard]] friend bool operator==(const CostTable&,
+                                       const CostTable&) = default;
+
  private:
   struct Point {
     int block;
     Time cost;
+
+    [[nodiscard]] friend bool operator==(const Point&, const Point&) = default;
   };
   struct OpEntry {
     std::string name;
     std::vector<Point> points;  // sorted by block
+
+    [[nodiscard]] friend bool operator==(const OpEntry&,
+                                         const OpEntry&) = default;
   };
   std::vector<OpEntry> ops_;
 };

@@ -32,14 +32,35 @@ class CancelToken {
   }
 
   [[nodiscard]] bool cancelled() const {
-    return flag_ && flag_->load(std::memory_order_relaxed);
+    return (flag_ && flag_->load(std::memory_order_relaxed)) ||
+           (extra_ && extra_->load(std::memory_order_relaxed));
   }
 
   /// True for tokens made by create() (i.e. cancellation is possible).
-  [[nodiscard]] bool armed() const { return flag_ != nullptr; }
+  [[nodiscard]] bool armed() const {
+    return flag_ != nullptr || extra_ != nullptr;
+  }
+
+  /// A token that observes BOTH inputs: cancelled() is true as soon as
+  /// either `a` or `b` is cancelled.  Intended for pollers that must honour
+  /// two independent stop signals (a batch-wide token plus a per-job one);
+  /// cancel() on the merged token fires only `a`'s flag, so merged tokens
+  /// should be treated as read-only views.  Merging is shallow: pass plain
+  /// create() tokens, not already-merged ones (an extra flag on an input
+  /// would be dropped).
+  [[nodiscard]] static CancelToken merged(const CancelToken& a,
+                                          const CancelToken& b) {
+    if (!a.armed()) return b;
+    if (!b.armed()) return a;
+    CancelToken t = a;
+    t.extra_ = b.flag_ != nullptr ? b.flag_ : b.extra_;
+    return t;
+  }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
+  /// Second observed flag (merged tokens only); never the cancel() target.
+  std::shared_ptr<std::atomic<bool>> extra_;
 };
 
 }  // namespace logsim::fault

@@ -22,6 +22,15 @@ const char* error_code_name(ErrorCode code) {
   return "unknown";
 }
 
+ErrorCode error_code_from_name(std::string_view name) {
+  for (ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidInput, ErrorCode::kTransient,
+        ErrorCode::kTimeout, ErrorCode::kCancelled, ErrorCode::kInternal}) {
+    if (name == error_code_name(code)) return code;
+  }
+  return ErrorCode::kInternal;
+}
+
 std::string Status::to_string() const {
   if (ok()) return "ok";
   std::ostringstream os;

@@ -19,6 +19,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,11 @@ enum class ErrorCode {
 
 /// Stable lowercase name of a code, e.g. "invalid-input".
 [[nodiscard]] const char* error_code_name(ErrorCode code);
+
+/// Inverse of error_code_name, for codes carried over a wire boundary;
+/// unknown names map to kInternal (a peer speaking a newer protocol is a
+/// bug on one side or the other, never silent success).
+[[nodiscard]] ErrorCode error_code_from_name(std::string_view name);
 
 class Status {
  public:

@@ -24,10 +24,21 @@ bool has_trailing_junk(std::istringstream& ls) {
   return !rest.empty() && rest[0] != '#';
 }
 
+/// Shared oversize guard (mirrors program_io): reject before allocating.
+Status check_payload_size(std::size_t size, std::size_t max_bytes) {
+  if (size <= max_bytes) return Status{};
+  return Status::invalid_input("payload of " + std::to_string(size) +
+                               " bytes exceeds the max-message size of " +
+                               std::to_string(max_bytes) + " bytes");
+}
+
 }  // namespace
 
 Result<pattern::CommPattern> parse_pattern(const std::string& text,
                                            const PatternParseOptions& options) {
+  if (Status st = check_payload_size(text.size(), options.max_bytes); !st.ok()) {
+    return st;
+  }
   std::istringstream in{text};
   std::string line;
   int line_no = 0;
@@ -104,6 +115,16 @@ Result<pattern::CommPattern> load_pattern(const std::string& path,
     if (!in) {
       return Status::invalid_input("cannot open '" + path + "'");
     }
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size >= 0) {
+      if (Status st = check_payload_size(static_cast<std::size_t>(size),
+                                         options.max_bytes);
+          !st.ok()) {
+        return st.with_context("while loading '" + path + "'");
+      }
+    }
+    in.seekg(0, std::ios::beg);
     std::stringstream ss;
     ss << in.rdbuf();
     Result<pattern::CommPattern> parsed = parse_pattern(ss.str(), options);

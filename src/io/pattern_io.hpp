@@ -13,6 +13,7 @@
 // processor counts -- comes back as a line-numbered invalid-input Status,
 // never an assert or undefined behaviour.
 
+#include <cstddef>
 #include <string>
 
 #include "fault/status.hpp"
@@ -26,6 +27,9 @@ struct PatternParseOptions {
   bool allow_self_messages = true;
   /// Resource guard: a hostile "procs 2000000000" must not allocate.
   int max_procs = 1 << 20;
+  /// Resource guard for oversized payloads (see ProgramParseOptions):
+  /// longer inputs are rejected with an invalid-input Status up front.
+  std::size_t max_bytes = 64ull << 20;
 };
 
 /// Parses the text format from a string.  Errors carry the 1-based line

@@ -19,10 +19,22 @@ Status fail(int line, std::string message) {
   return Status::invalid_input(std::move(message)).at_line(line);
 }
 
+/// Shared oversize guard: parsers reject the whole payload before touching
+/// it, loaders reject the file before reading it into memory.
+Status check_payload_size(std::size_t size, std::size_t max_bytes) {
+  if (size <= max_bytes) return Status{};
+  return Status::invalid_input("payload of " + std::to_string(size) +
+                               " bytes exceeds the max-message size of " +
+                               std::to_string(max_bytes) + " bytes");
+}
+
 }  // namespace
 
 Result<ProgramBundle> parse_program(const std::string& text,
                                     const ProgramParseOptions& options) {
+  if (Status st = check_payload_size(text.size(), options.max_bytes); !st.ok()) {
+    return st;
+  }
   std::istringstream in{text};
   std::string line;
   int line_no = 0;
@@ -141,6 +153,16 @@ Result<ProgramBundle> load_program(const std::string& path,
     }
     std::ifstream in{path};
     if (!in) return Status::invalid_input("cannot open '" + path + "'");
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size >= 0) {
+      if (Status st = check_payload_size(static_cast<std::size_t>(size),
+                                         options.max_bytes);
+          !st.ok()) {
+        return st.with_context("while loading '" + path + "'");
+      }
+    }
+    in.seekg(0, std::ios::beg);
     std::stringstream ss;
     ss << in.rdbuf();
     Result<ProgramBundle> parsed = parse_program(ss.str(), options);

@@ -20,6 +20,7 @@
 // end up calibrated (>= 1 cost point), processor ids must be in range, and
 // cost values must be finite.
 
+#include <cstddef>
 #include <string>
 
 #include "core/cost_table.hpp"
@@ -36,6 +37,13 @@ struct ProgramBundle {
 struct ProgramParseOptions {
   /// Resource guard for hostile processor counts.
   int max_procs = 1 << 20;
+  /// Resource guard for oversized payloads: inputs longer than this many
+  /// bytes are rejected up front with an invalid-input Status instead of
+  /// being parsed (and allocated) without bound.  load_program() checks the
+  /// file size before reading, so a truncated-length or hostile wire
+  /// payload never reaches memory.  The serving layer passes its own
+  /// (smaller) frame limit through here.
+  std::size_t max_bytes = 64ull << 20;
 };
 
 /// Errors carry the 1-based line via Status::line().

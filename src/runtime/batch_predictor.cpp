@@ -116,7 +116,8 @@ std::vector<JobResult> BatchPredictor::predict_all(
       if (job.program != nullptr && job.costs != nullptr &&
           !sim_.compute_overhead && job.sim_trace == nullptr) {
         state->keys[i] =
-            prediction_key_hash(*job.program, job.params, sim_.seed);
+            prediction_key_hash(*job.program, *job.costs, job.params,
+                                job.seed.value_or(sim_.seed));
         state->keyed[i] = 1;
       }
     }
@@ -226,17 +227,19 @@ std::vector<JobResult> BatchPredictor::predict_all(
   return out;
 }
 
-JobResult BatchPredictor::predict_one(const PredictJob& job) {
+JobResult BatchPredictor::predict_one(const PredictJob& job,
+                                      bool publish_gauges) {
   std::uint64_t key = 0;
   bool keyed = false;
   if (cache_ != nullptr && job.program != nullptr && job.costs != nullptr &&
       !sim_.compute_overhead && job.sim_trace == nullptr) {
-    key = prediction_key_hash(*job.program, job.params, sim_.seed);
+    key = prediction_key_hash(*job.program, *job.costs, job.params,
+                              job.seed.value_or(sim_.seed));
     keyed = true;
   }
   JobResult result =
       run_job(job, fault::CancelToken{}, kNoDeadline, key, keyed, obs::kNoId);
-  publish_cache_gauges();
+  if (publish_gauges) publish_cache_gauges();
   return result;
 }
 
@@ -251,6 +254,14 @@ JobResult BatchPredictor::run_job(
   if (config_.job_deadline.count() > 0) {
     deadline = std::min(deadline, start + config_.job_deadline);
   }
+  if (job.deadline.count() > 0) {
+    deadline = std::min(deadline, start + job.deadline);
+  }
+  // The job's own token is polled alongside the batch-wide one, so a
+  // serving request cancelled by its client stops without touching
+  // unrelated jobs in the same batch.
+  const fault::CancelToken effective_cancel =
+      fault::CancelToken::merged(cancel, job.cancel);
 
   // Backoff jitter stream: deterministic per (seed, job), so reruns of a
   // faulty batch reproduce the exact same delay schedule.
@@ -262,7 +273,7 @@ JobResult BatchPredictor::run_job(
     ++attempt;
     result.prediction.reset();
     result.from_cache = false;
-    Status st = run_attempt(job, cancel, deadline, key, keyed, &result);
+    Status st = run_attempt(job, effective_cancel, deadline, key, keyed, &result);
     result.attempts = attempt;
     result.status = st;
     if (st.ok()) {
@@ -316,9 +327,11 @@ Status BatchPredictor::run_attempt(
     }
     // A compute_overhead closure is opaque to the canonical hash, so such
     // jobs must not share cache entries with closure-free ones.
+    const std::uint64_t seed = job.seed.value_or(sim_.seed);
     const bool cacheable = cache_ != nullptr && keyed;
     if (cacheable) {
-      if (auto hit = cache_->lookup(key, *job.program, job.params, sim_.seed)) {
+      if (auto hit =
+              cache_->lookup(key, *job.program, *job.costs, job.params, seed)) {
         result->prediction = std::move(hit);
         result->from_cache = true;
         return Status{};
@@ -328,13 +341,14 @@ Status BatchPredictor::run_attempt(
     opts.cancel = cancel;
     opts.deadline = deadline;
     opts.sim_trace = job.sim_trace;
+    opts.seed = seed;
     const core::Predictor predictor{job.params, opts};
     Result<core::Prediction> prediction =
         predictor.predict(*job.program, *job.costs);
     if (!prediction.ok()) return prediction.status();
     result->prediction = std::move(prediction).value();
     if (cacheable) {
-      cache_->insert(key, *job.program, job.params, sim_.seed,
+      cache_->insert(key, *job.program, *job.costs, job.params, seed,
                      *result->prediction);
     }
     return Status{};

@@ -68,6 +68,19 @@ struct PredictJob {
   /// the simulation and leave the recorder empty.  The recorder ends up
   /// holding the standard-schedule run (see core::Predictor).
   obs::SimTraceRecorder* sim_trace = nullptr;
+  /// Optional per-job stop controls, honoured in ADDITION to the batch
+  /// token / config deadlines (the serving layer attaches one per request).
+  /// Neither affects the prediction value, so cached/checkpointed results
+  /// still apply.
+  fault::CancelToken cancel;
+  /// Wall-clock budget for this job's attempt chain; zero disables.
+  /// Combined with Config::job_deadline by taking the earlier expiry.
+  std::chrono::steady_clock::duration deadline{};
+  /// Optional per-job simulation-seed override (worst-case tie-breaking);
+  /// nullopt uses Config::sim.seed.  The effective seed is part of the
+  /// cache / checkpoint key, so jobs with different seeds never share an
+  /// entry.  The serving layer maps the wire request's seed here.
+  std::optional<std::uint64_t> seed;
 };
 
 /// Per-job outcome: a Prediction, or the Status explaining its absence.
@@ -136,8 +149,11 @@ class BatchPredictor {
       fault::CancelToken cancel = fault::CancelToken{});
 
   /// Convenience: evaluates one job through the same cache + retry +
-  /// metrics path (no checkpoint, no watchdog).
-  [[nodiscard]] JobResult predict_one(const PredictJob& job);
+  /// metrics path (no checkpoint, no watchdog).  High-rate callers (the
+  /// serving layer) pass publish_gauges = false so a warm cache hit stays
+  /// at memory speed, and publish on their own cadence instead.
+  [[nodiscard]] JobResult predict_one(const PredictJob& job,
+                                      bool publish_gauges = true);
 
   [[nodiscard]] std::size_t threads() const { return pool_.size(); }
   [[nodiscard]] PredictionCache* cache() const { return cache_; }

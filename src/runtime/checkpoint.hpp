@@ -2,7 +2,7 @@
 // Crash-safe checkpointing for long prediction sweeps.
 //
 // A Checkpoint is an in-memory map from the canonical FNV-1a job key hash
-// (prediction_key_hash over program + params + seed) to the finished
+// (prediction_key_hash over program + costs + params + seed) to the finished
 // Prediction.  The batch runtime records completed jobs into it and
 // periodically persists with write_atomic(): serialize to "<path>.tmp",
 // then std::rename over the target, so a crash mid-write leaves either the

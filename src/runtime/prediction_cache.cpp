@@ -6,6 +6,7 @@
 namespace logsim::runtime {
 
 std::uint64_t prediction_key_hash(const core::StepProgram& program,
+                                  const core::CostTable& costs,
                                   const loggp::Params& params,
                                   std::uint64_t seed) {
   // One encoding for all structural keys: the program is folded in via
@@ -21,6 +22,18 @@ std::uint64_t prediction_key_hash(const core::StepProgram& program,
   h.mix_i64(params.P);
   h.mix_u64(seed);
   h.mix_u64(core::structural_hash(program));
+  // The calibration: op names and points, in registration order (the
+  // program's items address ops by id, so order is meaningful).
+  h.mix_i64(costs.op_count());
+  for (core::OpId op = 0; op < costs.op_count(); ++op) {
+    const std::string& name = costs.name(op);
+    h.mix_i64(static_cast<std::int64_t>(name.size()));
+    h.mix_bytes(name.data(), name.size());
+    for (const int block : costs.block_sizes(op)) {
+      h.mix_i64(block);
+      h.mix_double(costs.cost(op, block).us());
+    }
+  }
   return h.digest();
 }
 
@@ -58,15 +71,16 @@ PredictionCache::PredictionCache(Config config) {
 }
 
 std::optional<core::Prediction> PredictionCache::lookup(
-    const core::StepProgram& program, const loggp::Params& params,
-    std::uint64_t seed) {
-  return lookup(prediction_key_hash(program, params, seed), program, params,
-                seed);
+    const core::StepProgram& program, const core::CostTable& costs,
+    const loggp::Params& params, std::uint64_t seed) {
+  return lookup(prediction_key_hash(program, costs, params, seed), program,
+                costs, params, seed);
 }
 
 std::optional<core::Prediction> PredictionCache::lookup(
     std::uint64_t hash, const core::StepProgram& program,
-    const loggp::Params& params, std::uint64_t seed) {
+    const core::CostTable& costs, const loggp::Params& params,
+    std::uint64_t seed) {
   // An injected lookup failure degrades to a miss: the cache is an
   // optimization, so a flaky backing store must never fail a prediction.
   if (Status st = fault::failpoint("cache.lookup"); !st.ok()) {
@@ -80,7 +94,7 @@ std::optional<core::Prediction> PredictionCache::lookup(
   if (auto it = shard.index.find(hash); it != shard.index.end()) {
     for (auto entry_it : it->second) {
       if (entry_it->seed == seed && entry_it->params == params &&
-          entry_it->program == program) {
+          entry_it->program == program && entry_it->costs == costs) {
         shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
         ++shard.hits;
         return entry_it->prediction;
@@ -92,14 +106,16 @@ std::optional<core::Prediction> PredictionCache::lookup(
 }
 
 void PredictionCache::insert(const core::StepProgram& program,
+                             const core::CostTable& costs,
                              const loggp::Params& params, std::uint64_t seed,
                              const core::Prediction& prediction) {
-  insert(prediction_key_hash(program, params, seed), program, params, seed,
-         prediction);
+  insert(prediction_key_hash(program, costs, params, seed), program, costs,
+         params, seed, prediction);
 }
 
 void PredictionCache::insert(std::uint64_t hash,
                              const core::StepProgram& program,
+                             const core::CostTable& costs,
                              const loggp::Params& params, std::uint64_t seed,
                              const core::Prediction& prediction) {
   // An injected insert failure skips the store; correctness is unaffected,
@@ -110,14 +126,14 @@ void PredictionCache::insert(std::uint64_t hash,
   if (auto it = shard.index.find(hash); it != shard.index.end()) {
     for (auto entry_it : it->second) {
       if (entry_it->seed == seed && entry_it->params == params &&
-          entry_it->program == program) {
+          entry_it->program == program && entry_it->costs == costs) {
         // Already cached (a racing worker got here first): refresh recency.
         shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
         return;
       }
     }
   }
-  Entry entry{hash, program, params, seed, prediction,
+  Entry entry{hash, program, costs, params, seed, prediction,
               prediction_entry_bytes(program, prediction)};
   if (entry.bytes > per_shard_budget_) return;  // would evict everything
   shard.lru.push_front(std::move(entry));

@@ -1,14 +1,19 @@
 #pragma once
 // Sharded memoization cache for predictions.
 //
-// Key: a canonical 64-bit FNV-1a hash over the step program's structure and
-// the LogGP parameters (plus the simulation seed, which changes worst-case
-// tie-breaking).  The hash selects a shard; each shard holds an LRU list of
-// entries guarded by its own mutex, so concurrent pool workers only contend
-// when they land on the same shard.  Because 64 bits can collide, every
-// entry keeps a full copy of its (program, params) key and lookups verify
-// with operator== before reporting a hit -- a collision is a miss, never a
-// wrong answer.
+// Key: a canonical 64-bit FNV-1a hash over the step program's structure,
+// its cost table, and the LogGP parameters (plus the simulation seed,
+// which changes worst-case tie-breaking).  The cost table is part of the
+// key because it is part of the answer: two programs with identical
+// structure but different calibrations predict different times -- a
+// distinction that never arose while every caller shared one process-wide
+// analytic table, but which the serving layer (cost tables arrive with
+// every request) makes load-bearing.  The hash selects a shard; each shard
+// holds an LRU list of entries guarded by its own mutex, so concurrent
+// pool workers only contend when they land on the same shard.  Because 64
+// bits can collide, every entry keeps a full copy of its (program, costs,
+// params) key and lookups verify with operator== before reporting a hit --
+// a collision is a miss, never a wrong answer.
 //
 // Eviction is by approximate byte footprint: each entry is charged for its
 // program copy (steps, work items, touched-block ids, messages) and its
@@ -31,10 +36,12 @@
 namespace logsim::runtime {
 
 /// Canonical FNV-1a-64 hash of a prediction-cache key.  Identical
-/// (program, params, seed) triples always hash equal; the encoding walks
-/// the program structurally (step kinds, work items, touched ids, messages)
-/// so logically equal programs built by different code paths agree.
+/// (program, costs, params, seed) tuples always hash equal; the encoding
+/// walks the program structurally (step kinds, work items, touched ids,
+/// messages) and the cost table (op names, calibration points) so
+/// logically equal inputs built by different code paths agree.
 [[nodiscard]] std::uint64_t prediction_key_hash(const core::StepProgram& program,
+                                                const core::CostTable& costs,
                                                 const loggp::Params& params,
                                                 std::uint64_t seed);
 
@@ -71,14 +78,15 @@ class PredictionCache {
   /// Returns the cached prediction for an exactly-equal key, promoting the
   /// entry to most-recently-used; counts a hit or a miss.
   [[nodiscard]] std::optional<core::Prediction> lookup(
-      const core::StepProgram& program, const loggp::Params& params,
-      std::uint64_t seed);
+      const core::StepProgram& program, const core::CostTable& costs,
+      const loggp::Params& params, std::uint64_t seed);
 
   /// Stores a prediction, copying the key for collision verification.
   /// Re-inserting an existing key refreshes its LRU position; insertion may
   /// evict LRU entries to respect the byte budget.
-  void insert(const core::StepProgram& program, const loggp::Params& params,
-              std::uint64_t seed, const core::Prediction& prediction);
+  void insert(const core::StepProgram& program, const core::CostTable& costs,
+              const loggp::Params& params, std::uint64_t seed,
+              const core::Prediction& prediction);
 
   /// Hashed-key variants: hashing walks the whole program, so callers that
   /// look up and then insert on a miss should hash once (the hash MUST be
@@ -86,10 +94,11 @@ class PredictionCache {
   /// wastes the entry).
   [[nodiscard]] std::optional<core::Prediction> lookup(
       std::uint64_t hash, const core::StepProgram& program,
-      const loggp::Params& params, std::uint64_t seed);
+      const core::CostTable& costs, const loggp::Params& params,
+      std::uint64_t seed);
   void insert(std::uint64_t hash, const core::StepProgram& program,
-              const loggp::Params& params, std::uint64_t seed,
-              const core::Prediction& prediction);
+              const core::CostTable& costs, const loggp::Params& params,
+              std::uint64_t seed, const core::Prediction& prediction);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -105,6 +114,7 @@ class PredictionCache {
   struct Entry {
     std::uint64_t hash = 0;
     core::StepProgram program;  // full key copy for collision verification
+    core::CostTable costs;      // ditto: calibration is part of the answer
     loggp::Params params;
     std::uint64_t seed = 0;
     core::Prediction prediction;

@@ -1,0 +1,182 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace logsim::serve {
+
+Result<Client> Client::connect(const std::string& host, std::uint16_t port,
+                               WireLimits limits) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::invalid_input("cannot parse server address '" + host +
+                                 "' (dotted-quad IPv4 or \"localhost\")");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::transient(std::string{"socket: "} + std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status st =
+        Status::transient("cannot connect to " + host + ":" +
+                          std::to_string(port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Client{fd, limits};
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      limits_(other.limits_),
+      next_id_(other.next_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    limits_ = other.limits_;
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::send(const Frame& frame) {
+  return write_frame(fd_, frame, limits_);
+}
+
+Result<Frame> Client::receive() {
+  Result<std::optional<Frame>> frame = read_frame(fd_, limits_);
+  if (!frame.ok()) return frame.status();
+  if (!frame->has_value()) {
+    return Status::transient("server closed the connection");
+  }
+  return std::move(**frame);
+}
+
+Status Client::ping() {
+  const std::uint64_t id = next_id();
+  if (Status st = send(Frame{FrameKind::kPing, id, {}}); !st.ok()) return st;
+  Result<Frame> frame = receive();
+  if (!frame.ok()) return frame.status();
+  if (frame->kind != FrameKind::kPong || frame->id != id) {
+    return Status::invalid_input("unexpected reply to PING");
+  }
+  return Status{};
+}
+
+Result<PredictReply> Client::predict(const PredictRequest& request) {
+  const std::uint64_t id = next_id();
+  if (Status st = send(Frame{FrameKind::kPredict, id,
+                             encode_predict_request(request)});
+      !st.ok()) {
+    return st;
+  }
+  for (;;) {
+    Result<Frame> frame = receive();
+    if (!frame.ok()) return frame.status();
+    if (frame->id != id) {
+      return Status::invalid_input(
+          "out-of-order reply (pipelined ids on a synchronous call?)");
+    }
+    switch (frame->kind) {
+      case FrameKind::kResult:
+        return decode_predict_reply(frame->payload);
+      case FrameKind::kError: {
+        Result<ErrorReply> reply = decode_error_reply(frame->payload);
+        if (!reply.ok()) return reply.status();
+        return reply->to_status();
+      }
+      default:
+        return Status::invalid_input("unexpected frame kind in PREDICT reply");
+    }
+  }
+}
+
+Result<std::vector<Client::BatchItem>> Client::predict_batch(
+    const std::vector<PredictRequest>& jobs) {
+  const std::uint64_t id = next_id();
+  if (Status st =
+          send(Frame{FrameKind::kBatch, id, encode_batch_request(jobs)});
+      !st.ok()) {
+    return st;
+  }
+  std::vector<BatchItem> items(jobs.size());
+  Status batch_error;
+  for (;;) {
+    Result<Frame> frame = receive();
+    if (!frame.ok()) return frame.status();
+    if (frame->id != id) {
+      return Status::invalid_input("reply for a different correlation id");
+    }
+    if (frame->kind == FrameKind::kBatchEnd) break;
+    if (frame->kind == FrameKind::kResult) {
+      Result<PredictReply> reply = decode_predict_reply(frame->payload);
+      if (!reply.ok()) return reply.status();
+      if (reply->index >= items.size()) {
+        return Status::invalid_input("reply index out of batch range");
+      }
+      items[reply->index].reply = std::move(reply).value();
+      items[reply->index].status = Status{};
+      continue;
+    }
+    if (frame->kind == FrameKind::kError) {
+      Result<ErrorReply> reply = decode_error_reply(frame->payload);
+      if (!reply.ok()) return reply.status();
+      if (reply->index < items.size() && !items[reply->index].ok()) {
+        items[reply->index].status = reply->to_status();
+      }
+      // Remember the first error: a batch-level rejection answers with
+      // one ERROR + BATCH_END and must surface on every item below.
+      if (batch_error.ok()) batch_error = reply->to_status();
+      continue;
+    }
+    return Status::invalid_input("unexpected frame kind in BATCH reply");
+  }
+  for (BatchItem& item : items) {
+    if (!item.ok() && item.status.ok()) {
+      item.status = batch_error.ok()
+                        ? Status::internal("batch ended without a reply")
+                        : batch_error;
+    }
+  }
+  return items;
+}
+
+Result<std::string> Client::stats() {
+  const std::uint64_t id = next_id();
+  if (Status st = send(Frame{FrameKind::kStats, id, {}}); !st.ok()) return st;
+  Result<Frame> frame = receive();
+  if (!frame.ok()) return frame.status();
+  if (frame->kind == FrameKind::kError) {
+    Result<ErrorReply> reply = decode_error_reply(frame->payload);
+    if (!reply.ok()) return reply.status();
+    return reply->to_status();
+  }
+  if (frame->kind != FrameKind::kStatsText || frame->id != id) {
+    return Status::invalid_input("unexpected reply to STATS");
+  }
+  return std::move(frame->payload);
+}
+
+}  // namespace logsim::serve

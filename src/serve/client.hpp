@@ -1,0 +1,87 @@
+#pragma once
+// Blocking client for the logsim serving wire protocol (DESIGN.md §12).
+//
+// One Client wraps one TCP connection.  The high-level calls (predict,
+// predict_batch, stats, ping) are synchronous request/response; the
+// low-level send()/receive() pair is exposed for callers that pipeline --
+// the bench load generator keeps many correlation ids in flight on one
+// connection and matches responses by Frame::id.
+//
+// Thread model: a Client is NOT thread-safe; use one per thread (the
+// server fair-queues across connections anyway, so per-thread connections
+// are also the better-behaved load shape).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/status.hpp"
+#include "serve/wire.hpp"
+
+namespace logsim::serve {
+
+class Client {
+ public:
+  /// Connects to host:port (dotted-quad or "localhost").  The limits must
+  /// be at least as permissive as the server's or large replies fail.
+  [[nodiscard]] static Result<Client> connect(const std::string& host,
+                                              std::uint16_t port,
+                                              WireLimits limits = {});
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Round-trips a PING; proves the server is alive and speaking the
+  /// protocol.
+  [[nodiscard]] Status ping();
+
+  /// One prediction, blocking until the reply (or an ERROR, returned as
+  /// its Status).
+  [[nodiscard]] Result<PredictReply> predict(const PredictRequest& request);
+
+  /// Per-job outcome of a batch, mirroring runtime::JobResult: the reply,
+  /// or the Status explaining its absence.
+  struct BatchItem {
+    std::optional<PredictReply> reply;
+    Status status;  ///< ok() iff reply.has_value()
+
+    [[nodiscard]] bool ok() const { return reply.has_value(); }
+  };
+
+  /// Sends all jobs as one BATCH frame and collects the streamed replies
+  /// until the server's end-of-batch marker.  Item i corresponds to job i
+  /// regardless of the (worker-dependent) arrival order.  The outer Status
+  /// is transport-level only; per-job failures live in the items.
+  [[nodiscard]] Result<std::vector<BatchItem>> predict_batch(
+      const std::vector<PredictRequest>& jobs);
+
+  /// The server's rendered obs::Snapshot (metrics + span aggregates).
+  [[nodiscard]] Result<std::string> stats();
+
+  // --- pipelining building blocks ---------------------------------------
+
+  /// A fresh correlation id (monotonic per client).
+  [[nodiscard]] std::uint64_t next_id() { return next_id_++; }
+
+  /// Writes one frame; Status on transport failure.
+  [[nodiscard]] Status send(const Frame& frame);
+
+  /// Reads one frame; EOF mid-conversation is an error (the server never
+  /// half-closes a healthy connection).
+  [[nodiscard]] Result<Frame> receive();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd, WireLimits limits) : fd_(fd), limits_(limits) {}
+
+  int fd_ = -1;
+  WireLimits limits_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace logsim::serve

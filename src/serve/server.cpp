@@ -1,0 +1,770 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "io/params_io.hpp"
+#include "io/program_io.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace logsim::serve {
+
+namespace {
+
+double to_us(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+// One request admitted into the fair queue: either a prediction job or a
+// STATS render.  Holds its connection alive until answered.
+struct Server::Request {
+  enum class Verb { kPredict, kStats };
+
+  std::shared_ptr<Conn> conn;
+  Verb verb = Verb::kPredict;
+  std::uint64_t id = 0;
+  std::uint64_t index = 0;
+  PredictRequest req;
+  /// Jobs of this batch still unanswered; the worker that answers the last
+  /// one emits the kBatchEnd frame.  Null for non-batch requests.
+  std::shared_ptr<std::atomic<std::size_t>> batch_remaining;
+  std::chrono::steady_clock::time_point accepted;
+};
+
+// Per-connection state.  Field ownership is split three ways:
+//   * fd / assembler / want_write: IO thread only;
+//   * mu-guarded: output buffer + closed flag (workers append responses,
+//     the IO thread flushes them);
+//   * scheduler-guarded (Scheduler::mu_): pending / credit / in_rotation.
+struct Server::Conn {
+  Conn(int fd_in, const WireLimits& limits, std::size_t weight_in)
+      : fd(fd_in), assembler(limits), weight(weight_in) {}
+
+  int fd = -1;
+  FrameAssembler assembler;
+  bool want_write = false;
+
+  /// Fires when the client disconnects (or the server stops): every
+  /// inflight prediction of this connection observes it cooperatively.
+  fault::CancelToken cancel = fault::CancelToken::create();
+  /// Admitted requests not yet answered (admission control).
+  std::atomic<std::size_t> inflight{0};
+
+  std::mutex mu;
+  std::string out;
+  std::size_t out_offset = 0;
+  bool closed = false;
+
+  // Scheduler state (guarded by the scheduler's mutex).
+  std::deque<Request> pending;
+  std::size_t weight = 1;
+  std::size_t credit = 0;
+  bool in_rotation = false;
+};
+
+// Weighted round-robin fair queue across connections: each rotation turn
+// serves up to `weight` requests from the connection at the head before
+// moving it to the back, so one fat pipeliner cannot starve the rest.
+class Server::Scheduler {
+ public:
+  void push(const std::shared_ptr<Conn>& conn, Request request) {
+    {
+      std::lock_guard lock{mu_};
+      if (stopped_) return;  // late frame during shutdown: drop
+      conn->pending.push_back(std::move(request));
+      if (!conn->in_rotation) {
+        conn->in_rotation = true;
+        conn->credit = conn->weight;
+        rotation_.push_back(conn);
+      }
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks for the next request; false when the scheduler is shut down.
+  bool pop(Request* out) {
+    std::unique_lock lock{mu_};
+    cv_.wait(lock, [this] { return stopped_ || !rotation_.empty(); });
+    if (stopped_) return false;
+    const std::shared_ptr<Conn> conn = rotation_.front();
+    *out = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    if (--conn->credit == 0 || conn->pending.empty()) {
+      rotation_.pop_front();
+      conn->credit = conn->weight;
+      if (!conn->pending.empty()) {
+        rotation_.push_back(conn);
+      } else {
+        conn->in_rotation = false;
+      }
+    }
+    return true;
+  }
+
+  /// Removes a disconnected connection, returning its undispatched
+  /// requests so the caller can account for them.
+  std::size_t remove(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard lock{mu_};
+    const std::size_t dropped = conn->pending.size();
+    conn->pending.clear();
+    if (conn->in_rotation) {
+      std::erase(rotation_, conn);
+      conn->in_rotation = false;
+    }
+    return dropped;
+  }
+
+  /// Drops every queued request and wakes all workers to exit.
+  std::size_t shutdown() {
+    std::size_t dropped = 0;
+    {
+      std::lock_guard lock{mu_};
+      stopped_ = true;
+      for (const auto& conn : rotation_) {
+        dropped += conn->pending.size();
+        conn->pending.clear();
+        conn->in_rotation = false;
+      }
+      rotation_.clear();
+    }
+    cv_.notify_all();
+    return dropped;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Conn>> rotation_;
+  bool stopped_ = false;
+};
+
+Server::Server(Config config)
+    : config_(std::move(config)),
+      prediction_cache_(config_.prediction_cache),
+      step_cache_(config_.step_cache),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : &obs::metrics::Registry::global()),
+      requests_(metrics_->counter("serve.requests")),
+      responses_(metrics_->counter("serve.responses")),
+      errors_(metrics_->counter("serve.errors")),
+      rejected_(metrics_->counter("serve.rejected")),
+      protocol_errors_(metrics_->counter("serve.protocol_errors")),
+      disconnect_cancels_(metrics_->counter("serve.disconnect_cancels")),
+      connections_opened_(metrics_->counter("serve.connections_opened")),
+      connections_closed_(metrics_->counter("serve.connections_closed")),
+      bytes_in_(metrics_->counter("serve.bytes_in")),
+      bytes_out_(metrics_->counter("serve.bytes_out")),
+      latency_us_(metrics_->histogram("serve.latency", "us")),
+      queue_us_(metrics_->histogram("serve.queue_wait", "us")) {
+  if (config_.max_inflight_per_conn == 0) config_.max_inflight_per_conn = 1;
+  if (config_.conn_weight == 0) config_.conn_weight = 1;
+  runtime::BatchPredictor::Config pc;
+  pc.threads = 1;  // workers call predict_one; the inner pool is idle
+  pc.cache = &prediction_cache_;
+  pc.step_cache = &step_cache_;
+  pc.metrics = metrics_;
+  pc.retry = config_.retry;
+  predictor_ = std::make_unique<runtime::BatchPredictor>(pc);
+  scheduler_ = std::make_unique<Scheduler>();
+}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (running_.exchange(true)) {
+    return Status::internal("Server::start() called twice");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::transient(std::string{"socket: "} + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    return Status::invalid_input("cannot parse bind address '" + config_.host +
+                                 "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status st = Status::transient(std::string{"bind: "} +
+                                        std::strerror(errno));
+    close_fd(listen_fd_);
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status st = Status::transient(std::string{"listen: "} +
+                                        std::strerror(errno));
+    close_fd(listen_fd_);
+    return st;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    bound_port_ = ntohs(addr.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    close_fd(listen_fd_);
+    close_fd(epoll_fd_);
+    close_fd(wake_fd_);
+    return Status::transient("cannot create epoll/eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  const std::size_t workers = config_.workers != 0
+                                  ? config_.workers
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  io_thread_ = std::thread([this] { io_loop(); });
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  return Status{};
+}
+
+void Server::stop() {
+  if (!running_.load() || stopping_.exchange(true)) {
+    if (!running_.load()) return;
+    // Second stop(): wait for the first to finish via joins below being
+    // no-ops (threads already joined).
+  }
+  // Cancel inflight work first so cooperative simulations unwind fast.
+  {
+    std::lock_guard lock{conns_mu_};
+    for (const auto& [fd, conn] : conns_) conn->cancel.cancel();
+  }
+  const std::size_t dropped = scheduler_->shutdown();
+  if (dropped > 0) disconnect_cancels_.add(dropped);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Wake the IO thread; it observes stopping_ and exits.
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    std::lock_guard lock{conns_mu_};
+    for (auto& [fd, conn] : conns_) {
+      std::lock_guard cl{conn->mu};
+      conn->closed = true;
+      ::close(conn->fd);
+    }
+    conns_.clear();
+  }
+  close_fd(listen_fd_);
+  close_fd(epoll_fd_);
+  close_fd(wake_fd_);
+  running_.store(false);
+}
+
+std::size_t Server::connection_count() const {
+  std::lock_guard lock{conns_mu_};
+  return conns_.size();
+}
+
+void Server::io_loop() {
+  obs::TraceSession::global().set_thread_name("serve-io");
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed: nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+        }
+        flush_pending_output();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard lock{conns_mu_};
+        const auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // closed earlier this wake
+        conn = it->second;
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) conn_writable(conn);
+      if ((events[i].events & EPOLLIN) != 0) conn_readable(conn);
+    }
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept failure: try next wakeup
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn =
+        std::make_shared<Conn>(fd, config_.limits, config_.conn_weight);
+    {
+      std::lock_guard lock{conns_mu_};
+      conns_.emplace(fd, conn);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_opened_.add();
+  }
+}
+
+void Server::conn_readable(const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  bool peer_closed = false;
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+    if (n > 0) {
+      bytes_in_.add(static_cast<std::uint64_t>(n));
+      conn->assembler.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // 0 = peer hung up; other errors: treat the same.  Frames already
+    // buffered still get dispatched below: a burst followed by a close
+    // arrives as one readable event, and work the peer finished sending
+    // must be accepted (then cancelled by close_conn) -- not vanish
+    // without a counter ever moving.
+    peer_closed = true;
+    break;
+  }
+  for (;;) {
+    Result<std::optional<Frame>> frame = conn->assembler.next();
+    if (!frame.ok()) {
+      // Protocol damage is unrecoverable on a byte stream: report best
+      // effort, then hang up.
+      protocol_errors_.add();
+      reject(conn, 0, 0, frame.status());
+      flush_pending_output();
+      close_conn(conn);
+      return;
+    }
+    if (!frame->has_value()) break;
+    handle_frame(conn, std::move(**frame));
+  }
+  if (peer_closed) close_conn(conn);
+}
+
+void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
+  switch (frame.kind) {
+    case FrameKind::kPing: {
+      enqueue_output(conn, Frame{FrameKind::kPong, frame.id, {}});
+      return;
+    }
+    case FrameKind::kStats: {
+      if (conn->inflight.load(std::memory_order_relaxed) >=
+          config_.max_inflight_per_conn) {
+        rejected_.add();
+        reject(conn, frame.id, 0,
+               Status::transient("admission control: connection has too many "
+                                 "inflight requests"));
+        return;
+      }
+      conn->inflight.fetch_add(1, std::memory_order_relaxed);
+      requests_.add();
+      Request request;
+      request.conn = conn;
+      request.verb = Request::Verb::kStats;
+      request.id = frame.id;
+      request.accepted = std::chrono::steady_clock::now();
+      scheduler_->push(conn, std::move(request));
+      return;
+    }
+    case FrameKind::kPredict: {
+      Result<PredictRequest> req = decode_predict_request(frame.payload);
+      if (!req.ok()) {
+        protocol_errors_.add();
+        reject(conn, frame.id, 0, req.status());
+        return;
+      }
+      admit(conn, frame.id, 0, 1, std::move(req).value());
+      return;
+    }
+    case FrameKind::kBatch: {
+      Result<std::vector<PredictRequest>> jobs =
+          decode_batch_request(frame.payload, config_.limits);
+      if (!jobs.ok()) {
+        protocol_errors_.add();
+        // Batch-level failure: the error, then the end-of-stream marker the
+        // client is waiting for (it would otherwise block forever).
+        reject(conn, frame.id, 0, jobs.status());
+        enqueue_output(conn, Frame{FrameKind::kBatchEnd, frame.id, {}});
+        return;
+      }
+      if (jobs->empty()) {
+        enqueue_output(conn, Frame{FrameKind::kBatchEnd, frame.id, {}});
+        return;
+      }
+      // All-or-nothing admission: a half-admitted batch would stream a
+      // confusing mix of results and busy errors.
+      if (conn->inflight.load(std::memory_order_relaxed) + jobs->size() >
+          config_.max_inflight_per_conn) {
+        rejected_.add();
+        reject(conn, frame.id, 0,
+               Status::transient(
+                   "admission control: batch of " +
+                   std::to_string(jobs->size()) +
+                   " exceeds the connection's inflight budget of " +
+                   std::to_string(config_.max_inflight_per_conn)));
+        enqueue_output(conn, Frame{FrameKind::kBatchEnd, frame.id, {}});
+        return;
+      }
+      auto remaining =
+          std::make_shared<std::atomic<std::size_t>>(jobs->size());
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < jobs->size(); ++i) {
+        conn->inflight.fetch_add(1, std::memory_order_relaxed);
+        requests_.add();
+        Request request;
+        request.conn = conn;
+        request.id = frame.id;
+        request.index = i;
+        request.req = std::move((*jobs)[i]);
+        request.batch_remaining = remaining;
+        request.accepted = now;
+        scheduler_->push(conn, std::move(request));
+      }
+      return;
+    }
+    case FrameKind::kPong:
+    case FrameKind::kResult:
+    case FrameKind::kError:
+    case FrameKind::kStatsText:
+    case FrameKind::kBatchEnd:
+      break;
+  }
+  // A response kind arriving at the server is a confused peer.
+  protocol_errors_.add();
+  reject(conn, frame.id, 0,
+         Status::invalid_input("response frame kind sent to a server"));
+}
+
+void Server::admit(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+                   std::size_t index, std::size_t batch_total,
+                   PredictRequest req) {
+  (void)batch_total;
+  if (conn->inflight.load(std::memory_order_relaxed) >=
+      config_.max_inflight_per_conn) {
+    rejected_.add();
+    reject(conn, id, index,
+           Status::transient("admission control: connection has too many "
+                             "inflight requests"));
+    return;
+  }
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  requests_.add();
+  Request request;
+  request.conn = conn;
+  request.id = id;
+  request.index = index;
+  request.req = std::move(req);
+  request.accepted = std::chrono::steady_clock::now();
+  scheduler_->push(conn, std::move(request));
+}
+
+void Server::reject(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+                    std::uint64_t index, const Status& status) {
+  errors_.add();
+  ErrorReply reply;
+  reply.index = index;
+  reply.code = status.ok() ? ErrorCode::kInternal : status.code();
+  reply.message = status.message();
+  enqueue_output(conn,
+                 Frame{FrameKind::kError, id, encode_error_reply(reply)});
+}
+
+void Server::worker_loop(std::size_t index) {
+  obs::TraceSession::global().set_thread_name("serve-worker-" +
+                                              std::to_string(index));
+  Request request;
+  while (scheduler_->pop(&request)) {
+    queue_us_.record(
+        to_us(std::chrono::steady_clock::now() - request.accepted));
+    execute(request);
+    request = Request{};  // drop the Conn reference before blocking again
+  }
+}
+
+void Server::execute(Request& request) {
+  const std::shared_ptr<Conn>& conn = request.conn;
+  obs::Span span{obs::TraceSession::global(), "serve.request", "serve",
+                 request.id};
+
+  auto done = [&](const Frame& frame, bool is_error) {
+    // Account first, enqueue second: the moment the frame is enqueued the
+    // IO thread can flush it and the client can act on the reply, so every
+    // counter a client-visible state transition implies must already be in
+    // place (tests legitimately assert on them right after receive()).
+    if (is_error) {
+      errors_.add();
+    } else {
+      responses_.add();
+    }
+    latency_us_.record(
+        to_us(std::chrono::steady_clock::now() - request.accepted));
+    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    enqueue_output(conn, frame);
+    if (request.batch_remaining != nullptr &&
+        request.batch_remaining->fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+      enqueue_output(conn, Frame{FrameKind::kBatchEnd, request.id, {}});
+    }
+  };
+
+  if (conn->cancel.cancelled()) {
+    // The client is gone; there is nobody to answer.
+    disconnect_cancels_.add();
+    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (request.batch_remaining != nullptr) {
+      request.batch_remaining->fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return;
+  }
+
+  if (request.verb == Request::Verb::kStats) {
+    done(Frame{FrameKind::kStatsText, request.id, render_stats()},
+         /*is_error=*/false);
+    return;
+  }
+
+  // Parse with the wire limit as the io guard: a payload that slipped past
+  // the frame cap can still not blow up the parser.
+  io::ProgramParseOptions popts;
+  popts.max_bytes = config_.limits.max_payload;
+  Result<io::ProgramBundle> bundle =
+      io::parse_program(request.req.program_text, popts);
+  if (!bundle.ok()) {
+    ErrorReply reply;
+    reply.index = request.index;
+    reply.code = bundle.status().code();
+    reply.message = Status{bundle.status()}
+                        .with_context("while parsing the request program")
+                        .to_string();
+    done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
+         /*is_error=*/true);
+    return;
+  }
+  loggp::Params defaults;
+  defaults.P = bundle->program.procs();
+  Result<loggp::Params> params =
+      io::parse_params(request.req.params_text, defaults);
+  if (!params.ok()) {
+    ErrorReply reply;
+    reply.index = request.index;
+    reply.code = params.status().code();
+    reply.message = Status{params.status()}
+                        .with_context("while parsing the request params")
+                        .to_string();
+    done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
+         /*is_error=*/true);
+    return;
+  }
+  loggp::Params effective = std::move(params).value();
+  effective.P = bundle->program.procs();
+
+  runtime::PredictJob job;
+  job.program = &bundle->program;
+  job.params = effective;
+  job.costs = &bundle->costs;
+  job.cancel = conn->cancel;
+  job.seed = request.req.seed;
+  auto deadline = config_.default_deadline;
+  if (request.req.deadline_ms > 0) {
+    deadline = std::chrono::milliseconds(request.req.deadline_ms);
+  }
+  if (deadline.count() > 0) {
+    // The budget covers the whole server-side journey; spend what queueing
+    // already used and fail fast when nothing is left.
+    const auto elapsed = std::chrono::steady_clock::now() - request.accepted;
+    if (elapsed >= deadline) {
+      ErrorReply reply;
+      reply.index = request.index;
+      reply.code = ErrorCode::kTimeout;
+      reply.message = "request deadline expired while queued";
+      done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
+           /*is_error=*/true);
+      return;
+    }
+    job.deadline = deadline - elapsed;
+  }
+
+  const runtime::JobResult result =
+      predictor_->predict_one(job, /*publish_gauges=*/false);
+  if (!result.ok()) {
+    ErrorReply reply;
+    reply.index = request.index;
+    reply.code = result.status.code();
+    reply.message = result.status.to_string();
+    done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
+         /*is_error=*/true);
+    return;
+  }
+
+  PredictReply reply;
+  reply.index = request.index;
+  reply.total_us = result.value().total().us();
+  reply.comp_us = result.value().comp().us();
+  reply.comm_us = result.value().comm().us();
+  reply.total_worst_us = result.value().total_worst().us();
+  reply.comm_worst_us = result.value().comm_worst().us();
+  reply.from_cache = result.from_cache;
+  reply.attempts = result.attempts;
+  done(Frame{FrameKind::kResult, request.id, encode_predict_reply(reply)},
+       /*is_error=*/false);
+}
+
+std::string Server::render_stats() {
+  predictor_->publish_cache_gauges();
+  {
+    std::lock_guard lock{conns_mu_};
+    metrics_->set_gauge("serve.connections", std::to_string(conns_.size()));
+  }
+  return obs::Snapshot::capture(metrics_, &obs::TraceSession::global())
+      .to_string();
+}
+
+void Server::enqueue_output(const std::shared_ptr<Conn>& conn,
+                            const Frame& frame) {
+  {
+    std::lock_guard lock{conn->mu};
+    if (conn->closed) return;
+    append_frame(conn->out, frame);
+  }
+  {
+    std::lock_guard lock{flush_mu_};
+    flush_list_.push_back(conn);
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void Server::flush_pending_output() {
+  std::vector<std::shared_ptr<Conn>> list;
+  {
+    std::lock_guard lock{flush_mu_};
+    list.swap(flush_list_);
+  }
+  for (const auto& conn : list) conn_writable(conn);
+}
+
+// IO thread only: drains the connection's output buffer into the socket,
+// arming EPOLLOUT when the kernel buffer fills.
+void Server::conn_writable(const std::shared_ptr<Conn>& conn) {
+  bool fatal = false;
+  {
+    std::lock_guard lock{conn->mu};
+    if (conn->closed) return;
+    while (conn->out_offset < conn->out.size()) {
+      const ssize_t n =
+          ::write(conn->fd, conn->out.data() + conn->out_offset,
+                  conn->out.size() - conn->out_offset);
+      if (n > 0) {
+        conn->out_offset += static_cast<std::size_t>(n);
+        bytes_out_.add(static_cast<std::uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          epoll_event ev{};
+          ev.events = EPOLLIN | EPOLLOUT;
+          ev.data.fd = conn->fd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+        }
+        return;
+      }
+      fatal = true;
+      break;
+    }
+    if (!fatal) {
+      conn->out.clear();
+      conn->out_offset = 0;
+      if (conn->want_write) {
+        conn->want_write = false;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+    }
+  }
+  if (fatal) close_conn(conn);
+}
+
+void Server::close_conn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard lock{conn->mu};
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  // Cancel BEFORE draining the queue: executing workers see it at their
+  // next cooperative poll, queued-but-unstarted requests are dropped here.
+  conn->cancel.cancel();
+  // Queued-but-unstarted requests die here; requests a worker already
+  // picked up observe the token and count themselves (execute()).
+  const std::size_t dropped = scheduler_->remove(conn);
+  if (dropped > 0) disconnect_cancels_.add(dropped);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  {
+    std::lock_guard lock{conns_mu_};
+    conns_.erase(conn->fd);
+  }
+  connections_closed_.add();
+}
+
+}  // namespace logsim::serve

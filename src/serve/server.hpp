@@ -1,0 +1,171 @@
+#pragma once
+// logsimd's engine: a long-running TCP prediction server (DESIGN.md §12).
+//
+// Architecture (plain sockets, no external deps):
+//
+//   * one epoll IO thread owns every connection: it accepts, assembles
+//     frames (serve::FrameAssembler), runs admission control, and flushes
+//     response bytes (partial writes re-armed via EPOLLOUT; workers wake
+//     it through an eventfd);
+//   * a weighted-round-robin scheduler fair-queues admitted requests
+//     across connections -- a client pipelining hundreds of jobs cannot
+//     starve a neighbour sending one;
+//   * N worker threads pop requests, parse the payload with the io text
+//     codecs, and dispatch into one process-wide runtime::BatchPredictor
+//     whose SharedStepCache + PredictionCache are shared by ALL
+//     connections, so a hot pattern is simulated once and then served at
+//     memory speed for everyone;
+//   * per-request deadlines ride in on the wire (deadline_ms) and map to
+//     PredictJob::deadline; a client disconnect cancels its inflight
+//     requests through PredictJob::cancel (fault::CancelToken);
+//   * every request runs under an obs span ("serve.request") and feeds the
+//     serve.* metrics; the STATS verb renders the obs::Snapshot -- the
+//     registry plus span aggregates -- over the wire.
+//
+// Admission control: a connection may have at most
+// Config::max_inflight_per_conn requests admitted (queued or executing).
+// Excess requests are rejected immediately with a transient ERROR reply --
+// the client-visible backpressure signal -- rather than buffered without
+// bound.
+//
+// Shutdown: stop() closes the listen socket, drains nothing (queued
+// requests are answered with a cancelled ERROR), cancels inflight work
+// cooperatively, joins the workers and the IO thread, then closes every
+// connection.  The destructor calls stop().
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/retry.hpp"
+#include "fault/status.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/batch_predictor.hpp"
+#include "runtime/prediction_cache.hpp"
+#include "runtime/step_cache.hpp"
+#include "serve/wire.hpp"
+
+namespace logsim::serve {
+
+class Server {
+ public:
+  struct Config {
+    /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+    std::uint16_t port = 0;
+    /// Bind address; the default serves loopback only.
+    std::string host = "127.0.0.1";
+    /// Worker threads; 0 means hardware_concurrency.
+    std::size_t workers = 0;
+    /// Admission-control cap per connection (queued + executing).
+    std::size_t max_inflight_per_conn = 64;
+    /// Weighted-round-robin weight every connection starts with: a
+    /// connection is served up to `weight` requests per scheduler rotation.
+    std::size_t conn_weight = 1;
+    /// Wire limits (max frame payload); also bounds the io parsers.
+    WireLimits limits;
+    /// Default per-request deadline when the request carries none;
+    /// zero disables.
+    std::chrono::steady_clock::duration default_deadline{};
+    /// Retry budget forwarded to the BatchPredictor (transient faults).
+    fault::RetryPolicy retry;
+    /// Prediction-cache / step-cache budgets for the process-wide warm
+    /// caches shared across all connections.
+    runtime::PredictionCache::Config prediction_cache;
+    runtime::SharedStepCache::Config step_cache;
+    /// Metrics sink; nullptr means the process-global registry.
+    obs::metrics::Registry* metrics = nullptr;
+  };
+
+  explicit Server(Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the IO + worker threads.  Idempotent-safe:
+  /// calling start() twice is an internal error.
+  [[nodiscard]] Status start();
+
+  /// Stops accepting, cancels inflight work, joins every thread and closes
+  /// every connection.  Safe to call repeatedly and without start().
+  void stop();
+
+  /// The bound port (valid after start(); resolves ephemeral port 0).
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  /// Connections currently open (for tests / gauges).
+  [[nodiscard]] std::size_t connection_count() const;
+
+  [[nodiscard]] runtime::BatchPredictor& predictor() { return *predictor_; }
+  [[nodiscard]] obs::metrics::Registry& metrics() { return *metrics_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Conn;
+  struct Request;
+  class Scheduler;
+
+  void io_loop();
+  void worker_loop(std::size_t index);
+  void accept_ready();
+  void conn_readable(const std::shared_ptr<Conn>& conn);
+  void conn_writable(const std::shared_ptr<Conn>& conn);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  void handle_frame(const std::shared_ptr<Conn>& conn, Frame frame);
+  void admit(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+             std::size_t index, std::size_t batch_total, PredictRequest req);
+  void reject(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+              std::uint64_t index, const Status& status);
+  void execute(Request& request);
+  void enqueue_output(const std::shared_ptr<Conn>& conn, const Frame& frame);
+  void flush_pending_output();
+  std::string render_stats();
+
+  Config config_;
+  runtime::PredictionCache prediction_cache_;
+  runtime::SharedStepCache step_cache_;
+  obs::metrics::Registry* metrics_;
+  std::unique_ptr<runtime::BatchPredictor> predictor_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  obs::metrics::Counter& requests_;
+  obs::metrics::Counter& responses_;
+  obs::metrics::Counter& errors_;
+  obs::metrics::Counter& rejected_;
+  obs::metrics::Counter& protocol_errors_;
+  obs::metrics::Counter& disconnect_cancels_;
+  obs::metrics::Counter& connections_opened_;
+  obs::metrics::Counter& connections_closed_;
+  obs::metrics::Counter& bytes_in_;
+  obs::metrics::Counter& bytes_out_;
+  obs::metrics::Histogram& latency_us_;
+  obs::metrics::Histogram& queue_us_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  // IO-thread-owned connection table (fd -> Conn); guarded for the
+  // occasional cross-thread size query.
+  mutable std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  // Connections with output queued by workers, awaiting an IO-thread
+  // flush (drained on eventfd wakeups).
+  std::mutex flush_mu_;
+  std::vector<std::shared_ptr<Conn>> flush_list_;
+};
+
+}  // namespace logsim::serve

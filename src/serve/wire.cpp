@@ -1,0 +1,403 @@
+#include "serve/wire.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "fault/failpoint.hpp"
+
+namespace logsim::serve {
+
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// %.17g renders a double so that strtod() recovers the identical bits --
+/// the property the bit-identical serving contract rests on.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+Status decode_header(const char* data, std::size_t declared,
+                     const WireLimits& limits, Frame* frame) {
+  if (declared > limits.max_payload) {
+    return Status::invalid_input(
+        "frame declares a payload of " + std::to_string(declared) +
+        " bytes, above the max-message size of " +
+        std::to_string(limits.max_payload) + " bytes");
+  }
+  const auto kind = static_cast<std::uint8_t>(data[4]);
+  if (!frame_kind_known(kind)) {
+    return Status::invalid_input("unknown frame kind " + std::to_string(kind));
+  }
+  frame->kind = static_cast<FrameKind>(kind);
+  frame->id = get_u64le(data + 5);
+  return Status{};
+}
+
+}  // namespace
+
+bool frame_kind_known(std::uint8_t kind) {
+  switch (static_cast<FrameKind>(kind)) {
+    case FrameKind::kPing:
+    case FrameKind::kPredict:
+    case FrameKind::kBatch:
+    case FrameKind::kStats:
+    case FrameKind::kPong:
+    case FrameKind::kResult:
+    case FrameKind::kError:
+    case FrameKind::kStatsText:
+    case FrameKind::kBatchEnd:
+      return true;
+  }
+  return false;
+}
+
+void append_frame(std::string& out, const Frame& frame) {
+  put_u32le(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.push_back(static_cast<char>(frame.kind));
+  put_u64le(out, frame.id);
+  out.append(frame.payload);
+}
+
+Status write_frame(int fd, const Frame& frame, const WireLimits& limits) {
+  if (frame.payload.size() > limits.max_payload) {
+    return Status::invalid_input(
+        "refusing to send a payload of " + std::to_string(frame.payload.size()) +
+        " bytes, above the max-message size of " +
+        std::to_string(limits.max_payload) + " bytes");
+  }
+  if (Status st = fault::failpoint("serve.write"); !st.ok()) {
+    return st.with_context("while writing a frame");
+  }
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + frame.payload.size());
+  append_frame(wire, frame);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd, wire.data() + sent, wire.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::transient(std::string{"write failed: "} +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status{};
+}
+
+Result<std::optional<Frame>> read_frame(int fd, const WireLimits& limits) {
+  if (Status st = fault::failpoint("serve.read"); !st.ok()) {
+    return st.with_context("while reading a frame");
+  }
+  char header[kFrameHeaderBytes];
+  std::size_t have = 0;
+  while (have < kFrameHeaderBytes) {
+    const ssize_t n = ::read(fd, header + have, kFrameHeaderBytes - have);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::transient(std::string{"read failed: "} +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (have == 0) return std::optional<Frame>{};  // clean EOF
+      return Status::invalid_input("truncated frame: stream ended inside the "
+                                   "13-byte header");
+    }
+    have += static_cast<std::size_t>(n);
+  }
+  Frame frame;
+  const std::size_t declared = get_u32le(header);
+  if (Status st = decode_header(header, declared, limits, &frame); !st.ok()) {
+    return st;
+  }
+  frame.payload.resize(declared);
+  std::size_t got = 0;
+  while (got < declared) {
+    const ssize_t n = ::read(fd, frame.payload.data() + got, declared - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::transient(std::string{"read failed: "} +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::invalid_input(
+          "truncated frame: stream ended after " + std::to_string(got) +
+          " of " + std::to_string(declared) + " payload bytes");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return std::optional<Frame>{std::move(frame)};
+}
+
+Result<std::optional<Frame>> FrameAssembler::next() {
+  if (!poisoned_.ok()) return poisoned_;
+  // Compact once the dead prefix dominates, so long-lived connections do
+  // not grow their buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return std::optional<Frame>{};
+  const char* head = buffer_.data() + consumed_;
+  Frame frame;
+  const std::size_t declared = get_u32le(head);
+  if (Status st = decode_header(head, declared, limits_, &frame); !st.ok()) {
+    poisoned_ = st;
+    return poisoned_;
+  }
+  if (avail < kFrameHeaderBytes + declared) return std::optional<Frame>{};
+  frame.payload.assign(head + kFrameHeaderBytes, declared);
+  consumed_ += kFrameHeaderBytes + declared;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+// --- envelopes -----------------------------------------------------------
+
+std::string encode_predict_request(const PredictRequest& req) {
+  std::ostringstream os;
+  os << "params " << req.params_text << '\n'
+     << "seed " << req.seed << '\n'
+     << "deadline_ms " << req.deadline_ms << '\n'
+     << "program\n"
+     << req.program_text;
+  return os.str();
+}
+
+Result<PredictRequest> decode_predict_request(const std::string& payload) {
+  PredictRequest req;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line == "program") {
+      req.program_text = payload.substr(std::min(pos, payload.size()));
+      return req;
+    }
+    std::istringstream ls{line};
+    std::string key;
+    ls >> key;
+    if (key == "params") {
+      // Everything after "params " is the value (presets or k=v lists
+      // contain no spaces today, but stay permissive).
+      const std::size_t sp = line.find(' ');
+      req.params_text = sp == std::string::npos ? "" : line.substr(sp + 1);
+    } else if (key == "seed") {
+      if (!(ls >> req.seed)) {
+        return Status::invalid_input("predict envelope: malformed seed");
+      }
+    } else if (key == "deadline_ms") {
+      if (!(ls >> req.deadline_ms)) {
+        return Status::invalid_input("predict envelope: malformed deadline_ms");
+      }
+    } else {
+      return Status::invalid_input("predict envelope: unknown key '" + key +
+                                   "'");
+    }
+  }
+  return Status::invalid_input("predict envelope: missing 'program' section");
+}
+
+std::string encode_batch_request(const std::vector<PredictRequest>& jobs) {
+  std::string out = "jobs " + std::to_string(jobs.size()) + "\n";
+  for (const PredictRequest& job : jobs) {
+    const std::string body = encode_predict_request(job);
+    out += "job " + std::to_string(body.size()) + "\n";
+    out += body;
+  }
+  return out;
+}
+
+Result<std::vector<PredictRequest>> decode_batch_request(
+    const std::string& payload, const WireLimits& limits) {
+  std::size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string> {
+    if (pos >= payload.size()) return std::nullopt;
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    return line;
+  };
+
+  const auto header = next_line();
+  std::istringstream hs{header.value_or("")};
+  std::string key;
+  std::size_t count = 0;
+  if (!(hs >> key >> count) || key != "jobs") {
+    return Status::invalid_input("batch envelope: expected 'jobs N' header");
+  }
+  // One embedded job needs at least its "job N" line; cap the declared
+  // count accordingly so a hostile header cannot force a huge reserve.
+  if (count > payload.size()) {
+    return Status::invalid_input("batch envelope: job count " +
+                                 std::to_string(count) +
+                                 " exceeds the payload size");
+  }
+  std::vector<PredictRequest> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto job_line = next_line();
+    if (!job_line.has_value()) {
+      return Status::invalid_input("batch envelope: truncated before job " +
+                                   std::to_string(i));
+    }
+    std::istringstream js{*job_line};
+    std::size_t bytes = 0;
+    if (!(js >> key >> bytes) || key != "job") {
+      return Status::invalid_input("batch envelope: expected 'job <bytes>' "
+                                   "before job " +
+                                   std::to_string(i));
+    }
+    if (bytes > limits.max_payload || pos + bytes > payload.size()) {
+      return Status::invalid_input("batch envelope: job " + std::to_string(i) +
+                                   " declares " + std::to_string(bytes) +
+                                   " bytes but the payload is shorter");
+    }
+    Result<PredictRequest> job =
+        decode_predict_request(payload.substr(pos, bytes));
+    if (!job.ok()) {
+      return Status{job.status()}.with_context("while decoding batch job " +
+                                               std::to_string(i));
+    }
+    jobs.push_back(std::move(job).value());
+    pos += bytes;
+  }
+  return jobs;
+}
+
+std::string encode_predict_reply(const PredictReply& reply) {
+  std::ostringstream os;
+  os << "index " << reply.index << '\n'
+     << "total_us " << fmt_double(reply.total_us) << '\n'
+     << "comp_us " << fmt_double(reply.comp_us) << '\n'
+     << "comm_us " << fmt_double(reply.comm_us) << '\n'
+     << "total_worst_us " << fmt_double(reply.total_worst_us) << '\n'
+     << "comm_worst_us " << fmt_double(reply.comm_worst_us) << '\n'
+     << "from_cache " << (reply.from_cache ? 1 : 0) << '\n'
+     << "attempts " << reply.attempts << '\n';
+  return os.str();
+}
+
+Result<PredictReply> decode_predict_reply(const std::string& payload) {
+  PredictReply reply;
+  std::istringstream in{payload};
+  std::string line;
+  bool saw_total = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls{line};
+    std::string key;
+    if (!(ls >> key)) continue;
+    bool ok = true;
+    if (key == "index") {
+      ok = static_cast<bool>(ls >> reply.index);
+    } else if (key == "total_us") {
+      ok = static_cast<bool>(ls >> reply.total_us);
+      saw_total = ok;
+    } else if (key == "comp_us") {
+      ok = static_cast<bool>(ls >> reply.comp_us);
+    } else if (key == "comm_us") {
+      ok = static_cast<bool>(ls >> reply.comm_us);
+    } else if (key == "total_worst_us") {
+      ok = static_cast<bool>(ls >> reply.total_worst_us);
+    } else if (key == "comm_worst_us") {
+      ok = static_cast<bool>(ls >> reply.comm_worst_us);
+    } else if (key == "from_cache") {
+      int v = 0;
+      ok = static_cast<bool>(ls >> v);
+      reply.from_cache = v == 1;
+    } else if (key == "attempts") {
+      ok = static_cast<bool>(ls >> reply.attempts);
+    } else {
+      return Status::invalid_input("result envelope: unknown key '" + key +
+                                   "'");
+    }
+    if (!ok) {
+      return Status::invalid_input("result envelope: malformed value for '" +
+                                   key + "'");
+    }
+  }
+  if (!saw_total) {
+    return Status::invalid_input("result envelope: missing total_us");
+  }
+  return reply;
+}
+
+std::string encode_error_reply(const ErrorReply& reply) {
+  std::ostringstream os;
+  os << "index " << reply.index << '\n'
+     << "code " << error_code_name(reply.code) << '\n'
+     << "message " << reply.message;
+  return os.str();
+}
+
+Result<ErrorReply> decode_error_reply(const std::string& payload) {
+  ErrorReply reply;
+  std::size_t pos = 0;
+  bool saw_code = false;
+  while (pos < payload.size()) {
+    const std::size_t line_start = pos;
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    const std::string line = payload.substr(line_start, eol - line_start);
+    pos = eol + 1;
+    if (line.rfind("message ", 0) == 0) {
+      if (!saw_code) {
+        return Status::invalid_input("error envelope: message before code");
+      }
+      // The message is the rest of the payload, newlines and all.
+      reply.message = payload.substr(line_start + std::strlen("message "));
+      return reply;
+    }
+    std::istringstream ls{line};
+    std::string key, value;
+    ls >> key >> value;
+    if (key == "index") {
+      reply.index = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "code") {
+      reply.code = error_code_from_name(value);
+      saw_code = true;
+    } else {
+      return Status::invalid_input("error envelope: unknown key '" + key +
+                                   "'");
+    }
+  }
+  return Status::invalid_input("error envelope: missing message");
+}
+
+}  // namespace logsim::serve

@@ -1,0 +1,171 @@
+#pragma once
+// Wire format of the logsim serving layer (DESIGN.md §12).
+//
+// Every message is one length-prefixed frame over a byte stream:
+//
+//   u32le payload_len | u8 kind | u64le id | payload bytes
+//
+// The 13-byte header is fixed; `id` is a client-chosen correlation id
+// echoed verbatim on every response to the request (batch jobs stream back
+// as one kResult per job, tagged with the job index inside the payload,
+// then one kBatchEnd).  Payloads are the library's existing *text* codecs
+// -- io::parse_program / io::parse_params on the way in, the %.17g decimal
+// rendering of the prediction times on the way out, which round-trips
+// doubles exactly -- wrapped in a small line-oriented envelope:
+//
+//   PREDICT payload                     RESULT payload
+//     params meiko                        index 0
+//     seed 1                              total_us 1234.5
+//     deadline_ms 250                     comp_us ...
+//     program                             comm_us ...
+//     <program text...>                   total_worst_us ...
+//                                         comm_worst_us ...
+//                                         from_cache 1
+//                                         attempts 1
+//
+// (A reply always carries BOTH the standard and the worst-case schedule's
+// numbers -- the predictor computes both anyway -- so there is no "worst"
+// request flag; clients pick which to display.)
+//
+//   BATCH payload: "jobs N" then N sections of "job <bytes>" + an embedded
+//   PREDICT payload of exactly that many bytes.
+//
+//   ERROR payload: "index I", "code <error-code-name>", then "message "
+//   followed by the rest of the payload (messages may contain newlines).
+//
+// Untrusted boundary on both ends: oversized declared lengths, truncated
+// streams and malformed envelopes all come back as Status -- never an
+// unbounded read or an assert.  WireLimits::max_payload is the explicit
+// max-message size; io parse options inherit it so a hostile payload is
+// rejected before it allocates.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/status.hpp"
+
+namespace logsim::serve {
+
+/// Frame type tag.  Requests are < 64, responses >= 64, so a peer can
+/// cheaply sanity-check direction.
+enum class FrameKind : std::uint8_t {
+  kPing = 1,
+  kPredict = 2,
+  kBatch = 3,
+  kStats = 4,
+  kPong = 64,
+  kResult = 65,
+  kError = 66,
+  kStatsText = 67,
+  kBatchEnd = 68,
+};
+
+/// True for kinds this build understands (a peer speaking a newer protocol
+/// revision gets a protocol error, not undefined behaviour).
+[[nodiscard]] bool frame_kind_known(std::uint8_t kind);
+
+struct Frame {
+  FrameKind kind = FrameKind::kPing;
+  std::uint64_t id = 0;
+  std::string payload;
+};
+
+struct WireLimits {
+  /// Hard cap on one frame's payload; both sides enforce it on send and
+  /// on the declared length before reading a body.  Also forwarded into
+  /// the io parsers' max_bytes.
+  std::size_t max_payload = 16ull << 20;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 13;
+
+/// Serializes the 13-byte header into `out` (appended).
+void append_frame(std::string& out, const Frame& frame);
+
+/// Writes one frame to `fd`, looping over partial writes.  Transient
+/// failures (EINTR aside, which is retried silently) come back as Status;
+/// the "serve.write" failpoint fires here.
+[[nodiscard]] Status write_frame(int fd, const Frame& frame,
+                                 const WireLimits& limits);
+
+/// Reads one frame from `fd`.  Returns nullopt on a clean EOF at a frame
+/// boundary (the peer hung up between messages); a stream that ends inside
+/// a frame is an invalid-input "truncated frame" error, and a declared
+/// payload length above limits.max_payload is rejected WITHOUT reading the
+/// body.  The "serve.read" failpoint fires per call.
+[[nodiscard]] Result<std::optional<Frame>> read_frame(int fd,
+                                                      const WireLimits& limits);
+
+/// Incremental frame decoder for event-loop readers: feed bytes in, pull
+/// complete frames out.  Enforces the same limits as read_frame.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(WireLimits limits) : limits_(limits) {}
+
+  /// Appends raw bytes received from the peer.
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Extracts the next complete frame, if any.  A malformed header
+  /// (oversized declared length, unknown kind) poisons the stream: the
+  /// error is returned now and on every later call.
+  [[nodiscard]] Result<std::optional<Frame>> next();
+
+  /// Bytes buffered but not yet consumed (for tests / diagnostics).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  WireLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // compacted lazily
+  Status poisoned_;           // sticky protocol error
+};
+
+// --- request / response envelopes ---------------------------------------
+
+struct PredictRequest {
+  std::string params_text = "meiko";  ///< io::parse_params input
+  std::uint64_t seed = 1;
+  /// Per-request wall-clock budget in milliseconds; 0 = server default.
+  std::uint64_t deadline_ms = 0;
+  std::string program_text;  ///< io::parse_program input
+};
+
+struct PredictReply {
+  std::uint64_t index = 0;  ///< job index inside a batch; 0 for singles
+  double total_us = 0.0;
+  double comp_us = 0.0;
+  double comm_us = 0.0;
+  double total_worst_us = 0.0;
+  double comm_worst_us = 0.0;
+  bool from_cache = false;
+  int attempts = 0;
+};
+
+struct ErrorReply {
+  std::uint64_t index = 0;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] Status to_status() const { return Status{code, message}; }
+};
+
+[[nodiscard]] std::string encode_predict_request(const PredictRequest& req);
+[[nodiscard]] Result<PredictRequest> decode_predict_request(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_batch_request(
+    const std::vector<PredictRequest>& jobs);
+[[nodiscard]] Result<std::vector<PredictRequest>> decode_batch_request(
+    const std::string& payload, const WireLimits& limits);
+
+[[nodiscard]] std::string encode_predict_reply(const PredictReply& reply);
+[[nodiscard]] Result<PredictReply> decode_predict_reply(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_error_reply(const ErrorReply& reply);
+[[nodiscard]] Result<ErrorReply> decode_error_reply(const std::string& payload);
+
+}  // namespace logsim::serve

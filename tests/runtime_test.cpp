@@ -269,17 +269,17 @@ TEST(PredictionCache, HitAndMissCountersAndExactKeying) {
   const auto pred_a = predictor.predict_or_die(prog_a, costs);
 
   runtime::PredictionCache cache;
-  EXPECT_FALSE(cache.lookup(prog_a, params, 1).has_value());  // miss
-  cache.insert(prog_a, params, 1, pred_a);
-  const auto hit = cache.lookup(prog_a, params, 1);
+  EXPECT_FALSE(cache.lookup(prog_a, costs, params, 1).has_value());  // miss
+  cache.insert(prog_a, costs, params, 1, pred_a);
+  const auto hit = cache.lookup(prog_a, costs, params, 1);
   ASSERT_TRUE(hit.has_value());
   expect_identical(*hit, pred_a);
 
   // Different params / seed are different keys.
   auto other = params;
   other.L = Time{other.L.us() + 1.0};
-  EXPECT_FALSE(cache.lookup(prog_a, other, 1).has_value());
-  EXPECT_FALSE(cache.lookup(prog_a, params, 2).has_value());
+  EXPECT_FALSE(cache.lookup(prog_a, costs, other, 1).has_value());
+  EXPECT_FALSE(cache.lookup(prog_a, costs, params, 2).has_value());
 
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
@@ -301,17 +301,17 @@ TEST(PredictionCache, DistinctProgramsForcedIntoOneShardStayDistinct) {
   ASSERT_NE(prog_a, prog_b);  // distinct programs (satellite operator==)
 
   runtime::PredictionCache cache{{.shards = 1}};
-  const auto hash_a = runtime::prediction_key_hash(prog_a, params, 1);
-  const auto hash_b = runtime::prediction_key_hash(prog_b, params, 1);
+  const auto hash_a = runtime::prediction_key_hash(prog_a, costs, params, 1);
+  const auto hash_b = runtime::prediction_key_hash(prog_b, costs, params, 1);
   EXPECT_EQ(cache.shard_of(hash_a), cache.shard_of(hash_b));  // same shard
 
   const auto pred_a = predictor.predict_or_die(prog_a, costs);
   const auto pred_b = predictor.predict_or_die(prog_b, costs);
-  cache.insert(prog_a, params, 1, pred_a);
-  cache.insert(prog_b, params, 1, pred_b);
+  cache.insert(prog_a, costs, params, 1, pred_a);
+  cache.insert(prog_b, costs, params, 1, pred_b);
 
-  const auto hit_a = cache.lookup(prog_a, params, 1);
-  const auto hit_b = cache.lookup(prog_b, params, 1);
+  const auto hit_a = cache.lookup(prog_a, costs, params, 1);
+  const auto hit_b = cache.lookup(prog_b, costs, params, 1);
   ASSERT_TRUE(hit_a.has_value());
   ASSERT_TRUE(hit_b.has_value());
   expect_identical(*hit_a, pred_a);
@@ -338,20 +338,20 @@ TEST(PredictionCache, LruEvictionUnderByteBudget) {
   // Budget fits exactly two entries.
   runtime::PredictionCache cache{
       {.shards = 1, .byte_budget = 2 * entry_bytes + entry_bytes / 2}};
-  cache.insert(prog_a, params, 1, pred_a);
-  cache.insert(prog_b, params, 1, pred_b);
+  cache.insert(prog_a, costs, params, 1, pred_a);
+  cache.insert(prog_b, costs, params, 1, pred_b);
   EXPECT_EQ(cache.stats().entries, 2u);
 
   // Touch A so B becomes least-recently-used, then insert C: B is evicted.
-  EXPECT_TRUE(cache.lookup(prog_a, params, 1).has_value());
-  cache.insert(prog_c, params, 1, pred_c);
+  EXPECT_TRUE(cache.lookup(prog_a, costs, params, 1).has_value());
+  cache.insert(prog_c, costs, params, 1, pred_c);
   const auto stats = cache.stats();
   EXPECT_EQ(stats.entries, 2u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_LE(stats.bytes, 2 * entry_bytes + entry_bytes / 2);
-  EXPECT_TRUE(cache.lookup(prog_a, params, 1).has_value());
-  EXPECT_TRUE(cache.lookup(prog_c, params, 1).has_value());
-  EXPECT_FALSE(cache.lookup(prog_b, params, 1).has_value());
+  EXPECT_TRUE(cache.lookup(prog_a, costs, params, 1).has_value());
+  EXPECT_TRUE(cache.lookup(prog_c, costs, params, 1).has_value());
+  EXPECT_FALSE(cache.lookup(prog_b, costs, params, 1).has_value());
 }
 
 TEST(PredictionCache, OversizedEntryIsNotRetained) {
@@ -360,18 +360,19 @@ TEST(PredictionCache, OversizedEntryIsNotRetained) {
   const auto prog = tiny_program(4);
   const auto pred = core::Predictor{params}.predict_or_die(prog, costs);
   runtime::PredictionCache cache{{.shards = 1, .byte_budget = 16}};
-  cache.insert(prog, params, 1, pred);
+  cache.insert(prog, costs, params, 1, pred);
   EXPECT_EQ(cache.stats().entries, 0u);
-  EXPECT_FALSE(cache.lookup(prog, params, 1).has_value());
+  EXPECT_FALSE(cache.lookup(prog, costs, params, 1).has_value());
 }
 
 TEST(PredictionCache, CanonicalHashIsStructural) {
   // Two independently built but structurally equal programs hash equal.
+  const auto costs = tiny_costs();
   const auto params = loggp::presets::meiko_cs2(2);
-  EXPECT_EQ(runtime::prediction_key_hash(tiny_program(4), params, 1),
-            runtime::prediction_key_hash(tiny_program(4), params, 1));
-  EXPECT_NE(runtime::prediction_key_hash(tiny_program(4), params, 1),
-            runtime::prediction_key_hash(tiny_program(64), params, 1));
+  EXPECT_EQ(runtime::prediction_key_hash(tiny_program(4), costs, params, 1),
+            runtime::prediction_key_hash(tiny_program(4), costs, params, 1));
+  EXPECT_NE(runtime::prediction_key_hash(tiny_program(4), costs, params, 1),
+            runtime::prediction_key_hash(tiny_program(64), costs, params, 1));
 }
 
 // ---------------------------------------------------------------- metrics

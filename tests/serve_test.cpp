@@ -1,0 +1,608 @@
+// Tests for the serving layer (DESIGN.md §12): wire codecs, the in-process
+// daemon on an ephemeral port, bit-identity against the direct
+// BatchPredictor path, fair concurrency, admission control, deadlines and
+// disconnect cancellation (failpoint-driven), and the io parsers'
+// max-message-size hardening the server leans on.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <logsim/serve.hpp>
+
+#include "fault/failpoint.hpp"
+#include "io/params_io.hpp"
+#include "io/pattern_io.hpp"
+#include "io/program_io.hpp"
+
+namespace logsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Arms the global failpoint registry for one test scope.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec, std::uint64_t seed = 1) {
+    const Status st = fault::FailpointRegistry::global().configure(spec, seed);
+    EXPECT_TRUE(st.ok()) << st.to_string();
+  }
+  ~ScopedFailpoints() { fault::FailpointRegistry::global().clear(); }
+};
+
+/// A small valid program in the io text format; `scale` perturbs the cost
+/// table so different scales are distinct cache keys.
+std::string sample_program(int scale = 1) {
+  std::string text =
+      "procs 4\n"
+      "op mult\n"
+      "cost 0 16 " + std::to_string(250 * scale) + ".5\n"
+      "cost 0 32 " + std::to_string(500 * scale) + ".25\n"
+      "compute\n"
+      "item 0 0 16\n"
+      "item 1 0 32\n"
+      "item 2 0 16\n"
+      "item 3 0 16\n"
+      "comm\n"
+      "msg 0 1 1024\n"
+      "msg 2 3 2048\n"
+      "msg 1 2 512\n"
+      "compute\n"
+      "item 1 0 16\n"
+      "item 3 0 32\n";
+  return text;
+}
+
+/// The in-process reference: same parse path, same seed, no server.
+runtime::JobResult direct_predict(const std::string& program_text,
+                                  const std::string& params_text,
+                                  std::uint64_t seed) {
+  Result<io::ProgramBundle> bundle = io::parse_program(program_text);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().to_string();
+  loggp::Params defaults;
+  defaults.P = bundle->program.procs();
+  Result<loggp::Params> params = io::parse_params(params_text, defaults);
+  EXPECT_TRUE(params.ok()) << params.status().to_string();
+  loggp::Params effective = *params;
+  effective.P = bundle->program.procs();
+  runtime::BatchPredictor::Config config;
+  config.threads = 1;
+  config.metrics = nullptr;
+  runtime::BatchPredictor predictor{config};
+  runtime::PredictJob job;
+  job.program = &bundle->program;
+  job.params = effective;
+  job.costs = &bundle->costs;
+  job.seed = seed;
+  return predictor.predict_one(job);
+}
+
+/// Server + registry fixture: every test gets a private metrics registry
+/// (the global one would leak counts across tests) and an ephemeral port.
+class ServeTest : public ::testing::Test {
+ protected:
+  serve::Server& start(serve::Server::Config config = {}) {
+    config.port = 0;
+    config.metrics = &registry_;
+    server_ = std::make_unique<serve::Server>(config);
+    const Status st = server_->start();
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    return *server_;
+  }
+
+  serve::Client connect() {
+    Result<serve::Client> client =
+        serve::Client::connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().to_string();
+    return std::move(client).value();
+  }
+
+  /// Polls `counter` until it reaches `at_least` (cancellation and close
+  /// are asynchronous to the client's view of the socket).
+  bool wait_for_counter(const std::string& name, std::uint64_t at_least,
+                        std::chrono::milliseconds budget = 2000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (registry_.counter(name).value() >= at_least) return true;
+      std::this_thread::sleep_for(2ms);
+    }
+    return false;
+  }
+
+  /// Same polling wait for a histogram's sample count (histograms are how
+  /// the worker pool signals "request picked up": serve.queue_wait is
+  /// recorded at pop time, before execution begins).
+  bool wait_for_histogram(const std::string& name, std::uint64_t at_least,
+                          std::chrono::milliseconds budget = 2000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (registry_.histogram(name).count() >= at_least) return true;
+      std::this_thread::sleep_for(2ms);
+    }
+    return false;
+  }
+
+  obs::metrics::Registry registry_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+// --- wire codecs ---------------------------------------------------------
+
+TEST(ServeWire, PredictRequestRoundTrips) {
+  serve::PredictRequest req;
+  req.params_text = "L=9,o=2,g=13,G=0.03";
+  req.seed = 42;
+  req.deadline_ms = 250;
+  req.program_text = sample_program();
+  const Result<serve::PredictRequest> back =
+      serve::decode_predict_request(serve::encode_predict_request(req));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->params_text, req.params_text);
+  EXPECT_EQ(back->seed, 42u);
+  EXPECT_EQ(back->deadline_ms, 250u);
+  EXPECT_EQ(back->program_text, req.program_text);
+}
+
+TEST(ServeWire, PredictReplyRoundTripsDoublesExactly) {
+  serve::PredictReply reply;
+  reply.index = 7;
+  reply.total_us = 1234.5678901234567;     // needs all 17 digits
+  reply.comp_us = 0.1;                     // classic non-representable
+  reply.comm_us = 3.0000000000000004;
+  reply.total_worst_us = 1e-300;
+  reply.comm_worst_us = 9.87654321e12;
+  reply.from_cache = true;
+  reply.attempts = 3;
+  const Result<serve::PredictReply> back =
+      serve::decode_predict_reply(serve::encode_predict_reply(reply));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->index, 7u);
+  EXPECT_EQ(back->total_us, reply.total_us);  // bit-exact, not NEAR
+  EXPECT_EQ(back->comp_us, reply.comp_us);
+  EXPECT_EQ(back->comm_us, reply.comm_us);
+  EXPECT_EQ(back->total_worst_us, reply.total_worst_us);
+  EXPECT_EQ(back->comm_worst_us, reply.comm_worst_us);
+  EXPECT_TRUE(back->from_cache);
+  EXPECT_EQ(back->attempts, 3);
+}
+
+TEST(ServeWire, ErrorReplyCarriesCodeAndMultilineMessage) {
+  serve::ErrorReply reply;
+  reply.index = 2;
+  reply.code = ErrorCode::kTimeout;
+  reply.message = "first line\nsecond line";
+  const Result<serve::ErrorReply> back =
+      serve::decode_error_reply(serve::encode_error_reply(reply));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->index, 2u);
+  EXPECT_EQ(back->code, ErrorCode::kTimeout);
+  EXPECT_EQ(back->message, "first line\nsecond line");
+  EXPECT_EQ(back->to_status().code(), ErrorCode::kTimeout);
+}
+
+TEST(ServeWire, BatchRequestRoundTrips) {
+  std::vector<serve::PredictRequest> jobs(3);
+  for (int i = 0; i < 3; ++i) {
+    jobs[i].seed = static_cast<std::uint64_t>(i);
+    jobs[i].program_text = sample_program(i + 1);
+  }
+  const Result<std::vector<serve::PredictRequest>> back =
+      serve::decode_batch_request(serve::encode_batch_request(jobs),
+                                  serve::WireLimits{});
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  ASSERT_EQ(back->size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*back)[i].seed, static_cast<std::uint64_t>(i));
+    EXPECT_EQ((*back)[i].program_text, jobs[i].program_text);
+  }
+}
+
+TEST(ServeWire, AssemblerReassemblesByteByByte) {
+  serve::Frame frame{serve::FrameKind::kPredict, 99,
+                     serve::encode_predict_request({})};
+  std::string bytes;
+  serve::append_frame(bytes, frame);
+  serve::append_frame(bytes, serve::Frame{serve::FrameKind::kPing, 7, {}});
+
+  serve::FrameAssembler assembler{serve::WireLimits{}};
+  std::vector<serve::Frame> out;
+  for (char c : bytes) {
+    assembler.feed(&c, 1);
+    for (;;) {
+      Result<std::optional<serve::Frame>> next = assembler.next();
+      ASSERT_TRUE(next.ok()) << next.status().to_string();
+      if (!next->has_value()) break;
+      out.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, serve::FrameKind::kPredict);
+  EXPECT_EQ(out[0].id, 99u);
+  EXPECT_EQ(out[0].payload, frame.payload);
+  EXPECT_EQ(out[1].kind, serve::FrameKind::kPing);
+  EXPECT_EQ(out[1].id, 7u);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(ServeWire, AssemblerPoisonsOnOversizedDeclaredLength) {
+  serve::WireLimits limits;
+  limits.max_payload = 64;
+  serve::FrameAssembler assembler{limits};
+  std::string bytes;
+  serve::append_frame(bytes, serve::Frame{serve::FrameKind::kPredict, 1,
+                                          std::string(65, 'x')});
+  assembler.feed(bytes.data(), bytes.size());
+  Result<std::optional<serve::Frame>> next = assembler.next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), ErrorCode::kInvalidInput);
+  // Sticky: the stream cannot be trusted after a framing error.
+  EXPECT_FALSE(assembler.next().ok());
+}
+
+TEST(ServeWire, AssemblerRejectsUnknownKind) {
+  serve::FrameAssembler assembler{serve::WireLimits{}};
+  std::string bytes;
+  serve::append_frame(bytes, serve::Frame{serve::FrameKind::kPing, 1, {}});
+  bytes[4] = static_cast<char>(200);  // corrupt the kind byte
+  assembler.feed(bytes.data(), bytes.size());
+  Result<std::optional<serve::Frame>> next = assembler.next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), ErrorCode::kInvalidInput);
+}
+
+// --- io max-message-size hardening (the guard the server leans on) -------
+
+TEST(ServeIoLimits, ParseProgramRejectsOversizedPayload) {
+  io::ProgramParseOptions opts;
+  opts.max_bytes = 64;
+  const Result<io::ProgramBundle> parsed =
+      io::parse_program(sample_program(), opts);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidInput);
+  EXPECT_NE(parsed.status().message().find("max-message"), std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(ServeIoLimits, ParsePatternRejectsOversizedPayload) {
+  io::PatternParseOptions opts;
+  opts.max_bytes = 8;
+  const auto parsed = io::parse_pattern("procs 2\nmsg 0 1 64\n", opts);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidInput);
+  EXPECT_NE(parsed.status().message().find("max-message"), std::string::npos);
+}
+
+TEST(ServeIoLimits, LoadProgramChecksFileSizeBeforeReading) {
+  const std::string path = ::testing::TempDir() + "/oversize.prog";
+  {
+    std::ofstream out{path};
+    out << sample_program();
+  }
+  io::ProgramParseOptions opts;
+  opts.max_bytes = 16;
+  const Result<io::ProgramBundle> loaded = io::load_program(path, opts);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kInvalidInput);
+  EXPECT_NE(loaded.status().message().find("max-message"), std::string::npos);
+}
+
+// --- the daemon ----------------------------------------------------------
+
+TEST_F(ServeTest, PingPong) {
+  start();
+  serve::Client client = connect();
+  EXPECT_TRUE(client.ping().ok());
+}
+
+TEST_F(ServeTest, PredictionIsBitIdenticalToDirectBatchPredictor) {
+  start();
+  serve::Client client = connect();
+
+  serve::PredictRequest req;
+  req.program_text = sample_program();
+  req.seed = 17;
+  const Result<serve::PredictReply> reply = client.predict(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+
+  const runtime::JobResult direct =
+      direct_predict(req.program_text, req.params_text, req.seed);
+  ASSERT_TRUE(direct.ok()) << direct.error();
+  // The serving contract: EXACT equality, not approximate.  The text wire
+  // format renders doubles with %.17g, which round-trips every value.
+  EXPECT_EQ(reply->total_us, direct.value().total().us());
+  EXPECT_EQ(reply->comp_us, direct.value().comp().us());
+  EXPECT_EQ(reply->comm_us, direct.value().comm().us());
+  EXPECT_EQ(reply->total_worst_us, direct.value().total_worst().us());
+  EXPECT_EQ(reply->comm_worst_us, direct.value().comm_worst().us());
+  EXPECT_FALSE(reply->from_cache);
+
+  // Same request again: the process-wide cache answers, numbers unchanged.
+  const Result<serve::PredictReply> again = client.predict(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_cache);
+  EXPECT_EQ(again->total_us, reply->total_us);
+
+  // A different seed is a different cache key (worst-case tie-breaking).
+  serve::PredictRequest other = req;
+  other.seed = 18;
+  const Result<serve::PredictReply> reseeded = client.predict(other);
+  ASSERT_TRUE(reseeded.ok());
+  EXPECT_FALSE(reseeded->from_cache);
+}
+
+TEST_F(ServeTest, ConcurrentClientsAllGetIdenticalCorrectAnswers) {
+  start();
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+
+  // Two distinct programs so the cache serves interleaved keys.
+  const std::string programs[2] = {sample_program(1), sample_program(2)};
+  double expected[2];
+  for (int v = 0; v < 2; ++v) {
+    const runtime::JobResult direct = direct_predict(programs[v], "meiko", 1);
+    ASSERT_TRUE(direct.ok()) << direct.error();
+    expected[v] = direct.value().total().us();
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Result<serve::Client> client =
+          serve::Client::connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        const int v = (c + r) % 2;
+        serve::PredictRequest req;
+        req.program_text = programs[v];
+        const Result<serve::PredictReply> reply = client->predict(req);
+        if (!reply.ok() || reply->total_us != expected[v]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry_.counter("serve.responses").value(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(registry_.counter("serve.errors").value(), 0u);
+}
+
+TEST_F(ServeTest, BatchStreamsPerJobResultsInOrder) {
+  start();
+  serve::Client client = connect();
+
+  std::vector<serve::PredictRequest> jobs(3);
+  jobs[0].program_text = sample_program(1);
+  jobs[1].program_text = "procs 0\n";  // invalid: fails per-job, not batch
+  jobs[2].program_text = sample_program(3);
+  const auto items = client.predict_batch(jobs);
+  ASSERT_TRUE(items.ok()) << items.status().to_string();
+  ASSERT_EQ(items->size(), 3u);
+  EXPECT_TRUE((*items)[0].ok()) << (*items)[0].status.to_string();
+  ASSERT_FALSE((*items)[1].ok());
+  EXPECT_EQ((*items)[1].status.code(), ErrorCode::kInvalidInput);
+  EXPECT_TRUE((*items)[2].ok()) << (*items)[2].status.to_string();
+
+  const runtime::JobResult direct = direct_predict(jobs[2].program_text,
+                                                   "meiko", 1);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*items)[2].reply->total_us, direct.value().total().us());
+
+  // Empty batch: just the end-of-stream marker.
+  const auto empty = client.predict_batch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(ServeTest, AdmissionControlRejectsPipelinedOverload) {
+  // One worker, one admitted request per connection, and a delay holding
+  // the worker so the pipelined frames below genuinely overlap.
+  ScopedFailpoints fp{"batch.job:delay@50ms"};
+  serve::Server::Config config;
+  config.workers = 1;
+  config.max_inflight_per_conn = 1;
+  start(config);
+  serve::Client client = connect();
+
+  constexpr int kPipelined = 6;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    serve::PredictRequest req;
+    req.program_text = sample_program();
+    serve::append_frame(
+        burst, serve::Frame{serve::FrameKind::kPredict,
+                            static_cast<std::uint64_t>(i + 1),
+                            serve::encode_predict_request(req)});
+  }
+  // One write delivers all frames to the IO thread back-to-back; only one
+  // can be inflight, so the rest must bounce with a transient ERROR.
+  ASSERT_EQ(::write(client.fd(), burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+
+  int ok = 0;
+  int busy = 0;
+  for (int i = 0; i < kPipelined; ++i) {
+    Result<serve::Frame> frame = client.receive();
+    ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+    if (frame->kind == serve::FrameKind::kResult) {
+      ++ok;
+      continue;
+    }
+    ASSERT_EQ(frame->kind, serve::FrameKind::kError);
+    const Result<serve::ErrorReply> reply =
+        serve::decode_error_reply(frame->payload);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->code, ErrorCode::kTransient);  // retryable, by design
+    ++busy;
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(busy, 1);
+  EXPECT_EQ(registry_.counter("serve.rejected").value(),
+            static_cast<std::uint64_t>(busy));
+
+  // A batch that alone exceeds the budget is rejected whole.
+  std::vector<serve::PredictRequest> jobs(3);
+  for (auto& job : jobs) job.program_text = sample_program();
+  const auto items = client.predict_batch(jobs);
+  ASSERT_TRUE(items.ok()) << items.status().to_string();
+  for (const auto& item : *items) {
+    ASSERT_FALSE(item.ok());
+    EXPECT_EQ(item.status.code(), ErrorCode::kTransient);
+  }
+}
+
+TEST_F(ServeTest, QueuedPastDeadlineComesBackAsTimeout) {
+  // A single worker held for 150ms forces the second request to overrun
+  // its 30ms budget while still queued.
+  ScopedFailpoints fp{"batch.job:delay@150ms#1"};
+  serve::Server::Config config;
+  config.workers = 1;
+  start(config);
+  serve::Client blocker = connect();
+  serve::Client client = connect();
+
+  serve::PredictRequest slow;
+  slow.program_text = sample_program(1);
+  const std::uint64_t slow_id = blocker.next_id();
+  ASSERT_TRUE(blocker
+                  .send(serve::Frame{serve::FrameKind::kPredict, slow_id,
+                                     serve::encode_predict_request(slow)})
+                  .ok());
+
+  serve::PredictRequest fast;
+  fast.program_text = sample_program(2);
+  fast.deadline_ms = 30;
+  const Result<serve::PredictReply> reply = client.predict(fast);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kTimeout)
+      << reply.status().to_string();
+
+  const Result<serve::Frame> unblocked = blocker.receive();
+  ASSERT_TRUE(unblocked.ok());
+  EXPECT_EQ(unblocked->kind, serve::FrameKind::kResult);
+}
+
+TEST_F(ServeTest, ClientDisconnectCancelsItsInflightWork) {
+  // Hold the job long enough that the disconnect is processed while the
+  // worker sleeps; the simulation then observes the fired token at its
+  // first step and unwinds as kCancelled.
+  ScopedFailpoints fp{"batch.job:delay@150ms"};
+  serve::Server::Config config;
+  config.workers = 1;
+  start(config);
+  {
+    serve::Client client = connect();
+    serve::PredictRequest req;
+    req.program_text = sample_program();
+    ASSERT_TRUE(client
+                    .send(serve::Frame{serve::FrameKind::kPredict, 1,
+                                       serve::encode_predict_request(req)})
+                    .ok());
+    // Wait until the worker has popped the request (queue_wait is recorded
+    // at pop time) so the close below lands while it executes -- otherwise
+    // the disconnect could drop it from the queue instead.
+    ASSERT_TRUE(wait_for_histogram("serve.queue_wait", 1))
+        << registry_.to_string();
+    // ~client closes the socket with the request still executing.
+  }
+  EXPECT_TRUE(wait_for_counter("batch.cancelled", 1))
+      << registry_.to_string();
+  // The answer had nobody to go to; it must not count as a response.
+  EXPECT_EQ(registry_.counter("serve.responses").value(), 0u);
+}
+
+TEST_F(ServeTest, QueuedRequestsOfClosedConnectionAreDropped) {
+  // One worker held asleep + inflight budget for 4: the 3 queued requests
+  // behind the sleeper are dropped when the client vanishes.
+  ScopedFailpoints fp{"batch.job:delay@150ms"};
+  serve::Server::Config config;
+  config.workers = 1;
+  config.max_inflight_per_conn = 8;
+  start(config);
+  {
+    serve::Client client = connect();
+    serve::PredictRequest req;
+    req.program_text = sample_program();
+    std::string burst;
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+      serve::append_frame(burst,
+                          serve::Frame{serve::FrameKind::kPredict, id,
+                                       serve::encode_predict_request(req)});
+    }
+    ASSERT_EQ(::write(client.fd(), burst.data(), burst.size()),
+              static_cast<ssize_t>(burst.size()));
+  }
+  EXPECT_TRUE(wait_for_counter("serve.disconnect_cancels", 1))
+      << registry_.to_string();
+}
+
+TEST_F(ServeTest, OversizedFrameIsRejectedAndConnectionClosed) {
+  serve::Server::Config config;
+  config.limits.max_payload = 256;
+  start(config);
+
+  // The client's own limit must be looser to even send the hostile frame.
+  Result<serve::Client> connected = serve::Client::connect(
+      "127.0.0.1", server_->port(), serve::WireLimits{.max_payload = 1 << 20});
+  ASSERT_TRUE(connected.ok());
+  serve::Client client = std::move(connected).value();
+  serve::PredictRequest req;
+  req.program_text = sample_program() + std::string(512, '#');
+  ASSERT_TRUE(client
+                  .send(serve::Frame{serve::FrameKind::kPredict, 5,
+                                     serve::encode_predict_request(req)})
+                  .ok());
+  const Result<serve::Frame> frame = client.receive();
+  ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+  ASSERT_EQ(frame->kind, serve::FrameKind::kError);
+  const Result<serve::ErrorReply> reply =
+      serve::decode_error_reply(frame->payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, ErrorCode::kInvalidInput);
+  // The stream is poisoned; the server hangs up after the error.
+  const Result<serve::Frame> eof = client.receive();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(registry_.counter("serve.protocol_errors").value(), 1u);
+}
+
+TEST_F(ServeTest, StatsVerbRendersTheObsSnapshot) {
+  start();
+  serve::Client client = connect();
+  serve::PredictRequest req;
+  req.program_text = sample_program();
+  ASSERT_TRUE(client.predict(req).ok());
+
+  const Result<std::string> stats = client.stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_NE(stats->find("serve.requests"), std::string::npos);
+  EXPECT_NE(stats->find("serve.latency"), std::string::npos);
+  EXPECT_NE(stats->find("cache.hit_rate"), std::string::npos) << *stats;
+}
+
+TEST_F(ServeTest, StopAnswersNothingTwiceAndRestartsCleanly) {
+  start();
+  {
+    serve::Client client = connect();
+    EXPECT_TRUE(client.ping().ok());
+  }
+  server_->stop();
+  server_->stop();  // idempotent
+  EXPECT_EQ(server_->connection_count(), 0u);
+}
+
+}  // namespace
+}  // namespace logsim

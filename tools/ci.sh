@@ -5,6 +5,9 @@
 # AddressSanitizer, which catches the class of bug the fault layer is
 # designed to keep out (use-after-free on watchdog-abandoned batches,
 # empty-vector reads on uncalibrated ops, torn checkpoint buffers).
+# Then: a standalone-header pass, a logsimd/logsim_client serve smoke
+# (ephemeral port, scripted session, clean SIGTERM), and the Release
+# perf gate (perf_regression + serve_throughput into BENCH_perf.json).
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #   LOGSIM_CI_SANITIZER=undefined tools/ci.sh   # swap ASan for UBSan
@@ -43,31 +46,112 @@ for hdr in "$repo_root"/include/logsim/*.hpp; do
 done
 echo "==> [headers] all public headers self-sufficient"
 
+# Serve smoke: start the daemon on an ephemeral port, run one scripted
+# client session (ping, predict, batch, stats), then assert a clean
+# SIGTERM shutdown.  Exercises the real binaries end to end -- socket
+# setup, wire codecs, admission, cache hit on the repeated program --
+# where serve_test covers the library in-process.
+echo "==> [serve] smoke: logsimd + logsim_client round trip"
+serve_dir="$prefix-default"
+smoke_tmp=$(mktemp -d)
+logsimd_pid=""
+cleanup_smoke() {
+  [ -n "$logsimd_pid" ] && kill "$logsimd_pid" 2>/dev/null
+  rm -rf "$smoke_tmp"
+}
+trap cleanup_smoke EXIT
+cat > "$smoke_tmp/prog.txt" <<'EOF'
+procs 4
+op mult
+cost 0 16 250.5
+cost 0 32 500.25
+compute
+item 0 0 16
+item 1 0 32
+item 2 0 16
+item 3 0 16
+comm
+msg 0 1 1024
+msg 2 3 2048
+msg 1 2 512
+compute
+item 1 0 16
+item 3 0 32
+EOF
+"$serve_dir/tools/logsimd" --port 0 > "$smoke_tmp/logsimd.log" 2>&1 &
+logsimd_pid=$!
+port=""
+tries=0
+while [ $tries -lt 100 ]; do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "$smoke_tmp/logsimd.log")
+  [ -n "$port" ] && break
+  tries=$((tries + 1))
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "==> [serve] logsimd did not start" >&2
+  cat "$smoke_tmp/logsimd.log" >&2
+  exit 1
+fi
+client="$serve_dir/tools/logsim_client"
+"$client" --server "127.0.0.1:$port" ping
+"$client" --server "127.0.0.1:$port" predict "$smoke_tmp/prog.txt"
+"$client" --server "127.0.0.1:$port" batch "$smoke_tmp/prog.txt" \
+  "$smoke_tmp/prog.txt"
+"$client" --server "127.0.0.1:$port" stats | grep -q "serve.requests" || {
+  echo "==> [serve] stats verb missing serve.requests" >&2
+  exit 1
+}
+kill -TERM "$logsimd_pid"
+wait "$logsimd_pid" || {
+  echo "==> [serve] logsimd did not shut down cleanly" >&2
+  exit 1
+}
+logsimd_pid=""
+echo "==> [serve] smoke OK (port $port, clean shutdown)"
+
 # Perf smoke: a Release build of the regression harness must run, emit a
 # schema-valid BENCH_perf.json, and -- when a baseline has been checked in
 # under bench/baselines/ -- stay within 25% of it on every benchmark.
-# The harness is built with tracing compiled in; LOGSIM_TRACE is unset so
-# the gate asserts the compiled-in-but-disabled overhead stays in budget.
-# Skippable for quick local iterations with LOGSIM_CI_SKIP_PERF=1.
+# serve_throughput then merges its serve_* rows into the same file
+# (schema v3): throughput rows go through the same 25% gate; latency
+# p50/p99 rows are recorded ungated (lower-is-better does not fit the
+# gate) but the warm p99 row must exist and be non-empty, and the warm
+# served throughput must stay within 2x of the direct in-process
+# reference (--check).  The harness is built with tracing compiled in;
+# LOGSIM_TRACE is unset so the gate asserts the compiled-in-but-disabled
+# overhead stays in budget.  Skippable for quick local iterations with
+# LOGSIM_CI_SKIP_PERF=1.
 if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
   perf_dir="$prefix-perf"
   echo "==> [perf] configure: $perf_dir (Release)"
   cmake -S "$repo_root" -B "$perf_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
-  echo "==> [perf] build perf_regression"
-  cmake --build "$perf_dir" --target perf_regression -j "$jobs"
+  echo "==> [perf] build perf_regression + serve_throughput"
+  cmake --build "$perf_dir" --target perf_regression serve_throughput \
+    -j "$jobs"
   echo "==> [perf] run --quick"
   perf_json="$repo_root/BENCH_perf.json"
   baseline="$repo_root/bench/baselines/BENCH_perf_baseline.json"
   if [ -f "$baseline" ]; then
     env -u LOGSIM_TRACE "$perf_dir/bench/perf_regression" --quick \
       --out "$perf_json" --baseline "$baseline" --max-regress 0.25
+    env -u LOGSIM_TRACE "$perf_dir/bench/serve_throughput" --quick --check \
+      --merge "$perf_json" --baseline "$baseline" --max-regress 0.25
   else
     echo "==> [perf] no baseline at $baseline; running ungated"
     env -u LOGSIM_TRACE "$perf_dir/bench/perf_regression" --quick \
       --out "$perf_json"
+    env -u LOGSIM_TRACE "$perf_dir/bench/serve_throughput" --quick --check \
+      --merge "$perf_json"
   fi
-  grep -q '"schema": "logsim-perf-v2"' "$perf_json" || {
+  grep -q '"schema": "logsim-perf-v3"' "$perf_json" || {
     echo "==> [perf] BENCH_perf.json failed schema check" >&2
+    exit 1
+  }
+  grep '"name": "serve_warm_p99_us"' "$perf_json" |
+    grep -qv '"value": 0.0,' || {
+    echo "==> [perf] BENCH_perf.json missing a non-empty serve_warm_p99_us row" >&2
     exit 1
   }
   echo "==> [perf] BENCH_perf.json OK"

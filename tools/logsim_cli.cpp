@@ -9,8 +9,13 @@
 //       Predict blocked Gaussian Elimination (layout: diagonal|row-cyclic).
 //
 //   logsim_cli predict <program-file> [--params STR] [--worst]
+//                      [--server HOST:PORT]
 //       Predict a whole step program serialized in the program text
-//       format (see src/io/program_io.hpp).
+//       format (see src/io/program_io.hpp).  With --server the program
+//       is sent to a running logsimd instead of simulated in-process;
+//       the daemon's text codecs round-trip doubles exactly, so the
+//       numbers match the local path bit for bit (modulo its shared
+//       caches serving hits).
 //
 //   logsim_cli fit [--params STR]
 //       Demonstrate LogGP parameter recovery against the built-in
@@ -29,8 +34,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -41,6 +48,7 @@
 #include <logsim/obs.hpp>
 #include <logsim/programs.hpp>
 #include <logsim/runtime.hpp>
+#include <logsim/serve.hpp>
 
 #include "io/params_io.hpp"
 #include "io/pattern_io.hpp"
@@ -57,6 +65,7 @@ struct Flags {
   std::uint64_t seed = 1;
   std::string csv;
   std::string trace_out;  // empty = tracing off
+  std::string server;     // "HOST:PORT"; empty = predict in-process
   std::vector<std::string> positional;
 };
 
@@ -88,6 +97,10 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.trace_out = argv[++i];
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       flags.trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--server" && i + 1 < argc) {
+      flags.server = argv[++i];
+    } else if (arg.rfind("--server=", 0) == 0) {
+      flags.server = arg.substr(std::strlen("--server="));
     } else {
       flags.positional.push_back(arg);
     }
@@ -258,11 +271,57 @@ int cmd_predict_ge(const Flags& flags) {
   return 0;
 }
 
+/// predict via a running logsimd: ship the program text over the wire and
+/// render the reply in the local format.  The wire's %.17g codecs make the
+/// numbers bit-identical to an in-process prediction.
+int cmd_predict_remote(const Flags& flags) {
+  const std::size_t colon = flags.server.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= flags.server.size()) {
+    std::cerr << "--server: want HOST:PORT\n";
+    return 2;
+  }
+  std::ifstream in{flags.positional[0], std::ios::binary};
+  if (!in) {
+    std::cerr << "cannot read " << flags.positional[0] << '\n';
+    return 1;
+  }
+  std::ostringstream program_text;
+  program_text << in.rdbuf();
+
+  auto connected = serve::Client::connect(
+      flags.server.substr(0, colon),
+      static_cast<std::uint16_t>(std::atoi(flags.server.c_str() + colon + 1)));
+  if (!connected.ok()) {
+    report(flags.server, connected.status());
+    return 1;
+  }
+  serve::Client client = std::move(connected).value();
+  serve::PredictRequest req;
+  req.params_text = flags.params_text;
+  req.seed = flags.seed;
+  req.program_text = program_text.str();
+  const Result<serve::PredictReply> reply = client.predict(req);
+  if (!reply.ok()) {
+    report(flags.server, reply.status());
+    return 1;
+  }
+  const double total = flags.worst ? reply->total_worst_us : reply->total_us;
+  const double comm = flags.worst ? reply->comm_worst_us : reply->comm_us;
+  std::cout << "server " << flags.server << "  schedule="
+            << (flags.worst ? "worst-case" : "standard") << '\n'
+            << "predicted total: " << util::fmt(total, 2)
+            << " us (computation " << util::fmt(reply->comp_us, 2)
+            << ", communication " << util::fmt(comm, 2) << ")"
+            << (reply->from_cache ? "  [server cache hit]" : "") << '\n';
+  return 0;
+}
+
 int cmd_predict(const Flags& flags) {
   if (flags.positional.empty()) {
     std::cerr << "predict: missing program file\n";
     return 2;
   }
+  if (!flags.server.empty()) return cmd_predict_remote(flags);
   const auto parsed = io::load_program(flags.positional[0]);
   if (!parsed.ok()) {
     report(flags.positional[0], parsed.status());
