@@ -13,16 +13,25 @@
 // the schema string and the benchmark set moved.
 //
 // Methodology: every benchmark runs one discarded warm-up sample (page
-// faults, scratch growth, cache warm-up), then k timed samples
-// (default 5, --quick 3); the reported value is the SAMPLE MEDIAN, which
-// is robust to one-off scheduler noise without hiding a real shift.
-// Workload seeds and sizes are fixed so runs are comparable across
-// commits on the same machine.
+// faults, scratch growth, cache warm-up), then 5 timed samples -- in
+// --quick mode too, since 3-sample quick medians swung >30% on small
+// rows (comm_standard_p8 ranged 13.6M-19.2M ops/s) and tripped the 25%
+// gate spuriously; --quick now only shrinks the per-sample iteration
+// counts.  The reported value is the SAMPLE MEDIAN, which is robust to
+// one-off scheduler noise without hiding a real shift.  Workload seeds
+// and sizes are fixed so runs are comparable across commits on the same
+// machine.
 //
 // Usage:
 //   perf_regression [--quick] [--no-step-cache] [--out FILE]
 //                   [--baseline FILE] [--max-regress FRAC]
-//                   [--write-baseline FILE]
+//                   [--write-baseline FILE] [--p-sweep]
+//
+// --p-sweep skips the regression rows and instead times one 2-D stencil
+// halo-exchange CommStep at P = 64 / 1k / 64k / 1M (the mega-scale
+// acceptance numbers recorded in EXPERIMENTS.md), plus a P = 1M
+// 64-component dissemination round with the parallel component
+// decomposition off and on.
 //
 // --no-step-cache (or LOGSIM_STEP_CACHE=0) disables the comm-step cache:
 // batch_ge_block_sweep then measures the uncached engine and the two
@@ -35,6 +44,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -216,6 +226,73 @@ BenchResult bench_step_cache(bool warmed, int iters, int samples) {
   });
 }
 
+// --p-sweep: one stencil halo CommStep per decade of P, timed standalone.
+// Each row simulates a single standard-schedule step (the unit the P=1M
+// "< 1 s" acceptance target is stated in); the final rows time a P = 1M
+// dissemination round (64 independent rings) scalar vs decomposed to show
+// the component-parallel speedup.
+void run_p_sweep() {
+  const auto time_pattern = [](const pattern::CommPattern& pat,
+                               core::ParallelCommSimulator& sim,
+                               core::FinishOnlySink& sink, double& sec,
+                               int& components) {
+    const std::vector<Time> ready(static_cast<std::size_t>(pat.procs()),
+                                  Time::zero());
+    (void)sim.run_into(pat, ready, /*seed=*/1, sink);  // warm-up
+    std::vector<double> secs;
+    for (int s = 0; s < 3; ++s) {
+      const auto start = Clock::now();
+      const auto info = sim.run_into(pat, ready, /*seed=*/1, sink);
+      secs.push_back(seconds_since(start));
+      components = info.components;
+    }
+    sec = median(secs);
+  };
+
+  util::Table table{{"pattern", "P", "messages", "sec/step", "ops_per_sec"}};
+  for (const int procs : {64, 1024, 65536, 1048576}) {
+    stencil::StencilConfig cfg;
+    cfg.partition = stencil::Partition::kTiles2D;
+    cfg.procs = procs;
+    const int q = static_cast<int>(std::lround(std::sqrt(double(procs))));
+    cfg.n = q * 16;  // 16x16-cell tiles at every P
+    const auto pat = stencil::halo_pattern(cfg);
+    const auto params = loggp::presets::meiko_cs2(procs);
+    core::ParallelCommOptions popts;  // halo is one component: scalar SoA
+    core::ParallelCommSimulator sim{params, popts};
+    core::FinishOnlySink sink;
+    double sec = 0.0;
+    int components = 0;
+    time_pattern(pat, sim, sink, sec, components);
+    const double ops = 2.0 * static_cast<double>(pat.size());
+    table.add_row({"stencil_halo_2d", std::to_string(procs),
+                   std::to_string(pat.size()), util::fmt(sec, 4),
+                   util::fmt(ops / sec, 0)});
+  }
+
+  const int procs = 1048576;
+  const auto pat = collective::dissemination_round(procs, 6, Bytes{1024});
+  const auto params = loggp::presets::meiko_cs2(procs);
+  for (const bool decompose : {false, true}) {
+    core::ParallelCommOptions popts;
+    popts.enabled = decompose;
+    popts.parallel = runtime::sim_parallel_for();
+    core::ParallelCommSimulator sim{params, popts};
+    core::FinishOnlySink sink;
+    double sec = 0.0;
+    int components = 0;
+    time_pattern(pat, sim, sink, sec, components);
+    const double ops = 2.0 * static_cast<double>(pat.size());
+    table.add_row({decompose ? "dissemination_r6 (decomposed)"
+                             : "dissemination_r6 (scalar)",
+                   std::to_string(procs), std::to_string(pat.size()),
+                   util::fmt(sec, 4), util::fmt(ops / sec, 0)});
+  }
+
+  std::cout << "=== mega-scale P sweep (median of 3, one comm step) ===\n"
+            << table;
+}
+
 void write_json(std::ostream& out, const std::vector<BenchResult>& results,
                 bool quick) {
   out << "{\n"
@@ -270,6 +347,7 @@ std::vector<std::pair<std::string, double>> read_baseline(
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool p_sweep = false;
   bool step_cache = logsim::runtime::step_cache_env_enabled();
   std::string out_path;
   std::string baseline_path;
@@ -286,6 +364,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--p-sweep") {
+      p_sweep = true;
     } else if (arg == "--no-step-cache") {
       step_cache = false;
     } else if (arg == "--out") {
@@ -302,7 +382,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  const int samples = quick ? 3 : 5;
+  if (p_sweep) {
+    run_p_sweep();
+    return 0;
+  }
+
+  // 5 samples in both modes: the gate is only as trustworthy as the
+  // median's stability, and quick-mode 3-sample medians were not stable.
+  const int samples = 5;
   // Iteration counts are sized so each sample takes a few tens of
   // milliseconds in a Release build -- long enough to time reliably,
   // short enough that --quick stays a smoke test.
@@ -311,6 +398,7 @@ int main(int argc, char** argv) {
   std::vector<BenchResult> results;
   results.push_back(bench_comm_standard(8, 256, 400 * scale, samples));
   results.push_back(bench_comm_standard(64, 4096, 25 * scale, samples));
+  results.push_back(bench_comm_standard(65536, 131072, 1 * scale, samples));
   results.push_back(bench_comm_worst_case(32, 2000, 50 * scale, samples));
   results.push_back(bench_program_ge(5 * scale, samples));
   if (step_cache) {

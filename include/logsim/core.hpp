@@ -9,6 +9,7 @@
 
 #include "core/comm_sim.hpp"        // IWYU pragma: export
 #include "core/cost_table.hpp"      // IWYU pragma: export
+#include "core/parallel_comm.hpp"   // IWYU pragma: export
 #include "core/predictor.hpp"       // IWYU pragma: export
 #include "core/program_sim.hpp"     // IWYU pragma: export
 #include "core/step_cache.hpp"      // IWYU pragma: export
@@ -22,6 +23,7 @@
 #include "pattern/builders.hpp"     // IWYU pragma: export
 #include "pattern/canonical.hpp"    // IWYU pragma: export
 #include "pattern/comm_pattern.hpp" // IWYU pragma: export
+#include "pattern/component_split.hpp" // IWYU pragma: export
 #include "util/ascii_chart.hpp"     // IWYU pragma: export
 #include "util/csv.hpp"             // IWYU pragma: export
 #include "util/rng.hpp"             // IWYU pragma: export

@@ -127,6 +127,42 @@ core::StepProgram allgather_ring(int procs, Bytes bytes) {
   return program;
 }
 
+core::StepProgram allgather_doubling(int procs, Bytes bytes) {
+  assert(procs >= 1);
+  core::StepProgram program{procs};
+  // Round r: exchange with i XOR 2^r, shipping the 2^r blocks gathered in
+  // earlier rounds.  64-bit strides keep the shifts defined all the way to
+  // the 2^31 processor ceiling.
+  for (std::int64_t stride = 1; stride < procs; stride <<= 1) {
+    pattern::CommPattern pat{procs};
+    const Bytes chunk{bytes.count() * static_cast<std::uint64_t>(stride)};
+    for (std::int64_t i = 0; i < procs; ++i) {
+      const std::int64_t partner = i ^ stride;
+      if (partner < procs) {
+        pat.add(static_cast<ProcId>(i), static_cast<ProcId>(partner), chunk,
+                i);
+      }
+    }
+    program.add_comm(std::move(pat));
+  }
+  program.intern_patterns(pattern::PatternInterner::global());
+  return program;
+}
+
+pattern::CommPattern dissemination_round(int procs, int round, Bytes bytes) {
+  assert(procs >= 1 && round >= 0);
+  pattern::CommPattern pat{procs};
+  if (round >= 62) return pat;
+  const std::int64_t stride = (std::int64_t{1} << round) %
+                              static_cast<std::int64_t>(procs);
+  if (stride == 0) return pat;  // every edge would be a self-message
+  for (std::int64_t i = 0; i < procs; ++i) {
+    const std::int64_t dst = (i + stride) % procs;
+    pat.add(static_cast<ProcId>(i), static_cast<ProcId>(dst), bytes, i);
+  }
+  return pat;
+}
+
 std::vector<Bytes> received_bytes(const core::StepProgram& p) {
   std::vector<Bytes> out(static_cast<std::size_t>(p.procs()), Bytes{0});
   for (std::size_t s = 0; s < p.size(); ++s) {

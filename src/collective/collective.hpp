@@ -17,6 +17,7 @@
 
 #include "core/cost_table.hpp"
 #include "core/step_program.hpp"
+#include "pattern/comm_pattern.hpp"
 #include "util/types.hpp"
 
 namespace logsim::collective {
@@ -47,6 +48,21 @@ struct ReducePlan {
 /// Ring allgather: after P-1 steps every processor holds every
 /// processor's `bytes`-sized contribution.
 [[nodiscard]] core::StepProgram allgather_ring(int procs, Bytes bytes);
+
+/// Recursive-doubling allgather: ceil(log2 P) exchange rounds where round
+/// r pairs i with i XOR 2^r and moves the 2^r blocks accumulated so far.
+/// Unlike allgather_ring's P-1 steps this stays buildable at mega-scale
+/// (P = 65536..1M is 16..20 comm steps); partners >= P are skipped so
+/// non-power-of-two machines degrade gracefully.
+[[nodiscard]] core::StepProgram allgather_doubling(int procs, Bytes bytes);
+
+/// One dissemination-barrier round: every processor i sends to
+/// (i + 2^round) mod P.  The edge set is a union of gcd(P, 2^round)
+/// disjoint cycles, which makes it the canonical multi-component stressor
+/// for the parallel component decomposition at large P (a P = 1M round 6
+/// splits into 64 independent rings).
+[[nodiscard]] pattern::CommPattern dissemination_round(int procs, int round,
+                                                       Bytes bytes);
 
 /// Total payload received per processor in a program (test helper for
 /// delivery accounting).

@@ -85,6 +85,32 @@ class CommSimulator {
                 const std::vector<Time>& msg_ready, Sink& sink,
                 CommSimScratch& scratch) const;
 
+  /// Mega-scale fast path: the same Figure-2 schedule, but equal-ctime
+  /// ties are resolved deterministically (lowest processor first) and the
+  /// minimum is found by round-based linear scans over the flat ctime[]
+  /// array instead of heap + rng -- sequential, SIMD-friendly sweeps with
+  /// no per-op log-P pointer chasing, which is what makes P = 1M steps
+  /// simulate in well under a second.
+  ///
+  /// Sound ONLY for uniform-byte patterns: there the finish times are
+  /// invariant under the tie-break policy (the relabel/seed-independence
+  /// invariant of pattern/canonical.hpp that the comm-step cache and the
+  /// parallel component decomposition already rely on), so this produces
+  /// exactly the finish times, op and send counts of the seeded scalar
+  /// path.  Op *order* and msg_index assignment may differ -- hence the
+  /// FinishOnlySink-only signature.  Ignores send_priority/extra_latency
+  /// (callers on this path never set them).
+  ///
+  /// Returns false without completing when the pattern's round structure
+  /// is too sparse for scanning (few ops per distinct ctime, e.g. a
+  /// serialized flat broadcast): the caller must reset the sink and fall
+  /// back to run_into().  The density heuristic is a round budget of
+  /// 64 + 16 * ops / procs scans.
+  [[nodiscard]] bool run_dense_into(const pattern::CommPattern& pattern,
+                                    const std::vector<Time>& ready,
+                                    FinishOnlySink& sink,
+                                    CommSimScratch& scratch) const;
+
   [[nodiscard]] const loggp::Params& params() const { return params_; }
 
  private:

@@ -103,11 +103,15 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
 
   // Hot-path state reused across every comm step of this run: the
   // simulators record into a finish-times-only sink (no caller here ever
-  // consumes full traces) and share one scratch, so after the first comm
-  // step the per-step simulations allocate nothing.
-  CommSimScratch scratch;
+  // consumes full traces) and keep grow-only scratch, so after the first
+  // comm step the per-step simulations allocate nothing.
   FinishOnlySink sink;
-  const std::vector<Time> no_msg_ready;
+  ParallelCommOptions pc_opts;
+  pc_opts.enabled = opts_.decompose;
+  pc_opts.min_procs = opts_.decompose_min_procs;
+  pc_opts.parallel = opts_.comm_parallel;
+  ParallelCommSimulator comm_sim{params_, pc_opts};
+  CommSimScratch worst_scratch;
 
   // Step-cache state, equally reused (grow-only): the canonicalizer's
   // relabel maps plus the canonical-order ready/finish buffers.  A warmed
@@ -225,15 +229,15 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
         }
       }
 
-      sink.reset(program.procs());
       if (opts_.worst_case) {
+        sink.reset(program.procs());
         WorstCaseSimulator{params_, WorstCaseOptions{step_seed}}.run_into(
-            pattern, clock, sink, scratch);
+            pattern, clock, sink, worst_scratch);
       } else {
-        CommSimOptions std_opts;
-        std_opts.seed = step_seed;
-        CommSimulator{params_, std_opts}.run_into(pattern, clock, no_msg_ready,
-                                                  sink, scratch);
+        // Standard schedule: the parallel simulator decomposes eligible
+        // steps into components (bit-identical to scalar) and falls back
+        // to the scalar Figure-2 loop otherwise; it resets the sink.
+        comm_sim.run_into(pattern, clock, step_seed, sink);
       }
       result.comm_ops += sink.op_count();
       const std::vector<Time>& finish = sink.finish_times();

@@ -4,9 +4,7 @@
 #include <vector>
 
 #include "core/comm_sink.hpp"
-#include "core/proc_timeline.hpp"
 #include "core/sim_scratch.hpp"
-#include "des/event_queue.hpp"
 #include "loggp/cost.hpp"
 #include "util/rng.hpp"
 
@@ -40,34 +38,57 @@ void WorstCaseSimulator::run_into(const pattern::CommPattern& pattern,
   const auto n = static_cast<std::size_t>(pattern.procs());
   assert(ready.size() == n);
 
-  s.prepare(pattern, ready, &params_);
+  s.prepare(pattern, ready);
   util::Rng rng{opts_.seed};
   const auto& msgs = pattern.messages();
   std::size_t unsent = s.network_messages();
+  // Sequencing floor increments; see comm_sim.cpp for the derivation of
+  // why one floor serves both next-op kinds.
+  const Time after_recv = max(params_.o, params_.g);
 
   auto has_sends = [&](std::size_t p) {
     return s.send_off[p] + s.send_cursor[p] < s.send_off[p + 1];
   };
 
   auto send_one = [&](std::size_t p) {
-    const std::size_t msg_index =
+    const std::uint32_t msg_index =
         s.send_flat[s.send_off[p] + s.send_cursor[p]++];
     const auto& msg = msgs[msg_index];
-    const Time start = s.tl[p].earliest_start(loggp::OpKind::kSend);
-    sink.record(s.tl[p].commit_send(start, msg.dst, msg.bytes, msg_index));
+    const Time start = s.floor_next[p];
+    OpRecord op;
+    op.proc = static_cast<ProcId>(p);
+    op.kind = loggp::OpKind::kSend;
+    op.start = start;
+    op.cpu_end = start + params_.o;
+    op.port_end = start + loggp::send_occupancy(msg.bytes, params_);
+    op.peer = msg.dst;
+    op.bytes = msg.bytes;
+    op.msg_index = msg_index;
+    s.floor_next[p] = max(start + params_.g, op.port_end);
+    s.ctime[p] = op.cpu_end;
+    sink.record(op);
     const Time arrival = loggp::arrival_time(start, msg.bytes, params_);
-    s.inbox[static_cast<std::size_t>(msg.dst)].push(
-        arrival, PendingRecv{msg_index, msg.src, msg.bytes, arrival});
+    s.inbox_push(static_cast<std::size_t>(msg.dst), arrival, msg_index);
     --unsent;
   };
 
   auto drain_inbox = [&](std::size_t p) {
-    while (!s.inbox[p].empty()) {
-      const auto entry = s.inbox[p].pop();
-      const auto& pr = entry.payload;
-      const Time start = s.tl[p].earliest_start(loggp::OpKind::kRecv,
-                                                pr.arrival);
-      sink.record(s.tl[p].commit_recv(start, pr.src, pr.bytes, pr.msg_index));
+    while (!s.inbox_empty(p)) {
+      const auto entry = s.inbox_pop(p);
+      const auto& rm = msgs[entry.msg];
+      const Time start = max(s.floor_next[p], entry.arrival);
+      OpRecord op;
+      op.proc = static_cast<ProcId>(p);
+      op.kind = loggp::OpKind::kRecv;
+      op.start = start;
+      op.cpu_end = start + params_.o;
+      op.port_end = op.cpu_end;
+      op.peer = rm.src;
+      op.bytes = rm.bytes;
+      op.msg_index = entry.msg;
+      s.floor_next[p] = start + after_recv;
+      s.ctime[p] = op.cpu_end;
+      sink.record(op);
       ++s.received[p];
     }
   };

@@ -1,6 +1,9 @@
 #include "pattern/builders.hpp"
 
 #include <cassert>
+#include <cstdint>
+
+#include "util/types.hpp"
 
 namespace logsim::pattern {
 
@@ -44,11 +47,17 @@ CommPattern flat_broadcast(int procs, Bytes bytes, ProcId root) {
 }
 
 CommPattern binomial_round(int procs, int round, Bytes bytes) {
+  assert(round >= 0);
   CommPattern p{procs};
-  const int stride = 1 << round;
-  for (int q = 0; q < stride && q < procs; ++q) {
-    const int peer = q + stride;
-    if (peer < procs) p.add(q, peer, bytes);
+  // 64-bit stride: `1 << round` is UB for round >= 31, and a round that
+  // large is legitimate for P near the 2^31 processor ceiling.
+  if (round >= 62) return p;  // stride would exceed any valid peer id
+  const std::int64_t stride = std::int64_t{1} << round;
+  for (std::int64_t q = 0; q < stride && q < procs; ++q) {
+    const std::int64_t peer = q + stride;
+    if (peer < procs) {
+      p.add(static_cast<ProcId>(q), static_cast<ProcId>(peer), bytes);
+    }
   }
   return p;
 }
@@ -64,22 +73,33 @@ CommPattern all_to_all(int procs, Bytes bytes) {
 }
 
 CommPattern hypercube_round(int procs, int dim, Bytes bytes) {
+  assert(dim >= 0);
   CommPattern p{procs};
-  const int mask = 1 << dim;
-  for (int i = 0; i < procs; ++i) {
-    const int partner = i ^ mask;
-    if (partner < procs) p.add(i, partner, bytes);
+  // 64-bit mask: `1 << dim` is UB for dim >= 31 even though every partner
+  // in such a round is simply out of range and the round is empty.
+  if (dim >= 62) return p;
+  const std::int64_t mask = std::int64_t{1} << dim;
+  for (std::int64_t i = 0; i < procs; ++i) {
+    const std::int64_t partner = i ^ mask;
+    if (partner < procs) {
+      p.add(static_cast<ProcId>(i), static_cast<ProcId>(partner), bytes);
+    }
   }
   return p;
 }
 
 CommPattern transpose(int q, Bytes bytes) {
-  CommPattern p{q * q};
-  for (int r = 0; r < q; ++r) {
-    for (int c = 0; c < q; ++c) {
+  // q*q overflows int at q >= 46341; do the grid arithmetic in 64 bits and
+  // refuse grids whose processor count cannot be represented as a ProcId.
+  const std::int64_t n64 = std::int64_t{q} * q;
+  (void)checked_index32(q > 0 ? n64 - 1 : 0, kMaxSimProcs, "transpose grid");
+  CommPattern p{static_cast<int>(n64)};
+  for (std::int64_t r = 0; r < q; ++r) {
+    for (std::int64_t c = 0; c < q; ++c) {
       if (r != c) {
-        p.add(r * q + c, c * q + r, bytes,
-              static_cast<std::int64_t>(r * q + c));
+        const std::int64_t src = r * q + c;
+        const std::int64_t dst = c * q + r;
+        p.add(static_cast<ProcId>(src), static_cast<ProcId>(dst), bytes, src);
       }
     }
   }

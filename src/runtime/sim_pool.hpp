@@ -1,0 +1,59 @@
+#pragma once
+// Runtime-side executors for the core parallel-decomposition path.
+//
+// core::ParallelCommSimulator is layering-clean: it takes work through a
+// core::ParallelFor function and knows nothing about threads.  This header
+// provides the two adapters callers actually use:
+//
+//   * pool_parallel(pool)  -- a ParallelFor running bodies as tasks on an
+//     existing runtime::ThreadPool, joined by a countdown latch (NOT
+//     wait_idle(): the pool may be shared and concurrently loaded, and
+//     wait_idle() would block on unrelated work).  Body exceptions are
+//     contained by the pool (counted in task_exceptions()); the latch
+//     always reaches zero.
+//
+//   * sim_parallel_for()   -- the process-wide default executor, backed by
+//     a lazily created pool sized by LOGSIM_SIM_THREADS (default: hardware
+//     concurrency; 0 or 1 = no pool, empty executor, sequential
+//     simulation).
+//
+// Escape-hatch environment knobs, read once on first use:
+//   LOGSIM_SIM_THREADS=N    worker count for the simulation pool
+//   LOGSIM_NO_DECOMPOSE=1   disable component decomposition entirely
+//     (sim_decompose_enabled() reports it; the CLI layers map
+//      --sim-threads / --no-decompose onto the same switches).
+
+#include <cstddef>
+
+#include "core/parallel_comm.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace logsim::runtime {
+
+/// ParallelFor adapter over an existing pool (borrowed; must outlive every
+/// call through the returned function).
+[[nodiscard]] core::ParallelFor pool_parallel(ThreadPool& pool);
+
+/// Worker count the simulation pool would use: LOGSIM_SIM_THREADS if set
+/// (clamped to >= 0), else std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t sim_thread_count();
+
+/// Overrides the LOGSIM_SIM_THREADS-derived default (CLI flag hook).
+/// Takes effect only before the first sim_parallel_for() call.
+void set_sim_thread_count(std::size_t threads);
+
+/// Process-wide executor for component simulations: empty when the
+/// configured thread count is <= 1, else backed by a shared lazily
+/// created ThreadPool.  The empty case keeps callers allocation- and
+/// thread-free (components then run sequentially in the caller).
+[[nodiscard]] const core::ParallelFor& sim_parallel_for();
+
+/// False when LOGSIM_NO_DECOMPOSE is set (to anything but "0") or
+/// set_sim_decompose(false) was called: callers should leave
+/// ParallelCommOptions::enabled off.
+[[nodiscard]] bool sim_decompose_enabled();
+
+/// Overrides the LOGSIM_NO_DECOMPOSE-derived default (CLI flag hook).
+void set_sim_decompose(bool enabled);
+
+}  // namespace logsim::runtime

@@ -52,6 +52,38 @@ core::CostTable stencil_cost_table(const StencilConfig& cfg,
   return table;
 }
 
+pattern::CommPattern halo_pattern(const StencilConfig& cfg) {
+  assert(cfg.valid());
+  pattern::CommPattern halo{cfg.procs};
+  if (cfg.partition == Partition::kStrips1D) {
+    const Bytes row_bytes{static_cast<std::uint64_t>(cfg.n) *
+                          static_cast<std::uint64_t>(cfg.elem_bytes)};
+    for (int p = 0; p + 1 < cfg.procs; ++p) {
+      halo.add(p, p + 1, row_bytes, /*tag=*/p);      // my bottom row down
+      halo.add(p + 1, p, row_bytes, /*tag=*/p + 1);  // their top row up
+    }
+  } else {
+    const int q = isqrt(cfg.procs);
+    const Bytes edge_bytes{static_cast<std::uint64_t>(cfg.n / q) *
+                           static_cast<std::uint64_t>(cfg.elem_bytes)};
+    auto id = [q](int r, int c) { return static_cast<ProcId>(r * q + c); };
+    for (int r = 0; r < q; ++r) {
+      for (int c = 0; c < q; ++c) {
+        const ProcId me = id(r, c);
+        if (r + 1 < q) {
+          halo.add(me, id(r + 1, c), edge_bytes, me);
+          halo.add(id(r + 1, c), me, edge_bytes, id(r + 1, c));
+        }
+        if (c + 1 < q) {
+          halo.add(me, id(r, c + 1), edge_bytes, me);
+          halo.add(id(r, c + 1), me, edge_bytes, id(r, c + 1));
+        }
+      }
+    }
+  }
+  return halo;
+}
+
 core::StepProgram build_stencil_program(const StencilConfig& cfg) {
   StencilScheduleInfo info;
   return build_stencil_program(cfg, info);
@@ -64,19 +96,13 @@ core::StepProgram build_stencil_program(const StencilConfig& cfg,
   core::StepProgram program{cfg.procs};
 
   // Build one iteration's halo pattern and compute step, then repeat.
-  pattern::CommPattern halo{cfg.procs};
+  pattern::CommPattern halo = halo_pattern(cfg);
   std::vector<core::WorkItem> items;
 
   if (cfg.partition == Partition::kStrips1D) {
     info.tile_rows = cfg.n / cfg.procs;
     info.tile_cols = cfg.n;
-    const Bytes row_bytes{static_cast<std::uint64_t>(cfg.n) *
-                          static_cast<std::uint64_t>(cfg.elem_bytes)};
     for (int p = 0; p < cfg.procs; ++p) {
-      if (p + 1 < cfg.procs) {
-        halo.add(p, p + 1, row_bytes, /*tag=*/p);      // my bottom row down
-        halo.add(p + 1, p, row_bytes, /*tag=*/p + 1);  // their top row up
-      }
       std::vector<std::int64_t> touched{p};
       if (p > 0) touched.push_back(p - 1);
       if (p + 1 < cfg.procs) touched.push_back(p + 1);
@@ -90,24 +116,14 @@ core::StepProgram build_stencil_program(const StencilConfig& cfg,
     const int q = isqrt(cfg.procs);
     info.tile_rows = cfg.n / q;
     info.tile_cols = cfg.n / q;
-    const Bytes edge_bytes{static_cast<std::uint64_t>(cfg.n / q) *
-                           static_cast<std::uint64_t>(cfg.elem_bytes)};
     auto id = [q](int r, int c) { return static_cast<ProcId>(r * q + c); };
     for (int r = 0; r < q; ++r) {
       for (int c = 0; c < q; ++c) {
         const ProcId me = id(r, c);
         std::vector<std::int64_t> touched{me};
-        if (r + 1 < q) {
-          halo.add(me, id(r + 1, c), edge_bytes, me);
-          halo.add(id(r + 1, c), me, edge_bytes, id(r + 1, c));
-          touched.push_back(id(r + 1, c));
-        }
+        if (r + 1 < q) touched.push_back(id(r + 1, c));
         if (r > 0) touched.push_back(id(r - 1, c));
-        if (c + 1 < q) {
-          halo.add(me, id(r, c + 1), edge_bytes, me);
-          halo.add(id(r, c + 1), me, edge_bytes, id(r, c + 1));
-          touched.push_back(id(r, c + 1));
-        }
+        if (c + 1 < q) touched.push_back(id(r, c + 1));
         if (c > 0) touched.push_back(id(r, c - 1));
         items.push_back(core::WorkItem{
             me, kStencilOp,

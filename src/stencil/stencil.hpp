@@ -17,6 +17,7 @@
 
 #include "core/cost_table.hpp"
 #include "core/step_program.hpp"
+#include "pattern/comm_pattern.hpp"
 #include "util/types.hpp"
 
 namespace logsim::stencil {
@@ -53,5 +54,13 @@ struct StencilScheduleInfo {
 [[nodiscard]] core::StepProgram build_stencil_program(const StencilConfig& cfg);
 [[nodiscard]] core::StepProgram build_stencil_program(const StencilConfig& cfg,
                                                       StencilScheduleInfo& info);
+
+/// One iteration's ghost-exchange pattern on its own, without the
+/// surrounding program scaffolding.  This is the mega-scale entry point:
+/// a P = 1M tile grid produces a ~4M-message pattern directly usable as a
+/// single CommStep (bench/perf_regression --p-sweep times exactly this),
+/// where materializing the full iterated program would waste memory.
+/// Message order matches build_stencil_program's halo step exactly.
+[[nodiscard]] pattern::CommPattern halo_pattern(const StencilConfig& cfg);
 
 }  // namespace logsim::stencil

@@ -1,0 +1,20 @@
+#include "util/types.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace logsim {
+
+std::uint32_t checked_index32(std::int64_t v, std::int64_t limit,
+                              const char* what) {
+  if (v < 0 || v >= limit) {
+    std::fprintf(stderr,
+                 "logsim: %s = %lld outside [0, %lld) -- refusing to wrap a "
+                 "32-bit index\n",
+                 what, static_cast<long long>(v), static_cast<long long>(limit));
+    std::abort();
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace logsim

@@ -78,4 +78,21 @@ class Bytes {
 using ProcId = std::int32_t;
 inline constexpr ProcId kNoProc = -1;
 
+/// Dense unsigned processor index used by the large-P simulation hot path
+/// (structure-of-arrays scratch, CSR send/inbox arrays, component lists).
+/// 32 bits keep the flat arrays half the size of size_t at P = 1M while
+/// still covering every representable ProcId.
+using ProcIndex = std::uint32_t;
+
+/// Largest processor count the simulators accept: every id must fit both
+/// ProcId (signed) and ProcIndex (unsigned).
+inline constexpr std::int64_t kMaxSimProcs = std::int64_t{1} << 31;
+
+/// Checked narrowing to a dense 32-bit index.  The large-P path refuses to
+/// wrap silently: a value outside [0, limit) aborts with a diagnostic in
+/// every build type (release included), because an aliased processor id
+/// corrupts simulation results undetectably.
+[[nodiscard]] std::uint32_t checked_index32(std::int64_t v, std::int64_t limit,
+                                            const char* what);
+
 }  // namespace logsim

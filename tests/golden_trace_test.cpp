@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "cannon/cannon.hpp"
+#include "collective/collective.hpp"
 #include "core/comm_sim.hpp"
+#include "core/parallel_comm.hpp"
 #include "core/predictor.hpp"
 #include "core/worst_case.hpp"
 #include "extensions/overlap_sim.hpp"
@@ -25,6 +27,10 @@
 #include "loggp/params.hpp"
 #include "ops/analytic_model.hpp"
 #include "pattern/builders.hpp"
+#include "pattern/component_split.hpp"
+#include "stencil/stencil.hpp"
+#include "runtime/sim_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace logsim::core {
@@ -168,6 +174,303 @@ TEST(GoldenTrace, RandomWorstCase) {
       WorstCaseSimulator{loggp::presets::meiko_cs2(16),
                          WorstCaseOptions{29}}.run(pat);
   EXPECT_EQ(hash_trace(trace), 0x81f996553a99f749ULL);
+}
+
+// --- mega-scale paths ----------------------------------------------------
+// Hashes below were captured from the scalar pre-SoA implementation; the
+// structure-of-arrays rewrite and the Fenwick tie-group selector must
+// reproduce them bit for bit (same op order, same times, same rng draws).
+
+std::uint64_t hash_finish(const FinishOnlySink& sink) {
+  Fnv f;
+  f.add_u64(sink.op_count());
+  f.add_u64(sink.send_count());
+  for (const Time t : sink.finish_times()) f.add_time(t);
+  return f.value();
+}
+
+// A uniform-byte pattern over `procs` processors that splits into many
+// independent components: disjoint 8-rings over the lower half, exchange
+// pairs over the upper half.  Used by the decomposition parity tests.
+pattern::CommPattern multi_component_mix(int procs, Bytes bytes) {
+  pattern::CommPattern p{procs};
+  for (int base = 0; base + 8 <= procs / 2; base += 8) {
+    for (int i = 0; i < 8; ++i) {
+      p.add(base + i, base + (i + 1) % 8, bytes);
+    }
+  }
+  for (int i = procs / 2; i + 1 < procs; i += 2) {
+    p.add(i, i + 1, bytes);
+    p.add(i + 1, i, bytes);
+  }
+  return p;
+}
+
+std::vector<Time> staggered_ready(int procs, int classes, double step_us) {
+  std::vector<Time> ready;
+  ready.reserve(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) ready.push_back(Time{(p % classes) * step_us});
+  return ready;
+}
+
+TEST(GoldenTrace, BigTieRingLockstep) {
+  // 256 processors all ready at t=0 with uniform bytes: every selection
+  // round opens as one giant (ctime, proc) tie group.
+  const auto pat = pattern::ring(256, Bytes{64});
+  CommSimOptions opts;
+  opts.seed = 21;
+  const CommTrace trace =
+      CommSimulator{loggp::presets::meiko_cs2(256), opts}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0xb6bf58450303c7dULL);
+}
+
+TEST(GoldenTrace, BigTieButterflyRound) {
+  const auto pat = pattern::hypercube_round(512, 4, Bytes{256});
+  CommSimOptions opts;
+  opts.seed = 9;
+  const CommTrace trace =
+      CommSimulator{loggp::presets::meiko_cs2(512), opts}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0xf55f5aa3ca70cf55ULL);
+}
+
+TEST(GoldenTrace, BigTieMixedBytesStaggered) {
+  // Mixed message sizes and coarse ready classes: large and small tie
+  // groups alternate within one run, so both selection paths execute.
+  util::Rng rng{2718};
+  const auto pat =
+      pattern::random_pattern(rng, 1024, 4096, Bytes{8}, Bytes{2048});
+  CommSimOptions opts;
+  opts.seed = 33;
+  const CommTrace trace = CommSimulator{loggp::presets::meiko_cs2(1024), opts}
+                              .run(pat, staggered_ready(1024, 4, 1.0));
+  EXPECT_EQ(hash_trace(trace), 0x4aa14325f2bd7085ULL);
+}
+
+TEST(GoldenTrace, BigTieMsgReadyPath) {
+  const auto pat = pattern::ring(300, Bytes{112});
+  std::vector<Time> msg_ready;
+  for (std::size_t i = 0; i < pat.size(); ++i) {
+    msg_ready.push_back(Time{static_cast<double>((i * 5) % 17)});
+  }
+  CommSimOptions opts;
+  opts.seed = 13;
+  const CommTrace trace =
+      CommSimulator{loggp::presets::meiko_cs2(300), opts}.run(
+          pat, std::vector<Time>(300, Time::zero()), msg_ready);
+  EXPECT_EQ(hash_trace(trace), 0xfeb43266c697bd95ULL);
+}
+
+TEST(GoldenTrace, WorstCaseLargeRingDeadlock) {
+  // Every round of a 512-ring deadlocks: the random release draw fires at
+  // scale, pinning the worst-case rng stream on the large-P path.
+  const auto pat = pattern::ring(512, Bytes{96});
+  const CommTrace trace =
+      WorstCaseSimulator{loggp::presets::meiko_cs2(512),
+                         WorstCaseOptions{77}}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0x1389a3d310285cfULL);
+}
+
+TEST(GoldenTrace, WorstCaseLargeRandom) {
+  util::Rng rng{4242};
+  const auto pat =
+      pattern::random_pattern(rng, 1024, 8192, Bytes{16}, Bytes{4096});
+  const CommTrace trace =
+      WorstCaseSimulator{loggp::presets::meiko_cs2(1024),
+                         WorstCaseOptions{101}}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0x3880e4d1004e51c2ULL);
+}
+
+TEST(GoldenTrace, MultiComponentMixFinishTimes) {
+  // Scalar reference for the decomposition parity suite: finish times and
+  // op counts of the multi-component mix at P=4096, staggered ready.
+  const auto pat = multi_component_mix(4096, Bytes{128});
+  const auto ready = staggered_ready(4096, 7, 0.5);
+  CommSimOptions opts;
+  opts.seed = 71;
+  const CommSimulator sim{loggp::presets::meiko_cs2(4096), opts};
+  CommSimScratch scratch;
+  FinishOnlySink sink;
+  sink.reset(4096);
+  sim.run_into(pat, ready, {}, sink, scratch);
+  EXPECT_EQ(hash_finish(sink), 0x50132c889c3d7b5dULL);
+}
+
+// --- parallel component decomposition ------------------------------------
+// The multi-component mix at P=4096 splits into 256 disjoint 8-rings plus
+// 1024 exchange pairs.  Uniform bytes make the standard-schedule finish
+// times seed-independent (pattern/canonical.hpp), so the decomposed runs
+// must reproduce the scalar pinned hash exactly -- op counts included.
+
+TEST(GoldenTrace, ComponentSplitStructure) {
+  const auto pat = multi_component_mix(4096, Bytes{128});
+  pattern::ComponentSplit split;
+  EXPECT_EQ(split.analyze(pat), 256 + 1024);
+  EXPECT_TRUE(split.uniform_bytes());
+  EXPECT_EQ(split.network_messages(), pat.size());
+
+  // Every processor belongs to exactly one component, members are listed
+  // in first-appearance order, and local ids round-trip.
+  std::size_t members_total = 0;
+  std::size_t messages_total = 0;
+  for (int c = 0; c < split.count(); ++c) {
+    const auto& procs = split.procs_of(c);
+    members_total += procs.size();
+    messages_total += split.messages_of(c);
+    for (std::size_t l = 0; l < procs.size(); ++l) {
+      EXPECT_EQ(split.component_of()[static_cast<std::size_t>(procs[l])], c);
+      EXPECT_EQ(split.local_id(procs[l]), static_cast<ProcId>(l));
+    }
+  }
+  EXPECT_EQ(members_total, 4096u);  // no isolated processors in this mix
+  EXPECT_EQ(messages_total, pat.size());
+}
+
+TEST(GoldenTrace, ComponentSplitDisseminationRound) {
+  // i -> (i + 64) mod 1024 is a union of gcd(1024, 64) = 64 rings.
+  const auto pat = collective::dissemination_round(1024, 6, Bytes{512});
+  pattern::ComponentSplit split;
+  EXPECT_EQ(split.analyze(pat), 64);
+  EXPECT_TRUE(split.uniform_bytes());
+}
+
+TEST(GoldenTrace, ParallelDecompositionSequentialBitIdentical) {
+  // Decomposed but executed sequentially (no executor): exercises the
+  // component build/stitch machinery alone.
+  const auto pat = multi_component_mix(4096, Bytes{128});
+  const auto ready = staggered_ready(4096, 7, 0.5);
+  ParallelCommOptions opts;
+  opts.min_procs = 2;
+  ParallelCommSimulator sim{loggp::presets::meiko_cs2(4096), opts};
+  FinishOnlySink sink;
+  const auto info = sim.run_into(pat, ready, /*seed=*/71, sink);
+  EXPECT_TRUE(info.decomposed);
+  EXPECT_EQ(info.components, 256 + 1024);
+  EXPECT_EQ(hash_finish(sink), 0x50132c889c3d7b5dULL);
+}
+
+TEST(GoldenTrace, ParallelDecompositionPooledBitIdentical) {
+  // Same run on a real thread pool: the hash must not depend on the
+  // execution interleaving.  This is the LOGSIM_SANITIZE=thread target.
+  const auto pat = multi_component_mix(4096, Bytes{128});
+  const auto ready = staggered_ready(4096, 7, 0.5);
+  runtime::ThreadPool pool{4};
+  ParallelCommOptions opts;
+  opts.min_procs = 2;
+  opts.parallel = runtime::pool_parallel(pool);
+  ParallelCommSimulator sim{loggp::presets::meiko_cs2(4096), opts};
+  FinishOnlySink sink;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto info = sim.run_into(pat, ready, /*seed=*/71, sink);
+    EXPECT_TRUE(info.decomposed);
+    EXPECT_EQ(hash_finish(sink), 0x50132c889c3d7b5dULL);
+  }
+}
+
+TEST(GoldenTrace, ParallelFallsBackOnNonUniformBytes) {
+  // Mixed byte sizes void the relabel-equivariance argument, so the
+  // simulator must take the scalar path and match it trivially.
+  pattern::CommPattern pat{4096};
+  for (int base = 0; base + 8 <= 4096; base += 8) {
+    for (int i = 0; i < 8; ++i) {
+      pat.add(base + i, base + (i + 1) % 8,
+              Bytes{static_cast<std::uint64_t>(64 + 8 * (i % 3))});
+    }
+  }
+  const auto ready = staggered_ready(4096, 3, 2.0);
+
+  CommSimOptions scalar_opts;
+  scalar_opts.seed = 5;
+  const CommSimulator scalar{loggp::presets::meiko_cs2(4096), scalar_opts};
+  CommSimScratch scratch;
+  FinishOnlySink expect;
+  expect.reset(4096);
+  scalar.run_into(pat, ready, {}, expect, scratch);
+
+  ParallelCommOptions opts;
+  opts.min_procs = 2;
+  ParallelCommSimulator sim{loggp::presets::meiko_cs2(4096), opts};
+  FinishOnlySink sink;
+  const auto info = sim.run_into(pat, ready, /*seed=*/5, sink);
+  EXPECT_FALSE(info.decomposed);
+  EXPECT_EQ(hash_finish(sink), hash_finish(expect));
+}
+
+TEST(GoldenTrace, DenseScanMatchesScalarOnSingleComponent) {
+  // A single-component uniform pattern takes the dense ordered-ties scan;
+  // its finish times and op counts must equal the seeded scalar run's.
+  const auto pat = pattern::ring(4096, Bytes{64});
+  const std::vector<Time> ready(4096, Time::zero());
+
+  CommSimOptions scalar_opts;
+  scalar_opts.seed = 21;
+  const CommSimulator scalar{loggp::presets::meiko_cs2(4096), scalar_opts};
+  CommSimScratch scratch;
+  FinishOnlySink expect;
+  expect.reset(4096);
+  scalar.run_into(pat, ready, {}, expect, scratch);
+
+  ParallelCommOptions opts;
+  opts.min_procs = 2;
+  ParallelCommSimulator sim{loggp::presets::meiko_cs2(4096), opts};
+  FinishOnlySink sink;
+  const auto info = sim.run_into(pat, ready, /*seed=*/21, sink);
+  EXPECT_FALSE(info.decomposed);
+  EXPECT_TRUE(info.dense);
+  EXPECT_EQ(info.components, 1);
+  EXPECT_EQ(hash_finish(sink), hash_finish(expect));
+}
+
+TEST(GoldenTrace, DenseScanMatchesScalarOnStencilHalo) {
+  // The 2-D halo exchange is the mega-scale acceptance workload; pin the
+  // dense scan to the scalar result on a 64x64 tile grid with staggered
+  // entry times.
+  stencil::StencilConfig cfg;
+  cfg.partition = stencil::Partition::kTiles2D;
+  cfg.procs = 4096;
+  cfg.n = 64 * 16;
+  const auto pat = stencil::halo_pattern(cfg);
+  const auto ready = staggered_ready(4096, 5, 3.0);
+
+  CommSimOptions scalar_opts;
+  scalar_opts.seed = 97;
+  const CommSimulator scalar{loggp::presets::meiko_cs2(4096), scalar_opts};
+  CommSimScratch scratch;
+  FinishOnlySink expect;
+  expect.reset(4096);
+  scalar.run_into(pat, ready, {}, expect, scratch);
+
+  ParallelCommOptions opts;
+  opts.min_procs = 2;
+  ParallelCommSimulator sim{loggp::presets::meiko_cs2(4096), opts};
+  FinishOnlySink sink;
+  const auto info = sim.run_into(pat, ready, /*seed=*/97, sink);
+  EXPECT_TRUE(info.dense);
+  EXPECT_EQ(hash_finish(sink), hash_finish(expect));
+}
+
+TEST(GoldenTrace, DenseScanBailsOnSerializedPattern) {
+  // A flat broadcast serializes on the root's gap: one op per distinct
+  // ctime, the worst case for scanning.  The round budget must route it
+  // back to the heap path with the caller's seed, matching the plain
+  // scalar run exactly.
+  const auto pat = pattern::flat_broadcast(4096, Bytes{256});
+  const std::vector<Time> ready(4096, Time::zero());
+
+  CommSimOptions scalar_opts;
+  scalar_opts.seed = 3;
+  const CommSimulator scalar{loggp::presets::meiko_cs2(4096), scalar_opts};
+  CommSimScratch scratch;
+  FinishOnlySink expect;
+  expect.reset(4096);
+  scalar.run_into(pat, ready, {}, expect, scratch);
+
+  ParallelCommOptions opts;
+  opts.min_procs = 2;
+  ParallelCommSimulator sim{loggp::presets::meiko_cs2(4096), opts};
+  FinishOnlySink sink;
+  const auto info = sim.run_into(pat, ready, /*seed=*/3, sink);
+  EXPECT_FALSE(info.dense);
+  EXPECT_EQ(hash_finish(sink), hash_finish(expect));
 }
 
 // --- whole programs ------------------------------------------------------

@@ -96,6 +96,7 @@ TEST(Machines, ClusterOptimalBlockAtLeastMeikos) {
     int best = 0;
     double best_t = 1e300;
     for (int b : ops::default_block_sizes()) {
+      if (480 % b != 0) continue;  // GeConfig requires block | n
       const auto prog =
           ge::build_ge_program(ge::GeConfig{.n = 480, .block = b}, map);
       const double t = pred.predict_standard(prog, costs).total.us();
