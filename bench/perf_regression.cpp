@@ -2,15 +2,16 @@
 // tiers the zero-allocation rewrite targets -- raw communication
 // simulation (standard + worst-case), whole-program prediction, and
 // batch throughput -- on fixed-seed workloads, and emits a
-// machine-readable JSON report (schema "logsim-perf-v3").
+// machine-readable JSON report (schema "logsim-perf-v4").
 //
 // Schema note: v2 added the comm_step_cache_warm / comm_step_cache_cold
 // rows and turned the comm-step cache on for batch_ge_block_sweep; v3
 // adds the serve_* rows that bench/serve_throughput merges in after this
-// harness writes the file (throughput rows gated, latency rows report
-// only).  The JSON layout is unchanged (read_baseline scans name/value
-// pairs and is schema-agnostic), so v1/v2 baselines still parse -- only
-// the schema string and the benchmark set moved.
+// harness writes the file; v4 adds serve_reg* (the registered-handle hot
+// path) and gates the serve latency rows lower-is-better.  The JSON
+// layout is unchanged (read_baseline scans name/value pairs and is
+// schema-agnostic), so v1-v3 baselines still parse -- only the schema
+// string and the benchmark set moved.
 //
 // Methodology: every benchmark runs one discarded warm-up sample (page
 // faults, scratch growth, cache warm-up), then 5 timed samples -- in
@@ -296,7 +297,7 @@ void run_p_sweep() {
 void write_json(std::ostream& out, const std::vector<BenchResult>& results,
                 bool quick) {
   out << "{\n"
-      << "  \"schema\": \"logsim-perf-v3\",\n"
+      << "  \"schema\": \"logsim-perf-v4\",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
       << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -8,6 +8,7 @@
 // is the matching blocking client; the wire codecs are exposed for load
 // generators that pipeline raw frames.
 
-#include "serve/client.hpp"  // IWYU pragma: export
-#include "serve/server.hpp"  // IWYU pragma: export
-#include "serve/wire.hpp"    // IWYU pragma: export
+#include "serve/client.hpp"    // IWYU pragma: export
+#include "serve/registry.hpp"  // IWYU pragma: export
+#include "serve/server.hpp"    // IWYU pragma: export
+#include "serve/wire.hpp"      // IWYU pragma: export

@@ -114,10 +114,14 @@ std::vector<JobResult> BatchPredictor::predict_all(
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const PredictJob& job = jobs[i];
       if (job.program != nullptr && job.costs != nullptr &&
-          !sim_.compute_overhead && job.sim_trace == nullptr) {
-        state->keys[i] =
-            prediction_key_hash(*job.program, *job.costs, job.params,
-                                job.seed.value_or(sim_.seed));
+          !job.bypass_cache && !sim_.compute_overhead &&
+          job.sim_trace == nullptr) {
+        const std::uint64_t program_hash =
+            job.program_hash.has_value()
+                ? *job.program_hash
+                : prediction_program_hash(*job.program, *job.costs);
+        state->keys[i] = prediction_key_hash(program_hash, job.params,
+                                             job.seed.value_or(sim_.seed));
         state->keyed[i] = 1;
       }
     }
@@ -232,8 +236,13 @@ JobResult BatchPredictor::predict_one(const PredictJob& job,
   std::uint64_t key = 0;
   bool keyed = false;
   if (cache_ != nullptr && job.program != nullptr && job.costs != nullptr &&
-      !sim_.compute_overhead && job.sim_trace == nullptr) {
-    key = prediction_key_hash(*job.program, *job.costs, job.params,
+      !job.bypass_cache && !sim_.compute_overhead &&
+      job.sim_trace == nullptr) {
+    const std::uint64_t program_hash =
+        job.program_hash.has_value()
+            ? *job.program_hash
+            : prediction_program_hash(*job.program, *job.costs);
+    key = prediction_key_hash(program_hash, job.params,
                               job.seed.value_or(sim_.seed));
     keyed = true;
   }

@@ -80,7 +80,18 @@ struct PredictJob {
   /// nullopt uses Config::sim.seed.  The effective seed is part of the
   /// cache / checkpoint key, so jobs with different seeds never share an
   /// entry.  The serving layer maps the wire request's seed here.
-  std::optional<std::uint64_t> seed;
+  std::optional<std::uint64_t> seed = std::nullopt;
+  /// Precomputed prediction_program_hash(*program, *costs); nullopt hashes
+  /// on demand.  The serving layer's registered programs carry it so a
+  /// cache key costs O(1) per request instead of a structural walk.  Must
+  /// match the borrowed program/costs or cache entries are wasted (never
+  /// wrong: lookups verify with full equality).
+  std::optional<std::uint64_t> program_hash = std::nullopt;
+  /// Skips the PredictionCache (and checkpoint) for this job: for callers
+  /// that memoize at a higher level and don't want a second full program
+  /// copy retained in the shared cache.  The comm-step cache still
+  /// applies.
+  bool bypass_cache = false;
 };
 
 /// Per-job outcome: a Prediction, or the Status explaining its absence.

@@ -5,22 +5,11 @@
 
 namespace logsim::runtime {
 
-std::uint64_t prediction_key_hash(const core::StepProgram& program,
-                                  const core::CostTable& costs,
-                                  const loggp::Params& params,
-                                  std::uint64_t seed) {
+std::uint64_t prediction_program_hash(const core::StepProgram& program,
+                                      const core::CostTable& costs) {
   // One encoding for all structural keys: the program is folded in via
   // core::structural_hash (which reuses CommPattern::hash per comm step).
-  // Note: this changed the digest values relative to the inline walk it
-  // replaced, so checkpoints written before the change simply miss and
-  // recompute -- the keys are cache keys, not stored-format contracts.
   util::Fnv1a h;
-  h.mix_double(params.L.us());
-  h.mix_double(params.o.us());
-  h.mix_double(params.g.us());
-  h.mix_double(params.G);
-  h.mix_i64(params.P);
-  h.mix_u64(seed);
   h.mix_u64(core::structural_hash(program));
   // The calibration: op names and points, in registration order (the
   // program's items address ops by id, so order is meaningful).
@@ -35,6 +24,32 @@ std::uint64_t prediction_key_hash(const core::StepProgram& program,
     }
   }
   return h.digest();
+}
+
+std::uint64_t prediction_key_hash(std::uint64_t program_hash,
+                                  const loggp::Params& params,
+                                  std::uint64_t seed) {
+  util::Fnv1a h;
+  h.mix_double(params.L.us());
+  h.mix_double(params.o.us());
+  h.mix_double(params.g.us());
+  h.mix_double(params.G);
+  h.mix_i64(params.P);
+  h.mix_u64(seed);
+  h.mix_u64(program_hash);
+  return h.digest();
+}
+
+std::uint64_t prediction_key_hash(const core::StepProgram& program,
+                                  const core::CostTable& costs,
+                                  const loggp::Params& params,
+                                  std::uint64_t seed) {
+  // Composition of the two halves above.  Note: splitting changed the
+  // digest values relative to the single-pass walk it replaced, so
+  // checkpoints written before the change simply miss and recompute -- the
+  // keys are cache keys, not stored-format contracts.
+  return prediction_key_hash(prediction_program_hash(program, costs), params,
+                             seed);
 }
 
 std::size_t prediction_entry_bytes(const core::StepProgram& program,

@@ -35,13 +35,27 @@
 
 namespace logsim::runtime {
 
+/// Canonical FNV-1a-64 hash of the program-shaped half of a prediction
+/// key: the step program's structure (step kinds, work items, touched ids,
+/// messages) and the cost table (op names, calibration points).  Walking
+/// both is O(program), so callers that evaluate one program under many
+/// (params, seed) points -- the serving layer's registered handles --
+/// compute this once and compose per-request keys with the O(1) overload
+/// below.
+[[nodiscard]] std::uint64_t prediction_program_hash(
+    const core::StepProgram& program, const core::CostTable& costs);
+
 /// Canonical FNV-1a-64 hash of a prediction-cache key.  Identical
-/// (program, costs, params, seed) tuples always hash equal; the encoding
-/// walks the program structurally (step kinds, work items, touched ids,
-/// messages) and the cost table (op names, calibration points) so
-/// logically equal inputs built by different code paths agree.
+/// (program, costs, params, seed) tuples always hash equal; logically
+/// equal inputs built by different code paths agree.
 [[nodiscard]] std::uint64_t prediction_key_hash(const core::StepProgram& program,
                                                 const core::CostTable& costs,
+                                                const loggp::Params& params,
+                                                std::uint64_t seed);
+
+/// Composes a full key from a precomputed prediction_program_hash: equals
+/// the 4-argument overload when program_hash matches the inputs it hashed.
+[[nodiscard]] std::uint64_t prediction_key_hash(std::uint64_t program_hash,
                                                 const loggp::Params& params,
                                                 std::uint64_t seed);
 

@@ -12,8 +12,7 @@
 
 namespace logsim::serve {
 
-Result<Client> Client::connect(const std::string& host, std::uint16_t port,
-                               WireLimits limits) {
+Result<int> Client::dial(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -39,20 +38,37 @@ Result<Client> Client::connect(const std::string& host, std::uint16_t port,
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return Client{fd, limits};
+  return fd;
+}
+
+Result<Client> Client::connect(const std::string& host, std::uint16_t port,
+                               WireLimits limits) {
+  Result<int> fd = dial(host, port);
+  if (!fd.ok()) return fd.status();
+  return Client{fd.value(), host, port, limits};
 }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
       limits_(other.limits_),
-      next_id_(other.next_id_) {}
+      next_id_(other.next_id_),
+      codec_(other.codec_),
+      version_(other.version_),
+      requested_version_(other.requested_version_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
     limits_ = other.limits_;
     next_id_ = other.next_id_;
+    codec_ = other.codec_;
+    version_ = other.version_;
+    requested_version_ = other.requested_version_;
   }
   return *this;
 }
@@ -85,10 +101,66 @@ Status Client::ping() {
   return Status{};
 }
 
+Status Client::hello(std::uint32_t max_version) {
+  requested_version_ = max_version;
+  const std::uint64_t id = next_id();
+  if (Status st = send(Frame{FrameKind::kHello, id,
+                             encode_hello_request(max_version)});
+      !st.ok()) {
+    return st;
+  }
+  Result<Frame> frame = receive();
+  if (!frame.ok()) return frame.status();
+  if (frame->id != id) {
+    return Status::invalid_input("out-of-order reply to HELLO");
+  }
+  if (frame->kind == FrameKind::kError) {
+    Result<ErrorReply> reply = decode_error_reply(frame->payload, codec_);
+    if (!reply.ok()) return reply.status();
+    return reply->to_status();
+  }
+  if (frame->kind != FrameKind::kHelloAck) {
+    return Status::invalid_input("unexpected reply to HELLO");
+  }
+  Result<std::uint32_t> version = decode_hello_ack(frame->payload);
+  if (!version.ok()) return version.status();
+  if (version.value() > max_version) {
+    return Status::invalid_input(
+        "server chose protocol version " + std::to_string(version.value()) +
+        " above the " + std::to_string(max_version) + " offered");
+  }
+  version_ = version.value();
+  codec_ = codec_for_version(version_);
+  return Status{};
+}
+
+Result<std::uint64_t> Client::register_program(
+    const std::string& program_text) {
+  const std::uint64_t id = next_id();
+  if (Status st = send(Frame{FrameKind::kRegister, id, program_text});
+      !st.ok()) {
+    return st;
+  }
+  Result<Frame> frame = receive();
+  if (!frame.ok()) return frame.status();
+  if (frame->id != id) {
+    return Status::invalid_input("out-of-order reply to REGISTER");
+  }
+  if (frame->kind == FrameKind::kError) {
+    Result<ErrorReply> reply = decode_error_reply(frame->payload, codec_);
+    if (!reply.ok()) return reply.status();
+    return reply->to_status();
+  }
+  if (frame->kind != FrameKind::kRegistered) {
+    return Status::invalid_input("unexpected reply to REGISTER");
+  }
+  return decode_registered_reply(frame->payload, codec_);
+}
+
 Result<PredictReply> Client::predict(const PredictRequest& request) {
   const std::uint64_t id = next_id();
   if (Status st = send(Frame{FrameKind::kPredict, id,
-                             encode_predict_request(request)});
+                             encode_predict_request(request, codec_)});
       !st.ok()) {
     return st;
   }
@@ -101,9 +173,9 @@ Result<PredictReply> Client::predict(const PredictRequest& request) {
     }
     switch (frame->kind) {
       case FrameKind::kResult:
-        return decode_predict_reply(frame->payload);
+        return decode_predict_reply(frame->payload, codec_);
       case FrameKind::kError: {
-        Result<ErrorReply> reply = decode_error_reply(frame->payload);
+        Result<ErrorReply> reply = decode_error_reply(frame->payload, codec_);
         if (!reply.ok()) return reply.status();
         return reply->to_status();
       }
@@ -116,8 +188,8 @@ Result<PredictReply> Client::predict(const PredictRequest& request) {
 Result<std::vector<Client::BatchItem>> Client::predict_batch(
     const std::vector<PredictRequest>& jobs) {
   const std::uint64_t id = next_id();
-  if (Status st =
-          send(Frame{FrameKind::kBatch, id, encode_batch_request(jobs)});
+  if (Status st = send(
+          Frame{FrameKind::kBatch, id, encode_batch_request(jobs, codec_)});
       !st.ok()) {
     return st;
   }
@@ -131,7 +203,7 @@ Result<std::vector<Client::BatchItem>> Client::predict_batch(
     }
     if (frame->kind == FrameKind::kBatchEnd) break;
     if (frame->kind == FrameKind::kResult) {
-      Result<PredictReply> reply = decode_predict_reply(frame->payload);
+      Result<PredictReply> reply = decode_predict_reply(frame->payload, codec_);
       if (!reply.ok()) return reply.status();
       if (reply->index >= items.size()) {
         return Status::invalid_input("reply index out of batch range");
@@ -141,7 +213,7 @@ Result<std::vector<Client::BatchItem>> Client::predict_batch(
       continue;
     }
     if (frame->kind == FrameKind::kError) {
-      Result<ErrorReply> reply = decode_error_reply(frame->payload);
+      Result<ErrorReply> reply = decode_error_reply(frame->payload, codec_);
       if (!reply.ok()) return reply.status();
       if (reply->index < items.size() && !items[reply->index].ok()) {
         items[reply->index].status = reply->to_status();
@@ -169,7 +241,7 @@ Result<std::string> Client::stats() {
   Result<Frame> frame = receive();
   if (!frame.ok()) return frame.status();
   if (frame->kind == FrameKind::kError) {
-    Result<ErrorReply> reply = decode_error_reply(frame->payload);
+    Result<ErrorReply> reply = decode_error_reply(frame->payload, codec_);
     if (!reply.ok()) return reply.status();
     return reply->to_status();
   }
@@ -177,6 +249,23 @@ Result<std::string> Client::stats() {
     return Status::invalid_input("unexpected reply to STATS");
   }
   return std::move(frame->payload);
+}
+
+Status Client::reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Fresh connections start at v1 no matter what the old one negotiated.
+  codec_ = Codec::kText;
+  version_ = kProtocolVersionText;
+  Result<int> fd = dial(host_, port_);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  if (requested_version_ > kProtocolVersionText) {
+    return hello(requested_version_);
+  }
+  return Status{};
 }
 
 }  // namespace logsim::serve

@@ -1,11 +1,22 @@
 #pragma once
-// Blocking client for the logsim serving wire protocol (DESIGN.md §12).
+// Blocking client for the logsim serving wire protocol (DESIGN.md §12,
+// §14 for protocol v2).
 //
 // One Client wraps one TCP connection.  The high-level calls (predict,
 // predict_batch, stats, ping) are synchronous request/response; the
 // low-level send()/receive() pair is exposed for callers that pipeline --
 // the bench load generator keeps many correlation ids in flight on one
 // connection and matches responses by Frame::id.
+//
+// Every connection starts in protocol v1 (text payloads).  hello()
+// negotiates the binary codec when the server is new enough; afterwards
+// the high-level calls encode and decode v2 transparently.  Callers that
+// pipeline raw frames should encode with codec().
+//
+// register_program() interns a program server-side and returns a handle;
+// PredictRequests carrying the handle skip program upload and parsing
+// entirely (the steady-state hot path).  Handles are valid until the
+// server restarts: after reconnect(), re-register before reusing one.
 //
 // Thread model: a Client is NOT thread-safe; use one per thread (the
 // server fair-queues across connections anyway, so per-thread connections
@@ -39,6 +50,24 @@ class Client {
   /// protocol.
   [[nodiscard]] Status ping();
 
+  /// Negotiates the protocol version (HELLO): the connection speaks
+  /// min(max_version, server's max) afterwards.  Idempotent; a v1-only
+  /// peer simply leaves the connection on the text codec.
+  [[nodiscard]] Status hello(std::uint32_t max_version = kProtocolVersionMax);
+
+  /// The codec the connection currently speaks (kText until hello()
+  /// negotiates kBinary); raw-frame pipeliners encode with this.
+  [[nodiscard]] Codec codec() const { return codec_; }
+  /// The negotiated protocol version (kProtocolVersionText before
+  /// hello()).
+  [[nodiscard]] std::uint32_t protocol_version() const { return version_; }
+
+  /// Interns `program_text` server-side; the returned handle, placed in
+  /// PredictRequest::handle, replaces the program text on every later
+  /// predict.  Registering the same program again returns the same handle.
+  [[nodiscard]] Result<std::uint64_t> register_program(
+      const std::string& program_text);
+
   /// One prediction, blocking until the reply (or an ERROR, returned as
   /// its Status).
   [[nodiscard]] Result<PredictReply> predict(const PredictRequest& request);
@@ -62,6 +91,12 @@ class Client {
   /// The server's rendered obs::Snapshot (metrics + span aggregates).
   [[nodiscard]] Result<std::string> stats();
 
+  /// Drops the current connection (if any) and dials the original
+  /// host:port again.  A previously negotiated protocol version is
+  /// re-negotiated on the new connection; registered handles are NOT
+  /// revalidated (they survive iff the same server process answered).
+  [[nodiscard]] Status reconnect();
+
   // --- pipelining building blocks ---------------------------------------
 
   /// A fresh correlation id (monotonic per client).
@@ -77,11 +112,21 @@ class Client {
   [[nodiscard]] int fd() const { return fd_; }
 
  private:
-  explicit Client(int fd, WireLimits limits) : fd_(fd), limits_(limits) {}
+  Client(int fd, std::string host, std::uint16_t port, WireLimits limits)
+      : fd_(fd), host_(std::move(host)), port_(port), limits_(limits) {}
+
+  [[nodiscard]] static Result<int> dial(const std::string& host,
+                                        std::uint16_t port);
 
   int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
   WireLimits limits_;
   std::uint64_t next_id_ = 1;
+  Codec codec_ = Codec::kText;
+  std::uint32_t version_ = kProtocolVersionText;
+  /// What hello() last asked for; reconnect() re-negotiates with it.
+  std::uint32_t requested_version_ = 0;
 };
 
 }  // namespace logsim::serve

@@ -1,0 +1,107 @@
+#include "serve/registry.hpp"
+
+#include <utility>
+
+#include "runtime/prediction_cache.hpp"
+#include "util/hash.hpp"
+
+namespace logsim::serve {
+
+std::size_t RegisteredProgram::MemoKeyHash::operator()(
+    const MemoKey& key) const {
+  util::Fnv1a h;
+  h.mix_double(key.params.L.us());
+  h.mix_double(key.params.o.us());
+  h.mix_double(key.params.g.us());
+  h.mix_double(key.params.G);
+  h.mix_i64(key.params.P);
+  h.mix_u64(key.seed);
+  return static_cast<std::size_t>(h.digest());
+}
+
+std::optional<core::Prediction> RegisteredProgram::memo_lookup(
+    const loggp::Params& params, std::uint64_t seed) const {
+  const MemoKey key{params, seed};
+  std::lock_guard lock{memo_mu_};
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+  return std::nullopt;
+}
+
+void RegisteredProgram::memo_insert(const loggp::Params& params,
+                                    std::uint64_t seed,
+                                    const core::Prediction& prediction) const {
+  const MemoKey key{params, seed};
+  std::lock_guard lock{memo_mu_};
+  if (memo_.size() >= memo_capacity_ && !memo_.contains(key)) {
+    memo_.clear();
+    ++memo_clears_;
+  }
+  memo_.insert_or_assign(key, prediction);
+}
+
+std::size_t RegisteredProgram::memo_size() const {
+  std::lock_guard lock{memo_mu_};
+  return memo_.size();
+}
+
+std::uint64_t RegisteredProgram::memo_clears() const {
+  std::lock_guard lock{memo_mu_};
+  return memo_clears_;
+}
+
+Result<std::shared_ptr<const RegisteredProgram>> ProgramRegistry::intern(
+    const std::string& text) {
+  // Parse and hash OUTSIDE the lock: registration cost must not stall the
+  // handle-resolution hot path sharing the mutex.
+  Result<io::ProgramBundle> bundle = io::parse_program(text, config_.parse);
+  if (!bundle.ok()) {
+    return Status{bundle.status()}.with_context(
+        "while parsing the program to register");
+  }
+  const std::uint64_t content_hash =
+      runtime::prediction_program_hash(bundle->program, bundle->costs);
+
+  std::unique_lock lock{mu_};
+  ++registrations_;
+  if (const auto it = by_content_.find(content_hash);
+      it != by_content_.end()) {
+    for (const std::uint64_t handle : it->second) {
+      const auto& entry = by_handle_.at(handle);
+      if (entry->program() == bundle->program &&
+          entry->costs() == bundle->costs) {
+        ++dedup_hits_;
+        return entry;
+      }
+    }
+  }
+  if (by_handle_.size() >= config_.max_programs) {
+    return Status::transient(
+        "program registry is full (" + std::to_string(config_.max_programs) +
+        " programs); send the program inline or restart the daemon");
+  }
+  const std::uint64_t handle = next_handle_++;
+  auto entry = std::make_shared<const RegisteredProgram>(
+      handle, std::move(bundle).value(), content_hash,
+      config_.memo_entries_per_program);
+  by_handle_.emplace(handle, entry);
+  by_content_[content_hash].push_back(handle);
+  return entry;
+}
+
+std::shared_ptr<const RegisteredProgram> ProgramRegistry::find(
+    std::uint64_t handle) const {
+  std::shared_lock lock{mu_};
+  const auto it = by_handle_.find(handle);
+  return it == by_handle_.end() ? nullptr : it->second;
+}
+
+ProgramRegistry::Stats ProgramRegistry::stats() const {
+  std::shared_lock lock{mu_};
+  Stats stats;
+  stats.programs = by_handle_.size();
+  stats.registrations = registrations_;
+  stats.dedup_hits = dedup_hits_;
+  return stats;
+}
+
+}  // namespace logsim::serve

@@ -8,10 +8,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -19,6 +21,7 @@
 #include "io/program_io.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "runtime/sim_pool.hpp"
 
 namespace logsim::serve {
 
@@ -37,10 +40,10 @@ void close_fd(int& fd) {
 
 }  // namespace
 
-// One request admitted into the fair queue: either a prediction job or a
-// STATS render.  Holds its connection alive until answered.
+// One request admitted into the fair queue: a prediction job, a STATS
+// render, or a REGISTER.  Holds its connection alive until answered.
 struct Server::Request {
-  enum class Verb { kPredict, kStats };
+  enum class Verb { kPredict, kStats, kRegister };
 
   std::shared_ptr<Conn> conn;
   Verb verb = Verb::kPredict;
@@ -53,10 +56,29 @@ struct Server::Request {
   std::chrono::steady_clock::time_point accepted;
 };
 
+// One epoll loop plus everything it owns.  Connections are sharded across
+// reactors at accept time and never migrate, so each reactor's conns map
+// and flush list see exactly one IO thread (the mutexes cover workers
+// queueing flushes and cross-thread size queries).
+struct Server::Reactor {
+  std::size_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+
+  mutable std::mutex conns_mu;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+
+  // Connections with output queued by workers, awaiting a flush by this
+  // reactor (drained on eventfd wakeups).
+  std::mutex flush_mu;
+  std::vector<std::shared_ptr<Conn>> flush_list;
+};
+
 // Per-connection state.  Field ownership is split three ways:
-//   * fd / assembler / want_write: IO thread only;
+//   * fd / assembler / want_write: owning reactor thread only;
 //   * mu-guarded: output buffer + closed flag (workers append responses,
-//     the IO thread flushes them);
+//     the owning reactor flushes them);
 //   * scheduler-guarded (Scheduler::mu_): pending / credit / in_rotation.
 struct Server::Conn {
   Conn(int fd_in, const WireLimits& limits, std::size_t weight_in)
@@ -65,6 +87,12 @@ struct Server::Conn {
   int fd = -1;
   FrameAssembler assembler;
   bool want_write = false;
+  /// The reactor that owns this fd (stable for the connection's life).
+  Reactor* reactor = nullptr;
+  /// Wire codec, v1 text until a HELLO negotiates v2.  Written by the
+  /// owning reactor (frames are processed in order, so the switch lands
+  /// before any binary frame is decoded); workers read it for replies.
+  std::atomic<Codec> codec{Codec::kText};
 
   /// Fires when the client disconnects (or the server stops): every
   /// inflight prediction of this connection observes it cooperatively.
@@ -87,6 +115,9 @@ struct Server::Conn {
 // Weighted round-robin fair queue across connections: each rotation turn
 // serves up to `weight` requests from the connection at the head before
 // moving it to the back, so one fat pipeliner cannot starve the rest.
+// Workers pop bounded GROUPS (micro-batching); the drain follows the same
+// rotation, so a group interleaves connections exactly as single pops
+// would have.
 class Server::Scheduler {
  public:
   void push(const std::shared_ptr<Conn>& conn, Request request) {
@@ -103,22 +134,20 @@ class Server::Scheduler {
     cv_.notify_one();
   }
 
-  /// Blocks for the next request; false when the scheduler is shut down.
-  bool pop(Request* out) {
+  /// Blocks for the next request, then drains up to `max` queued requests
+  /// into `out`; false when the scheduler is shut down.  A nonzero
+  /// `window` lingers once for stragglers after the first drain.
+  bool pop_group(std::vector<Request>* out, std::size_t max,
+                 std::chrono::steady_clock::duration window) {
+    out->clear();
     std::unique_lock lock{mu_};
     cv_.wait(lock, [this] { return stopped_ || !rotation_.empty(); });
     if (stopped_) return false;
-    const std::shared_ptr<Conn> conn = rotation_.front();
-    *out = std::move(conn->pending.front());
-    conn->pending.pop_front();
-    if (--conn->credit == 0 || conn->pending.empty()) {
-      rotation_.pop_front();
-      conn->credit = conn->weight;
-      if (!conn->pending.empty()) {
-        rotation_.push_back(conn);
-      } else {
-        conn->in_rotation = false;
-      }
+    drain_locked(out, max);
+    if (window.count() > 0 && out->size() < max) {
+      cv_.wait_for(lock, window,
+                   [this] { return stopped_ || !rotation_.empty(); });
+      if (!stopped_) drain_locked(out, max);
     }
     return true;
   }
@@ -154,16 +183,96 @@ class Server::Scheduler {
   }
 
  private:
+  void drain_locked(std::vector<Request>* out, std::size_t max) {
+    while (out->size() < max && !rotation_.empty()) {
+      const std::shared_ptr<Conn> conn = rotation_.front();
+      out->push_back(std::move(conn->pending.front()));
+      conn->pending.pop_front();
+      if (--conn->credit == 0 || conn->pending.empty()) {
+        rotation_.pop_front();
+        conn->credit = conn->weight;
+        if (!conn->pending.empty()) {
+          rotation_.push_back(conn);
+        } else {
+          conn->in_rotation = false;
+        }
+      }
+    }
+  }
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Conn>> rotation_;
   bool stopped_ = false;
 };
 
+// The connections a group of replies touched, deduplicated, so the group
+// costs ONE eventfd write per distinct reactor instead of one per frame.
+class Server::FlushSet {
+ public:
+  void note(const std::shared_ptr<Conn>& conn) {
+    if (std::find(conns_.begin(), conns_.end(), conn) == conns_.end()) {
+      conns_.push_back(conn);
+    }
+  }
+
+  void kick() {
+    std::vector<Reactor*> woken;
+    for (const auto& conn : conns_) {
+      Reactor* reactor = conn->reactor;
+      {
+        std::lock_guard lock{reactor->flush_mu};
+        reactor->flush_list.push_back(conn);
+      }
+      if (std::find(woken.begin(), woken.end(), reactor) == woken.end()) {
+        woken.push_back(reactor);
+      }
+    }
+    for (Reactor* reactor : woken) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n =
+          ::write(reactor->wake_fd, &one, sizeof one);
+    }
+    conns_.clear();
+  }
+
+ private:
+  std::vector<std::shared_ptr<Conn>> conns_;
+};
+
+// A request that survived the pre-predict stages and still needs a
+// simulation.  Owns whatever keeps the borrowed job pointers alive: the
+// registry entry (handle path) or the freshly parsed bundle, heap-held so
+// the pointers survive the vector growing.
+struct Server::Pending {
+  Request* request = nullptr;
+  std::shared_ptr<const RegisteredProgram> reg;
+  std::unique_ptr<io::ProgramBundle> bundle;
+  loggp::Params params;
+  std::uint64_t seed = 0;
+  /// Absolute reply-by time (accepted + effective deadline); max() = none.
+  std::chrono::steady_clock::time_point abs_deadline =
+      std::chrono::steady_clock::time_point::max();
+  runtime::PredictJob job;
+};
+
+namespace {
+
+ProgramRegistry::Config registry_config(const Server::Config& config) {
+  ProgramRegistry::Config rc = config.registry;
+  // The wire limit already bounds REGISTER payloads; keep the registry's
+  // own parse guard no looser.
+  rc.parse.max_bytes = std::min(rc.parse.max_bytes, config.limits.max_payload);
+  return rc;
+}
+
+}  // namespace
+
 Server::Server(Config config)
     : config_(std::move(config)),
       prediction_cache_(config_.prediction_cache),
       step_cache_(config_.step_cache),
+      registry_(registry_config(config_)),
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : &obs::metrics::Registry::global()),
       requests_(metrics_->counter("serve.requests")),
@@ -176,12 +285,33 @@ Server::Server(Config config)
       connections_closed_(metrics_->counter("serve.connections_closed")),
       bytes_in_(metrics_->counter("serve.bytes_in")),
       bytes_out_(metrics_->counter("serve.bytes_out")),
+      registered_(metrics_->counter("serve.registered")),
+      memo_hits_(metrics_->counter("serve.memo_hits")),
+      memo_misses_(metrics_->counter("serve.memo_misses")),
+      coalesced_groups_(metrics_->counter("serve.coalesced_groups")),
+      coalesced_jobs_(metrics_->counter("serve.coalesced_jobs")),
       latency_us_(metrics_->histogram("serve.latency", "us")),
       queue_us_(metrics_->histogram("serve.queue_wait", "us")) {
   if (config_.max_inflight_per_conn == 0) config_.max_inflight_per_conn = 1;
   if (config_.conn_weight == 0) config_.conn_weight = 1;
+  if (config_.coalesce_max == 0) config_.coalesce_max = 1;
+  worker_count_ = config_.workers != 0
+                      ? config_.workers
+                      : std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency());
+  reactor_count_ = config_.reactors != 0
+                       ? config_.reactors
+                       : std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency() / 4);
   runtime::BatchPredictor::Config pc;
-  pc.threads = 1;  // workers call predict_one; the inner pool is idle
+  // Coalesced groups run through predict_all on the predictor's inner
+  // pool: size it like the worker fleet so folding N concurrent singles
+  // into one batch keeps the parallelism N workers alone provided.
+  pc.threads = worker_count_;
+  if (config_.sim_threads > 1) {
+    sim_pool_ = std::make_unique<runtime::ThreadPool>(config_.sim_threads);
+    pc.sim.comm_parallel = runtime::pool_parallel(*sim_pool_);
+  }
   pc.cache = &prediction_cache_;
   pc.step_cache = &step_cache_;
   pc.metrics = metrics_;
@@ -196,8 +326,11 @@ Status Server::start() {
   if (running_.exchange(true)) {
     return Status::internal("Server::start() called twice");
   }
+  stopping_.store(false);
+  scheduler_ = std::make_unique<Scheduler>();  // fresh after a prior stop()
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
+    running_.store(false);
     return Status::transient(std::string{"socket: "} + std::strerror(errno));
   }
   const int one = 1;
@@ -208,6 +341,7 @@ Status Server::start() {
   addr.sin_port = htons(config_.port);
   if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
     close_fd(listen_fd_);
+    running_.store(false);
     return Status::invalid_input("cannot parse bind address '" + config_.host +
                                  "'");
   }
@@ -215,12 +349,14 @@ Status Server::start() {
     const Status st = Status::transient(std::string{"bind: "} +
                                         std::strerror(errno));
     close_fd(listen_fd_);
+    running_.store(false);
     return st;
   }
   if (::listen(listen_fd_, 128) < 0) {
     const Status st = Status::transient(std::string{"listen: "} +
                                         std::strerror(errno));
     close_fd(listen_fd_);
+    running_.store(false);
     return st;
   }
   socklen_t len = sizeof addr;
@@ -228,27 +364,44 @@ Status Server::start() {
     bound_port_ = ntohs(addr.sin_port);
   }
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    close_fd(listen_fd_);
-    close_fd(epoll_fd_);
-    close_fd(wake_fd_);
-    return Status::transient("cannot create epoll/eventfd");
+  reactors_.clear();
+  reactors_.reserve(reactor_count_);
+  for (std::size_t i = 0; i < reactor_count_; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->index = i;
+    reactor->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    reactor->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (reactor->epoll_fd < 0 || reactor->wake_fd < 0) {
+      close_fd(reactor->epoll_fd);
+      close_fd(reactor->wake_fd);
+      for (const auto& other : reactors_) {
+        close_fd(other->epoll_fd);
+        close_fd(other->wake_fd);
+      }
+      reactors_.clear();
+      close_fd(listen_fd_);
+      running_.store(false);
+      return Status::transient("cannot create epoll/eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = reactor->wake_fd;
+    ::epoll_ctl(reactor->epoll_fd, EPOLL_CTL_ADD, reactor->wake_fd, &ev);
+    reactors_.push_back(std::move(reactor));
   }
+  // The listen socket lives on reactor 0; accepted fds are sharded from
+  // there round-robin.
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ::epoll_ctl(reactors_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
 
-  const std::size_t workers = config_.workers != 0
-                                  ? config_.workers
-                                  : std::max(1u, std::thread::hardware_concurrency());
-  io_thread_ = std::thread([this] { io_loop(); });
-  workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
+  next_reactor_.store(0);
+  for (std::size_t i = 0; i < reactor_count_; ++i) {
+    reactors_[i]->thread = std::thread([this, i] { io_loop(i); });
+  }
+  workers_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
   return Status{};
@@ -261,9 +414,9 @@ void Server::stop() {
     // no-ops (threads already joined).
   }
   // Cancel inflight work first so cooperative simulations unwind fast.
-  {
-    std::lock_guard lock{conns_mu_};
-    for (const auto& [fd, conn] : conns_) conn->cancel.cancel();
+  for (const auto& reactor : reactors_) {
+    std::lock_guard lock{reactor->conns_mu};
+    for (const auto& [fd, conn] : reactor->conns) conn->cancel.cancel();
   }
   const std::size_t dropped = scheduler_->shutdown();
   if (dropped > 0) disconnect_cancels_.add(dropped);
@@ -271,38 +424,52 @@ void Server::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  // Wake the IO thread; it observes stopping_ and exits.
-  if (wake_fd_ >= 0) {
-    const std::uint64_t one = 1;
-    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
-  }
-  if (io_thread_.joinable()) io_thread_.join();
-  {
-    std::lock_guard lock{conns_mu_};
-    for (auto& [fd, conn] : conns_) {
-      std::lock_guard cl{conn->mu};
-      conn->closed = true;
-      ::close(conn->fd);
+  // Wake every reactor; each observes stopping_ and exits.
+  for (const auto& reactor : reactors_) {
+    if (reactor->wake_fd >= 0) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n =
+          ::write(reactor->wake_fd, &one, sizeof one);
     }
-    conns_.clear();
   }
+  for (const auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
+  for (const auto& reactor : reactors_) {
+    {
+      std::lock_guard lock{reactor->conns_mu};
+      for (auto& [fd, conn] : reactor->conns) {
+        std::lock_guard cl{conn->mu};
+        conn->closed = true;
+        ::close(conn->fd);
+      }
+      reactor->conns.clear();
+    }
+    close_fd(reactor->epoll_fd);
+    close_fd(reactor->wake_fd);
+  }
+  reactors_.clear();
   close_fd(listen_fd_);
-  close_fd(epoll_fd_);
-  close_fd(wake_fd_);
   running_.store(false);
 }
 
 std::size_t Server::connection_count() const {
-  std::lock_guard lock{conns_mu_};
-  return conns_.size();
+  std::size_t count = 0;
+  for (const auto& reactor : reactors_) {
+    std::lock_guard lock{reactor->conns_mu};
+    count += reactor->conns.size();
+  }
+  return count;
 }
 
-void Server::io_loop() {
-  obs::TraceSession::global().set_thread_name("serve-io");
+void Server::io_loop(std::size_t index) {
+  Reactor& reactor = *reactors_[index];
+  obs::TraceSession::global().set_thread_name("serve-reactor-" +
+                                              std::to_string(index));
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_relaxed)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    const int n = ::epoll_wait(reactor.epoll_fd, events, kMaxEvents, 100);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll itself failed: nothing sane left to do
@@ -313,18 +480,18 @@ void Server::io_loop() {
         accept_ready();
         continue;
       }
-      if (fd == wake_fd_) {
+      if (fd == reactor.wake_fd) {
         std::uint64_t drain = 0;
-        while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+        while (::read(reactor.wake_fd, &drain, sizeof drain) > 0) {
         }
-        flush_pending_output();
+        flush_pending_output(reactor);
         continue;
       }
       std::shared_ptr<Conn> conn;
       {
-        std::lock_guard lock{conns_mu_};
-        const auto it = conns_.find(fd);
-        if (it == conns_.end()) continue;  // closed earlier this wake
+        std::lock_guard lock{reactor.conns_mu};
+        const auto it = reactor.conns.find(fd);
+        if (it == reactor.conns.end()) continue;  // closed earlier this wake
         conn = it->second;
       }
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
@@ -347,16 +514,22 @@ void Server::accept_ready() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Reactor& target =
+        *reactors_[next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                   reactors_.size()];
     auto conn =
         std::make_shared<Conn>(fd, config_.limits, config_.conn_weight);
+    conn->reactor = &target;
     {
-      std::lock_guard lock{conns_mu_};
-      conns_.emplace(fd, conn);
+      std::lock_guard lock{target.conns_mu};
+      target.conns.emplace(fd, conn);
     }
+    // Registering a foreign fd into another reactor's epoll set from this
+    // thread is fine: epoll_ctl is thread-safe against epoll_wait.
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    ::epoll_ctl(target.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
     connections_opened_.add();
   }
 }
@@ -388,7 +561,7 @@ void Server::conn_readable(const std::shared_ptr<Conn>& conn) {
       // effort, then hang up.
       protocol_errors_.add();
       reject(conn, 0, 0, frame.status());
-      flush_pending_output();
+      flush_pending_output(*conn->reactor);
       close_conn(conn);
       return;
     }
@@ -399,12 +572,30 @@ void Server::conn_readable(const std::shared_ptr<Conn>& conn) {
 }
 
 void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
+  const Codec codec = conn->codec.load(std::memory_order_relaxed);
   switch (frame.kind) {
     case FrameKind::kPing: {
       enqueue_output(conn, Frame{FrameKind::kPong, frame.id, {}});
       return;
     }
-    case FrameKind::kStats: {
+    case FrameKind::kHello: {
+      const Result<std::uint32_t> version = decode_hello_request(frame.payload);
+      if (!version.ok()) {
+        protocol_errors_.add();
+        reject(conn, frame.id, 0, version.status());
+        return;
+      }
+      // Speak the highest version both sides know; the codec switch is
+      // effective for every LATER frame (processing is in order).
+      const std::uint32_t agreed =
+          std::min(version.value(), kProtocolVersionMax);
+      conn->codec.store(codec_for_version(agreed), std::memory_order_relaxed);
+      enqueue_output(
+          conn, Frame{FrameKind::kHelloAck, frame.id, encode_hello_ack(agreed)});
+      return;
+    }
+    case FrameKind::kStats:
+    case FrameKind::kRegister: {
       if (conn->inflight.load(std::memory_order_relaxed) >=
           config_.max_inflight_per_conn) {
         rejected_.add();
@@ -417,25 +608,28 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
       requests_.add();
       Request request;
       request.conn = conn;
-      request.verb = Request::Verb::kStats;
+      request.verb = frame.kind == FrameKind::kStats ? Request::Verb::kStats
+                                                     : Request::Verb::kRegister;
       request.id = frame.id;
+      // REGISTER's payload is the raw program text under both codecs.
+      request.req.program_text = std::move(frame.payload);
       request.accepted = std::chrono::steady_clock::now();
       scheduler_->push(conn, std::move(request));
       return;
     }
     case FrameKind::kPredict: {
-      Result<PredictRequest> req = decode_predict_request(frame.payload);
+      Result<PredictRequest> req = decode_predict_request(frame.payload, codec);
       if (!req.ok()) {
         protocol_errors_.add();
         reject(conn, frame.id, 0, req.status());
         return;
       }
-      admit(conn, frame.id, 0, 1, std::move(req).value());
+      admit(conn, frame.id, 0, std::move(req).value());
       return;
     }
     case FrameKind::kBatch: {
       Result<std::vector<PredictRequest>> jobs =
-          decode_batch_request(frame.payload, config_.limits);
+          decode_batch_request(frame.payload, config_.limits, codec);
       if (!jobs.ok()) {
         protocol_errors_.add();
         // Batch-level failure: the error, then the end-of-stream marker the
@@ -484,6 +678,8 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
     case FrameKind::kError:
     case FrameKind::kStatsText:
     case FrameKind::kBatchEnd:
+    case FrameKind::kHelloAck:
+    case FrameKind::kRegistered:
       break;
   }
   // A response kind arriving at the server is a confused peer.
@@ -493,9 +689,7 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
 }
 
 void Server::admit(const std::shared_ptr<Conn>& conn, std::uint64_t id,
-                   std::size_t index, std::size_t batch_total,
-                   PredictRequest req) {
-  (void)batch_total;
+                   std::size_t index, PredictRequest req) {
   if (conn->inflight.load(std::memory_order_relaxed) >=
       config_.max_inflight_per_conn) {
     rejected_.add();
@@ -522,48 +716,76 @@ void Server::reject(const std::shared_ptr<Conn>& conn, std::uint64_t id,
   reply.index = index;
   reply.code = status.ok() ? ErrorCode::kInternal : status.code();
   reply.message = status.message();
-  enqueue_output(conn,
-                 Frame{FrameKind::kError, id, encode_error_reply(reply)});
+  enqueue_output(
+      conn, Frame{FrameKind::kError, id,
+                  encode_error_reply(
+                      reply, conn->codec.load(std::memory_order_relaxed))});
 }
 
 void Server::worker_loop(std::size_t index) {
   obs::TraceSession::global().set_thread_name("serve-worker-" +
                                               std::to_string(index));
-  Request request;
-  while (scheduler_->pop(&request)) {
-    queue_us_.record(
-        to_us(std::chrono::steady_clock::now() - request.accepted));
-    execute(request);
-    request = Request{};  // drop the Conn reference before blocking again
+  std::vector<Request> group;
+  while (scheduler_->pop_group(&group, config_.coalesce_max,
+                               config_.coalesce_window)) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const Request& request : group) {
+      queue_us_.record(to_us(now - request.accepted));
+    }
+    if (group.size() > 1) {
+      coalesced_groups_.add();
+      coalesced_jobs_.add(group.size());
+    }
+    execute_group(group);
+    group.clear();  // drop the Conn references before blocking again
   }
 }
 
-void Server::execute(Request& request) {
+void Server::execute_group(std::vector<Request>& group) {
+  obs::Span span{obs::TraceSession::global(),
+                 group.size() == 1 ? "serve.request" : "serve.coalesced_batch",
+                 "serve", group.front().id};
+  FlushSet flush;
+  std::vector<Pending> pendings;
+  pendings.reserve(group.size());
+  for (Request& request : group) prepare(request, flush, pendings);
+
+  if (pendings.size() == 1) {
+    // The single-request path is exactly the pre-coalescing server: one
+    // predict_one, no batch machinery, no post-hoc deadline conversion.
+    const runtime::JobResult result =
+        predictor_->predict_one(pendings.front().job, /*publish_gauges=*/false);
+    deliver(pendings.front(), result, flush);
+  } else if (!pendings.empty()) {
+    std::vector<runtime::PredictJob> jobs;
+    jobs.reserve(pendings.size());
+    for (const Pending& pending : pendings) jobs.push_back(pending.job);
+    const std::vector<runtime::JobResult> results =
+        predictor_->predict_all(jobs);
+    // predict_all returns when the whole group is done: a short-deadline
+    // request coalesced behind a slow neighbour can come back ok yet
+    // already be too late to answer.  The deadline covers the whole
+    // server-side journey, so convert those results to timeouts.
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < pendings.size(); ++i) {
+      if (results[i].ok() && now >= pendings[i].abs_deadline) {
+        runtime::JobResult late;
+        late.status =
+            Status::timeout("request deadline expired before the reply "
+                            "was ready");
+        late.attempts = results[i].attempts;
+        deliver(pendings[i], late, flush);
+        continue;
+      }
+      deliver(pendings[i], results[i], flush);
+    }
+  }
+  flush.kick();
+}
+
+void Server::prepare(Request& request, FlushSet& flush,
+                     std::vector<Pending>& out) {
   const std::shared_ptr<Conn>& conn = request.conn;
-  obs::Span span{obs::TraceSession::global(), "serve.request", "serve",
-                 request.id};
-
-  auto done = [&](const Frame& frame, bool is_error) {
-    // Account first, enqueue second: the moment the frame is enqueued the
-    // IO thread can flush it and the client can act on the reply, so every
-    // counter a client-visible state transition implies must already be in
-    // place (tests legitimately assert on them right after receive()).
-    if (is_error) {
-      errors_.add();
-    } else {
-      responses_.add();
-    }
-    latency_us_.record(
-        to_us(std::chrono::steady_clock::now() - request.accepted));
-    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
-    enqueue_output(conn, frame);
-    if (request.batch_remaining != nullptr &&
-        request.batch_remaining->fetch_sub(1, std::memory_order_acq_rel) ==
-            1) {
-      enqueue_output(conn, Frame{FrameKind::kBatchEnd, request.id, {}});
-    }
-  };
-
   if (conn->cancel.cancelled()) {
     // The client is gone; there is nobody to answer.
     disconnect_cancels_.add();
@@ -573,32 +795,85 @@ void Server::execute(Request& request) {
     }
     return;
   }
+  const Codec codec = conn->codec.load(std::memory_order_relaxed);
 
   if (request.verb == Request::Verb::kStats) {
-    done(Frame{FrameKind::kStatsText, request.id, render_stats()},
-         /*is_error=*/false);
+    finish(request, Frame{FrameKind::kStatsText, request.id, render_stats()},
+           /*is_error=*/false, flush);
     return;
   }
 
-  // Parse with the wire limit as the io guard: a payload that slipped past
-  // the frame cap can still not blow up the parser.
-  io::ProgramParseOptions popts;
-  popts.max_bytes = config_.limits.max_payload;
-  Result<io::ProgramBundle> bundle =
-      io::parse_program(request.req.program_text, popts);
-  if (!bundle.ok()) {
-    ErrorReply reply;
-    reply.index = request.index;
-    reply.code = bundle.status().code();
-    reply.message = Status{bundle.status()}
-                        .with_context("while parsing the request program")
-                        .to_string();
-    done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
-         /*is_error=*/true);
+  if (request.verb == Request::Verb::kRegister) {
+    const Result<std::shared_ptr<const RegisteredProgram>> entry =
+        registry_.intern(request.req.program_text);
+    if (!entry.ok()) {
+      ErrorReply reply;
+      reply.index = 0;
+      reply.code = entry.status().code();
+      reply.message = entry.status().to_string();
+      finish(request,
+             Frame{FrameKind::kError, request.id,
+                   encode_error_reply(reply, codec)},
+             /*is_error=*/true, flush);
+      return;
+    }
+    registered_.add();
+    finish(request,
+           Frame{FrameKind::kRegistered, request.id,
+                 encode_registered_reply(entry.value()->handle(), codec)},
+           /*is_error=*/false, flush);
     return;
   }
+
+  Pending pending;
+  pending.request = &request;
+  const core::StepProgram* program = nullptr;
+  const core::CostTable* costs = nullptr;
+  if (request.req.handle != 0) {
+    pending.reg = registry_.find(request.req.handle);
+    if (pending.reg == nullptr) {
+      ErrorReply reply;
+      reply.index = request.index;
+      reply.code = ErrorCode::kInvalidInput;
+      reply.message =
+          "unknown program handle " + std::to_string(request.req.handle) +
+          " (handles do not survive a server restart; REGISTER again)";
+      finish(request,
+             Frame{FrameKind::kError, request.id,
+                   encode_error_reply(reply, codec)},
+             /*is_error=*/true, flush);
+      return;
+    }
+    program = &pending.reg->program();
+    costs = &pending.reg->costs();
+  } else {
+    // Parse with the wire limit as the io guard: a payload that slipped
+    // past the frame cap can still not blow up the parser.
+    io::ProgramParseOptions popts;
+    popts.max_bytes = config_.limits.max_payload;
+    Result<io::ProgramBundle> bundle =
+        io::parse_program(request.req.program_text, popts);
+    if (!bundle.ok()) {
+      ErrorReply reply;
+      reply.index = request.index;
+      reply.code = bundle.status().code();
+      reply.message = Status{bundle.status()}
+                          .with_context("while parsing the request program")
+                          .to_string();
+      finish(request,
+             Frame{FrameKind::kError, request.id,
+                   encode_error_reply(reply, codec)},
+             /*is_error=*/true, flush);
+      return;
+    }
+    pending.bundle =
+        std::make_unique<io::ProgramBundle>(std::move(bundle).value());
+    program = &pending.bundle->program;
+    costs = &pending.bundle->costs;
+  }
+
   loggp::Params defaults;
-  defaults.P = bundle->program.procs();
+  defaults.P = program->procs();
   Result<loggp::Params> params =
       io::parse_params(request.req.params_text, defaults);
   if (!params.ok()) {
@@ -608,51 +883,111 @@ void Server::execute(Request& request) {
     reply.message = Status{params.status()}
                         .with_context("while parsing the request params")
                         .to_string();
-    done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
-         /*is_error=*/true);
+    finish(request,
+           Frame{FrameKind::kError, request.id,
+                 encode_error_reply(reply, codec)},
+           /*is_error=*/true, flush);
     return;
   }
-  loggp::Params effective = std::move(params).value();
-  effective.P = bundle->program.procs();
+  pending.params = std::move(params).value();
+  pending.params.P = program->procs();
+  pending.seed = request.req.seed;
 
-  runtime::PredictJob job;
-  job.program = &bundle->program;
-  job.params = effective;
-  job.costs = &bundle->costs;
-  job.cancel = conn->cancel;
-  job.seed = request.req.seed;
   auto deadline = config_.default_deadline;
   if (request.req.deadline_ms > 0) {
     deadline = std::chrono::milliseconds(request.req.deadline_ms);
   }
+  std::chrono::steady_clock::duration budget_left{};
   if (deadline.count() > 0) {
     // The budget covers the whole server-side journey; spend what queueing
     // already used and fail fast when nothing is left.
-    const auto elapsed = std::chrono::steady_clock::now() - request.accepted;
-    if (elapsed >= deadline) {
+    pending.abs_deadline = request.accepted + deadline;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= pending.abs_deadline) {
       ErrorReply reply;
       reply.index = request.index;
       reply.code = ErrorCode::kTimeout;
       reply.message = "request deadline expired while queued";
-      done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
-           /*is_error=*/true);
+      finish(request,
+             Frame{FrameKind::kError, request.id,
+                   encode_error_reply(reply, codec)},
+             /*is_error=*/true, flush);
       return;
     }
-    job.deadline = deadline - elapsed;
+    budget_left = pending.abs_deadline - now;
   }
 
-  const runtime::JobResult result =
-      predictor_->predict_one(job, /*publish_gauges=*/false);
+  // The microsecond warm path: a registered program whose (params, seed)
+  // point was answered before.
+  if (pending.reg != nullptr) {
+    if (const std::optional<core::Prediction> memo =
+            pending.reg->memo_lookup(pending.params, pending.seed)) {
+      memo_hits_.add();
+      PredictReply reply;
+      reply.index = request.index;
+      reply.total_us = memo->total().us();
+      reply.comp_us = memo->comp().us();
+      reply.comm_us = memo->comm().us();
+      reply.total_worst_us = memo->total_worst().us();
+      reply.comm_worst_us = memo->comm_worst().us();
+      reply.from_cache = true;
+      reply.attempts = 1;
+      finish(request,
+             Frame{FrameKind::kResult, request.id,
+                   encode_predict_reply(reply, codec)},
+             /*is_error=*/false, flush);
+      return;
+    }
+    memo_misses_.add();
+  }
+
+  pending.job.program = program;
+  pending.job.costs = costs;
+  pending.job.params = pending.params;
+  pending.job.cancel = conn->cancel;
+  pending.job.seed = pending.seed;
+  if (pending.reg != nullptr) {
+    // The per-entry memo above already memoizes this triple; skip the
+    // global cache so the daemon doesn't hold a second copy of every
+    // registered program, and key O(1) off the precomputed hash.
+    pending.job.program_hash = pending.reg->program_hash();
+    pending.job.bypass_cache = true;
+  }
+  if (budget_left.count() > 0) pending.job.deadline = budget_left;
+  out.push_back(std::move(pending));
+}
+
+void Server::deliver(Pending& pending, const runtime::JobResult& result,
+                     FlushSet& flush) {
+  Request& request = *pending.request;
+  const std::shared_ptr<Conn>& conn = request.conn;
+  const Codec codec = conn->codec.load(std::memory_order_relaxed);
   if (!result.ok()) {
+    if (result.status.code() == ErrorCode::kCancelled &&
+        conn->cancel.cancelled()) {
+      // Disconnect (or shutdown) killed the job mid-run: like the queued
+      // case, there is nobody to answer, so account it as a disconnect
+      // cancel rather than an error reply to a dead socket.
+      disconnect_cancels_.add();
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (request.batch_remaining != nullptr) {
+        request.batch_remaining->fetch_sub(1, std::memory_order_acq_rel);
+      }
+      return;
+    }
     ErrorReply reply;
     reply.index = request.index;
     reply.code = result.status.code();
     reply.message = result.status.to_string();
-    done(Frame{FrameKind::kError, request.id, encode_error_reply(reply)},
-         /*is_error=*/true);
+    finish(request,
+           Frame{FrameKind::kError, request.id,
+                 encode_error_reply(reply, codec)},
+           /*is_error=*/true, flush);
     return;
   }
-
+  if (pending.reg != nullptr) {
+    pending.reg->memo_insert(pending.params, pending.seed, result.value());
+  }
   PredictReply reply;
   reply.index = request.index;
   reply.total_us = result.value().total().us();
@@ -662,46 +997,74 @@ void Server::execute(Request& request) {
   reply.comm_worst_us = result.value().comm_worst().us();
   reply.from_cache = result.from_cache;
   reply.attempts = result.attempts;
-  done(Frame{FrameKind::kResult, request.id, encode_predict_reply(reply)},
-       /*is_error=*/false);
+  finish(request,
+         Frame{FrameKind::kResult, request.id,
+               encode_predict_reply(reply, codec)},
+         /*is_error=*/false, flush);
+}
+
+void Server::finish(Request& request, Frame frame, bool is_error,
+                    FlushSet& flush) {
+  // Account first, enqueue second: the moment the frame is flushed the
+  // client can act on the reply, so every counter a client-visible state
+  // transition implies must already be in place (tests legitimately
+  // assert on them right after receive()).
+  if (is_error) {
+    errors_.add();
+  } else {
+    responses_.add();
+  }
+  latency_us_.record(
+      to_us(std::chrono::steady_clock::now() - request.accepted));
+  request.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+  queue_frame(request.conn, frame, flush);
+  if (request.batch_remaining != nullptr &&
+      request.batch_remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    queue_frame(request.conn, Frame{FrameKind::kBatchEnd, request.id, {}},
+                flush);
+  }
 }
 
 std::string Server::render_stats() {
   predictor_->publish_cache_gauges();
-  {
-    std::lock_guard lock{conns_mu_};
-    metrics_->set_gauge("serve.connections", std::to_string(conns_.size()));
-  }
+  metrics_->set_gauge("serve.connections", std::to_string(connection_count()));
+  metrics_->set_gauge("serve.reactors", std::to_string(reactor_count_));
+  const ProgramRegistry::Stats rs = registry_.stats();
+  metrics_->set_gauge("serve.programs", std::to_string(rs.programs));
+  metrics_->set_gauge("serve.registrations", std::to_string(rs.registrations));
+  metrics_->set_gauge("serve.dedup_hits", std::to_string(rs.dedup_hits));
   return obs::Snapshot::capture(metrics_, &obs::TraceSession::global())
       .to_string();
 }
 
-void Server::enqueue_output(const std::shared_ptr<Conn>& conn,
-                            const Frame& frame) {
+void Server::queue_frame(const std::shared_ptr<Conn>& conn, const Frame& frame,
+                         FlushSet& flush) {
   {
     std::lock_guard lock{conn->mu};
     if (conn->closed) return;
     append_frame(conn->out, frame);
   }
-  {
-    std::lock_guard lock{flush_mu_};
-    flush_list_.push_back(conn);
-  }
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  flush.note(conn);
 }
 
-void Server::flush_pending_output() {
+void Server::enqueue_output(const std::shared_ptr<Conn>& conn,
+                            const Frame& frame) {
+  FlushSet flush;
+  queue_frame(conn, frame, flush);
+  flush.kick();
+}
+
+void Server::flush_pending_output(Reactor& reactor) {
   std::vector<std::shared_ptr<Conn>> list;
   {
-    std::lock_guard lock{flush_mu_};
-    list.swap(flush_list_);
+    std::lock_guard lock{reactor.flush_mu};
+    list.swap(reactor.flush_list);
   }
   for (const auto& conn : list) conn_writable(conn);
 }
 
-// IO thread only: drains the connection's output buffer into the socket,
-// arming EPOLLOUT when the kernel buffer fills.
+// Owning reactor thread only: drains the connection's output buffer into
+// the socket, arming EPOLLOUT when the kernel buffer fills.
 void Server::conn_writable(const std::shared_ptr<Conn>& conn) {
   bool fatal = false;
   {
@@ -723,7 +1086,7 @@ void Server::conn_writable(const std::shared_ptr<Conn>& conn) {
           epoll_event ev{};
           ev.events = EPOLLIN | EPOLLOUT;
           ev.data.fd = conn->fd;
-          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+          ::epoll_ctl(conn->reactor->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
         }
         return;
       }
@@ -738,7 +1101,7 @@ void Server::conn_writable(const std::shared_ptr<Conn>& conn) {
         epoll_event ev{};
         ev.events = EPOLLIN;
         ev.data.fd = conn->fd;
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+        ::epoll_ctl(conn->reactor->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
       }
     }
   }
@@ -755,14 +1118,15 @@ void Server::close_conn(const std::shared_ptr<Conn>& conn) {
   // next cooperative poll, queued-but-unstarted requests are dropped here.
   conn->cancel.cancel();
   // Queued-but-unstarted requests die here; requests a worker already
-  // picked up observe the token and count themselves (execute()).
+  // picked up observe the token and count themselves (prepare/deliver).
   const std::size_t dropped = scheduler_->remove(conn);
   if (dropped > 0) disconnect_cancels_.add(dropped);
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  Reactor& reactor = *conn->reactor;
+  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   {
-    std::lock_guard lock{conns_mu_};
-    conns_.erase(conn->fd);
+    std::lock_guard lock{reactor.conns_mu};
+    reactor.conns.erase(conn->fd);
   }
   connections_closed_.add();
 }

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -50,6 +51,79 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+void put_double_le(std::string& out, double v) {
+  put_u64le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked cursor over a v2 binary payload: every getter fails with
+/// an invalid-input Status instead of reading past the end, so truncated
+/// or hostile payloads degrade to errors, never out-of-bounds reads.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& payload) : payload_(payload) {}
+
+  [[nodiscard]] Status get_u8(std::uint8_t* v) {
+    if (!need(1)) return truncated("u8");
+    *v = static_cast<std::uint8_t>(payload_[pos_++]);
+    return Status{};
+  }
+  [[nodiscard]] Status get_u32(std::uint32_t* v) {
+    if (!need(4)) return truncated("u32");
+    *v = get_u32le(payload_.data() + pos_);
+    pos_ += 4;
+    return Status{};
+  }
+  [[nodiscard]] Status get_u64(std::uint64_t* v) {
+    if (!need(8)) return truncated("u64");
+    *v = get_u64le(payload_.data() + pos_);
+    pos_ += 8;
+    return Status{};
+  }
+  [[nodiscard]] Status get_double(double* v) {
+    std::uint64_t bits = 0;
+    if (Status st = get_u64(&bits); !st.ok()) return st;
+    *v = std::bit_cast<double>(bits);
+    return Status{};
+  }
+  /// A u32le length followed by that many raw bytes.
+  [[nodiscard]] Status get_string(std::string* v) {
+    std::uint32_t len = 0;
+    if (Status st = get_u32(&len); !st.ok()) return st;
+    if (!need(len)) {
+      return Status::invalid_input(
+          "binary envelope: declared string length " + std::to_string(len) +
+          " exceeds the remaining " + std::to_string(remaining()) + " bytes");
+    }
+    v->assign(payload_.data() + pos_, len);
+    pos_ += len;
+    return Status{};
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return payload_.size() - pos_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] bool done() const { return pos_ == payload_.size(); }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) const { return remaining() >= n; }
+  [[nodiscard]] static Status truncated(const char* what) {
+    return Status::invalid_input(std::string{"binary envelope: truncated "} +
+                                 what + " field");
+  }
+
+  const std::string& payload_;
+  std::size_t pos_ = 0;
+};
+
+/// Trailing garbage after a fully decoded binary envelope is a protocol
+/// error: a well-formed peer never pads, so extra bytes mean corruption or
+/// a codec mixup (a v1 text payload fed to the v2 decoder).
+Status expect_done(const BinaryReader& r, const char* what) {
+  if (r.done()) return Status{};
+  return Status::invalid_input(std::string{"binary envelope: "} +
+                               std::to_string(r.remaining()) +
+                               " trailing bytes after the " + what);
+}
+
 Status decode_header(const char* data, std::size_t declared,
                      const WireLimits& limits, Frame* frame) {
   if (declared > limits.max_payload) {
@@ -75,11 +149,15 @@ bool frame_kind_known(std::uint8_t kind) {
     case FrameKind::kPredict:
     case FrameKind::kBatch:
     case FrameKind::kStats:
+    case FrameKind::kHello:
+    case FrameKind::kRegister:
     case FrameKind::kPong:
     case FrameKind::kResult:
     case FrameKind::kError:
     case FrameKind::kStatsText:
     case FrameKind::kBatchEnd:
+    case FrameKind::kHelloAck:
+    case FrameKind::kRegistered:
       return true;
   }
   return false;
@@ -191,9 +269,11 @@ std::string encode_predict_request(const PredictRequest& req) {
   std::ostringstream os;
   os << "params " << req.params_text << '\n'
      << "seed " << req.seed << '\n'
-     << "deadline_ms " << req.deadline_ms << '\n'
-     << "program\n"
-     << req.program_text;
+     << "deadline_ms " << req.deadline_ms << '\n';
+  // The handle line only appears when set, so handle-free payloads stay
+  // byte-identical to what pre-handle builds emitted.
+  if (req.handle != 0) os << "handle " << req.handle << '\n';
+  os << "program\n" << req.program_text;
   return os.str();
 }
 
@@ -224,6 +304,10 @@ Result<PredictRequest> decode_predict_request(const std::string& payload) {
     } else if (key == "deadline_ms") {
       if (!(ls >> req.deadline_ms)) {
         return Status::invalid_input("predict envelope: malformed deadline_ms");
+      }
+    } else if (key == "handle") {
+      if (!(ls >> req.handle)) {
+        return Status::invalid_input("predict envelope: malformed handle");
       }
     } else {
       return Status::invalid_input("predict envelope: unknown key '" + key +
@@ -364,6 +448,279 @@ std::string encode_error_reply(const ErrorReply& reply) {
      << "code " << error_code_name(reply.code) << '\n'
      << "message " << reply.message;
   return os.str();
+}
+
+// --- protocol v2: fixed-width little-endian envelopes --------------------
+//
+// Byte-level layouts (DESIGN.md §14).  All integers little-endian, doubles
+// as raw IEEE-754 bits, strings as u32le length + raw bytes.
+//
+//   PREDICT:  u8 flags (bit0 = has handle) | u64 handle | u64 seed |
+//             u64 deadline_ms | str params | str program
+//   BATCH:    u32 count | count * (str embedded-PREDICT-payload)
+//   RESULT:   u64 index | f64 total | f64 comp | f64 comm |
+//             f64 total_worst | f64 comm_worst | u8 from_cache |
+//             u32 attempts
+//   ERROR:    u64 index | str code-name | str message
+//   REGISTERED: u64 handle
+
+namespace {
+
+constexpr std::uint8_t kPredictFlagHandle = 0x01;
+
+std::string encode_predict_request_v2(const PredictRequest& req) {
+  std::string out;
+  out.reserve(33 + req.params_text.size() + req.program_text.size());
+  out.push_back(
+      static_cast<char>(req.handle != 0 ? kPredictFlagHandle : 0));
+  put_u64le(out, req.handle);
+  put_u64le(out, req.seed);
+  put_u64le(out, req.deadline_ms);
+  put_u32le(out, static_cast<std::uint32_t>(req.params_text.size()));
+  out.append(req.params_text);
+  put_u32le(out, static_cast<std::uint32_t>(req.program_text.size()));
+  out.append(req.program_text);
+  return out;
+}
+
+Result<PredictRequest> decode_predict_request_v2(const std::string& payload) {
+  BinaryReader r{payload};
+  PredictRequest req;
+  std::uint8_t flags = 0;
+  if (Status st = r.get_u8(&flags); !st.ok()) return st;
+  if ((flags & ~kPredictFlagHandle) != 0) {
+    return Status::invalid_input("predict envelope: unknown flag bits " +
+                                 std::to_string(flags));
+  }
+  if (Status st = r.get_u64(&req.handle); !st.ok()) return st;
+  if (((flags & kPredictFlagHandle) != 0) != (req.handle != 0)) {
+    return Status::invalid_input(
+        "predict envelope: handle flag and handle value disagree");
+  }
+  if (Status st = r.get_u64(&req.seed); !st.ok()) return st;
+  if (Status st = r.get_u64(&req.deadline_ms); !st.ok()) return st;
+  if (Status st = r.get_string(&req.params_text); !st.ok()) return st;
+  if (Status st = r.get_string(&req.program_text); !st.ok()) return st;
+  if (Status st = expect_done(r, "predict request"); !st.ok()) return st;
+  return req;
+}
+
+std::string encode_batch_request_v2(const std::vector<PredictRequest>& jobs) {
+  std::string out;
+  put_u32le(out, static_cast<std::uint32_t>(jobs.size()));
+  for (const PredictRequest& job : jobs) {
+    const std::string body = encode_predict_request_v2(job);
+    put_u32le(out, static_cast<std::uint32_t>(body.size()));
+    out.append(body);
+  }
+  return out;
+}
+
+Result<std::vector<PredictRequest>> decode_batch_request_v2(
+    const std::string& payload, const WireLimits& limits) {
+  BinaryReader r{payload};
+  std::uint32_t count = 0;
+  if (Status st = r.get_u32(&count); !st.ok()) return st;
+  // Every embedded job costs at least its own length prefix, so a count
+  // beyond remaining/4 is hostile; reject before the reserve.
+  if (count > r.remaining() / 4 + 1) {
+    return Status::invalid_input("batch envelope: job count " +
+                                 std::to_string(count) +
+                                 " exceeds the payload size");
+  }
+  std::vector<PredictRequest> jobs;
+  jobs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string body;
+    if (Status st = r.get_string(&body); !st.ok()) {
+      return st.with_context("while framing batch job " + std::to_string(i));
+    }
+    if (body.size() > limits.max_payload) {
+      return Status::invalid_input("batch envelope: job " + std::to_string(i) +
+                                   " exceeds the max-message size");
+    }
+    Result<PredictRequest> job = decode_predict_request_v2(body);
+    if (!job.ok()) {
+      return Status{job.status()}.with_context("while decoding batch job " +
+                                               std::to_string(i));
+    }
+    jobs.push_back(std::move(job).value());
+  }
+  if (Status st = expect_done(r, "batch request"); !st.ok()) return st;
+  return jobs;
+}
+
+std::string encode_predict_reply_v2(const PredictReply& reply) {
+  std::string out;
+  out.reserve(53);
+  put_u64le(out, reply.index);
+  put_double_le(out, reply.total_us);
+  put_double_le(out, reply.comp_us);
+  put_double_le(out, reply.comm_us);
+  put_double_le(out, reply.total_worst_us);
+  put_double_le(out, reply.comm_worst_us);
+  out.push_back(static_cast<char>(reply.from_cache ? 1 : 0));
+  put_u32le(out, static_cast<std::uint32_t>(reply.attempts));
+  return out;
+}
+
+Result<PredictReply> decode_predict_reply_v2(const std::string& payload) {
+  BinaryReader r{payload};
+  PredictReply reply;
+  if (Status st = r.get_u64(&reply.index); !st.ok()) return st;
+  if (Status st = r.get_double(&reply.total_us); !st.ok()) return st;
+  if (Status st = r.get_double(&reply.comp_us); !st.ok()) return st;
+  if (Status st = r.get_double(&reply.comm_us); !st.ok()) return st;
+  if (Status st = r.get_double(&reply.total_worst_us); !st.ok()) return st;
+  if (Status st = r.get_double(&reply.comm_worst_us); !st.ok()) return st;
+  std::uint8_t from_cache = 0;
+  if (Status st = r.get_u8(&from_cache); !st.ok()) return st;
+  if (from_cache > 1) {
+    return Status::invalid_input("result envelope: malformed from_cache");
+  }
+  reply.from_cache = from_cache == 1;
+  std::uint32_t attempts = 0;
+  if (Status st = r.get_u32(&attempts); !st.ok()) return st;
+  reply.attempts = static_cast<int>(attempts);
+  if (Status st = expect_done(r, "predict reply"); !st.ok()) return st;
+  return reply;
+}
+
+std::string encode_error_reply_v2(const ErrorReply& reply) {
+  std::string out;
+  const std::string code = error_code_name(reply.code);
+  put_u64le(out, reply.index);
+  put_u32le(out, static_cast<std::uint32_t>(code.size()));
+  out.append(code);
+  put_u32le(out, static_cast<std::uint32_t>(reply.message.size()));
+  out.append(reply.message);
+  return out;
+}
+
+Result<ErrorReply> decode_error_reply_v2(const std::string& payload) {
+  BinaryReader r{payload};
+  ErrorReply reply;
+  if (Status st = r.get_u64(&reply.index); !st.ok()) return st;
+  std::string code;
+  if (Status st = r.get_string(&code); !st.ok()) return st;
+  reply.code = error_code_from_name(code);
+  if (Status st = r.get_string(&reply.message); !st.ok()) return st;
+  if (Status st = expect_done(r, "error reply"); !st.ok()) return st;
+  return reply;
+}
+
+}  // namespace
+
+std::string encode_predict_request(const PredictRequest& req, Codec codec) {
+  return codec == Codec::kBinary ? encode_predict_request_v2(req)
+                                 : encode_predict_request(req);
+}
+
+Result<PredictRequest> decode_predict_request(const std::string& payload,
+                                              Codec codec) {
+  return codec == Codec::kBinary ? decode_predict_request_v2(payload)
+                                 : decode_predict_request(payload);
+}
+
+std::string encode_batch_request(const std::vector<PredictRequest>& jobs,
+                                 Codec codec) {
+  return codec == Codec::kBinary ? encode_batch_request_v2(jobs)
+                                 : encode_batch_request(jobs);
+}
+
+Result<std::vector<PredictRequest>> decode_batch_request(
+    const std::string& payload, const WireLimits& limits, Codec codec) {
+  return codec == Codec::kBinary ? decode_batch_request_v2(payload, limits)
+                                 : decode_batch_request(payload, limits);
+}
+
+std::string encode_predict_reply(const PredictReply& reply, Codec codec) {
+  return codec == Codec::kBinary ? encode_predict_reply_v2(reply)
+                                 : encode_predict_reply(reply);
+}
+
+Result<PredictReply> decode_predict_reply(const std::string& payload,
+                                          Codec codec) {
+  return codec == Codec::kBinary ? decode_predict_reply_v2(payload)
+                                 : decode_predict_reply(payload);
+}
+
+std::string encode_error_reply(const ErrorReply& reply, Codec codec) {
+  return codec == Codec::kBinary ? encode_error_reply_v2(reply)
+                                 : encode_error_reply(reply);
+}
+
+Result<ErrorReply> decode_error_reply(const std::string& payload,
+                                      Codec codec) {
+  return codec == Codec::kBinary ? decode_error_reply_v2(payload)
+                                 : decode_error_reply(payload);
+}
+
+// --- negotiation + registration ------------------------------------------
+
+namespace {
+constexpr char kHelloMagic[4] = {'L', 'S', 'I', 'M'};
+}  // namespace
+
+std::string encode_hello_request(std::uint32_t max_version) {
+  std::string out{kHelloMagic, sizeof kHelloMagic};
+  put_u32le(out, max_version);
+  return out;
+}
+
+Result<std::uint32_t> decode_hello_request(const std::string& payload) {
+  if (payload.size() != sizeof kHelloMagic + 4 ||
+      std::memcmp(payload.data(), kHelloMagic, sizeof kHelloMagic) != 0) {
+    return Status::invalid_input("hello envelope: bad magic or length");
+  }
+  const std::uint32_t version = get_u32le(payload.data() + sizeof kHelloMagic);
+  if (version == 0) {
+    return Status::invalid_input("hello envelope: version 0 is not a protocol");
+  }
+  return version;
+}
+
+std::string encode_hello_ack(std::uint32_t version) {
+  std::string out;
+  put_u32le(out, version);
+  return out;
+}
+
+Result<std::uint32_t> decode_hello_ack(const std::string& payload) {
+  if (payload.size() != 4) {
+    return Status::invalid_input("hello-ack envelope: bad length");
+  }
+  const std::uint32_t version = get_u32le(payload.data());
+  if (version == 0) {
+    return Status::invalid_input("hello-ack envelope: version 0");
+  }
+  return version;
+}
+
+std::string encode_registered_reply(std::uint64_t handle, Codec codec) {
+  if (codec == Codec::kBinary) {
+    std::string out;
+    put_u64le(out, handle);
+    return out;
+  }
+  return "handle " + std::to_string(handle) + "\n";
+}
+
+Result<std::uint64_t> decode_registered_reply(const std::string& payload,
+                                              Codec codec) {
+  if (codec == Codec::kBinary) {
+    if (payload.size() != 8) {
+      return Status::invalid_input("registered envelope: bad length");
+    }
+    return get_u64le(payload.data());
+  }
+  std::istringstream is{payload};
+  std::string key;
+  std::uint64_t handle = 0;
+  if (!(is >> key >> handle) || key != "handle" || handle == 0) {
+    return Status::invalid_input("registered envelope: expected 'handle N'");
+  }
+  return handle;
 }
 
 Result<ErrorReply> decode_error_reply(const std::string& payload) {

@@ -1,5 +1,5 @@
 #pragma once
-// Wire format of the logsim serving layer (DESIGN.md §12).
+// Wire format of the logsim serving layer (DESIGN.md §12, §14).
 //
 // Every message is one length-prefixed frame over a byte stream:
 //
@@ -8,18 +8,21 @@
 // The 13-byte header is fixed; `id` is a client-chosen correlation id
 // echoed verbatim on every response to the request (batch jobs stream back
 // as one kResult per job, tagged with the job index inside the payload,
-// then one kBatchEnd).  Payloads are the library's existing *text* codecs
-// -- io::parse_program / io::parse_params on the way in, the %.17g decimal
-// rendering of the prediction times on the way out, which round-trips
-// doubles exactly -- wrapped in a small line-oriented envelope:
+// then one kBatchEnd).
+//
+// Two payload codecs share that framing.  Protocol v1 (Codec::kText) wraps
+// the library's text codecs -- io::parse_program / io::parse_params on the
+// way in, the %.17g decimal rendering of the prediction times on the way
+// out, which round-trips doubles exactly -- in a small line-oriented
+// envelope:
 //
 //   PREDICT payload                     RESULT payload
 //     params meiko                        index 0
 //     seed 1                              total_us 1234.5
 //     deadline_ms 250                     comp_us ...
-//     program                             comm_us ...
-//     <program text...>                   total_worst_us ...
-//                                         comm_worst_us ...
+//     handle 7       (only if nonzero)    comm_us ...
+//     program                             total_worst_us ...
+//     <program text...>                   comm_worst_us ...
 //                                         from_cache 1
 //                                         attempts 1
 //
@@ -32,6 +35,21 @@
 //
 //   ERROR payload: "index I", "code <error-code-name>", then "message "
 //   followed by the rest of the payload (messages may contain newlines).
+//
+// Protocol v2 (Codec::kBinary) carries the same envelopes as fixed-width
+// little-endian fields with doubles as raw IEEE-754 bits (DESIGN.md §14
+// has the byte-level layouts).  v2 is negotiated per connection: the
+// client sends a HELLO frame ("LSIM" magic + the highest version it
+// speaks), the server answers kHelloAck with min(its own max, the
+// client's), and both sides switch codecs iff the agreed version is >= 2.
+// A connection that never says HELLO speaks v1 forever -- old clients work
+// unchanged.  Both codecs decode the identical PredictRequest /
+// PredictReply / ErrorReply values bit-for-bit (doubles included); tests
+// cross-check this on a corpus.
+//
+// REGISTER (v2 feature, but legal under both codecs) interns a program on
+// the server and returns a compact handle; steady-state PREDICT payloads
+// then carry (handle, params, seed) and no program text at all.
 //
 // Untrusted boundary on both ends: oversized declared lengths, truncated
 // streams and malformed envelopes all come back as Status -- never an
@@ -56,12 +74,32 @@ enum class FrameKind : std::uint8_t {
   kPredict = 2,
   kBatch = 3,
   kStats = 4,
+  kHello = 5,     ///< codec negotiation; payload is version-framed
+  kRegister = 6,  ///< intern a program; payload is the raw program text
   kPong = 64,
   kResult = 65,
   kError = 66,
   kStatsText = 67,
   kBatchEnd = 68,
+  kHelloAck = 69,    ///< accepted protocol version
+  kRegistered = 70,  ///< the handle assigned by REGISTER
 };
+
+/// Payload codec of one connection.  Framing is codec-independent; only
+/// the payload encoding differs.
+enum class Codec : std::uint8_t {
+  kText = 1,    ///< protocol v1: line-oriented text envelopes
+  kBinary = 2,  ///< protocol v2: fixed-width little-endian fields
+};
+
+inline constexpr std::uint32_t kProtocolVersionText = 1;
+inline constexpr std::uint32_t kProtocolVersionBinary = 2;
+inline constexpr std::uint32_t kProtocolVersionMax = kProtocolVersionBinary;
+
+/// The codec a negotiated protocol version implies.
+[[nodiscard]] constexpr Codec codec_for_version(std::uint32_t version) {
+  return version >= kProtocolVersionBinary ? Codec::kBinary : Codec::kText;
+}
 
 /// True for kinds this build understands (a peer speaking a newer protocol
 /// revision gets a protocol error, not undefined behaviour).
@@ -131,6 +169,10 @@ struct PredictRequest {
   /// Per-request wall-clock budget in milliseconds; 0 = server default.
   std::uint64_t deadline_ms = 0;
   std::string program_text;  ///< io::parse_program input
+  /// Registered-program handle from a prior REGISTER; 0 = none, the
+  /// request carries program_text instead.  A nonzero handle wins over any
+  /// program text.
+  std::uint64_t handle = 0;
 };
 
 struct PredictReply {
@@ -152,20 +194,60 @@ struct ErrorReply {
   [[nodiscard]] Status to_status() const { return Status{code, message}; }
 };
 
+// The zero-argument-codec overloads are protocol v1 (text); the Codec
+// overloads dispatch.  Both codecs round-trip the identical struct values,
+// doubles bit-for-bit.
+
 [[nodiscard]] std::string encode_predict_request(const PredictRequest& req);
 [[nodiscard]] Result<PredictRequest> decode_predict_request(
     const std::string& payload);
+[[nodiscard]] std::string encode_predict_request(const PredictRequest& req,
+                                                 Codec codec);
+[[nodiscard]] Result<PredictRequest> decode_predict_request(
+    const std::string& payload, Codec codec);
 
 [[nodiscard]] std::string encode_batch_request(
     const std::vector<PredictRequest>& jobs);
 [[nodiscard]] Result<std::vector<PredictRequest>> decode_batch_request(
     const std::string& payload, const WireLimits& limits);
+[[nodiscard]] std::string encode_batch_request(
+    const std::vector<PredictRequest>& jobs, Codec codec);
+[[nodiscard]] Result<std::vector<PredictRequest>> decode_batch_request(
+    const std::string& payload, const WireLimits& limits, Codec codec);
 
 [[nodiscard]] std::string encode_predict_reply(const PredictReply& reply);
 [[nodiscard]] Result<PredictReply> decode_predict_reply(
     const std::string& payload);
+[[nodiscard]] std::string encode_predict_reply(const PredictReply& reply,
+                                               Codec codec);
+[[nodiscard]] Result<PredictReply> decode_predict_reply(
+    const std::string& payload, Codec codec);
 
 [[nodiscard]] std::string encode_error_reply(const ErrorReply& reply);
 [[nodiscard]] Result<ErrorReply> decode_error_reply(const std::string& payload);
+[[nodiscard]] std::string encode_error_reply(const ErrorReply& reply,
+                                             Codec codec);
+[[nodiscard]] Result<ErrorReply> decode_error_reply(const std::string& payload,
+                                                    Codec codec);
+
+// --- negotiation + registration ------------------------------------------
+
+/// HELLO payload: "LSIM" magic + u32le highest version the client speaks.
+[[nodiscard]] std::string encode_hello_request(std::uint32_t max_version);
+[[nodiscard]] Result<std::uint32_t> decode_hello_request(
+    const std::string& payload);
+
+/// HELLO-ACK payload: u32le version the server picked (min of both sides).
+[[nodiscard]] std::string encode_hello_ack(std::uint32_t version);
+[[nodiscard]] Result<std::uint32_t> decode_hello_ack(
+    const std::string& payload);
+
+// REGISTER requests carry the raw program text as the payload under both
+// codecs (no envelope; the text IS the message).  The reply differs:
+// v1 renders "handle N", v2 a u64le.
+[[nodiscard]] std::string encode_registered_reply(std::uint64_t handle,
+                                                  Codec codec);
+[[nodiscard]] Result<std::uint64_t> decode_registered_reply(
+    const std::string& payload, Codec codec);
 
 }  // namespace logsim::serve

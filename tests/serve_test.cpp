@@ -4,10 +4,12 @@
 // disconnect cancellation (failpoint-driven), and the io parsers'
 // max-message-size hardening the server leans on.
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -602,6 +604,426 @@ TEST_F(ServeTest, StopAnswersNothingTwiceAndRestartsCleanly) {
   server_->stop();
   server_->stop();  // idempotent
   EXPECT_EQ(server_->connection_count(), 0u);
+}
+
+// --- protocol v2: negotiation, binary codec, handles (DESIGN.md §14) -----
+
+/// Bit-exact double comparison: the v1 %.17g text path and the v2 raw-bits
+/// path must agree on the very last mantissa bit, not just "close".
+::testing::AssertionResult same_bits(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof a);
+  std::memcpy(&bb, &b, sizeof b);
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits (" << std::hex << ba
+         << " vs " << bb << ")";
+}
+
+TEST(ServeWire, TextAndBinaryCodecsRoundTripIdentically) {
+  std::vector<serve::PredictRequest> requests;
+  serve::PredictRequest req;
+  req.params_text = "L=9.25,o=2,g=13,G=0.03";
+  req.seed = 0xffffffffffffffffull;
+  req.deadline_ms = 123456789;
+  req.program_text = sample_program(3);
+  requests.push_back(req);
+  req = serve::PredictRequest{};
+  req.handle = 0x1234567890abcdefull;
+  req.program_text.clear();
+  requests.push_back(req);
+  req = serve::PredictRequest{};
+  req.program_text = "";  // degenerate but encodable
+  req.params_text = "";
+  requests.push_back(req);
+  for (const serve::PredictRequest& want : requests) {
+    for (const serve::Codec codec :
+         {serve::Codec::kText, serve::Codec::kBinary}) {
+      const Result<serve::PredictRequest> got = serve::decode_predict_request(
+          serve::encode_predict_request(want, codec), codec);
+      ASSERT_TRUE(got.ok()) << got.status().to_string();
+      EXPECT_EQ(got->params_text, want.params_text);
+      EXPECT_EQ(got->seed, want.seed);
+      EXPECT_EQ(got->deadline_ms, want.deadline_ms);
+      EXPECT_EQ(got->handle, want.handle);
+      EXPECT_EQ(got->program_text, want.program_text);
+    }
+  }
+
+  // Replies with awkward doubles: denormal-adjacent, ULP-separated pairs,
+  // huge magnitudes -- every one must survive BOTH codecs bit-for-bit.
+  const double nasty[] = {0.0,           1e-300,         1.0000000000000002,
+                          0.1,           3.0000000000000004,
+                          9.87654321e12, 825.16000000000008};
+  std::size_t pick = 0;
+  for (int round = 0; round < 7; ++round) {
+    serve::PredictReply reply;
+    reply.index = static_cast<std::uint64_t>(round);
+    reply.total_us = nasty[pick++ % 7];
+    reply.comp_us = nasty[pick++ % 7];
+    reply.comm_us = nasty[pick++ % 7];
+    reply.total_worst_us = nasty[pick++ % 7];
+    reply.comm_worst_us = nasty[pick++ % 7];
+    reply.from_cache = (round % 2) == 0;
+    reply.attempts = round + 1;
+    for (const serve::Codec codec :
+         {serve::Codec::kText, serve::Codec::kBinary}) {
+      const Result<serve::PredictReply> got = serve::decode_predict_reply(
+          serve::encode_predict_reply(reply, codec), codec);
+      ASSERT_TRUE(got.ok()) << got.status().to_string();
+      EXPECT_EQ(got->index, reply.index);
+      EXPECT_TRUE(same_bits(got->total_us, reply.total_us));
+      EXPECT_TRUE(same_bits(got->comp_us, reply.comp_us));
+      EXPECT_TRUE(same_bits(got->comm_us, reply.comm_us));
+      EXPECT_TRUE(same_bits(got->total_worst_us, reply.total_worst_us));
+      EXPECT_TRUE(same_bits(got->comm_worst_us, reply.comm_worst_us));
+      EXPECT_EQ(got->from_cache, reply.from_cache);
+      EXPECT_EQ(got->attempts, reply.attempts);
+    }
+  }
+
+  serve::ErrorReply err;
+  err.index = 2;
+  err.code = ErrorCode::kTimeout;
+  err.message = "first line\nsecond line";  // messages may contain newlines
+  for (const serve::Codec codec :
+       {serve::Codec::kText, serve::Codec::kBinary}) {
+    const Result<serve::ErrorReply> got = serve::decode_error_reply(
+        serve::encode_error_reply(err, codec), codec);
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    EXPECT_EQ(got->index, err.index);
+    EXPECT_EQ(got->code, err.code);
+    EXPECT_EQ(got->message, err.message);
+  }
+}
+
+TEST_F(ServeTest, HelloNegotiatesBinaryAndClampsToServerMax) {
+  start();
+  serve::Client client = connect();
+  EXPECT_EQ(client.codec(), serve::Codec::kText);  // v1 until negotiated
+  ASSERT_TRUE(client.hello().ok());
+  EXPECT_EQ(client.codec(), serve::Codec::kBinary);
+  EXPECT_EQ(client.protocol_version(), serve::kProtocolVersionBinary);
+
+  // A client from the future: the server answers min(its max, ours).
+  serve::Client eager = connect();
+  ASSERT_TRUE(eager.hello(99).ok());
+  EXPECT_EQ(eager.protocol_version(), serve::kProtocolVersionMax);
+  EXPECT_EQ(eager.codec(), serve::Codec::kBinary);
+
+  // A deliberately v1-pinned hello keeps the text codec.
+  serve::Client legacy = connect();
+  ASSERT_TRUE(legacy.hello(serve::kProtocolVersionText).ok());
+  EXPECT_EQ(legacy.codec(), serve::Codec::kText);
+  EXPECT_TRUE(legacy.ping().ok());
+}
+
+TEST_F(ServeTest, BinaryPredictionMatchesTextBitForBit) {
+  start();
+  const std::string program = sample_program(4);
+
+  serve::Client text = connect();
+  serve::PredictRequest req;
+  req.program_text = program;
+  req.seed = 7;
+  const Result<serve::PredictReply> via_text = text.predict(req);
+  ASSERT_TRUE(via_text.ok()) << via_text.status().to_string();
+
+  serve::Client binary = connect();
+  ASSERT_TRUE(binary.hello().ok());
+  const Result<serve::PredictReply> via_binary = binary.predict(req);
+  ASSERT_TRUE(via_binary.ok()) << via_binary.status().to_string();
+
+  EXPECT_TRUE(same_bits(via_binary->total_us, via_text->total_us));
+  EXPECT_TRUE(same_bits(via_binary->comp_us, via_text->comp_us));
+  EXPECT_TRUE(same_bits(via_binary->comm_us, via_text->comm_us));
+  EXPECT_TRUE(same_bits(via_binary->total_worst_us, via_text->total_worst_us));
+  EXPECT_TRUE(same_bits(via_binary->comm_worst_us, via_text->comm_worst_us));
+
+  const runtime::JobResult direct = direct_predict(program, "meiko", 7);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(same_bits(via_binary->total_us, direct.value().total().us()));
+
+  // And a binary batch streams the same per-job results as the text path.
+  std::vector<serve::PredictRequest> jobs(3);
+  jobs[0].program_text = sample_program(5);
+  jobs[1].program_text = "procs 0\n";  // invalid: per-job error
+  jobs[2].program_text = sample_program(6);
+  const auto items = binary.predict_batch(jobs);
+  ASSERT_TRUE(items.ok()) << items.status().to_string();
+  ASSERT_EQ(items->size(), 3u);
+  EXPECT_TRUE((*items)[0].ok());
+  ASSERT_FALSE((*items)[1].ok());
+  EXPECT_EQ((*items)[1].status.code(), ErrorCode::kInvalidInput);
+  ASSERT_TRUE((*items)[2].ok());
+  const runtime::JobResult direct2 =
+      direct_predict(jobs[2].program_text, "meiko", 1);
+  ASSERT_TRUE(direct2.ok());
+  EXPECT_TRUE(same_bits((*items)[2].reply->total_us,
+                        direct2.value().total().us()));
+}
+
+TEST_F(ServeTest, RegisteredHandlePredictsWithoutProgramUpload) {
+  start();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.hello().ok());
+
+  const std::string program = sample_program(7);
+  const Result<std::uint64_t> handle = client.register_program(program);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  ASSERT_NE(handle.value(), 0u);
+
+  // Registering identical text again dedups to the SAME handle -- and so
+  // does a second connection still speaking v1 text.
+  const Result<std::uint64_t> again = client.register_program(program);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), handle.value());
+  serve::Client v1 = connect();
+  const Result<std::uint64_t> via_text = v1.register_program(program);
+  ASSERT_TRUE(via_text.ok());
+  EXPECT_EQ(via_text.value(), handle.value());
+
+  serve::PredictRequest req;
+  req.handle = handle.value();
+  req.seed = 3;
+  const Result<serve::PredictReply> first = client.predict(req);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  const runtime::JobResult direct = direct_predict(program, "meiko", 3);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(same_bits(first->total_us, direct.value().total().us()));
+  EXPECT_TRUE(same_bits(first->comm_worst_us,
+                        direct.value().comm_worst().us()));
+
+  // The steady-state hot path: the repeat (handle, params, seed) lands in
+  // the per-program memo and never reaches the simulator.
+  const Result<serve::PredictReply> repeat = client.predict(req);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->from_cache);
+  EXPECT_TRUE(same_bits(repeat->total_us, first->total_us));
+  EXPECT_GE(registry_.counter("serve.memo_hits").value(), 1u);
+  EXPECT_GE(registry_.counter("serve.registered").value(), 3u);
+
+  // Handles are small ints, so a bogus one must fail loudly, not alias.
+  serve::PredictRequest bogus;
+  bogus.handle = handle.value() + 1000;
+  const Result<serve::PredictReply> miss = client.predict(bogus);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), ErrorCode::kInvalidInput);
+
+  // An unparsable program is rejected at REGISTER time, not predict time.
+  const Result<std::uint64_t> broken = client.register_program("procs 0\n");
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), ErrorCode::kInvalidInput);
+}
+
+// --- reconnect + partial writes (satellite: client resilience) -----------
+
+TEST_F(ServeTest, ReconnectAfterServerRestartRenegotiatesProtocol) {
+  start();
+  const std::uint16_t port = server_->port();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.hello().ok());
+  const Result<std::uint64_t> handle =
+      client.register_program(sample_program(8));
+  ASSERT_TRUE(handle.ok());
+
+  server_->stop();
+  serve::PredictRequest req;
+  req.handle = handle.value();
+  const Result<serve::PredictReply> dead = client.predict(req);
+  ASSERT_FALSE(dead.ok());  // transport error: the server is gone
+
+  // A fresh server process on the same port (SO_REUSEADDR).
+  serve::Server::Config config;
+  config.port = port;
+  config.metrics = &registry_;
+  server_ = std::make_unique<serve::Server>(config);
+  ASSERT_TRUE(server_->start().ok());
+
+  ASSERT_TRUE(client.reconnect().ok());
+  // The v2 negotiation is replayed automatically...
+  EXPECT_EQ(client.codec(), serve::Codec::kBinary);
+  EXPECT_TRUE(client.ping().ok());
+  // ...but handles do NOT survive a restart: the request must fail with a
+  // clear re-register hint, never silently alias another program.
+  const Result<serve::PredictReply> stale = client.predict(req);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), ErrorCode::kInvalidInput);
+  const Result<std::uint64_t> fresh =
+      client.register_program(sample_program(8));
+  ASSERT_TRUE(fresh.ok());
+  req.handle = fresh.value();
+  const Result<serve::PredictReply> reply = client.predict(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  const runtime::JobResult direct = direct_predict(sample_program(8),
+                                                   "meiko", 1);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(same_bits(reply->total_us, direct.value().total().us()));
+}
+
+TEST_F(ServeTest, ServerRestartMidBatchSurfacesTransportErrorThenRecovers) {
+  // Hold the worker so the batch is provably inflight when the server dies.
+  ScopedFailpoints fp{"batch.job:delay@150ms#1"};
+  serve::Server::Config config;
+  config.workers = 1;
+  start(config);
+  const std::uint16_t port = server_->port();
+  serve::Client client = connect();
+
+  std::vector<serve::PredictRequest> jobs(3);
+  for (int i = 0; i < 3; ++i) jobs[i].program_text = sample_program(9 + i);
+  const std::uint64_t id = client.next_id();
+  ASSERT_TRUE(client
+                  .send(serve::Frame{serve::FrameKind::kBatch, id,
+                                     serve::encode_batch_request(jobs)})
+                  .ok());
+  ASSERT_TRUE(wait_for_histogram("serve.queue_wait", 1));
+  server_->stop();
+
+  // Whatever partial replies got out, the stream must END in an error --
+  // the client can never mistake a died-mid-batch for a completed one.
+  Status transport;
+  for (int i = 0; i < 8 && transport.ok(); ++i) {
+    const Result<serve::Frame> frame = client.receive();
+    if (!frame.ok()) transport = frame.status();
+    if (transport.ok()) ASSERT_NE(frame->kind, serve::FrameKind::kBatchEnd);
+  }
+  ASSERT_FALSE(transport.ok());
+
+  serve::Server::Config again;
+  again.port = port;
+  again.metrics = &registry_;
+  server_ = std::make_unique<serve::Server>(again);
+  ASSERT_TRUE(server_->start().ok());
+  ASSERT_TRUE(client.reconnect().ok());
+  const auto items = client.predict_batch(jobs);
+  ASSERT_TRUE(items.ok()) << items.status().to_string();
+  for (const auto& item : *items) EXPECT_TRUE(item.ok());
+}
+
+TEST_F(ServeTest, PartialWritesThroughTinySocketBuffersStillRoundTrip) {
+  start();
+  serve::Client client = connect();
+  // Shrink the client's send buffer to force write_frame through many
+  // partial writes (the kernel rounds the value up, but far below the
+  // frame size built here).
+  const int tiny = 1024;
+  ASSERT_EQ(::setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof tiny),
+            0);
+
+  // A program an order of magnitude larger than any socket buffer: the
+  // sample plus ~20k extra compute items in additional phases.
+  std::string program = sample_program(1);
+  for (int phase = 0; phase < 200; ++phase) {
+    program += "compute\n";
+    for (int item = 0; item < 100; ++item) {
+      program += "item " + std::to_string(item % 4) + " 0 16\n";
+    }
+  }
+  serve::PredictRequest req;
+  req.program_text = program;
+  const Result<serve::PredictReply> reply = client.predict(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  const runtime::JobResult direct = direct_predict(program, "meiko", 1);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(same_bits(reply->total_us, direct.value().total().us()));
+}
+
+// --- coalescing, reactors, sim threads (DESIGN.md §14) -------------------
+
+TEST_F(ServeTest, ConcurrentSinglesCoalesceIntoOneGroup) {
+  // First request holds the single worker 150ms; the four pipelined behind
+  // it pile up in the scheduler and must pop as ONE group.
+  ScopedFailpoints fp{"batch.job:delay@150ms#1"};
+  serve::Server::Config config;
+  config.workers = 1;
+  config.max_inflight_per_conn = 8;
+  config.coalesce_max = 8;
+  start(config);
+  serve::Client client = connect();
+
+  std::string burst;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    serve::PredictRequest req;
+    req.program_text = sample_program(20 + static_cast<int>(id));
+    serve::append_frame(burst,
+                        serve::Frame{serve::FrameKind::kPredict, id,
+                                     serve::encode_predict_request(req)});
+  }
+  ASSERT_EQ(::write(client.fd(), burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+
+  // Every reply must still be the right prediction for ITS request --
+  // coalescing is a scheduling detail, not a semantic one.
+  for (int i = 0; i < 5; ++i) {
+    const Result<serve::Frame> frame = client.receive();
+    ASSERT_TRUE(frame.ok()) << frame.status().to_string();
+    ASSERT_EQ(frame->kind, serve::FrameKind::kResult);
+    const Result<serve::PredictReply> reply =
+        serve::decode_predict_reply(frame->payload);
+    ASSERT_TRUE(reply.ok());
+    const runtime::JobResult direct = direct_predict(
+        sample_program(20 + static_cast<int>(frame->id)), "meiko", 1);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(same_bits(reply->total_us, direct.value().total().us()))
+        << "id " << frame->id;
+  }
+  EXPECT_GE(registry_.counter("serve.coalesced_groups").value(), 1u);
+  EXPECT_GE(registry_.counter("serve.coalesced_jobs").value(), 2u);
+}
+
+TEST_F(ServeTest, MultipleReactorsShardConnectionsCorrectly) {
+  serve::Server::Config config;
+  config.reactors = 2;
+  start(config);
+  EXPECT_EQ(server_->reactor_count(), 2u);
+
+  // More connections than reactors: round-robin guarantees both epoll
+  // threads own live connections, and every one must behave identically.
+  std::vector<serve::Client> clients;
+  for (int i = 0; i < 5; ++i) clients.push_back(connect());
+  const runtime::JobResult direct = direct_predict(sample_program(30),
+                                                   "meiko", 1);
+  ASSERT_TRUE(direct.ok());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    ASSERT_TRUE(clients[i].ping().ok()) << "client " << i;
+    serve::PredictRequest req;
+    req.program_text = sample_program(30);
+    const Result<serve::PredictReply> reply = clients[i].predict(req);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    EXPECT_TRUE(same_bits(reply->total_us, direct.value().total().us()));
+  }
+  EXPECT_EQ(server_->connection_count(), clients.size());
+  clients.clear();
+  // Closing them all drains both reactors' connection tables.
+  const auto deadline = std::chrono::steady_clock::now() + 2000ms;
+  while (server_->connection_count() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_EQ(server_->connection_count(), 0u);
+}
+
+TEST_F(ServeTest, SimThreadPoolPredictionsAreBitIdentical) {
+  serve::Server::Config config;
+  config.sim_threads = 2;
+  start(config);
+  serve::Client client = connect();
+  serve::PredictRequest req;
+  req.program_text = sample_program(31);
+  const Result<serve::PredictReply> reply = client.predict(req);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  // The component-decomposition pool must not change the prediction: the
+  // simulation is deterministic whatever the parallel split.
+  const runtime::JobResult direct = direct_predict(sample_program(31),
+                                                   "meiko", 1);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(same_bits(reply->total_us, direct.value().total().us()));
+  EXPECT_TRUE(same_bits(reply->comm_us, direct.value().comm().us()));
+  EXPECT_TRUE(same_bits(reply->comm_worst_us,
+                        direct.value().comm_worst().us()));
 }
 
 }  // namespace

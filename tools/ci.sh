@@ -46,11 +46,14 @@ for hdr in "$repo_root"/include/logsim/*.hpp; do
 done
 echo "==> [headers] all public headers self-sufficient"
 
-# Serve smoke: start the daemon on an ephemeral port, run one scripted
-# client session (ping, predict, batch, stats), then assert a clean
-# SIGTERM shutdown.  Exercises the real binaries end to end -- socket
-# setup, wire codecs, admission, cache hit on the repeated program --
-# where serve_test covers the library in-process.
+# Serve smoke: start the daemon on an ephemeral port -- with two epoll
+# reactors, a simulation pool and a coalescing window, so the DESIGN.md
+# §14 paths are live -- then run one scripted client session (ping,
+# predict, batch, stats), a protocol-v2 pass (--binary predict must print
+# the same numbers as the v1 text predict), a registered-handle pass
+# (register, predict --handle, again the same numbers), and finally
+# assert a clean SIGTERM shutdown.  Exercises the real binaries end to
+# end where serve_test covers the library in-process.
 echo "==> [serve] smoke: logsimd + logsim_client round trip"
 serve_dir="$prefix-default"
 smoke_tmp=$(mktemp -d)
@@ -78,7 +81,8 @@ compute
 item 1 0 16
 item 3 0 32
 EOF
-"$serve_dir/tools/logsimd" --port 0 > "$smoke_tmp/logsimd.log" 2>&1 &
+"$serve_dir/tools/logsimd" --port 0 --reactors 2 --sim-threads 2 \
+  --coalesce-window-us 100 > "$smoke_tmp/logsimd.log" 2>&1 &
 logsimd_pid=$!
 port=""
 tries=0
@@ -103,6 +107,40 @@ client="$serve_dir/tools/logsim_client"
   echo "==> [serve] stats verb missing serve.requests" >&2
   exit 1
 }
+# Protocol v2: the binary codec must produce byte-identical prediction
+# lines (the %.17g rendering and the raw-bits path agree exactly).
+text_pred=$("$client" --server "127.0.0.1:$port" predict "$smoke_tmp/prog.txt")
+bin_pred=$("$client" --server "127.0.0.1:$port" --binary predict \
+  "$smoke_tmp/prog.txt")
+[ "$text_pred" = "$bin_pred" ] || {
+  echo "==> [serve] v1/v2 predictions differ:" >&2
+  printf '    v1: %s\n    v2: %s\n' "$text_pred" "$bin_pred" >&2
+  exit 1
+}
+# Registered handles: REGISTER once, predict by handle, same numbers
+# again (the label before ':' differs by design; compare the payload).
+handle=$("$client" --server "127.0.0.1:$port" --binary register \
+  "$smoke_tmp/prog.txt" | sed 's/.*handle //')
+[ -n "$handle" ] || {
+  echo "==> [serve] register printed no handle" >&2
+  exit 1
+}
+# First handle predict fills the per-program memo ("simulated"); the
+# second is the steady-state hot path and must match the cached text
+# prediction word for word.
+"$client" --server "127.0.0.1:$port" --binary predict \
+  --handle "$handle" > /dev/null
+reg_pred=$("$client" --server "127.0.0.1:$port" --binary predict \
+  --handle "$handle")
+[ "${text_pred#*:}" = "${reg_pred#*:}" ] || {
+  echo "==> [serve] handle prediction differs from text prediction:" >&2
+  printf '    text:   %s\n    handle: %s\n' "$text_pred" "$reg_pred" >&2
+  exit 1
+}
+"$client" --server "127.0.0.1:$port" stats | grep -q "serve.registered" || {
+  echo "==> [serve] stats missing serve.registered after REGISTER" >&2
+  exit 1
+}
 kill -TERM "$logsimd_pid"
 wait "$logsimd_pid" || {
   echo "==> [serve] logsimd did not shut down cleanly" >&2
@@ -111,18 +149,37 @@ wait "$logsimd_pid" || {
 logsimd_pid=""
 echo "==> [serve] smoke OK (port $port, clean shutdown)"
 
+# The serving layer is the most concurrency-dense code in the repo (N
+# epoll reactors, a worker pool, cross-connection coalescing, a shared
+# registry); run its test binaries under ThreadSanitizer specifically,
+# whatever LOGSIM_CI_SANITIZER picked for the full-suite pass above.
+if [ "$sanitizer" = "thread" ]; then
+  echo "==> [serve-tsan] full suite already ran under TSan; skipping"
+else
+  tsan_dir="$prefix-serve-tsan"
+  echo "==> [serve-tsan] configure: $tsan_dir (LOGSIM_SANITIZE=thread)"
+  cmake -S "$repo_root" -B "$tsan_dir" -DLOGSIM_SANITIZE=thread >/dev/null
+  echo "==> [serve-tsan] build serve_test + wire_corrupt_test"
+  cmake --build "$tsan_dir" --target serve_test wire_corrupt_test -j "$jobs"
+  echo "==> [serve-tsan] run"
+  "$tsan_dir/tests/serve_test"
+  "$tsan_dir/tests/wire_corrupt_test"
+  echo "==> [serve-tsan] clean"
+fi
+
 # Perf smoke: a Release build of the regression harness must run, emit a
 # schema-valid BENCH_perf.json, and -- when a baseline has been checked in
 # under bench/baselines/ -- stay within 25% of it on every benchmark.
 # serve_throughput then merges its serve_* rows into the same file
-# (schema v3): throughput rows go through the same 25% gate; latency
-# p50/p99 rows are recorded ungated (lower-is-better does not fit the
-# gate) but the warm p99 row must exist and be non-empty, and the warm
-# served throughput must stay within 2x of the direct in-process
-# reference (--check).  The harness is built with tracing compiled in;
-# LOGSIM_TRACE is unset so the gate asserts the compiled-in-but-disabled
-# overhead stays in budget.  Skippable for quick local iterations with
-# LOGSIM_CI_SKIP_PERF=1.
+# (schema v4, --binary --register so the protocol-v2 registered-handle
+# phase is measured): throughput rows go through the same 25% gate;
+# latency p50/p99 rows gate lower-is-better at a wide allowance (tails
+# jitter, the gate catches order-of-magnitude blowups); and --check
+# asserts the acceptance bars (warm served within 2x of the direct
+# in-process reference, registered hot path >= 5x the v1 text warm row).
+# The harness is built with tracing compiled in; LOGSIM_TRACE is unset so
+# the gate asserts the compiled-in-but-disabled overhead stays in budget.
+# Skippable for quick local iterations with LOGSIM_CI_SKIP_PERF=1.
 if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
   perf_dir="$prefix-perf"
   echo "==> [perf] configure: $perf_dir (Release)"
@@ -137,23 +194,25 @@ if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
     env -u LOGSIM_TRACE "$perf_dir/bench/perf_regression" --quick \
       --out "$perf_json" --baseline "$baseline" --max-regress 0.25
     env -u LOGSIM_TRACE "$perf_dir/bench/serve_throughput" --quick --check \
-      --merge "$perf_json" --baseline "$baseline" --max-regress 0.25
+      --binary --register --merge "$perf_json" --baseline "$baseline" \
+      --max-regress 0.25
   else
     echo "==> [perf] no baseline at $baseline; running ungated"
     env -u LOGSIM_TRACE "$perf_dir/bench/perf_regression" --quick \
       --out "$perf_json"
     env -u LOGSIM_TRACE "$perf_dir/bench/serve_throughput" --quick --check \
-      --merge "$perf_json"
+      --binary --register --merge "$perf_json"
   fi
-  grep -q '"schema": "logsim-perf-v3"' "$perf_json" || {
+  grep -q '"schema": "logsim-perf-v4"' "$perf_json" || {
     echo "==> [perf] BENCH_perf.json failed schema check" >&2
     exit 1
   }
-  grep '"name": "serve_warm_p99_us"' "$perf_json" |
-    grep -qv '"value": 0.0,' || {
-    echo "==> [perf] BENCH_perf.json missing a non-empty serve_warm_p99_us row" >&2
-    exit 1
-  }
+  for row in serve_warm_p99_us serve_reg_p99_us; do
+    grep "\"name\": \"$row\"" "$perf_json" | grep -qv '"value": 0.0,' || {
+      echo "==> [perf] BENCH_perf.json missing a non-empty $row row" >&2
+      exit 1
+    }
+  done
   echo "==> [perf] BENCH_perf.json OK"
 fi
 

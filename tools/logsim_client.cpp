@@ -3,14 +3,20 @@
 //   logsim_client --server HOST:PORT ping
 //   logsim_client --server HOST:PORT predict <program-file>
 //                 [--params STR] [--seed N] [--deadline-ms N]
+//   logsim_client --server HOST:PORT predict --handle N
+//                 [--params STR] [--seed N] [--deadline-ms N]
 //   logsim_client --server HOST:PORT batch <program-file>...
 //                 [--params STR] [--seed N] [--deadline-ms N]
+//   logsim_client --server HOST:PORT register <program-file>...
 //   logsim_client --server HOST:PORT stats
 //
 // predict sends one program and prints the prediction; batch sends every
 // file as one BATCH frame and prints the streamed per-job results in job
-// order.  stats dumps the server's metrics + span snapshot.  Exit code 0
-// only when every job succeeded.
+// order.  register interns each file server-side and prints its handle;
+// predict --handle N then skips the program upload entirely.  stats dumps
+// the server's metrics + span snapshot.  --binary negotiates protocol v2
+// (HELLO) before the command, so payloads travel as fixed-width binary
+// instead of text.  Exit code 0 only when every job succeeded.
 
 #include <cstdlib>
 #include <cstring>
@@ -32,14 +38,17 @@ struct Options {
   std::string params_text = "meiko";
   std::uint64_t seed = 1;
   std::uint64_t deadline_ms = 0;
+  std::uint64_t handle = 0;
+  bool binary = false;
   std::string command;
   std::vector<std::string> files;
 };
 
 void usage() {
   std::cerr << "usage: logsim_client --server HOST:PORT "
-               "ping|stats|predict <file>|batch <file>...\n"
-               "       [--params STR] [--seed N] [--deadline-ms N]\n";
+               "ping|stats|register <file>...|predict <file>|batch <file>...\n"
+               "       [--params STR] [--seed N] [--deadline-ms N]\n"
+               "       [--binary] [--handle N]\n";
 }
 
 bool parse_server(const std::string& text, Options* opts) {
@@ -90,6 +99,10 @@ int main(int argc, char** argv) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       opts.deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--handle" && i + 1 < argc) {
+      opts.handle = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--binary") {
+      opts.binary = true;
     } else if (opts.command.empty()) {
       opts.command = arg;
     } else {
@@ -107,6 +120,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   serve::Client client = std::move(connected).value();
+  if (opts.binary) {
+    if (const Status st = client.hello(); !st.ok()) {
+      std::cerr << "logsim_client: HELLO: " << st.to_string() << '\n';
+      return 1;
+    }
+    if (client.codec() != serve::Codec::kBinary) {
+      std::cerr << "logsim_client: server only speaks protocol v"
+                << client.protocol_version() << "; continuing in text mode\n";
+    }
+  }
 
   if (opts.command == "ping") {
     if (const Status st = client.ping(); !st.ok()) {
@@ -123,6 +146,48 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << *text;
+    return 0;
+  }
+
+  if (opts.command == "register") {
+    if (opts.files.empty()) {
+      std::cerr << "logsim_client: register: missing program file\n";
+      return 2;
+    }
+    int failures = 0;
+    for (const std::string& path : opts.files) {
+      std::string text;
+      if (!read_file(path, &text)) {
+        std::cerr << "logsim_client: cannot read " << path << '\n';
+        return 1;
+      }
+      const Result<std::uint64_t> handle = client.register_program(text);
+      if (!handle.ok()) {
+        ++failures;
+        std::cerr << path << ": " << handle.status().to_string() << '\n';
+        continue;
+      }
+      std::cout << path << ": handle " << handle.value() << '\n';
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (opts.command == "predict" && opts.handle != 0) {
+    if (!opts.files.empty()) {
+      std::cerr << "logsim_client: predict --handle takes no program file\n";
+      return 2;
+    }
+    serve::PredictRequest req;
+    req.handle = opts.handle;
+    req.params_text = opts.params_text;
+    req.seed = opts.seed;
+    req.deadline_ms = opts.deadline_ms;
+    const Result<serve::PredictReply> reply = client.predict(req);
+    if (!reply.ok()) {
+      std::cerr << "logsim_client: " << reply.status().to_string() << '\n';
+      return 1;
+    }
+    print_reply("handle " + std::to_string(opts.handle), *reply);
     return 0;
   }
 
