@@ -18,10 +18,8 @@ network::PacketNetConfig packet_cfg(int rows, int cols) {
   cfg.packet_bytes = 512;
   cfg.software_overhead = Time{2.0};
   cfg.us_per_byte = 0.03;
-  cfg.per_hop = Time{3.0};  // 3 hops ~= the L=9 us of the preset
-  cfg.mesh_rows = rows;
-  cfg.mesh_cols = cols;
-  cfg.torus = true;
+  cfg.topology = network::TopologySpec::torus(rows, cols);
+  cfg.topology.per_hop = Time{3.0};  // 3 hops ~= the L=9 us of the preset
   return cfg;
 }
 

@@ -122,6 +122,39 @@ BenchResult bench_comm_standard(int procs, int messages, int iters,
       });
 }
 
+// comm_standard_p8's exact workload with an explicit FlatLogGP
+// NetworkModel attached: the acceptance bar for the topology layer is
+// that the flat backend costs <5% next to the bare nullptr path (it is
+// virtual-dispatched per comm step, but flat models skip the per-message
+// hooks entirely).  main() gates the pair in-process, where the
+// back-to-back medians cancel machine-level noise that a stored
+// baseline could not.
+BenchResult bench_comm_standard_flatnet(int procs, int messages, int iters,
+                                        int samples) {
+  util::Rng rng{2024};
+  const auto pat = pattern::random_pattern(rng, procs, messages, Bytes{16},
+                                           Bytes{4096});
+  const auto params = loggp::presets::meiko_cs2(procs);
+  static const network::FlatLogGP flat;
+  core::CommSimOptions opts;
+  opts.net = &flat;
+  const core::CommSimulator sim{params, opts};
+  const std::vector<Time> ready(static_cast<std::size_t>(procs), Time::zero());
+  const std::vector<Time> no_msg_ready;
+  core::CommSimScratch scratch;
+  core::FinishOnlySink sink;
+
+  const double ops = 2.0 * messages * iters;
+  return run_bench(
+      "comm_standard_flatnet_p" + std::to_string(procs), "ops_per_sec",
+      samples, ops, [&] {
+        for (int i = 0; i < iters; ++i) {
+          sink.reset(procs);
+          sim.run_into(pat, ready, no_msg_ready, sink, scratch);
+        }
+      });
+}
+
 BenchResult bench_comm_worst_case(int procs, int messages, int iters,
                                   int samples) {
   util::Rng rng{777};
@@ -398,6 +431,7 @@ int main(int argc, char** argv) {
 
   std::vector<BenchResult> results;
   results.push_back(bench_comm_standard(8, 256, 400 * scale, samples));
+  results.push_back(bench_comm_standard_flatnet(8, 256, 400 * scale, samples));
   results.push_back(bench_comm_standard(64, 4096, 25 * scale, samples));
   results.push_back(bench_comm_standard(65536, 131072, 1 * scale, samples));
   results.push_back(bench_comm_worst_case(32, 2000, 50 * scale, samples));
@@ -419,6 +453,32 @@ int main(int argc, char** argv) {
   std::cout << "=== perf regression harness (" << (quick ? "quick" : "full")
             << ", median of " << samples << ") ===\n"
             << table;
+
+  // In-process acceptance gate for the NetworkModel seam: an attached
+  // FlatLogGP backend must stay within 5% of the bare simulator on the
+  // same workload.  Unlike the baseline gate this needs no stored file
+  // -- both medians come from this very run, back to back.
+  {
+    auto find = [&](const std::string& name) -> const BenchResult* {
+      const auto it = std::find_if(
+          results.begin(), results.end(),
+          [&](const BenchResult& r) { return r.name == name; });
+      return it == results.end() ? nullptr : &*it;
+    };
+    const BenchResult* bare = find("comm_standard_p8");
+    const BenchResult* flat = find("comm_standard_flatnet_p8");
+    if (bare != nullptr && flat != nullptr && bare->value > 0) {
+      const double ratio = flat->value / bare->value;
+      const bool ok = ratio >= 0.95;
+      std::cout << "flatnet overhead gate: flatnet is "
+                << util::fmt(ratio * 100.0, 1) << "% of bare (need >= 95%) "
+                << (ok ? "(ok)" : "(FAILED)") << "\n";
+      if (!ok) {
+        std::cerr << "FlatLogGP overhead gate FAILED\n";
+        return 1;
+      }
+    }
+  }
 
   if (!out_path.empty()) {
     std::ofstream out{out_path};

@@ -9,6 +9,7 @@
 #include "core/comm_sink.hpp"
 #include "core/sim_scratch.hpp"
 #include "loggp/cost.hpp"
+#include "network/network_model.hpp"
 
 namespace logsim::core {
 
@@ -148,6 +149,15 @@ void CommSimulator::run_into(const pattern::CommPattern& pattern,
   assert(ready.size() == n);
 
   s.prepare(pattern, ready);
+  // Topology delays are evaluated once per run; the flat path leaves the
+  // vector empty so the per-send addition below never executes (bit-
+  // identity with the pre-NetworkModel hot path).
+  s.net_delay.clear();
+  if (opts_.net != nullptr && !opts_.net->is_flat()) {
+    opts_.net->step_delays(pattern, params_, /*worst_case=*/false,
+                           s.net_delay);
+  }
+  const bool has_net_delay = !s.net_delay.empty();
   util::Rng rng{opts_.seed};
   const auto& msgs = pattern.messages();
   // Sequencing floor increments (Figure-1 gap rules + single-port
@@ -194,6 +204,7 @@ void CommSimulator::run_into(const pattern::CommPattern& pattern,
       op.msg_index = msg_index;
       ++s.send_cursor[proc];
       Time arrival = loggp::arrival_time(start_send, msg.bytes, params_);
+      if (has_net_delay) arrival += s.net_delay[msg_index];
       if (opts_.extra_latency) arrival += opts_.extra_latency(msg_index);
       s.inbox_push(static_cast<std::size_t>(msg.dst), arrival, msg_index);
       s.floor_next[proc] = max(start_send + params_.g, op.port_end);
@@ -307,6 +318,9 @@ bool CommSimulator::run_dense_into(const pattern::CommPattern& pattern,
                                    FinishOnlySink& sink,
                                    CommSimScratch& s) const {
   assert(pattern.valid());
+  if (opts_.net != nullptr && !opts_.net->is_flat()) {
+    return false;  // topology delays break the relabel-invariance argument
+  }
   const auto n = static_cast<std::size_t>(pattern.procs());
   assert(ready.size() == n);
 

@@ -33,6 +33,10 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace logsim::network {
+class NetworkModel;
+}  // namespace logsim::network
+
 namespace logsim::core {
 
 struct CommSimOptions {
@@ -43,10 +47,19 @@ struct CommSimOptions {
   /// quantifies how much the receive-priority rule matters
   /// (bench/ablation_priority).
   bool send_priority = false;
-  /// Optional per-message latency perturbation, added to the LogGP arrival
-  /// time when the message is injected.  The plain predictor leaves this
-  /// empty (LogGP's L is an upper bound / average); the Testbed machine
-  /// uses it to model real-network jitter.  Must return >= 0.
+  /// Topology backend (borrowed; must outlive the simulator).  nullptr or
+  /// a FlatLogGP instance leaves the flat hot path bit-identical: the
+  /// per-message addition is skipped entirely.  A non-flat model's
+  /// step_delays() is evaluated once per run into scratch and added to
+  /// every message's arrival time (hop latency + bandwidth sharing).
+  const network::NetworkModel* net = nullptr;
+  /// DEPRECATED (kept as a shim for one release): the old per-message
+  /// latency hook that loggp::topology_latency() targeted -- topology
+  /// costs now come from `net` above.  Still honoured, added AFTER the
+  /// NetworkModel delay; the Testbed machine still uses it for its
+  /// real-network jitter draws (which must happen at send-commit time, in
+  /// schedule order, so a precomputed vector cannot replace them).
+  /// Must return >= 0.
   std::function<Time(std::size_t msg_index)> extra_latency;
 };
 
@@ -105,7 +118,9 @@ class CommSimulator {
   /// is too sparse for scanning (few ops per distinct ctime, e.g. a
   /// serialized flat broadcast): the caller must reset the sink and fall
   /// back to run_into().  The density heuristic is a round budget of
-  /// 64 + 16 * ops / procs scans.
+  /// 64 + 16 * ops / procs scans.  Also returns false immediately under a
+  /// non-flat NetworkModel: topology delays depend on absolute processor
+  /// ids, which the relabel-invariance argument does not survive.
   [[nodiscard]] bool run_dense_into(const pattern::CommPattern& pattern,
                                     const std::vector<Time>& ready,
                                     FinishOnlySink& sink,

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "network/network_model.hpp"
 #include "obs/trace.hpp"
 
 namespace logsim::core {
@@ -22,12 +23,18 @@ ParallelRunInfo ParallelCommSimulator::run_into(
   auto run_scalar = [&] {
     CommSimOptions o;
     o.seed = seed;
+    o.net = opts_.net;
     sink.reset(pattern.procs());
     CommSimulator{params_, o}.run_into(pattern, ready, no_msg_ready, sink,
                                        scalar_scratch_);
   };
 
-  if (!opts_.enabled || pattern.procs() < opts_.min_procs) {
+  // A non-flat topology pins absolute processor ids into the message
+  // costs: neither the component relabeling nor the dense ordered-ties
+  // scan survives that, so the scalar path (with the net plumbed through)
+  // is the only sound one.
+  const bool topo = opts_.net != nullptr && !opts_.net->is_flat();
+  if (topo || !opts_.enabled || pattern.procs() < opts_.min_procs) {
     run_scalar();
     return info;
   }

@@ -55,6 +55,11 @@ struct ParallelCommOptions {
   bool enabled = true;
   /// Executor for the component simulations; empty = sequential.
   ParallelFor parallel;
+  /// Topology backend (borrowed), same contract as CommSimOptions::net.  A
+  /// non-flat model forces the scalar path: component relabeling changes
+  /// absolute processor ids, which topology distances depend on, and the
+  /// dense scan's tie-break-independence argument assumes flat costs.
+  const network::NetworkModel* net = nullptr;
 };
 
 /// What a run did -- exposed for tests, benches and obs counters.

@@ -5,6 +5,7 @@
 #include <utility>
 #include <variant>
 
+#include "network/network_model.hpp"
 #include "obs/trace.hpp"
 
 namespace logsim::core {
@@ -110,8 +111,15 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
   pc_opts.enabled = opts_.decompose;
   pc_opts.min_procs = opts_.decompose_min_procs;
   pc_opts.parallel = opts_.comm_parallel;
+  pc_opts.net = opts_.net;
   ParallelCommSimulator comm_sim{params_, pc_opts};
   CommSimScratch worst_scratch;
+
+  // A non-flat topology invalidates the step cache wholesale (see the
+  // option's comment), so the cache branch is gated off for the whole run
+  // rather than per step.
+  const bool topo = opts_.net != nullptr && !opts_.net->is_flat();
+  StepCache* const step_cache = topo ? nullptr : opts_.step_cache;
 
   // Step-cache state, equally reused (grow-only): the canonicalizer's
   // relabel maps plus the canonical-order ready/finish buffers.  A warmed
@@ -166,7 +174,7 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
 
       CommStepQuery query;
       std::size_t participants = 0;
-      if (opts_.step_cache != nullptr) {
+      if (step_cache != nullptr) {
         // Interned steps carry their canonicalization from build time
         // (steps are immutable once added), so the per-run cost of a
         // warmed hit is O(participants) -- no walk over the messages.
@@ -213,7 +221,7 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
                                query.worst_case, query.exact, step_seed, *from);
 
         std::size_t cached_ops = 0;
-        if (opts_.step_cache->lookup(query, canon_finish, cached_ops)) {
+        if (step_cache->lookup(query, canon_finish, cached_ops)) {
           result.comm_ops += cached_ops;
           for (std::size_t c = 0; c < participants; ++c) {
             const auto p = static_cast<std::size_t>((*from)[c]);
@@ -231,7 +239,7 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
 
       if (opts_.worst_case) {
         sink.reset(program.procs());
-        WorstCaseSimulator{params_, WorstCaseOptions{step_seed}}.run_into(
+        WorstCaseSimulator{params_, WorstCaseOptions{step_seed, opts_.net}}.run_into(
             pattern, clock, sink, worst_scratch);
       } else {
         // Standard schedule: the parallel simulator decomposes eligible
@@ -241,14 +249,14 @@ Result<ProgramResult> ProgramSimulator::run_checked(const StepProgram& program,
       }
       result.comm_ops += sink.op_count();
       const std::vector<Time>& finish = sink.finish_times();
-      if (opts_.step_cache != nullptr) {
+      if (step_cache != nullptr) {
         const auto& from = *query.from_canonical;
         canon_finish.resize(participants);
         for (std::size_t c = 0; c < participants; ++c) {
           canon_finish[c] = finish[static_cast<std::size_t>(from[c])];
         }
         query.ops = sink.op_count();
-        opts_.step_cache->insert(query, canon_finish);
+        step_cache->insert(query, canon_finish);
       }
       for (std::size_t p = 0; p < n; ++p) {
         if (finish[p] > Time::zero()) {

@@ -29,6 +29,13 @@ namespace logsim::core {
 struct ProgramSimOptions {
   /// Use the overestimation algorithm of Section 4.2 for every CommStep.
   bool worst_case = false;
+  /// Topology backend (borrowed; see network/network_model.hpp).  nullptr
+  /// or a flat model keeps the plain LogGP path bit-identical.  A non-flat
+  /// model adds per-message topology delays to every comm step and
+  /// disables the step cache for the run: cached finish times would not
+  /// carry the topology term, and the canonical relabeling the cache keys
+  /// on is not sound under absolute-id-dependent message costs.
+  const network::NetworkModel* net = nullptr;
   /// Base seed; each comm step derives its own stream deterministically.
   std::uint64_t seed = 1;
   /// Optional per-work-item surcharge, invoked once per item in program

@@ -124,6 +124,12 @@ struct CommSimScratch {
   /// O(log t) instead of re-heaping the whole group every draw.
   std::vector<std::uint32_t> fenwick;
 
+  // --- topology ----------------------------------------------------------
+  /// Per-message extra delays from a non-flat NetworkModel, filled once
+  /// per run by step_delays(); empty on the flat path (no per-message
+  /// addition happens at all, preserving bit-identity).
+  std::vector<Time> net_delay;
+
   // --- worst-case algorithm (Section 4.2) -------------------------------
   std::vector<std::uint32_t> received;
   std::vector<std::uint32_t> senders;

@@ -6,6 +6,7 @@
 #include "core/comm_sink.hpp"
 #include "core/sim_scratch.hpp"
 #include "loggp/cost.hpp"
+#include "network/network_model.hpp"
 #include "util/rng.hpp"
 
 namespace logsim::core {
@@ -39,6 +40,12 @@ void WorstCaseSimulator::run_into(const pattern::CommPattern& pattern,
   assert(ready.size() == n);
 
   s.prepare(pattern, ready);
+  s.net_delay.clear();
+  if (opts_.net != nullptr && !opts_.net->is_flat()) {
+    opts_.net->step_delays(pattern, params_, /*worst_case=*/true,
+                           s.net_delay);
+  }
+  const bool has_net_delay = !s.net_delay.empty();
   util::Rng rng{opts_.seed};
   const auto& msgs = pattern.messages();
   std::size_t unsent = s.network_messages();
@@ -67,7 +74,8 @@ void WorstCaseSimulator::run_into(const pattern::CommPattern& pattern,
     s.floor_next[p] = max(start + params_.g, op.port_end);
     s.ctime[p] = op.cpu_end;
     sink.record(op);
-    const Time arrival = loggp::arrival_time(start, msg.bytes, params_);
+    Time arrival = loggp::arrival_time(start, msg.bytes, params_);
+    if (has_net_delay) arrival += s.net_delay[msg_index];
     s.inbox_push(static_cast<std::size_t>(msg.dst), arrival, msg_index);
     --unsent;
   };

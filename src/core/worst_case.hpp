@@ -23,11 +23,19 @@
 #include "pattern/comm_pattern.hpp"
 #include "util/types.hpp"
 
+namespace logsim::network {
+class NetworkModel;
+}  // namespace logsim::network
+
 namespace logsim::core {
 
 struct WorstCaseOptions {
   /// Seed for the random deadlock-breaking transmission choice.
   std::uint64_t seed = 1;
+  /// Topology backend (borrowed), same contract as CommSimOptions::net.
+  /// The worst-case pass asks step_delays() for the pessimistic share
+  /// factor, keeping the standard/worst pair a bracket per topology.
+  const network::NetworkModel* net = nullptr;
 };
 
 class WorstCaseSimulator {

@@ -1,0 +1,193 @@
+#include "io/topology_io.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "fault/failpoint.hpp"
+
+namespace logsim::io {
+
+namespace {
+
+/// Parses a strictly positive integer extent; 7-digit cap keeps products
+/// comfortably inside int range before validate() sees them.
+bool parse_extent(const std::string& text, int& out) {
+  if (text.empty() || text.size() > 7) return false;
+  int v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (v < 1) return false;
+  out = v;
+  return true;
+}
+
+/// Splits on `sep`, keeping empty fields (they are parse errors upstream).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in{text};
+  while (std::getline(in, item, sep)) out.push_back(item);
+  if (!text.empty() && text.back() == sep) out.emplace_back();
+  return out;
+}
+
+Status parse_option(const std::string& item, network::TopologySpec& spec) {
+  const auto eq = item.find('=');
+  if (eq == std::string::npos) {
+    return Status::invalid_input("expected key=value option, got '" + item +
+                                 "'");
+  }
+  const std::string key = item.substr(0, eq);
+  const std::string value = item.substr(eq + 1);
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !std::isfinite(v) || v < 0.0) {
+    return Status::invalid_input("option '" + key +
+                                 "' needs a finite non-negative number, got '" +
+                                 value + "'");
+  }
+  if (key == "hop") {
+    spec.per_hop = Time{v};
+  } else if (key == "linkG") {
+    spec.link_G = v;
+  } else {
+    return Status::invalid_input("unknown topology option '" + key + "'");
+  }
+  return Status{};
+}
+
+}  // namespace
+
+Result<network::TopologySpec> parse_topology(const std::string& text) {
+  if (Status st = fault::failpoint("io.topology"); !st.ok()) {
+    return st.with_context("while parsing a topology spec");
+  }
+
+  // Peel ;key=value options off the tail first.
+  std::vector<std::string> parts = split(text, ';');
+  if (parts.empty() || parts[0].empty()) {
+    return Status::invalid_input("empty topology spec");
+  }
+  network::TopologySpec spec;
+  std::string shape = parts[0];
+  const auto colon = shape.find(':');
+  const std::string name =
+      colon == std::string::npos ? shape : shape.substr(0, colon);
+  const std::string args =
+      colon == std::string::npos ? std::string{} : shape.substr(colon + 1);
+
+  if (name == "flat") {
+    if (!args.empty()) {
+      return Status::invalid_input("'flat' takes no arguments");
+    }
+    spec = network::TopologySpec::flat();
+  } else if (name == "mesh" || name == "torus") {
+    const std::vector<std::string> extents = split(args, 'x');
+    const bool three_d = extents.size() == 3;
+    if (extents.size() != 2 && !three_d) {
+      return Status::invalid_input("'" + name +
+                                   "' needs RxC (or RxCxD for torus), got '" +
+                                   args + "'");
+    }
+    int dims[3] = {0, 0, 1};
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      if (!parse_extent(extents[i], dims[i])) {
+        return Status::invalid_input("bad grid extent '" + extents[i] +
+                                     "' in '" + args + "'");
+      }
+    }
+    if (name == "mesh") {
+      if (three_d) {
+        return Status::invalid_input("3-D meshes are not supported; use torus");
+      }
+      spec = network::TopologySpec::mesh(dims[0], dims[1]);
+    } else if (three_d) {
+      spec = network::TopologySpec::torus(dims[0], dims[1], dims[2]);
+    } else {
+      spec = network::TopologySpec::torus(dims[0], dims[1]);
+    }
+  } else if (name == "fattree") {
+    const std::vector<std::string> halves = split(args, '/');
+    if (halves.size() != 2) {
+      return Status::invalid_input(
+          "'fattree' needs down/up level counts, e.g. fattree:4,4/1,2");
+    }
+    std::vector<int> down, up;
+    for (int half = 0; half < 2; ++half) {
+      std::vector<int>& v = half == 0 ? down : up;
+      for (const std::string& item :
+           split(halves[static_cast<std::size_t>(half)], ',')) {
+        int count = 0;
+        if (!parse_extent(item, count)) {
+          return Status::invalid_input("bad fat-tree level count '" + item +
+                                       "' in '" + args + "'");
+        }
+        v.push_back(count);
+      }
+    }
+    if (down.empty() || down.size() != up.size()) {
+      return Status::invalid_input(
+          "fat-tree needs matching non-empty down/up level lists");
+    }
+    spec = network::TopologySpec::fat_tree(std::move(down), std::move(up));
+  } else {
+    return Status::invalid_input("unknown topology '" + name +
+                                 "' (want flat|mesh|torus|fattree)");
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (Status st = parse_option(parts[i], spec); !st.ok()) return st;
+  }
+  // Structural check only: a processor count is not known here, so pass
+  // the grid capacity itself (fat-trees accept any count <= capacity).
+  const int structural_procs = static_cast<int>(
+      spec.is_flat() ? 1 : spec.capacity());
+  if (Status st = spec.validate(structural_procs); !st.ok()) {
+    return st.with_context("in topology '" + text + "'");
+  }
+  return spec;
+}
+
+std::string to_text(const network::TopologySpec& spec) {
+  std::ostringstream os;
+  switch (spec.kind) {
+    case network::TopologyKind::kFlat:
+      os << "flat";
+      break;
+    case network::TopologyKind::kMesh2D:
+      os << "mesh:" << spec.dims[0] << 'x' << spec.dims[1];
+      break;
+    case network::TopologyKind::kTorus2D:
+      os << "torus:" << spec.dims[0] << 'x' << spec.dims[1];
+      break;
+    case network::TopologyKind::kTorus3D:
+      os << "torus:" << spec.dims[0] << 'x' << spec.dims[1] << 'x'
+         << spec.dims[2];
+      break;
+    case network::TopologyKind::kFatTree: {
+      os << "fattree:";
+      for (std::size_t i = 0; i < spec.down.size(); ++i) {
+        os << (i > 0 ? "," : "") << spec.down[i];
+      }
+      os << '/';
+      for (std::size_t i = 0; i < spec.up.size(); ++i) {
+        os << (i > 0 ? "," : "") << spec.up[i];
+      }
+      break;
+    }
+  }
+  const network::TopologySpec defaults;
+  if (spec.per_hop.us() != defaults.per_hop.us()) {
+    os << ";hop=" << spec.per_hop.us();
+  }
+  if (spec.link_G != defaults.link_G) {
+    os << ";linkG=" << spec.link_G;
+  }
+  return os.str();
+}
+
+}  // namespace logsim::io

@@ -1,0 +1,38 @@
+#pragma once
+// Text format for network::TopologySpec, the io-layer companion to
+// io/params_io.hpp.  One short token names the shape; optional ;key=value
+// suffixes tune the cost knobs:
+//
+//   flat                        contention-free LogGP network (default)
+//   mesh:RxC                    R x C mesh, row-major processor ids
+//   torus:RxC                   R x C torus (wrap-around links)
+//   torus:RxCxD                 R x C x D torus
+//   fattree:d1,d2,../u1,u2,..   per-level down/up link counts, bottom first
+//
+//   ;hop=X      per-hop latency in us beyond the first hop (default 1.5)
+//   ;linkG=Y    per-byte gap on shared links (default: the machine's G)
+//
+// Examples: "torus:4x4", "fattree:4,4/1,2;hop=2.5", "mesh:2x8;linkG=0.05".
+// The same strings travel over the wire protocol's TOPOLOGY field and the
+// logsim_cli --topology= flag, so this is THE spelling of a topology
+// everywhere outside C++.
+
+#include <string>
+
+#include "fault/status.hpp"
+#include "network/topology_spec.hpp"
+
+namespace logsim::io {
+
+/// Parses the text format above.  Does not validate against a processor
+/// count (the caller knows it; see TopologySpec::validate) but rejects
+/// malformed shapes, non-positive extents and bad option values.
+[[nodiscard]] Result<network::TopologySpec> parse_topology(
+    const std::string& text);
+
+/// Renders a spec back into the text format; parse_topology(to_text(s))
+/// reproduces `s` exactly.  Non-default hop/linkG values are appended as
+/// options.
+[[nodiscard]] std::string to_text(const network::TopologySpec& spec);
+
+}  // namespace logsim::io

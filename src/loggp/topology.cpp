@@ -1,5 +1,10 @@
 #include "loggp/topology.hpp"
 
+// This file implements the deprecated shim itself.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include <cassert>
 #include <cstdlib>
 #include <sstream>

@@ -1,11 +1,16 @@
 #pragma once
-// Network topology extension.
+// DEPRECATED network topology shim -- superseded by network::NetworkModel.
 //
 // Plain LogGP charges one uniform latency L; real interconnects (and the
 // Meiko CS-2's fat tree) have distance-dependent delay.  This extension
-// models it as  L(message) = L + (hops - 1) * per_hop  and plugs into the
-// standard simulator through CommSimOptions::extra_latency, leaving the
-// Figure-2 algorithm untouched.
+// modelled it as  L(message) = L + (hops - 1) * per_hop  through the
+// CommSimOptions::extra_latency hook.  That role has moved to the
+// topology-aware backends behind network::NetworkModel
+// (network/network_model.hpp), which add per-link bandwidth sharing and a
+// shared TopologySpec the packet-level DES and the Testbed consume too.
+// This header is kept for one release so downstream code migrates on a
+// deprecation warning instead of a hard break; new code should build a
+// network::TopologySpec and call network::NetworkModel::create().
 
 #include <functional>
 #include <memory>
@@ -16,6 +21,9 @@
 
 namespace logsim::loggp {
 
+/// Base interface of the shim.  Not itself marked deprecated (the derived
+/// classes and topology_latency() are) so that this header can keep
+/// compiling warning-free while clients migrate.
 class Topology {
  public:
   virtual ~Topology() = default;
@@ -25,14 +33,18 @@ class Topology {
 };
 
 /// Full crossbar: every pair one hop (degenerates to plain LogGP).
-class Crossbar final : public Topology {
+/// DEPRECATED: use TopologySpec::flat() + network::FlatLogGP.
+class [[deprecated("use network::TopologySpec::flat()")]] Crossbar final
+    : public Topology {
  public:
   [[nodiscard]] int hops(ProcId, ProcId) const override { return 1; }
   [[nodiscard]] std::string name() const override { return "crossbar"; }
 };
 
 /// rows x cols mesh, processors numbered row-major; Manhattan distance.
-class Mesh2D final : public Topology {
+/// DEPRECATED: use TopologySpec::mesh() + network::NetworkModel::create().
+class [[deprecated("use network::TopologySpec::mesh()")]] Mesh2D final
+    : public Topology {
  public:
   Mesh2D(int rows, int cols) : rows_(rows), cols_(cols) {}
   [[nodiscard]] int hops(ProcId a, ProcId b) const override;
@@ -44,7 +56,9 @@ class Mesh2D final : public Topology {
 };
 
 /// rows x cols torus: Manhattan distance with wraparound.
-class Torus2D final : public Topology {
+/// DEPRECATED: use TopologySpec::torus() + network::NetworkModel::create().
+class [[deprecated("use network::TopologySpec::torus()")]] Torus2D final
+    : public Topology {
  public:
   Torus2D(int rows, int cols) : rows_(rows), cols_(cols) {}
   [[nodiscard]] int hops(ProcId a, ProcId b) const override;
@@ -58,7 +72,11 @@ class Torus2D final : public Topology {
 /// Builds a CommSimOptions::extra_latency hook charging (hops-1)*per_hop
 /// for each message of `pattern`.  The pattern reference must outlive the
 /// returned function's use; hop counts are precomputed.
-[[nodiscard]] std::function<Time(std::size_t)> topology_latency(
+/// DEPRECATED: set CommSimOptions::net to a network::NetworkModel instead;
+/// the hook is still honoured (added after the model's delay) for one
+/// release.
+[[deprecated("set CommSimOptions::net instead")]] [[nodiscard]]
+std::function<Time(std::size_t)> topology_latency(
     const pattern::CommPattern& pattern, const Topology& topo, Time per_hop);
 
 }  // namespace logsim::loggp

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/comm_sim.hpp"
+#include "network/packet_net.hpp"
 #include "util/rng.hpp"
 
 namespace logsim::machine {
@@ -89,22 +90,51 @@ TestbedResult Testbed::run(const core::StepProgram& program,
       }
 
       if (pattern.size() > pattern.self_message_count()) {
-        core::CommSimOptions opts;
-        opts.seed = rng.next();
-        // Half-normal jitter on the latency: messages only arrive late,
-        // never early (L is the model's expected arrival).
-        auto jitter_rng = std::make_shared<util::Rng>(rng.next());
-        const double sd = cfg_.latency_jitter_sd;
-        const Time latency = cfg_.net.L;
-        opts.extra_latency = [jitter_rng, sd, latency](std::size_t) {
-          return Time{std::abs(jitter_rng->normal(0.0, sd)) * latency.us()};
-        };
-        const core::CommSimulator sim{cfg_.net, opts};
-        sink.reset(program.procs());
-        sim.run_into(pattern, clock, no_msg_ready, sink, scratch);
-        const std::vector<Time>& finish = sink.finish_times();
-        for (std::size_t p = 0; p < n; ++p) {
-          if (finish[p] > Time::zero()) clock[p] = finish[p];
+        if (!cfg_.topology.is_flat()) {
+          // Topology run: the packet-level DES routes every message over
+          // the shared TopologySpec, serializing rivals through FIFO link
+          // queues -- contention the flat LogGP replay cannot see.  The
+          // half-normal latency jitter is then applied per processor on
+          // top of the DES finish time (late only, like the flat path's
+          // per-message hook; drawn in processor order for determinism).
+          network::PacketNetConfig pn;
+          pn.packet_bytes = cfg_.packet_bytes;
+          pn.software_overhead = cfg_.net.o;
+          // Same G_link convention as NetworkModel::step_delays: a spec
+          // that overrides the per-link rate drives the DES wires too.
+          pn.us_per_byte = cfg_.topology.link_G > 0 ? cfg_.topology.link_G
+                                                    : cfg_.net.G;
+          pn.topology = cfg_.topology;
+          util::Rng jitter_rng{rng.next()};
+          const network::PacketNetResult net_res =
+              network::PacketNetwork{pn}.run(pattern, clock);
+          for (std::size_t p = 0; p < n; ++p) {
+            Time f = net_res.proc_finish[p];
+            if (f > clock[p]) {
+              f += Time{std::abs(jitter_rng.normal(
+                            0.0, cfg_.latency_jitter_sd)) *
+                        cfg_.net.L.us()};
+              clock[p] = f;
+            }
+          }
+        } else {
+          core::CommSimOptions opts;
+          opts.seed = rng.next();
+          // Half-normal jitter on the latency: messages only arrive late,
+          // never early (L is the model's expected arrival).
+          auto jitter_rng = std::make_shared<util::Rng>(rng.next());
+          const double sd = cfg_.latency_jitter_sd;
+          const Time latency = cfg_.net.L;
+          opts.extra_latency = [jitter_rng, sd, latency](std::size_t) {
+            return Time{std::abs(jitter_rng->normal(0.0, sd)) * latency.us()};
+          };
+          const core::CommSimulator sim{cfg_.net, opts};
+          sink.reset(program.procs());
+          sim.run_into(pattern, clock, no_msg_ready, sink, scratch);
+          const std::vector<Time>& finish = sink.finish_times();
+          for (std::size_t p = 0; p < n; ++p) {
+            if (finish[p] > Time::zero()) clock[p] = finish[p];
+          }
         }
         if (cfg_.cache_enabled) {
           for (const auto& m : pattern.messages()) {

@@ -30,6 +30,7 @@
 #include "core/step_program.hpp"
 #include "loggp/params.hpp"
 #include "machine/cache_model.hpp"
+#include "network/topology_spec.hpp"
 #include "util/types.hpp"
 
 namespace logsim::machine {
@@ -42,6 +43,17 @@ struct TestbedConfig {
   double local_copy_per_byte = 0.01;///< self-message memcpy cost (us/byte)
   double latency_jitter_sd = 0.25;  ///< half-normal multiplier on L
   std::uint64_t seed = 7;
+  /// Interconnect shape of the emulated machine.  Flat (the default)
+  /// keeps the historical behaviour bit-for-bit: comm steps replay
+  /// through the LogGP simulator with per-message latency jitter.  A
+  /// non-flat spec routes every comm step through the packet-level DES
+  /// instead (network::PacketNetwork over this same spec), so the
+  /// "measured" times include the link contention and per-hop delays the
+  /// plain LogGP predictor deliberately ignores -- the predictor's
+  /// standard/worst-case pair should bracket them.
+  network::TopologySpec topology = network::TopologySpec::flat();
+  /// Packet segmentation unit of the emulated NICs (non-flat runs only).
+  int packet_bytes = 512;
 
   /// The configuration used for all paper-reproduction experiments.
   [[nodiscard]] static TestbedConfig meiko_cs2(int procs = 8);

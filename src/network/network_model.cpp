@@ -1,0 +1,108 @@
+#include "network/network_model.hpp"
+
+#include <unordered_map>
+
+namespace logsim::network {
+
+namespace {
+
+/// Shared contention pass: route every network message over the spec,
+/// count directed-link loads, then charge each message its hop latency
+/// plus the bandwidth-sharing term for the most loaded link it crosses.
+void contended_step_delays(const TopologySpec& spec,
+                           const pattern::CommPattern& pattern,
+                           const loggp::Params& params, bool worst_case,
+                           std::vector<Time>& out) {
+  out.assign(pattern.size(), Time::zero());
+  const double g_link = spec.link_G > 0.0 ? spec.link_G : params.G;
+  const double share = worst_case ? 1.0 : 0.5;
+
+  // Pass 1: route everything once, recording loads per directed link.
+  // Routes are stored flattened (CSR) so pass 2 re-walks them for free.
+  std::unordered_map<long long, int> load;
+  std::vector<int> path;
+  std::vector<int> flat;
+  std::vector<std::size_t> offsets(pattern.size() + 1, 0);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const auto& m = pattern.messages()[i];
+    offsets[i] = flat.size();
+    if (m.src == m.dst) continue;
+    path.clear();
+    spec.append_route(m.src, m.dst, path);
+    int from = m.src;
+    for (const int to : path) {
+      ++load[static_cast<long long>(from) * 1000003LL + to];
+      flat.push_back(to);
+      from = to;
+    }
+  }
+  offsets[pattern.size()] = flat.size();
+
+  // Pass 2: per-message bottleneck + hop latency.
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const auto& m = pattern.messages()[i];
+    if (m.src == m.dst) continue;
+    const std::size_t begin = offsets[i], end = offsets[i + 1];
+    const auto hops = static_cast<int>(end - begin);
+    int bottleneck = 1;
+    int from = m.src;
+    for (std::size_t k = begin; k < end; ++k) {
+      const int to = flat[k];
+      const int n = load[static_cast<long long>(from) * 1000003LL + to];
+      if (n > bottleneck) bottleneck = n;
+      from = to;
+    }
+    double extra = hops > 1 ? (hops - 1) * spec.per_hop.us() : 0.0;
+    if (bottleneck > 1) {
+      extra += share * static_cast<double>(bottleneck - 1) *
+               static_cast<double>(m.bytes.count()) * g_link;
+    }
+    out[i] = Time{extra};
+  }
+}
+
+}  // namespace
+
+Time NetworkModel::latency(ProcId src, ProcId dst, Bytes) const {
+  const int hops = spec_.hops(src, dst);
+  return hops > 1 ? (hops - 1) * spec_.per_hop : Time::zero();
+}
+
+void NetworkModel::step_delays(const pattern::CommPattern& pattern,
+                               const loggp::Params&, bool,
+                               std::vector<Time>& out) const {
+  out.assign(pattern.size(), Time::zero());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const auto& m = pattern.messages()[i];
+    if (m.src == m.dst) continue;
+    out[i] = latency(m.src, m.dst, m.bytes);
+  }
+}
+
+void Torus::step_delays(const pattern::CommPattern& pattern,
+                        const loggp::Params& params, bool worst_case,
+                        std::vector<Time>& out) const {
+  contended_step_delays(spec_, pattern, params, worst_case, out);
+}
+
+void FatTree::step_delays(const pattern::CommPattern& pattern,
+                          const loggp::Params& params, bool worst_case,
+                          std::vector<Time>& out) const {
+  contended_step_delays(spec_, pattern, params, worst_case, out);
+}
+
+std::unique_ptr<NetworkModel> NetworkModel::create(TopologySpec spec) {
+  switch (spec.kind) {
+    case TopologyKind::kFlat:
+      return std::make_unique<FlatLogGP>();
+    case TopologyKind::kMesh2D:
+    case TopologyKind::kTorus2D:
+    case TopologyKind::kTorus3D:
+      return std::make_unique<Torus>(std::move(spec));
+    case TopologyKind::kFatTree:
+      return std::make_unique<FatTree>(std::move(spec));
+  }
+  return std::make_unique<FlatLogGP>();
+}
+
+}  // namespace logsim::network

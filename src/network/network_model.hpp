@@ -1,0 +1,116 @@
+#pragma once
+// Pluggable per-message network cost backends (ISSUE 10 tentpole).
+//
+// A NetworkModel tells the LogGP simulators what the interconnect adds ON
+// TOP of the flat model: latency(src, dst, bytes) is the extra transit
+// latency beyond the L / (k-1)G terms the simulators already charge, and
+// step_delays() is the batch hook that also folds in per-link bandwidth
+// sharing among the concurrent messages of one communication step.
+//
+// Backends:
+//   FlatLogGP -- the paper's flat, contention-free network.  latency() is
+//       identically zero and the simulators skip the per-message addition
+//       entirely, so predictions are bit-identical to the pre-NetworkModel
+//       code (golden_trace_test pins this).
+//   Torus     -- mesh / 2-D / 3-D torus, dimension-order hop costs with
+//       link serialization on shared grid links.
+//   FatTree   -- SimGrid-style levels / down-counts / up-counts, hop cost
+//       2 * LCA-level, bandwidth sharing among messages crossing the same
+//       up/down link.
+//
+// Bandwidth-sharing math (DESIGN.md §15): route every network message of
+// the step, count how many routes cross each directed link, and let
+// bottleneck_i be the largest load on any link of message i's route.  The
+// extra delay for message i is
+//     (hops_i - 1) * per_hop  +  share * (bottleneck_i - 1) * bytes_i * G_link
+// with share = 1 for the worst-case schedule (every rival is ahead of you:
+// full serialization behind bottleneck-1 messages) and share = 1/2 for the
+// standard schedule (on average half the rivals are ahead) -- which is
+// what keeps the standard/worst pair a bracket around the packet-level DES
+// and the Testbed measurement per topology.  G_link defaults to the
+// machine's LogGP G and can be overridden per spec (TopologySpec::link_G).
+
+#include <memory>
+#include <vector>
+
+#include "loggp/params.hpp"
+#include "network/topology_spec.hpp"
+#include "pattern/comm_pattern.hpp"
+#include "util/types.hpp"
+
+namespace logsim::network {
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(TopologySpec spec) : spec_(std::move(spec)) {}
+  virtual ~NetworkModel() = default;
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// True only for the FlatLogGP backend: the simulators use this to skip
+  /// per-message additions entirely (bit-identity with the flat path).
+  [[nodiscard]] virtual bool is_flat() const { return false; }
+
+  /// Extra transit latency of one message beyond the flat LogGP terms:
+  /// (hops - 1) * per_hop, zero for self-messages and the flat backend.
+  [[nodiscard]] virtual Time latency(ProcId src, ProcId dst,
+                                     Bytes bytes) const;
+
+  /// Batch hook for one communication step: fills out[i] with the extra
+  /// delay of message i (latency plus the bandwidth-sharing term described
+  /// above).  `worst_case` selects the pessimistic share factor.  Self-
+  /// messages get zero.  out is resized to pattern.size().
+  virtual void step_delays(const pattern::CommPattern& pattern,
+                           const loggp::Params& params, bool worst_case,
+                           std::vector<Time>& out) const;
+
+  [[nodiscard]] const TopologySpec& spec() const { return spec_; }
+
+  /// Factory from a shared spec; never null (flat spec -> FlatLogGP).
+  /// The spec should already be validated against the processor count.
+  [[nodiscard]] static std::unique_ptr<NetworkModel> create(TopologySpec spec);
+
+ protected:
+  TopologySpec spec_;
+};
+
+/// The paper's flat contention-free network: no topology, no extra cost.
+class FlatLogGP final : public NetworkModel {
+ public:
+  FlatLogGP() : NetworkModel(TopologySpec::flat()) {}
+  [[nodiscard]] const char* name() const override { return "flat-loggp"; }
+  [[nodiscard]] bool is_flat() const override { return true; }
+  [[nodiscard]] Time latency(ProcId, ProcId, Bytes) const override {
+    return Time::zero();
+  }
+  void step_delays(const pattern::CommPattern& pattern, const loggp::Params&,
+                   bool, std::vector<Time>& out) const override {
+    out.assign(pattern.size(), Time::zero());
+  }
+};
+
+/// Mesh / 2-D / 3-D torus: dimension-order hop costs + link serialization.
+class Torus final : public NetworkModel {
+ public:
+  explicit Torus(TopologySpec spec) : NetworkModel(std::move(spec)) {}
+  [[nodiscard]] const char* name() const override {
+    return topology_kind_name(spec_.kind);
+  }
+  void step_delays(const pattern::CommPattern& pattern,
+                   const loggp::Params& params, bool worst_case,
+                   std::vector<Time>& out) const override;
+};
+
+/// Parameterized fat-tree with per-link bandwidth sharing.
+class FatTree final : public NetworkModel {
+ public:
+  explicit FatTree(TopologySpec spec) : NetworkModel(std::move(spec)) {}
+  [[nodiscard]] const char* name() const override { return "fattree"; }
+  void step_delays(const pattern::CommPattern& pattern,
+                   const loggp::Params& params, bool worst_case,
+                   std::vector<Time>& out) const override;
+};
+
+}  // namespace logsim::network

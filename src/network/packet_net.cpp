@@ -28,31 +28,7 @@ PacketNetwork::PacketNetwork(PacketNetConfig cfg) : cfg_(cfg) {
 std::vector<int> PacketNetwork::route(ProcId a, ProcId b) const {
   std::vector<int> out;
   if (a == b) return out;
-  if (cfg_.mesh_rows <= 0 || cfg_.mesh_cols <= 0) {
-    out.push_back(b);  // crossbar: one dedicated hop
-    return out;
-  }
-  const int cols = cfg_.mesh_cols;
-  const int rows = cfg_.mesh_rows;
-  int r = a / cols, c = a % cols;
-  const int tr = b / cols, tc = b % cols;
-  auto step_toward = [&](int cur, int target, int extent) {
-    int forward = (target - cur + extent) % extent;
-    int backward = (cur - target + extent) % extent;
-    if (!cfg_.torus) {
-      return target > cur ? 1 : -1;  // mesh: direct direction
-    }
-    return forward <= backward ? 1 : -1;  // torus: shorter way round
-  };
-  // Dimension order: columns first, then rows.
-  while (c != tc) {
-    c = (c + step_toward(c, tc, cols) + cols) % cols;
-    out.push_back(r * cols + c);
-  }
-  while (r != tr) {
-    r = (r + step_toward(r, tr, rows) + rows) % rows;
-    out.push_back(r * cols + c);
-  }
+  cfg_.topology.append_route(a, b, out);
   return out;
 }
 
@@ -129,7 +105,7 @@ PacketNetResult PacketNetwork::run(const pattern::CommPattern& pattern,
             Hop cont = self;
             cont.from = to;
             ++cont.next;
-            s.schedule_at(free_at + self.cfg->per_hop, cont);
+            s.schedule_at(free_at + self.cfg->topology.per_hop, cont);
           }
         };
         Hop first{state, &cfg_, hops, 0, static_cast<int>(src), ttx,

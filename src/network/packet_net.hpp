@@ -13,7 +13,7 @@
 #include <functional>
 #include <vector>
 
-#include "loggp/topology.hpp"
+#include "network/topology_spec.hpp"
 #include "pattern/comm_pattern.hpp"
 #include "util/types.hpp"
 
@@ -23,10 +23,13 @@ struct PacketNetConfig {
   int packet_bytes = 512;      ///< segmentation unit
   Time software_overhead{2.0}; ///< per-message CPU cost at each end (o)
   double us_per_byte = 0.01;   ///< link serialization cost
-  Time per_hop{1.5};           ///< router store-and-forward latency
-  int mesh_rows = 0;           ///< topology: rows x cols mesh (torus if
-  int mesh_cols = 0;           ///< `torus`); 0 = single crossbar link pair
-  bool torus = false;
+  /// Shared topology description (routes, per-hop router latency).  The
+  /// same spec drives the analytic NetworkModel backends, so the DES and
+  /// the predictor always agree on the network shape.  Flat = one
+  /// dedicated crossbar link pair per destination.  Callers are expected
+  /// to pass a spec that validate()s for the pattern's processor count;
+  /// fat-tree routes traverse switch node ids >= capacity().
+  TopologySpec topology = TopologySpec::flat();
 };
 
 struct MessageDelivery {
@@ -53,7 +56,9 @@ class PacketNetwork {
   [[nodiscard]] PacketNetResult run(const pattern::CommPattern& pattern) const;
 
   /// The route (sequence of node ids, excluding the source) a message
-  /// from `a` to `b` takes under dimension-order routing.
+  /// from `a` to `b` takes; delegates to TopologySpec::append_route, so
+  /// grids use dimension-order routing and fat trees climb to the least
+  /// common ancestor switch and back down.
   [[nodiscard]] std::vector<int> route(ProcId a, ProcId b) const;
 
  private:

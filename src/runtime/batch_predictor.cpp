@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "fault/failpoint.hpp"
+#include "network/network_model.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -34,6 +35,12 @@ std::chrono::steady_clock::duration from_time(Time t) {
 }
 
 constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+/// True when the model adds nothing over flat LogGP -- the only regime
+/// where prediction keys (which do not carry a topology) are sound.
+bool flat_net(const network::NetworkModel* net) {
+  return net == nullptr || net->is_flat();
+}
 
 }  // namespace
 
@@ -115,7 +122,8 @@ std::vector<JobResult> BatchPredictor::predict_all(
       const PredictJob& job = jobs[i];
       if (job.program != nullptr && job.costs != nullptr &&
           !job.bypass_cache && !sim_.compute_overhead &&
-          job.sim_trace == nullptr) {
+          job.sim_trace == nullptr &&
+          flat_net(job.net != nullptr ? job.net : sim_.net)) {
         const std::uint64_t program_hash =
             job.program_hash.has_value()
                 ? *job.program_hash
@@ -237,7 +245,8 @@ JobResult BatchPredictor::predict_one(const PredictJob& job,
   bool keyed = false;
   if (cache_ != nullptr && job.program != nullptr && job.costs != nullptr &&
       !job.bypass_cache && !sim_.compute_overhead &&
-      job.sim_trace == nullptr) {
+      job.sim_trace == nullptr &&
+      flat_net(job.net != nullptr ? job.net : sim_.net)) {
     const std::uint64_t program_hash =
         job.program_hash.has_value()
             ? *job.program_hash
@@ -351,6 +360,7 @@ Status BatchPredictor::run_attempt(
     opts.deadline = deadline;
     opts.sim_trace = job.sim_trace;
     opts.seed = seed;
+    if (job.net != nullptr) opts.net = job.net;
     const core::Predictor predictor{job.params, opts};
     Result<core::Prediction> prediction =
         predictor.predict(*job.program, *job.costs);

@@ -92,6 +92,12 @@ struct PredictJob {
   /// copy retained in the shared cache.  The comm-step cache still
   /// applies.
   bool bypass_cache = false;
+  /// Optional topology backend override for THIS job (borrowed; must
+  /// outlive the predict call).  nullptr inherits Config::sim.net.  A
+  /// non-flat model implies bypass_cache: prediction keys do not carry the
+  /// topology, and the comm-step cache is disabled inside the simulator
+  /// for the same reason (see core::ProgramSimOptions::net).
+  const network::NetworkModel* net = nullptr;
 };
 
 /// Per-job outcome: a Prediction, or the Status explaining its absence.

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/failpoint.hpp"
+
 namespace logsim::serve {
 
 Result<int> Client::dial(const std::string& host, std::uint16_t port) {
@@ -56,7 +58,9 @@ Client::Client(Client&& other) noexcept
       next_id_(other.next_id_),
       codec_(other.codec_),
       version_(other.version_),
-      requested_version_(other.requested_version_) {}
+      requested_version_(other.requested_version_),
+      assembler_(std::move(other.assembler_)),
+      stash_(std::move(other.stash_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -69,6 +73,8 @@ Client& Client::operator=(Client&& other) noexcept {
     codec_ = other.codec_;
     version_ = other.version_;
     requested_version_ = other.requested_version_;
+    assembler_ = std::move(other.assembler_);
+    stash_ = std::move(other.stash_);
   }
   return *this;
 }
@@ -81,9 +87,38 @@ Status Client::send(const Frame& frame) {
   return write_frame(fd_, frame, limits_);
 }
 
+Result<std::optional<Frame>> Client::read_one(bool blocking) {
+  // Same injection point read_frame exposes, so fault tests cover this
+  // path identically.
+  if (Status st = fault::failpoint("serve.read"); !st.ok()) {
+    return st.with_context("while reading a frame");
+  }
+  for (;;) {
+    Result<std::optional<Frame>> frame = assembler_.next();
+    if (!frame.ok()) return frame.status();
+    if (frame->has_value()) return frame;
+    char buf[64 * 1024];
+    const ssize_t n =
+        ::recv(fd_, buf, sizeof buf, blocking ? 0 : MSG_DONTWAIT);
+    if (n > 0) {
+      assembler_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::transient("server closed the connection");
+    if (errno == EINTR) continue;
+    if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return std::optional<Frame>{};  // nothing buffered right now
+    }
+    return Status::transient(std::string{"read failed: "} +
+                             std::strerror(errno));
+  }
+}
+
 Result<Frame> Client::receive() {
-  Result<std::optional<Frame>> frame = read_frame(fd_, limits_);
+  Result<std::optional<Frame>> frame = read_one(/*blocking=*/true);
   if (!frame.ok()) return frame.status();
+  // Blocking reads only return empty on EOF, which read_one already maps
+  // to a Status; keep the guard for form.
   if (!frame->has_value()) {
     return Status::transient("server closed the connection");
   }
@@ -135,9 +170,18 @@ Status Client::hello(std::uint32_t max_version) {
 }
 
 Result<std::uint64_t> Client::register_program(
-    const std::string& program_text) {
+    const std::string& program_text, const std::string& topology_text) {
+  if (!topology_text.empty() && version_ < kProtocolVersionTopology) {
+    return Status::invalid_input(
+        "registering under a topology needs protocol version " +
+        std::to_string(kProtocolVersionTopology) + " but the connection " +
+        "negotiated " + std::to_string(version_) + "; call hello() first "
+        "or upgrade the server");
+  }
   const std::uint64_t id = next_id();
-  if (Status st = send(Frame{FrameKind::kRegister, id, program_text});
+  if (Status st = send(Frame{FrameKind::kRegister, id,
+                             encode_register_request(program_text,
+                                                     topology_text)});
       !st.ok()) {
     return st;
   }
@@ -157,36 +201,138 @@ Result<std::uint64_t> Client::register_program(
   return decode_registered_reply(frame->payload, codec_);
 }
 
-Result<PredictReply> Client::predict(const PredictRequest& request) {
+Status Client::check_topology(const PredictRequest& request) const {
+  if (request.topology_text.empty() ||
+      version_ >= kProtocolVersionTopology) {
+    return Status{};
+  }
+  return Status::invalid_input(
+      "PredictRequest::topology_text needs protocol version " +
+      std::to_string(kProtocolVersionTopology) + " but the connection " +
+      "negotiated " + std::to_string(version_) + "; call hello() first or "
+      "upgrade the server");
+}
+
+Result<PredictionHandle> Client::start(const PredictRequest& request) {
+  if (Status st = check_topology(request); !st.ok()) return st;
   const std::uint64_t id = next_id();
   if (Status st = send(Frame{FrameKind::kPredict, id,
                              encode_predict_request(request, codec_)});
       !st.ok()) {
     return st;
   }
-  for (;;) {
-    Result<Frame> frame = receive();
-    if (!frame.ok()) return frame.status();
-    if (frame->id != id) {
-      return Status::invalid_input(
-          "out-of-order reply (pipelined ids on a synchronous call?)");
-    }
-    switch (frame->kind) {
-      case FrameKind::kResult:
-        return decode_predict_reply(frame->payload, codec_);
-      case FrameKind::kError: {
-        Result<ErrorReply> reply = decode_error_reply(frame->payload, codec_);
-        if (!reply.ok()) return reply.status();
-        return reply->to_status();
+  return PredictionHandle{this, id};
+}
+
+Result<PredictReply> Client::predict(const PredictRequest& request) {
+  Result<PredictionHandle> handle = start(request);
+  if (!handle.ok()) return handle.status();
+  return handle.value().wait();
+}
+
+void PredictionHandle::complete(Frame frame) {
+  done_ = true;
+  switch (frame.kind) {
+    case FrameKind::kResult: {
+      Result<PredictReply> reply =
+          decode_predict_reply(frame.payload, client_->codec());
+      if (reply.ok()) {
+        reply_ = std::move(reply).value();
+        status_ = Status{};
+      } else {
+        status_ = reply.status();
       }
-      default:
-        return Status::invalid_input("unexpected frame kind in PREDICT reply");
+      return;
     }
+    case FrameKind::kError: {
+      Result<ErrorReply> reply =
+          decode_error_reply(frame.payload, client_->codec());
+      status_ = reply.ok() ? reply->to_status() : reply.status();
+      return;
+    }
+    default:
+      status_ =
+          Status::invalid_input("unexpected frame kind in PREDICT reply");
+      return;
+  }
+}
+
+Result<bool> Client::poll_handle(PredictionHandle& handle, bool blocking) {
+  for (;;) {
+    if (const auto it = stash_.find(handle.id_); it != stash_.end()) {
+      Frame frame = std::move(it->second);
+      stash_.erase(it);
+      handle.complete(std::move(frame));
+      return true;
+    }
+    Result<std::optional<Frame>> frame = read_one(blocking);
+    if (!frame.ok()) return frame.status();
+    if (!frame->has_value()) return false;  // non-blocking: nothing yet
+    if ((*frame)->id == handle.id_) {
+      handle.complete(std::move(**frame));
+      return true;
+    }
+    stash_.emplace((*frame)->id, std::move(**frame));
+  }
+}
+
+Result<bool> PredictionHandle::test() {
+  if (done_) return true;
+  if (client_ == nullptr) {
+    return Status::invalid_input("test() on an empty prediction handle");
+  }
+  return client_->poll_handle(*this, /*blocking=*/false);
+}
+
+Result<PredictReply> PredictionHandle::wait() {
+  if (!done_) {
+    if (client_ == nullptr) {
+      return Status::invalid_input("wait() on an empty prediction handle");
+    }
+    Result<bool> done = client_->poll_handle(*this, /*blocking=*/true);
+    if (!done.ok()) return done.status();
+  }
+  if (reply_.has_value()) return *reply_;
+  return status_;
+}
+
+Result<std::size_t> Client::wait_any(std::vector<PredictionHandle>& handles) {
+  if (handles.empty()) {
+    return Status::invalid_input("wait_any() on no handles");
+  }
+  for (;;) {
+    // Completed handles (including ones whose frame is already stashed)
+    // win before the socket is touched, lowest index first.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      PredictionHandle& handle = handles[i];
+      if (handle.done_) return i;
+      if (const auto it = stash_.find(handle.id_); it != stash_.end()) {
+        Frame frame = std::move(it->second);
+        stash_.erase(it);
+        handle.complete(std::move(frame));
+        return i;
+      }
+    }
+    Result<std::optional<Frame>> frame = read_one(/*blocking=*/true);
+    if (!frame.ok()) return frame.status();
+    Frame got = std::move(**frame);
+    bool matched = false;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (handles[i].id_ == got.id) {
+        handles[i].complete(std::move(got));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) stash_.emplace(got.id, std::move(got));
   }
 }
 
 Result<std::vector<Client::BatchItem>> Client::predict_batch(
     const std::vector<PredictRequest>& jobs) {
+  for (const PredictRequest& job : jobs) {
+    if (Status st = check_topology(job); !st.ok()) return st;
+  }
   const std::uint64_t id = next_id();
   if (Status st = send(
           Frame{FrameKind::kBatch, id, encode_batch_request(jobs, codec_)});
@@ -259,6 +405,10 @@ Status Client::reconnect() {
   // Fresh connections start at v1 no matter what the old one negotiated.
   codec_ = Codec::kText;
   version_ = kProtocolVersionText;
+  // Buffered bytes and stashed replies belong to the dead connection;
+  // outstanding PredictionHandles are invalidated (documented contract).
+  assembler_ = FrameAssembler{limits_};
+  stash_.clear();
   Result<int> fd = dial(host_, port_);
   if (!fd.ok()) return fd.status();
   fd_ = fd.value();

@@ -1,17 +1,21 @@
 #pragma once
-// Blocking client for the logsim serving wire protocol (DESIGN.md §12,
-// §14 for protocol v2).
+// Client for the logsim serving wire protocol (DESIGN.md §12, §14 for
+// protocol v2, §15 for the v3 topology field).
 //
 // One Client wraps one TCP connection.  The high-level calls (predict,
-// predict_batch, stats, ping) are synchronous request/response; the
-// low-level send()/receive() pair is exposed for callers that pipeline --
-// the bench load generator keeps many correlation ids in flight on one
-// connection and matches responses by Frame::id.
+// predict_batch, stats, ping) are synchronous request/response; start()
+// returns a SimGrid-style PredictionHandle for asynchronous use (fire
+// several, then test()/wait()/wait_any()); the low-level send()/receive()
+// pair remains for callers that pipeline raw frames and match responses
+// by Frame::id themselves.
 //
 // Every connection starts in protocol v1 (text payloads).  hello()
 // negotiates the binary codec when the server is new enough; afterwards
-// the high-level calls encode and decode v2 transparently.  Callers that
-// pipeline raw frames should encode with codec().
+// the high-level calls encode and decode v2 transparently.  Requests that
+// set PredictRequest::topology_text need a negotiated version >=
+// kProtocolVersionTopology (older servers reject the field as unknown, so
+// the client refuses to send it rather than poison the connection).
+// Callers that pipeline raw frames should encode with codec().
 //
 // register_program() interns a program server-side and returns a handle;
 // PredictRequests carrying the handle skip program upload and parsing
@@ -25,12 +29,57 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/status.hpp"
 #include "serve/wire.hpp"
 
 namespace logsim::serve {
+
+class Client;
+
+/// One in-flight asynchronous prediction, SimGrid-activity style:
+/// Client::start() sends the request and returns immediately; test()
+/// polls for completion without blocking; wait() blocks for this handle;
+/// Client::wait_any() blocks for the first of several.  A completed
+/// handle holds the reply or the error Status.
+///
+/// A handle borrows the Client that issued it: it must not outlive the
+/// client, survive a reconnect(), or be mixed with handles of another
+/// client in wait_any().  Copying a live handle is allowed but only one
+/// copy may be waited on (the reply is consumed by whichever completes
+/// first).
+class PredictionHandle {
+ public:
+  PredictionHandle() = default;
+
+  /// The wire correlation id (0 for a default-constructed handle).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  /// True once the reply (or error) has been collected locally.
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Non-blocking completion poll: drains whatever the socket already
+  /// buffered and reports whether this prediction is done.  A transport
+  /// failure surfaces as the Status.
+  [[nodiscard]] Result<bool> test();
+
+  /// Blocks until this prediction completes, then returns the reply (or
+  /// the server's ERROR as its Status).  Idempotent once done.
+  [[nodiscard]] Result<PredictReply> wait();
+
+ private:
+  friend class Client;
+  PredictionHandle(Client* client, std::uint64_t id)
+      : client_(client), id_(id) {}
+  void complete(Frame frame);
+
+  Client* client_ = nullptr;
+  std::uint64_t id_ = 0;
+  bool done_ = false;
+  std::optional<PredictReply> reply_;
+  Status status_;  ///< meaningful once done_; ok() iff reply_ holds a value
+};
 
 class Client {
  public:
@@ -65,12 +114,26 @@ class Client {
   /// Interns `program_text` server-side; the returned handle, placed in
   /// PredictRequest::handle, replaces the program text on every later
   /// predict.  Registering the same program again returns the same handle.
+  /// A non-empty `topology_text` (io/topology_io.hpp format) registers the
+  /// program under that interconnect -- requires a negotiated protocol
+  /// version >= kProtocolVersionTopology.
   [[nodiscard]] Result<std::uint64_t> register_program(
-      const std::string& program_text);
+      const std::string& program_text, const std::string& topology_text = {});
 
   /// One prediction, blocking until the reply (or an ERROR, returned as
-  /// its Status).
+  /// its Status).  Implemented as start() + wait().
   [[nodiscard]] Result<PredictReply> predict(const PredictRequest& request);
+
+  /// Sends one prediction and returns immediately with a handle; the
+  /// reply is collected by test()/wait()/wait_any().  Any number of
+  /// handles may be in flight on one connection.
+  [[nodiscard]] Result<PredictionHandle> start(const PredictRequest& request);
+
+  /// Blocks until at least one of `handles` is complete and returns its
+  /// index (already-done handles win immediately, lowest index first).
+  /// All handles must come from this client.
+  [[nodiscard]] Result<std::size_t> wait_any(
+      std::vector<PredictionHandle>& handles);
 
   /// Per-job outcome of a batch, mirroring runtime::JobResult: the reply,
   /// or the Status explaining its absence.
@@ -112,11 +175,30 @@ class Client {
   [[nodiscard]] int fd() const { return fd_; }
 
  private:
+  friend class PredictionHandle;
+
   Client(int fd, std::string host, std::uint16_t port, WireLimits limits)
-      : fd_(fd), host_(std::move(host)), port_(port), limits_(limits) {}
+      : fd_(fd),
+        host_(std::move(host)),
+        port_(port),
+        limits_(limits),
+        assembler_(limits) {}
 
   [[nodiscard]] static Result<int> dial(const std::string& host,
                                         std::uint16_t port);
+
+  /// Requests carrying a topology need a server that understands it.
+  [[nodiscard]] Status check_topology(const PredictRequest& request) const;
+
+  /// Pulls the next complete frame off the connection through the shared
+  /// assembler.  Blocking mode waits for bytes; non-blocking returns
+  /// nullopt when the socket has nothing buffered.
+  [[nodiscard]] Result<std::optional<Frame>> read_one(bool blocking);
+
+  /// Drives the connection until `handle`'s reply arrives (stashing
+  /// frames for other ids); returns whether it completed.
+  [[nodiscard]] Result<bool> poll_handle(PredictionHandle& handle,
+                                         bool blocking);
 
   int fd_ = -1;
   std::string host_;
@@ -127,6 +209,12 @@ class Client {
   std::uint32_t version_ = kProtocolVersionText;
   /// What hello() last asked for; reconnect() re-negotiates with it.
   std::uint32_t requested_version_ = 0;
+  /// Incremental frame decoder shared by every read path, so interleaving
+  /// sync calls with outstanding handles never tears a frame.
+  FrameAssembler assembler_;
+  /// Frames that arrived for a different correlation id than the one the
+  /// current wait was after (outstanding handles, pipelined replies).
+  std::unordered_map<std::uint64_t, Frame> stash_;
 };
 
 }  // namespace logsim::serve

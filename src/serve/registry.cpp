@@ -50,7 +50,7 @@ std::uint64_t RegisteredProgram::memo_clears() const {
 }
 
 Result<std::shared_ptr<const RegisteredProgram>> ProgramRegistry::intern(
-    const std::string& text) {
+    const std::string& text, const network::TopologySpec& topology) {
   // Parse and hash OUTSIDE the lock: registration cost must not stall the
   // handle-resolution hot path sharing the mutex.
   Result<io::ProgramBundle> bundle = io::parse_program(text, config_.parse);
@@ -58,17 +58,25 @@ Result<std::shared_ptr<const RegisteredProgram>> ProgramRegistry::intern(
     return Status{bundle.status()}.with_context(
         "while parsing the program to register");
   }
-  const std::uint64_t content_hash =
+  if (Status st = topology.validate(bundle->program.procs()); !st.ok()) {
+    return st.with_context("while validating the topology to register");
+  }
+  const std::uint64_t program_hash =
       runtime::prediction_program_hash(bundle->program, bundle->costs);
+  // Content identity includes the topology: the same program registered
+  // under two shapes must yield two handles (each entry's memo assumes a
+  // fixed topology).  program_hash itself stays topology-free for the
+  // global prediction cache.
+  const std::uint64_t content_key = program_hash ^ topology.hash();
 
   std::unique_lock lock{mu_};
   ++registrations_;
-  if (const auto it = by_content_.find(content_hash);
-      it != by_content_.end()) {
+  if (const auto it = by_content_.find(content_key); it != by_content_.end()) {
     for (const std::uint64_t handle : it->second) {
       const auto& entry = by_handle_.at(handle);
       if (entry->program() == bundle->program &&
-          entry->costs() == bundle->costs) {
+          entry->costs() == bundle->costs &&
+          entry->topology() == topology) {
         ++dedup_hits_;
         return entry;
       }
@@ -81,10 +89,10 @@ Result<std::shared_ptr<const RegisteredProgram>> ProgramRegistry::intern(
   }
   const std::uint64_t handle = next_handle_++;
   auto entry = std::make_shared<const RegisteredProgram>(
-      handle, std::move(bundle).value(), content_hash,
-      config_.memo_entries_per_program);
+      handle, std::move(bundle).value(), program_hash,
+      config_.memo_entries_per_program, topology);
   by_handle_.emplace(handle, entry);
-  by_content_[content_hash].push_back(handle);
+  by_content_[content_key].push_back(handle);
   return entry;
 }
 

@@ -39,19 +39,29 @@
 #include "fault/status.hpp"
 #include "io/program_io.hpp"
 #include "loggp/params.hpp"
+#include "network/network_model.hpp"
 
 namespace logsim::serve {
 
 /// One interned program: parsed and hashed once at REGISTER time, shared
-/// (immutably) by every connection that presents the handle.
+/// (immutably) by every connection that presents the handle.  An entry
+/// may carry a non-flat topology (protocol v3 REGISTER prefix): the
+/// NetworkModel is materialized once here, and every handle predict
+/// reuses it.  The topology is part of the entry's identity -- the same
+/// program registered under two topologies yields two handles -- which is
+/// what keeps the per-entry (params, seed) memo sound.
 class RegisteredProgram {
  public:
   RegisteredProgram(std::uint64_t handle, io::ProgramBundle bundle,
-                    std::uint64_t program_hash, std::size_t memo_capacity)
+                    std::uint64_t program_hash, std::size_t memo_capacity,
+                    network::TopologySpec topology)
       : handle_(handle),
         bundle_(std::move(bundle)),
         program_hash_(program_hash),
-        memo_capacity_(memo_capacity == 0 ? 1 : memo_capacity) {}
+        memo_capacity_(memo_capacity == 0 ? 1 : memo_capacity),
+        topology_(std::move(topology)),
+        net_(topology_.is_flat() ? nullptr
+                                 : network::NetworkModel::create(topology_)) {}
 
   [[nodiscard]] std::uint64_t handle() const { return handle_; }
   [[nodiscard]] const core::StepProgram& program() const {
@@ -59,8 +69,16 @@ class RegisteredProgram {
   }
   [[nodiscard]] const core::CostTable& costs() const { return bundle_.costs; }
   /// runtime::prediction_program_hash of (program, costs), precomputed so
-  /// per-request cache keys cost O(1).
+  /// per-request cache keys cost O(1).  Topology-independent by design
+  /// (non-flat entries bypass the global cache anyway).
   [[nodiscard]] std::uint64_t program_hash() const { return program_hash_; }
+  /// The topology the program was registered under (flat by default).
+  [[nodiscard]] const network::TopologySpec& topology() const {
+    return topology_;
+  }
+  /// The entry's network model; nullptr for flat (so handle predicts on
+  /// flat entries keep the zero-overhead PredictJob::net == nullptr path).
+  [[nodiscard]] const network::NetworkModel* net() const { return net_.get(); }
 
   /// The warm path: a prediction memoized under exactly (params, seed).
   [[nodiscard]] std::optional<core::Prediction> memo_lookup(
@@ -87,6 +105,8 @@ class RegisteredProgram {
   io::ProgramBundle bundle_;
   std::uint64_t program_hash_;
   std::size_t memo_capacity_;
+  network::TopologySpec topology_;
+  std::unique_ptr<const network::NetworkModel> net_;
 
   // const methods mutate only the memo, under its own lock: the memo is a
   // cache bolted onto an otherwise immutable entry.
@@ -120,12 +140,16 @@ class ProgramRegistry {
   ProgramRegistry() : ProgramRegistry(Config{}) {}
   explicit ProgramRegistry(Config config) : config_(config) {}
 
-  /// Parses, canonicalizes and interns `text`.  Registering a program
-  /// structurally equal to an existing entry returns that entry (same
-  /// handle).  Fails invalid-input on a parse error, transient when the
+  /// Parses, canonicalizes and interns `text` under `topology` (flat by
+  /// default).  Registering a program structurally equal to an existing
+  /// entry WITH the same topology returns that entry (same handle); the
+  /// same program under a different topology is a distinct entry.  The
+  /// topology is validated against the parsed program's processor count.
+  /// Fails invalid-input on a parse/validate error, transient when the
   /// registry is full.
   [[nodiscard]] Result<std::shared_ptr<const RegisteredProgram>> intern(
-      const std::string& text);
+      const std::string& text,
+      const network::TopologySpec& topology = network::TopologySpec::flat());
 
   /// The entry for a handle; nullptr when the handle was never issued.
   [[nodiscard]] std::shared_ptr<const RegisteredProgram> find(
@@ -139,8 +163,9 @@ class ProgramRegistry {
   mutable std::shared_mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const RegisteredProgram>>
       by_handle_;
-  // program_hash -> handles with that hash (usually one; collisions and
-  // equal re-registrations share the bucket, verified by full equality).
+  // (program_hash ^ topology hash) -> handles with that key (usually one;
+  // collisions and equal re-registrations share the bucket, verified by
+  // full program + topology equality).
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_content_;
   std::uint64_t next_handle_ = 1;
   std::uint64_t registrations_ = 0;

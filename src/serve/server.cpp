@@ -19,6 +19,8 @@
 
 #include "io/params_io.hpp"
 #include "io/program_io.hpp"
+#include "io/topology_io.hpp"
+#include "network/network_model.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "runtime/sim_pool.hpp"
@@ -93,6 +95,11 @@ struct Server::Conn {
   /// owning reactor (frames are processed in order, so the switch lands
   /// before any binary frame is decoded); workers read it for replies.
   std::atomic<Codec> codec{Codec::kText};
+  /// The negotiated protocol version (same write discipline as codec).
+  /// Gates v3 semantics: the REGISTER topology prefix is only honoured on
+  /// connections that negotiated kProtocolVersionTopology, so pre-v3
+  /// program text is never reinterpreted.
+  std::atomic<std::uint32_t> version{kProtocolVersionText};
 
   /// Fires when the client disconnects (or the server stops): every
   /// inflight prediction of this connection observes it cooperatively.
@@ -248,6 +255,13 @@ struct Server::Pending {
   Request* request = nullptr;
   std::shared_ptr<const RegisteredProgram> reg;
   std::unique_ptr<io::ProgramBundle> bundle;
+  /// Ad-hoc network model for a request-level TOPOLOGY field; job.net
+  /// borrows it (or the registry entry's model, kept alive by `reg`).
+  std::unique_ptr<const network::NetworkModel> net;
+  /// False when the request overrode the entry's topology: the per-entry
+  /// (params, seed) memo assumes the entry's own topology, so such a
+  /// result must neither be served from it nor inserted into it.
+  bool memoable = true;
   loggp::Params params;
   std::uint64_t seed = 0;
   /// Absolute reply-by time (accepted + effective deadline); max() = none.
@@ -589,6 +603,7 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
       // effective for every LATER frame (processing is in order).
       const std::uint32_t agreed =
           std::min(version.value(), kProtocolVersionMax);
+      conn->version.store(agreed, std::memory_order_relaxed);
       conn->codec.store(codec_for_version(agreed), std::memory_order_relaxed);
       enqueue_output(
           conn, Frame{FrameKind::kHelloAck, frame.id, encode_hello_ack(agreed)});
@@ -804,8 +819,37 @@ void Server::prepare(Request& request, FlushSet& flush,
   }
 
   if (request.verb == Request::Verb::kRegister) {
+    // v3 connections may prefix one "topology <spec>\n" line; older
+    // connections get the payload verbatim (the prefix convention did not
+    // exist before v3, so nothing can be misread).
+    network::TopologySpec topology = network::TopologySpec::flat();
+    std::string program_text = std::move(request.req.program_text);
+    if (conn->version.load(std::memory_order_relaxed) >=
+        kProtocolVersionTopology) {
+      RegisterRequest split = split_register_request(program_text);
+      if (!split.topology_text.empty()) {
+        Result<network::TopologySpec> spec =
+            io::parse_topology(split.topology_text);
+        if (!spec.ok()) {
+          ErrorReply reply;
+          reply.index = 0;
+          reply.code = spec.status().code();
+          reply.message =
+              Status{spec.status()}
+                  .with_context("while parsing the topology to register")
+                  .to_string();
+          finish(request,
+                 Frame{FrameKind::kError, request.id,
+                       encode_error_reply(reply, codec)},
+                 /*is_error=*/true, flush);
+          return;
+        }
+        topology = std::move(spec).value();
+        program_text = std::move(split.program_text);
+      }
+    }
     const Result<std::shared_ptr<const RegisteredProgram>> entry =
-        registry_.intern(request.req.program_text);
+        registry_.intern(program_text, topology);
     if (!entry.ok()) {
       ErrorReply reply;
       reply.index = 0;
@@ -893,6 +937,43 @@ void Server::prepare(Request& request, FlushSet& flush,
   pending.params.P = program->procs();
   pending.seed = request.req.seed;
 
+  // Topology resolution (protocol v3): an explicit TOPOLOGY field wins
+  // over whatever the handle's entry was registered with; without one, a
+  // handle request inherits the entry's model.  Flat stays the nullptr
+  // fast path either way.
+  if (!request.req.topology_text.empty()) {
+    Result<network::TopologySpec> spec =
+        io::parse_topology(request.req.topology_text);
+    Status st = spec.ok() ? spec->validate(program->procs()) : spec.status();
+    if (!st.ok()) {
+      ErrorReply reply;
+      reply.index = request.index;
+      reply.code = st.code();
+      reply.message =
+          st.with_context("while parsing the request topology").to_string();
+      finish(request,
+             Frame{FrameKind::kError, request.id,
+                   encode_error_reply(reply, codec)},
+             /*is_error=*/true, flush);
+      return;
+    }
+    if (pending.reg != nullptr && spec.value() == pending.reg->topology()) {
+      // The explicit spec matches the registered one: reuse the entry's
+      // model and keep its memo in play.
+      pending.job.net = pending.reg->net();
+    } else {
+      // A genuine override (flat included) bypasses the entry memo: its
+      // points belong to the registered topology.
+      pending.memoable = false;
+      if (!spec->is_flat()) {
+        pending.net = network::NetworkModel::create(std::move(spec).value());
+        pending.job.net = pending.net.get();
+      }
+    }
+  } else if (pending.reg != nullptr) {
+    pending.job.net = pending.reg->net();
+  }
+
   auto deadline = config_.default_deadline;
   if (request.req.deadline_ms > 0) {
     deadline = std::chrono::milliseconds(request.req.deadline_ms);
@@ -918,8 +999,8 @@ void Server::prepare(Request& request, FlushSet& flush,
   }
 
   // The microsecond warm path: a registered program whose (params, seed)
-  // point was answered before.
-  if (pending.reg != nullptr) {
+  // point was answered before (under the entry's own topology).
+  if (pending.reg != nullptr && pending.memoable) {
     if (const std::optional<core::Prediction> memo =
             pending.reg->memo_lookup(pending.params, pending.seed)) {
       memo_hits_.add();
@@ -985,7 +1066,7 @@ void Server::deliver(Pending& pending, const runtime::JobResult& result,
            /*is_error=*/true, flush);
     return;
   }
-  if (pending.reg != nullptr) {
+  if (pending.reg != nullptr && pending.memoable) {
     pending.reg->memo_insert(pending.params, pending.seed, result.value());
   }
   PredictReply reply;

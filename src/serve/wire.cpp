@@ -270,9 +270,10 @@ std::string encode_predict_request(const PredictRequest& req) {
   os << "params " << req.params_text << '\n'
      << "seed " << req.seed << '\n'
      << "deadline_ms " << req.deadline_ms << '\n';
-  // The handle line only appears when set, so handle-free payloads stay
-  // byte-identical to what pre-handle builds emitted.
+  // The handle/topology lines only appear when set, so payloads without
+  // them stay byte-identical to what older builds emitted.
   if (req.handle != 0) os << "handle " << req.handle << '\n';
+  if (!req.topology_text.empty()) os << "topology " << req.topology_text << '\n';
   os << "program\n" << req.program_text;
   return os.str();
 }
@@ -308,6 +309,15 @@ Result<PredictRequest> decode_predict_request(const std::string& payload) {
     } else if (key == "handle") {
       if (!(ls >> req.handle)) {
         return Status::invalid_input("predict envelope: malformed handle");
+      }
+    } else if (key == "topology") {
+      // v3 field; the decoder is lenient (decoding costs nothing, and the
+      // semantic layer validates the spec) -- only SENDING is gated on the
+      // negotiated version.
+      const std::size_t sp = line.find(' ');
+      req.topology_text = sp == std::string::npos ? "" : line.substr(sp + 1);
+      if (req.topology_text.empty()) {
+        return Status::invalid_input("predict envelope: empty topology");
       }
     } else {
       return Status::invalid_input("predict envelope: unknown key '" + key +
@@ -455,8 +465,9 @@ std::string encode_error_reply(const ErrorReply& reply) {
 // Byte-level layouts (DESIGN.md §14).  All integers little-endian, doubles
 // as raw IEEE-754 bits, strings as u32le length + raw bytes.
 //
-//   PREDICT:  u8 flags (bit0 = has handle) | u64 handle | u64 seed |
-//             u64 deadline_ms | str params | str program
+//   PREDICT:  u8 flags (bit0 = has handle, bit1 = has topology) |
+//             u64 handle | u64 seed | u64 deadline_ms | str params |
+//             str program | [str topology   iff bit1]
 //   BATCH:    u32 count | count * (str embedded-PREDICT-payload)
 //   RESULT:   u64 index | f64 total | f64 comp | f64 comm |
 //             f64 total_worst | f64 comm_worst | u8 from_cache |
@@ -467,12 +478,21 @@ std::string encode_error_reply(const ErrorReply& reply) {
 namespace {
 
 constexpr std::uint8_t kPredictFlagHandle = 0x01;
+/// v3: a topology string trails the program string.  A v2-only peer
+/// rejects the bit as unknown, which is why clients gate on the
+/// negotiated version before setting topology_text.
+constexpr std::uint8_t kPredictFlagTopology = 0x02;
+constexpr std::uint8_t kPredictFlagsKnown =
+    kPredictFlagHandle | kPredictFlagTopology;
 
 std::string encode_predict_request_v2(const PredictRequest& req) {
   std::string out;
-  out.reserve(33 + req.params_text.size() + req.program_text.size());
-  out.push_back(
-      static_cast<char>(req.handle != 0 ? kPredictFlagHandle : 0));
+  out.reserve(33 + req.params_text.size() + req.program_text.size() +
+              req.topology_text.size());
+  std::uint8_t flags = 0;
+  if (req.handle != 0) flags |= kPredictFlagHandle;
+  if (!req.topology_text.empty()) flags |= kPredictFlagTopology;
+  out.push_back(static_cast<char>(flags));
   put_u64le(out, req.handle);
   put_u64le(out, req.seed);
   put_u64le(out, req.deadline_ms);
@@ -480,6 +500,10 @@ std::string encode_predict_request_v2(const PredictRequest& req) {
   out.append(req.params_text);
   put_u32le(out, static_cast<std::uint32_t>(req.program_text.size()));
   out.append(req.program_text);
+  if (!req.topology_text.empty()) {
+    put_u32le(out, static_cast<std::uint32_t>(req.topology_text.size()));
+    out.append(req.topology_text);
+  }
   return out;
 }
 
@@ -488,7 +512,7 @@ Result<PredictRequest> decode_predict_request_v2(const std::string& payload) {
   PredictRequest req;
   std::uint8_t flags = 0;
   if (Status st = r.get_u8(&flags); !st.ok()) return st;
-  if ((flags & ~kPredictFlagHandle) != 0) {
+  if ((flags & ~kPredictFlagsKnown) != 0) {
     return Status::invalid_input("predict envelope: unknown flag bits " +
                                  std::to_string(flags));
   }
@@ -501,6 +525,12 @@ Result<PredictRequest> decode_predict_request_v2(const std::string& payload) {
   if (Status st = r.get_u64(&req.deadline_ms); !st.ok()) return st;
   if (Status st = r.get_string(&req.params_text); !st.ok()) return st;
   if (Status st = r.get_string(&req.program_text); !st.ok()) return st;
+  if ((flags & kPredictFlagTopology) != 0) {
+    if (Status st = r.get_string(&req.topology_text); !st.ok()) return st;
+    if (req.topology_text.empty()) {
+      return Status::invalid_input("predict envelope: empty topology");
+    }
+  }
   if (Status st = expect_done(r, "predict request"); !st.ok()) return st;
   return req;
 }
@@ -704,6 +734,27 @@ std::string encode_registered_reply(std::uint64_t handle, Codec codec) {
     return out;
   }
   return "handle " + std::to_string(handle) + "\n";
+}
+
+std::string encode_register_request(const std::string& program_text,
+                                    const std::string& topology_text) {
+  if (topology_text.empty()) return program_text;
+  return "topology " + topology_text + "\n" + program_text;
+}
+
+RegisterRequest split_register_request(const std::string& payload) {
+  RegisterRequest req;
+  constexpr const char kPrefix[] = "topology ";
+  constexpr std::size_t kPrefixLen = sizeof kPrefix - 1;
+  if (payload.rfind(kPrefix, 0) == 0) {
+    std::size_t eol = payload.find('\n', kPrefixLen);
+    if (eol == std::string::npos) eol = payload.size();
+    req.topology_text = payload.substr(kPrefixLen, eol - kPrefixLen);
+    req.program_text = payload.substr(std::min(eol + 1, payload.size()));
+    return req;
+  }
+  req.program_text = payload;
+  return req;
 }
 
 Result<std::uint64_t> decode_registered_reply(const std::string& payload,

@@ -21,8 +21,9 @@
 //     seed 1                              total_us 1234.5
 //     deadline_ms 250                     comp_us ...
 //     handle 7       (only if nonzero)    comm_us ...
-//     program                             total_worst_us ...
-//     <program text...>                   comm_worst_us ...
+//     topology torus:4x4  (v3, if set)    total_worst_us ...
+//     program                             comm_worst_us ...
+//     <program text...>
 //                                         from_cache 1
 //                                         attempts 1
 //
@@ -94,7 +95,12 @@ enum class Codec : std::uint8_t {
 
 inline constexpr std::uint32_t kProtocolVersionText = 1;
 inline constexpr std::uint32_t kProtocolVersionBinary = 2;
-inline constexpr std::uint32_t kProtocolVersionMax = kProtocolVersionBinary;
+/// v3 adds the optional TOPOLOGY field on PREDICT and REGISTER (the
+/// io/topology_io.hpp text format).  Same binary codec as v2; the version
+/// gates whether a client may SEND the field (older peers reject unknown
+/// keys / flag bits by design).
+inline constexpr std::uint32_t kProtocolVersionTopology = 3;
+inline constexpr std::uint32_t kProtocolVersionMax = kProtocolVersionTopology;
 
 /// The codec a negotiated protocol version implies.
 [[nodiscard]] constexpr Codec codec_for_version(std::uint32_t version) {
@@ -173,6 +179,13 @@ struct PredictRequest {
   /// request carries program_text instead.  A nonzero handle wins over any
   /// program text.
   std::uint64_t handle = 0;
+  /// Network topology in the io/topology_io.hpp text format ("torus:4x4",
+  /// "fattree:4,4/1,2", ...); empty = the flat LogGP network.  Requires a
+  /// negotiated protocol version >= kProtocolVersionTopology to send
+  /// (clients enforce this; older servers reject the unknown field).  On a
+  /// handle request a non-empty value overrides the topology the program
+  /// was registered with.
+  std::string topology_text;
 };
 
 struct PredictReply {
@@ -243,11 +256,32 @@ struct ErrorReply {
     const std::string& payload);
 
 // REGISTER requests carry the raw program text as the payload under both
-// codecs (no envelope; the text IS the message).  The reply differs:
+// codecs (no envelope; the text IS the message).  Protocol v3 optionally
+// prefixes one "topology <spec>\n" line (split_register_request peels it);
+// the server only honours the prefix on connections that negotiated v3,
+// so pre-v3 program text is never reinterpreted.  The reply differs:
 // v1 renders "handle N", v2 a u64le.
 [[nodiscard]] std::string encode_registered_reply(std::uint64_t handle,
                                                   Codec codec);
 [[nodiscard]] Result<std::uint64_t> decode_registered_reply(
     const std::string& payload, Codec codec);
+
+/// A REGISTER payload split into its optional topology prefix and the
+/// program text proper.
+struct RegisterRequest {
+  std::string topology_text;  ///< empty = flat (no prefix present)
+  std::string program_text;
+};
+
+/// Builds a REGISTER payload: the program text, prefixed with one
+/// "topology <spec>\n" line when `topology_text` is non-empty (protocol
+/// v3; the caller must have negotiated it).
+[[nodiscard]] std::string encode_register_request(
+    const std::string& program_text, const std::string& topology_text);
+
+/// Splits a REGISTER payload.  A payload without the prefix comes back
+/// with an empty topology_text and the payload as program_text verbatim.
+[[nodiscard]] RegisterRequest split_register_request(
+    const std::string& payload);
 
 }  // namespace logsim::serve

@@ -20,7 +20,9 @@
 #include "core/comm_sim.hpp"
 #include "core/parallel_comm.hpp"
 #include "core/predictor.hpp"
+#include "core/program_sim.hpp"
 #include "core/worst_case.hpp"
+#include "network/network_model.hpp"
 #include "extensions/overlap_sim.hpp"
 #include "ge/blocked_ge.hpp"
 #include "layout/layout.hpp"
@@ -503,6 +505,53 @@ TEST(GoldenTrace, OverlapSimulatorGeProgram) {
   const auto costs = ops::analytic_cost_table();
   const ext::OverlapProgramSimulator sim{loggp::presets::meiko_cs2(8)};
   EXPECT_EQ(hash_result(sim.run(program, costs)), 0x3b06b34295e04548ULL);
+}
+
+// --- FlatLogGP NetworkModel bit-identity ---------------------------------
+// The tentpole refactor routes every simulation through the NetworkModel
+// interface; an explicit FlatLogGP backend must reproduce the SAME pinned
+// hashes as no backend at all -- op order, times and rng draws included.
+
+TEST(GoldenTrace, FlatNetModelKeepsStandardHash) {
+  const network::FlatLogGP flat;
+  const auto pat = pattern::paper_fig3();
+  CommSimOptions opts;
+  opts.net = &flat;
+  const CommTrace trace = CommSimulator{kMeiko10, opts}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0xa927844905f9c6d9ULL);
+}
+
+TEST(GoldenTrace, FlatNetModelKeepsHeavyTieHash) {
+  const network::FlatLogGP flat;
+  const auto pat = pattern::all_to_all(16, Bytes{112});
+  CommSimOptions opts;
+  opts.seed = 7;
+  opts.net = &flat;
+  const CommTrace trace =
+      CommSimulator{loggp::presets::meiko_cs2(16), opts}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0x1f102da9aa3ccdf6ULL);
+}
+
+TEST(GoldenTrace, FlatNetModelKeepsWorstCaseHash) {
+  const network::FlatLogGP flat;
+  const auto pat = pattern::paper_fig3();
+  WorstCaseOptions opts;
+  opts.net = &flat;
+  const CommTrace trace = WorstCaseSimulator{kMeiko10, opts}.run(pat);
+  EXPECT_EQ(hash_trace(trace), 0xcc311bf090642ff5ULL);
+}
+
+TEST(GoldenTrace, FlatNetModelKeepsGeProgramHash) {
+  const layout::DiagonalMap map{8};
+  const auto program =
+      ge::build_ge_program(ge::GeConfig{.n = 240, .block = 30}, map);
+  const auto costs = ops::analytic_cost_table();
+  const network::FlatLogGP flat;
+  ProgramSimOptions opts;
+  opts.net = &flat;
+  const ProgramResult r =
+      ProgramSimulator{loggp::presets::meiko_cs2(8), opts}.run(program, costs);
+  EXPECT_EQ(hash_result(r), 0x566a06eb3425b6dcULL);
 }
 
 }  // namespace

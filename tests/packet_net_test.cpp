@@ -12,7 +12,7 @@ PacketNetConfig crossbar_cfg() {
   cfg.packet_bytes = 512;
   cfg.software_overhead = Time{2.0};
   cfg.us_per_byte = 0.01;
-  cfg.per_hop = Time{1.5};
+  cfg.topology.per_hop = Time{1.5};
   return cfg;
 }
 
@@ -53,8 +53,7 @@ TEST(PacketNet, PipeliningBeatsSerialSum) {
 
 TEST(PacketNet, RoutesOnMeshAreDimensionOrdered) {
   PacketNetConfig cfg = crossbar_cfg();
-  cfg.mesh_rows = 3;
-  cfg.mesh_cols = 3;
+  cfg.topology = TopologySpec::mesh(3, 3);
   const PacketNetwork net{cfg};
   // 0 (0,0) -> 8 (2,2): columns first then rows.
   EXPECT_EQ(net.route(0, 8), (std::vector<int>{1, 2, 5, 8}));
@@ -64,20 +63,17 @@ TEST(PacketNet, RoutesOnMeshAreDimensionOrdered) {
 
 TEST(PacketNet, TorusTakesShorterWayRound) {
   PacketNetConfig cfg = crossbar_cfg();
-  cfg.mesh_rows = 1;
-  cfg.mesh_cols = 4;
-  cfg.torus = true;
+  cfg.topology = TopologySpec::torus(1, 4);
   const PacketNetwork net{cfg};
   EXPECT_EQ(net.route(0, 3), (std::vector<int>{3}));  // wrap: one hop
-  cfg.torus = false;
+  cfg.topology = TopologySpec::mesh(1, 4);
   const PacketNetwork mesh{cfg};
   EXPECT_EQ(mesh.route(0, 3), (std::vector<int>{1, 2, 3}));
 }
 
 TEST(PacketNet, MoreHopsLaterArrival) {
   PacketNetConfig cfg = crossbar_cfg();
-  cfg.mesh_rows = 1;
-  cfg.mesh_cols = 5;
+  cfg.topology = TopologySpec::mesh(1, 5);
   pattern::CommPattern near{5};
   near.add(0, 1, Bytes{100});
   pattern::CommPattern far{5};
@@ -90,8 +86,7 @@ TEST(PacketNet, SharedLinkSerializes) {
   // Two messages crossing the same link take longer than two messages on
   // disjoint links -- the contention LogGP cannot see.
   PacketNetConfig cfg = crossbar_cfg();
-  cfg.mesh_rows = 1;
-  cfg.mesh_cols = 4;
+  cfg.topology = TopologySpec::mesh(1, 4);
   pattern::CommPattern shared{4};
   shared.add(0, 2, Bytes{2048});
   shared.add(1, 2, Bytes{2048});  // both use link 1->2
@@ -122,8 +117,7 @@ TEST(PacketNet, DeterministicAcrossRuns) {
   util::Rng rng{77};
   const auto pat = pattern::random_pattern(rng, 8, 30, Bytes{64}, Bytes{4096});
   PacketNetConfig cfg = crossbar_cfg();
-  cfg.mesh_rows = 2;
-  cfg.mesh_cols = 4;
+  cfg.topology = TopologySpec::mesh(2, 4);
   const auto a = PacketNetwork{cfg}.run(pat);
   const auto b = PacketNetwork{cfg}.run(pat);
   EXPECT_DOUBLE_EQ(a.makespan.us(), b.makespan.us());
@@ -134,8 +128,7 @@ TEST(PacketNet, AllMessagesDelivered) {
   util::Rng rng{88};
   const auto pat = pattern::random_pattern(rng, 9, 60, Bytes{1}, Bytes{3000});
   PacketNetConfig cfg = crossbar_cfg();
-  cfg.mesh_rows = 3;
-  cfg.mesh_cols = 3;
+  cfg.topology = TopologySpec::mesh(3, 3);
   const auto r = PacketNetwork{cfg}.run(pat);
   EXPECT_EQ(r.deliveries.size(), pat.size());
   for (const auto& d : r.deliveries) {

@@ -704,7 +704,13 @@ TEST_F(ServeTest, HelloNegotiatesBinaryAndClampsToServerMax) {
   EXPECT_EQ(client.codec(), serve::Codec::kText);  // v1 until negotiated
   ASSERT_TRUE(client.hello().ok());
   EXPECT_EQ(client.codec(), serve::Codec::kBinary);
-  EXPECT_EQ(client.protocol_version(), serve::kProtocolVersionBinary);
+  EXPECT_EQ(client.protocol_version(), serve::kProtocolVersionMax);
+
+  // Pinning the binary version is still honoured (and stays binary).
+  serve::Client v2 = connect();
+  ASSERT_TRUE(v2.hello(serve::kProtocolVersionBinary).ok());
+  EXPECT_EQ(v2.protocol_version(), serve::kProtocolVersionBinary);
+  EXPECT_EQ(v2.codec(), serve::Codec::kBinary);
 
   // A client from the future: the server answers min(its max, ours).
   serve::Client eager = connect();
@@ -1024,6 +1030,298 @@ TEST_F(ServeTest, SimThreadPoolPredictionsAreBitIdentical) {
   EXPECT_TRUE(same_bits(reply->comm_us, direct.value().comm().us()));
   EXPECT_TRUE(same_bits(reply->comm_worst_us,
                         direct.value().comm_worst().us()));
+}
+
+// --- protocol v3: the TOPOLOGY field (ISSUE 10) ---------------------------
+
+TEST(ServeWire, PredictRequestTopologyRoundTripsBothCodecs) {
+  serve::PredictRequest req;
+  req.params_text = "meiko";
+  req.seed = 5;
+  req.handle = 9;
+  req.topology_text = "fattree:4,4/1,2;hop=2.5";
+  for (const serve::Codec codec : {serve::Codec::kText, serve::Codec::kBinary}) {
+    const std::string payload = serve::encode_predict_request(req, codec);
+    const Result<serve::PredictRequest> back =
+        serve::decode_predict_request(payload, codec);
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    EXPECT_EQ(back->topology_text, req.topology_text);
+    EXPECT_EQ(back->handle, req.handle);
+  }
+  // Empty topology encodes to the pre-v3 payload byte-for-byte.
+  req.topology_text.clear();
+  for (const serve::Codec codec : {serve::Codec::kText, serve::Codec::kBinary}) {
+    const std::string payload = serve::encode_predict_request(req, codec);
+    const Result<serve::PredictRequest> back =
+        serve::decode_predict_request(payload, codec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->topology_text.empty());
+  }
+}
+
+TEST(ServeWire, RegisterPayloadTopologyPrefixSplits) {
+  const std::string program = "procs 4\n";
+  EXPECT_EQ(serve::encode_register_request(program, ""), program);
+  const std::string with =
+      serve::encode_register_request(program, "torus:2x2");
+  const serve::RegisterRequest split = serve::split_register_request(with);
+  EXPECT_EQ(split.topology_text, "torus:2x2");
+  EXPECT_EQ(split.program_text, program);
+  const serve::RegisterRequest plain = serve::split_register_request(program);
+  EXPECT_TRUE(plain.topology_text.empty());
+  EXPECT_EQ(plain.program_text, program);
+}
+
+TEST_F(ServeTest, TopologyRequiresNegotiatedV3) {
+  start();
+  serve::Client client = connect();  // no hello(): still protocol v1
+  serve::PredictRequest req;
+  req.program_text = sample_program();
+  req.topology_text = "torus:2x2";
+  const Result<serve::PredictReply> reply = client.predict(req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kInvalidInput);
+  // After hello() the same request is accepted.
+  ASSERT_TRUE(client.hello().ok());
+  ASSERT_EQ(client.protocol_version(), serve::kProtocolVersionTopology);
+  const Result<serve::PredictReply> ok = client.predict(req);
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+}
+
+/// A 4-proc incast whose receiver computes afterwards, so topology delays
+/// land on the critical path (sample_program's multi-hop message is
+/// absorbed off it and predicts the same total under a 2x2 torus).
+std::string hotspot_program() {
+  return
+      "procs 4\n"
+      "op mult\n"
+      "cost 0 16 250.5\n"
+      "compute\n"
+      "item 0 0 16\n"
+      "item 1 0 16\n"
+      "item 2 0 16\n"
+      "item 3 0 16\n"
+      "comm\n"
+      "msg 1 0 4096\n"
+      "msg 2 0 4096\n"
+      "msg 3 0 4096\n"
+      "compute\n"
+      "item 0 0 16\n";
+}
+
+TEST_F(ServeTest, TopologySlowsPredictionAndKeysTheCaches) {
+  start();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.hello().ok());
+
+  serve::PredictRequest flat;
+  flat.program_text = hotspot_program();
+  const Result<serve::PredictReply> flat_reply = client.predict(flat);
+  ASSERT_TRUE(flat_reply.ok()) << flat_reply.status().to_string();
+
+  serve::PredictRequest shaped = flat;
+  shaped.topology_text = "torus:2x2";
+  const Result<serve::PredictReply> shaped_reply = client.predict(shaped);
+  ASSERT_TRUE(shaped_reply.ok()) << shaped_reply.status().to_string();
+
+  // The torus adds communication cost, and the flat answer's cache entry
+  // must not leak into the shaped request (or vice versa).
+  EXPECT_GT(shaped_reply->total_us, flat_reply->total_us);
+  EXPECT_FALSE(shaped_reply->from_cache);
+  const Result<serve::PredictReply> shaped_again = client.predict(shaped);
+  ASSERT_TRUE(shaped_again.ok());
+  EXPECT_TRUE(same_bits(shaped_again->total_us, shaped_reply->total_us));
+
+  // A malformed or wrong-shape topology fails loudly.
+  serve::PredictRequest bad = flat;
+  bad.topology_text = "torus:3x3";  // the program has 4 procs
+  const Result<serve::PredictReply> mismatch = client.predict(bad);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), ErrorCode::kInvalidInput);
+  bad.topology_text = "hypercube:4";
+  const Result<serve::PredictReply> unknown = client.predict(bad);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), ErrorCode::kInvalidInput);
+}
+
+TEST_F(ServeTest, RegisterWithTopologyGetsItsOwnHandleAndMemo) {
+  start();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.hello().ok());
+
+  const std::string program = hotspot_program();
+  const Result<std::uint64_t> flat_handle = client.register_program(program);
+  ASSERT_TRUE(flat_handle.ok()) << flat_handle.status().to_string();
+  const Result<std::uint64_t> torus_handle =
+      client.register_program(program, "torus:2x2");
+  ASSERT_TRUE(torus_handle.ok()) << torus_handle.status().to_string();
+  // Same program under a different interconnect is a DIFFERENT entry...
+  EXPECT_NE(flat_handle.value(), torus_handle.value());
+  // ...and re-registering the same (program, topology) dedups.
+  const Result<std::uint64_t> again =
+      client.register_program(program, "torus:2x2");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), torus_handle.value());
+
+  serve::PredictRequest flat_req;
+  flat_req.handle = flat_handle.value();
+  serve::PredictRequest torus_req;
+  torus_req.handle = torus_handle.value();
+  const Result<serve::PredictReply> flat_reply = client.predict(flat_req);
+  const Result<serve::PredictReply> torus_reply = client.predict(torus_req);
+  ASSERT_TRUE(flat_reply.ok());
+  ASSERT_TRUE(torus_reply.ok());
+  EXPECT_GT(torus_reply->total_us, flat_reply->total_us);
+
+  // The per-entry (params, seed) memo serves repeats of the shaped handle:
+  // the topology is part of the entry, so the memo stays sound.
+  const Result<serve::PredictReply> memo = client.predict(torus_req);
+  ASSERT_TRUE(memo.ok());
+  EXPECT_TRUE(memo->from_cache);
+  EXPECT_TRUE(same_bits(memo->total_us, torus_reply->total_us));
+
+  // A request-level topology equal to the entry's still memoizes; a
+  // different one overrides the entry and bypasses the memo.
+  serve::PredictRequest same_spec = torus_req;
+  same_spec.topology_text = "torus:2x2";
+  const Result<serve::PredictReply> same = client.predict(same_spec);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->from_cache);
+  EXPECT_TRUE(same_bits(same->total_us, torus_reply->total_us));
+  serve::PredictRequest override_spec = torus_req;
+  override_spec.topology_text = "mesh:2x2";
+  const Result<serve::PredictReply> mesh = client.predict(override_spec);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_FALSE(mesh->from_cache);
+  EXPECT_GE(mesh->total_us, torus_reply->total_us);  // mesh has no wrap
+
+  // A topology that does not fit the program is rejected at REGISTER time.
+  const Result<std::uint64_t> misfit =
+      client.register_program(program, "torus:3x3");
+  ASSERT_FALSE(misfit.ok());
+  EXPECT_EQ(misfit.status().code(), ErrorCode::kInvalidInput);
+}
+
+// --- async prediction handles (ISSUE 10 satellite) ------------------------
+
+TEST_F(ServeTest, AsyncHandlesCompleteOutOfOrderAndMatchSync) {
+  start();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.hello().ok());
+
+  // Fire several asynchronous predictions, then collect in REVERSE order:
+  // the stash must hold the replies that arrive while we wait for later
+  // handles.
+  std::vector<serve::PredictionHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    serve::PredictRequest req;
+    req.program_text = sample_program(i + 1);
+    req.seed = 11;
+    Result<serve::PredictionHandle> h = client.start(req);
+    ASSERT_TRUE(h.ok()) << h.status().to_string();
+    EXPECT_NE(h->id(), 0u);
+    handles.push_back(std::move(h).value());
+  }
+  for (int i = 3; i >= 0; --i) {
+    const Result<serve::PredictReply> reply = handles[static_cast<std::size_t>(i)].wait();
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    const runtime::JobResult direct =
+        direct_predict(sample_program(i + 1), "meiko", 11);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(same_bits(reply->total_us, direct.value().total().us()));
+  }
+  // wait() is idempotent once done.
+  const Result<serve::PredictReply> again = handles[0].wait();
+  ASSERT_TRUE(again.ok());
+}
+
+TEST_F(ServeTest, AsyncTestPollsWithoutBlocking) {
+  start();
+  serve::Client client = connect();
+  serve::PredictRequest req;
+  req.program_text = sample_program(5);
+  Result<serve::PredictionHandle> handle = client.start(req);
+  ASSERT_TRUE(handle.ok());
+  // Poll until done; test() never blocks, so spin with a deadline.
+  const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+  for (;;) {
+    const Result<bool> done = handle->test();
+    ASSERT_TRUE(done.ok()) << done.status().to_string();
+    if (done.value()) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "never completed";
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(handle->done());
+  const Result<serve::PredictReply> reply = handle->wait();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_GT(reply->total_us, 0.0);
+}
+
+TEST_F(ServeTest, WaitAnyReturnsEachHandleExactlyOnce) {
+  start();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.hello().ok());
+  std::vector<serve::PredictionHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    serve::PredictRequest req;
+    req.program_text = sample_program(i + 7);
+    Result<serve::PredictionHandle> h = client.start(req);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(std::move(h).value());
+  }
+  std::vector<bool> seen(handles.size(), false);
+  for (std::size_t round = 0; round < handles.size(); ++round) {
+    const Result<std::size_t> idx = client.wait_any(handles);
+    ASSERT_TRUE(idx.ok()) << idx.status().to_string();
+    ASSERT_LT(idx.value(), handles.size());
+    serve::PredictionHandle& done = handles[idx.value()];
+    EXPECT_TRUE(done.done());
+    const Result<serve::PredictReply> reply = done.wait();
+    ASSERT_TRUE(reply.ok());
+    seen[idx.value()] = true;
+    // Consume: replace with a fresh default handle so the next wait_any
+    // round reports a different completion.
+    done = serve::PredictionHandle{};
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST_F(ServeTest, SyncPredictInterleavesWithOutstandingHandle) {
+  start();
+  serve::Client client = connect();
+  ASSERT_TRUE(client.hello().ok());
+  serve::PredictRequest async_req;
+  async_req.program_text = sample_program(13);
+  Result<serve::PredictionHandle> handle = client.start(async_req);
+  ASSERT_TRUE(handle.ok());
+  // A synchronous predict on the same connection must not lose the async
+  // reply if it lands first -- the shared assembler stashes it.
+  serve::PredictRequest sync_req;
+  sync_req.program_text = sample_program(17);
+  const Result<serve::PredictReply> sync_reply = client.predict(sync_req);
+  ASSERT_TRUE(sync_reply.ok()) << sync_reply.status().to_string();
+  const Result<serve::PredictReply> async_reply = handle->wait();
+  ASSERT_TRUE(async_reply.ok()) << async_reply.status().to_string();
+  const runtime::JobResult direct = direct_predict(sample_program(13),
+                                                   "meiko", 1);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(same_bits(async_reply->total_us, direct.value().total().us()));
+}
+
+TEST_F(ServeTest, AsyncErrorReplySurfacesThroughWait) {
+  start();
+  serve::Client client = connect();
+  serve::PredictRequest req;
+  req.program_text = "procs 0\n";  // rejected by the program parser
+  Result<serve::PredictionHandle> handle = client.start(req);
+  ASSERT_TRUE(handle.ok());
+  const Result<serve::PredictReply> reply = handle->wait();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kInvalidInput);
+  // Still done, still idempotent.
+  EXPECT_TRUE(handle->done());
+  const Result<serve::PredictReply> again = handle->wait();
+  ASSERT_FALSE(again.ok());
 }
 
 }  // namespace

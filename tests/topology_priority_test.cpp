@@ -1,6 +1,13 @@
 // Tests for the topology extension, the send-priority ablation switch and
 // the HTML trace export.
 
+// The loggp::Topology shim under test is deprecated (superseded by
+// network::NetworkModel); this file intentionally keeps exercising it
+// until the shim is removed.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include <gtest/gtest.h>
 
 #include <fstream>

@@ -141,6 +141,62 @@ reg_pred=$("$client" --server "127.0.0.1:$port" --binary predict \
   echo "==> [serve] stats missing serve.registered after REGISTER" >&2
   exit 1
 }
+# Topology smoke: the same incast program predicted flat, then over a
+# torus and a fat-tree, locally and through the daemon (protocol v3's
+# TOPOLOGY field).  The receiver computes after the incast, so the
+# shaped totals must come out strictly larger than the flat one; local
+# and remote paths must agree bit for bit; a bogus spec must be refused.
+echo "==> [topology] smoke: logsim_cli --topology local + remote"
+cli="$serve_dir/tools/logsim_cli"
+cat > "$smoke_tmp/hot.txt" <<'EOF'
+procs 4
+op mult
+cost 0 16 250.5
+compute
+item 0 0 16
+item 1 0 16
+item 2 0 16
+item 3 0 16
+comm
+msg 1 0 4096
+msg 2 0 4096
+msg 3 0 4096
+compute
+item 0 0 16
+EOF
+topo_total() {
+  sed -n 's/predicted total: \([0-9.]*\).*/\1/p'
+}
+flat_us=$("$cli" predict "$smoke_tmp/hot.txt" | topo_total)
+torus_us=$("$cli" predict "$smoke_tmp/hot.txt" --topology torus:2x2 \
+  | topo_total)
+fattree_us=$("$cli" predict "$smoke_tmp/hot.txt" --topology fattree:2,2/1,1 \
+  | topo_total)
+awk -v f="$flat_us" -v t="$torus_us" -v ft="$fattree_us" \
+  'BEGIN { exit !(f > 0 && t > f && ft > f) }' || {
+  echo "==> [topology] shaped predictions not above flat:" \
+    "flat=$flat_us torus=$torus_us fattree=$fattree_us" >&2
+  exit 1
+}
+for spec in torus:2x2 fattree:2,2/1,1; do
+  local_pred=$("$cli" predict "$smoke_tmp/hot.txt" --topology "$spec" \
+    | topo_total)
+  remote_pred=$("$cli" predict "$smoke_tmp/hot.txt" --topology "$spec" \
+    --server "127.0.0.1:$port" | topo_total)
+  [ "$local_pred" = "$remote_pred" ] || {
+    echo "==> [topology] local/remote disagree on $spec:" \
+      "local=$local_pred remote=$remote_pred" >&2
+    exit 1
+  }
+done
+if "$cli" predict "$smoke_tmp/hot.txt" --topology hypercube:4 \
+  > /dev/null 2>&1; then
+  echo "==> [topology] bogus spec was accepted" >&2
+  exit 1
+fi
+echo "==> [topology] smoke OK (flat=$flat_us torus=$torus_us" \
+  "fattree=$fattree_us us)"
+
 kill -TERM "$logsimd_pid"
 wait "$logsimd_pid" || {
   echo "==> [serve] logsimd did not shut down cleanly" >&2
@@ -207,7 +263,7 @@ if [ "${LOGSIM_CI_SKIP_PERF:-0}" != "1" ]; then
     echo "==> [perf] BENCH_perf.json failed schema check" >&2
     exit 1
   }
-  for row in serve_warm_p99_us serve_reg_p99_us; do
+  for row in comm_standard_flatnet_p8 serve_warm_p99_us serve_reg_p99_us; do
     grep "\"name\": \"$row\"" "$perf_json" | grep -qv '"value": 0.0,' || {
       echo "==> [perf] BENCH_perf.json missing a non-empty $row row" >&2
       exit 1

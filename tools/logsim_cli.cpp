@@ -9,13 +9,16 @@
 //       Predict blocked Gaussian Elimination (layout: diagonal|row-cyclic).
 //
 //   logsim_cli predict <program-file> [--params STR] [--worst]
-//                      [--server HOST:PORT]
+//                      [--server HOST:PORT] [--topology SPEC]
 //       Predict a whole step program serialized in the program text
 //       format (see src/io/program_io.hpp).  With --server the program
 //       is sent to a running logsimd instead of simulated in-process;
 //       the daemon's text codecs round-trip doubles exactly, so the
 //       numbers match the local path bit for bit (modulo its shared
-//       caches serving hits).
+//       caches serving hits).  --topology routes every message over a
+//       network shape ("torus:4x4", "fattree:4,4/1,2", "mesh:2x8;hop=3";
+//       see src/io/topology_io.hpp) instead of the flat LogGP network;
+//       remotely it rides the protocol-v3 TOPOLOGY field.
 //
 //   logsim_cli fit [--params STR]
 //       Demonstrate LogGP parameter recovery against the built-in
@@ -57,6 +60,7 @@
 #include "io/params_io.hpp"
 #include "io/pattern_io.hpp"
 #include "io/program_io.hpp"
+#include "io/topology_io.hpp"
 
 using namespace logsim;
 
@@ -70,6 +74,7 @@ struct Flags {
   std::string csv;
   std::string trace_out;  // empty = tracing off
   std::string server;     // "HOST:PORT"; empty = predict in-process
+  std::string topology;   // io/topology_io.hpp format; empty = flat
   std::vector<std::string> positional;
 };
 
@@ -110,6 +115,10 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.server = argv[++i];
     } else if (arg.rfind("--server=", 0) == 0) {
       flags.server = arg.substr(std::strlen("--server="));
+    } else if (arg == "--topology" && i + 1 < argc) {
+      flags.topology = argv[++i];
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      flags.topology = arg.substr(std::strlen("--topology="));
     } else {
       flags.positional.push_back(arg);
     }
@@ -311,6 +320,14 @@ int cmd_predict_remote(const Flags& flags) {
   req.params_text = flags.params_text;
   req.seed = flags.seed;
   req.program_text = program_text.str();
+  if (!flags.topology.empty()) {
+    // The TOPOLOGY field needs protocol v3; negotiate before sending.
+    if (Status st = client.hello(); !st.ok()) {
+      report(flags.server, st);
+      return 1;
+    }
+    req.topology_text = flags.topology;
+  }
   const Result<serve::PredictReply> reply = client.predict(req);
   if (!reply.ok()) {
     report(flags.server, reply.status());
@@ -350,11 +367,24 @@ int cmd_predict(const Flags& flags) {
   loggp::Params params = *pr;
   params.P = bundle.program.procs();
 
+  std::unique_ptr<network::NetworkModel> net;
+  if (!flags.topology.empty()) {
+    auto spec = io::parse_topology(flags.topology);
+    Status st = spec.ok() ? spec->validate(bundle.program.procs())
+                          : spec.status();
+    if (!st.ok()) {
+      report("--topology", st);
+      return 1;
+    }
+    net = network::NetworkModel::create(std::move(spec).value());
+  }
+
   runtime::SharedStepCache step_cache{
       runtime::SharedStepCache::config_from_env()};
   core::ProgramSimOptions opts;
   opts.worst_case = flags.worst;
   opts.seed = flags.seed;
+  if (net != nullptr) opts.net = net.get();
   if (flags.step_cache) opts.step_cache = &step_cache;
   opts.decompose = runtime::sim_decompose_enabled();
   opts.comm_parallel = runtime::sim_parallel_for();
